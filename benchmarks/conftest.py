@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each ``test_eN_*.py`` file regenerates one experiment from DESIGN.md's
+index: it reproduces the corresponding paper figure or claim, asserts
+the *shape* of the result (who wins, what converts, what diverges), and
+times the central operation with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.restructure import restructure_database
+from repro.workloads import company
+
+
+@pytest.fixture
+def company_schema():
+    return company.figure_42_schema()
+
+
+@pytest.fixture
+def interpose_operator():
+    return company.figure_44_operator()
+
+
+@pytest.fixture
+def catalog(company_schema, interpose_operator):
+    return ConversionAnalyzer().analyze_operator(company_schema,
+                                                 interpose_operator)
+
+
+def make_pair(operator, seed=1979, **kwargs):
+    """(source db, target db) for one restructuring."""
+    source_db = company.company_db(seed=seed, **kwargs)
+    _schema, target_db = restructure_database(source_db, operator)
+    return source_db, target_db
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple) -> None:
+    """Print one experiment table (visible with -s)."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ] if rows else [len(str(h)) for h in headers]
+    print("  " + " | ".join(str(h).ljust(w)
+                            for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + " | ".join(str(v).ljust(w)
+                                for v, w in zip(row, widths)))

@@ -1,0 +1,209 @@
+"""E10 -- Section 5.2: levels of "successful conversion".
+
+The paper's two worked examples of conversions that are *desired* but
+not strictly I/O-equivalent:
+
+1. "suppose employees who retired prior to 1950 are deleted during
+   conversion.  Then the converted program which prints all current or
+   prior employees is not strictly I/O equivalent ... Yet we would
+   probably want a conversion system to convert the 'print all
+   employees' program successfully, though perhaps a warning should be
+   issued."
+2. "suppose a schema at one point in time allows an employee to have
+   no associated department, then the schema is changed to require
+   each employee to have a department.  A program to insert employees
+   may not have the same behavior as previously ... This is the
+   desired behavior because the application requirements have changed,
+   but it is not strictly equivalent."
+
+Reproduced: both conversions go through, carry warnings, and the
+equivalence checker classifies the outcomes into levels.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import ConversionSupervisor, check_equivalence
+from repro.core.report import STATUS_WARNINGS
+from repro.network import DMLSession, NetworkDatabase
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.restructure import (
+    AddConstraint,
+    ChangeMembership,
+    Composite,
+    restructure_database,
+)
+from repro.schema import ExistenceConstraint, Insertion, Retention, Schema
+from repro.workloads import company
+
+
+def print_all_program():
+    return b.program("PRINT-ALL", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.display(b.field("EMP", "EMP-NAME")),
+        ]),
+    ])
+
+
+def test_information_reducing_conversion_warns_but_converts(benchmark):
+    """Example 1: data deleted during conversion -> level-2."""
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(print_all_program())
+    assert report.target_program is not None
+
+    def run_both():
+        source_db = company.company_db(seed=1979,
+                                       employees_per_division=12)
+        _ts, target_db = restructure_database(
+            company.company_db(seed=1979, employees_per_division=12),
+            operator)
+        # delete the "retired" employees from the TARGET only (the
+        # information-reducing step of the paper's example)
+        session = DMLSession(target_db)
+        erased = 0
+        for record in list(target_db.store("EMP").all_records()):
+            if record["AGE"] > 60:
+                session.find_any("EMP", **{"EMP-NAME": record["EMP-NAME"]})
+                session.erase()
+                erased += 1
+        result = check_equivalence(print_all_program(), source_db,
+                                   report.target_program, target_db,
+                                   warnings=tuple(report.warnings),
+                                   consistent=False)
+        return result, erased
+
+    result, erased = benchmark(run_both)
+    print_table("E10.1 retired-employees example", [
+        ("employees deleted in target", erased),
+        ("strict I/O equivalence", result.equivalent),
+        ("level", result.level),
+        ("first divergence", (result.divergence or "")[:60]),
+    ], ("quantity", "value"))
+    if erased:
+        assert not result.equivalent
+        assert result.level == "divergent"
+    # the conversion itself succeeded with a warning -- the paper's
+    # "convert successfully, though perhaps a warning should be issued"
+    assert report.status == STATUS_WARNINGS or report.warnings
+
+
+def orphan_hire_program():
+    """Insert an employee with NO division positioned (legal while the
+    set is OPTIONAL)."""
+    return b.program("ORPHAN-HIRE", "network", "COMPANY-NAME", [
+        b.store("EMP", **{"EMP-NAME": "DRIFTER", "DEPT-NAME": "SALES",
+                          "AGE": 44}),
+        b.display("STORED", b.v("DB-STATUS")),
+    ])
+
+
+def test_constraint_strengthening_changes_behaviour(benchmark):
+    """Example 2: OPTIONAL -> MANDATORY membership; the insert program
+    now fails where it used to succeed -- desired, warned, and not
+    strictly equivalent."""
+    schema = Schema("LOOSE")
+    schema.define_record("DIV", {"DIV-NAME": "X(20)"},
+                         calc_keys=["DIV-NAME"])
+    schema.define_record("EMP", {"EMP-NAME": "X(25)",
+                                 "DEPT-NAME": "X(10)", "AGE": "9(2)"},
+                         calc_keys=["EMP-NAME"])
+    schema.define_set("ALL-DIV", "SYSTEM", "DIV", order_keys=["DIV-NAME"])
+    schema.define_set("DIV-EMP", "DIV", "EMP",
+                      insertion=Insertion.AUTOMATIC,
+                      retention=Retention.OPTIONAL)
+
+    operator = Composite((
+        ChangeMembership("DIV-EMP", Insertion.AUTOMATIC,
+                         Retention.MANDATORY),
+        AddConstraint(ExistenceConstraint("EMP-HAS-DIV", "DIV-EMP")),
+    ))
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(orphan_hire_program())
+    assert report.target_program is not None
+    assert report.notes  # membership + constraint notes
+
+    def run_both():
+        source_db = NetworkDatabase(schema)
+        source_trace = None
+        from repro.programs.interpreter import run_program
+
+        source_trace = run_program(orphan_hire_program(), source_db,
+                                   consistent=False)
+        _ts, target_db = restructure_database(NetworkDatabase(schema),
+                                              operator)
+        try:
+            target_trace = run_program(report.target_program, target_db,
+                                       consistent=False)
+            failed = False
+        except Exception:
+            target_trace = None
+            failed = True
+        return source_trace, target_trace, failed
+
+    source_trace, target_trace, failed = benchmark(run_both)
+    print_table("E10.2 employee-must-have-department example", [
+        ("source behaviour", source_trace.terminal_lines()),
+        ("target behaviour", "insert refused (ExistenceViolation)"
+         if failed else target_trace.terminal_lines()),
+        ("strictly equivalent", False),
+        ("desired per new requirements", True),
+    ], ("aspect", "value"))
+    assert source_trace.terminal_lines() == ["STORED 0000"]
+    assert failed  # the strengthened schema refuses the orphan insert
+
+
+def test_level_classification_summary(benchmark):
+    """The levels table: strict / warned / divergent over three
+    representative conversions."""
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+
+    hire = b.program("HIRE", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.store("EMP", **{"EMP-NAME": "ZZ", "DEPT-NAME": "SALES",
+                          "AGE": 30, "DIV-NAME": "MACHINERY"}),
+        b.display("OK"),
+    ])
+    count = b.program("COUNT", "network", "COMPANY-NAME", [
+        b.assign("N", 0),
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.assign("N", b.add(b.v("N"), 1)),
+        ]),
+        b.display(b.v("N")),
+    ])
+    ordered = print_all_program()
+
+    def classify():
+        rows = []
+        for program in (hire, count, ordered):
+            report = supervisor.convert_program(program)
+            source_db = company.company_db(seed=3)
+            _ts, target_db = restructure_database(
+                company.company_db(seed=3), operator)
+            result = check_equivalence(program, source_db,
+                                       report.target_program, target_db,
+                                       warnings=tuple(report.warnings),
+                                       consistent=False)
+            if result.equivalent:
+                level = result.level
+            elif sorted(result.source_trace.terminal_lines()) == sorted(
+                    result.target_trace.terminal_lines()):
+                level = "multiset (order warned)"
+            else:
+                level = "divergent"
+            rows.append((program.name, report.status, level))
+        return rows
+
+    rows = benchmark(classify)
+    print_table("E10.3 levels of successful conversion", rows,
+                ("program", "conversion status", "equivalence level"))
+    levels = {name: level for name, _status, level in rows}
+    assert levels["HIRE"] == "strict"
+    assert levels["COUNT"] == "strict"  # counting is order-insensitive
+    assert levels["PRINT-ALL"] == "multiset (order warned)"

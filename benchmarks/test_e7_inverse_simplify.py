@@ -1,0 +1,190 @@
+"""E7 -- Section 2.2 (Housel): inverse-operator conversion.
+
+Housel's approach converts programs "by substituting the inverse
+operators ... for each reference to the source database", then
+simplifying; "the assumption of the existence of inverse operators
+restricts the scope of the conversion problem".
+
+Reproduced:
+
+* the operator catalog's invertibility table (which restructurings
+  have inverses, which are refused);
+* data round-trips: operator then inverse returns the identical
+  instance;
+* program round-trips: a program converted for a change and then
+  converted again for the inverse change behaves identically to the
+  original -- after the optimizer's simplification procedure removes
+  the residue (Housel's "simplification procedure");
+* the non-invertible case (information loss) is refused up front.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import ConversionSupervisor
+from repro.core.equivalence import check_equivalence
+from repro.errors import NotInvertible
+from repro.programs import builder as b
+from repro.restructure import (
+    AddField,
+    ChangeMembership,
+    ChangeSetOrder,
+    DropField,
+    RenameField,
+    RenameRecord,
+    RenameSet,
+    VirtualizeField,
+    restructure_database,
+)
+from repro.schema.model import Insertion, Retention
+from repro.workloads import company
+
+
+def catalog_operators(schema):
+    return [
+        ("RenameRecord", RenameRecord("EMP", "WORKER"), True),
+        ("RenameField", RenameField("EMP", "AGE", "YEARS"), True),
+        ("RenameSet", RenameSet("DIV-EMP", "STAFF"), True),
+        ("AddField", AddField("EMP", "GRADE", "9(1)", 0), True),
+        ("DropField", DropField("EMP", "AGE", force=True), False),
+        ("ChangeSetOrder",
+         ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=True),
+         True),
+        ("ChangeMembership",
+         ChangeMembership("DIV-EMP", Insertion.MANUAL,
+                          Retention.OPTIONAL), True),
+        ("InterposeRecord", company.figure_44_operator(), True),
+        ("VirtualizeField(redundant)", None, True),  # shown separately
+    ]
+
+
+def test_invertibility_table(benchmark):
+    schema = company.figure_42_schema()
+
+    def build_table():
+        rows = []
+        for name, operator, expected in catalog_operators(schema):
+            if operator is None:
+                rows.append((name, "yes (MaterializeField)"))
+                continue
+            try:
+                inverse = operator.inverse(schema)
+                rows.append((name, f"yes ({type(inverse).__name__})"))
+                assert expected
+            except NotInvertible:
+                rows.append((name, "NO (information loss)"))
+                assert not expected
+        return rows
+
+    rows = benchmark(build_table)
+    print_table("E7.1 operator invertibility (Housel's restriction)",
+                rows, ("operator", "inverse exists"))
+    assert any("NO" in status for _n, status in rows)
+
+
+def test_data_round_trip_identity(benchmark):
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+
+    def round_trip():
+        db = company.company_db(seed=1979, employees_per_division=20)
+        _ts, target_db = restructure_database(db, operator)
+        back = operator.inverse(schema)
+        _bs, back_db = restructure_database(target_db, back)
+        return db, back_db
+
+    db, back_db = benchmark(round_trip)
+    original = sorted(tuple(sorted(r.values.items()))
+                      for r in db.store("EMP").all_records())
+    returned = sorted(tuple(sorted(r.values.items()))
+                      for r in back_db.store("EMP").all_records())
+    assert original == returned
+    print_table("E7.2 data round trip", [
+        ("EMP rows (source)", len(original)),
+        ("EMP rows (after op + inverse)", len(returned)),
+        ("identical", original == returned),
+    ], ("quantity", "value"))
+
+
+def list_program():
+    return b.program("LIST", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.gt(b.field("EMP", "AGE"), 30), [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ]),
+    ])
+
+
+def test_program_round_trip_behaviour(benchmark):
+    """convert(convert(P, op), inverse(op)) behaves like P."""
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    target_schema = operator.apply_schema(schema)
+    inverse = operator.inverse(schema)
+
+    forward = ConversionSupervisor(schema, operator)
+    backward = ConversionSupervisor(target_schema, inverse)
+
+    def round_trip_convert():
+        report_forward = forward.convert_program(list_program())
+        assert report_forward.target_program is not None
+        report_back = backward.convert_program(
+            report_forward.target_program)
+        assert report_back.target_program is not None, \
+            report_back.failure
+        return report_back.target_program
+
+    round_tripped = benchmark(round_trip_convert)
+    source_db = company.company_db(seed=1979)
+    result = check_equivalence(list_program(), source_db, round_tripped,
+                               company.company_db(seed=1979))
+    print_table("E7.3 program round trip", [
+        ("statements (original)", len(list_program().statements)),
+        ("statements (round-tripped)", len(round_tripped.statements)),
+        ("behaviour", result.render()),
+    ], ("quantity", "value"))
+    assert result.equivalent
+
+
+def test_simplification_removes_round_trip_residue(benchmark):
+    """Housel's 'simplification procedure': the optimizer removes
+    duplicate positioning that rule substitution leaves behind."""
+    from repro.core import Optimizer, ProgramAnalyzer
+    from repro.core.abstract import walk
+
+    schema = company.figure_42_schema()
+    redundant = b.program("RED", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.eq(b.field("EMP", "DEPT-NAME"), "SALES"), [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ]),
+    ])
+    abstract = ProgramAnalyzer(schema).analyze(redundant)
+
+    def optimize():
+        return Optimizer(schema).optimize(abstract)
+
+    optimized = benchmark(optimize)
+    before = sum(1 for _ in walk(abstract.statements))
+    after = sum(1 for _ in walk(optimized.statements))
+    print_table("E7.4 simplification", [
+        ("abstract statements before", before),
+        ("abstract statements after", after),
+    ], ("quantity", "value"))
+    assert after < before
+
+
+def test_non_invertible_restructuring_refused(benchmark):
+    schema = company.figure_42_schema()
+
+    def refuse():
+        with pytest.raises(NotInvertible):
+            DropField("EMP", "AGE", force=True).inverse(schema)
+        return True
+
+    assert benchmark(refuse)

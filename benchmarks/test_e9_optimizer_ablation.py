@@ -1,0 +1,129 @@
+"""E9 -- Section 5.4: optimizer ablation.
+
+"An optimization needs to be performed on the application program
+representation [because] (1) the original source program may not be
+efficiently coded or (2) an efficient application program may become
+inefficient after both the database and the program have been
+converted."
+
+Reproduced: converted programs generated with and without optimizer
+passes, executed on the same restructured instance, operation counts
+compared.  Expected shape: every pass is behaviour-preserving, and
+optimized programs issue at most as many operations -- strictly fewer
+where a pass fires (keyed retrieval, duplicate-locate removal).
+"""
+
+import pytest
+
+from conftest import make_pair, print_table
+from repro.core import ConversionSupervisor
+from repro.engine.metrics import MetricsScope
+from repro.programs import builder as b
+from repro.programs.interpreter import run_program
+from repro.workloads import company
+
+ALL_PASSES = ("pushdown", "keyed", "dedup-locate", "owner-elim")
+
+
+def dept_report():
+    """Filter on an equality inside a scan: pushdown + keyed target."""
+    return b.program("DEPT-REPORT", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.eq(b.field("EMP", "DEPT-NAME"), "SALES"), [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ]),
+    ])
+
+
+def sloppy_lookup():
+    """'The original source program may not be efficiently coded':
+    duplicate positioning."""
+    return b.program("SLOPPY", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.eq(b.field("EMP", "DEPT-NAME"), "ENG"), [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ]),
+    ])
+
+
+PROGRAMS = {"DEPT-REPORT": dept_report, "SLOPPY": sloppy_lookup}
+
+
+def convert(program, passes):
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator,
+                                      optimizer_passes=passes)
+    report = supervisor.convert_program(program)
+    assert report.target_program is not None, report.failure
+    return report.target_program
+
+
+def measure(program):
+    operator = company.figure_44_operator()
+    _source, target_db = make_pair(operator, employees_per_division=40)
+    with MetricsScope(target_db.metrics) as scope:
+        trace = run_program(program, target_db, consistent=False)
+    cost = (scope.delta.total_accesses() + scope.delta.dml_calls
+            + scope.delta.set_traversals)
+    return cost, trace
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_optimizer_reduces_operations(name, benchmark):
+    source = PROGRAMS[name]()
+    unoptimized = convert(source, ())
+    optimized = convert(source, ALL_PASSES)
+
+    cost_unopt, trace_unopt = measure(unoptimized)
+    cost_opt, trace_opt = benchmark(lambda: measure(optimized))
+    print_table(f"E9.1 ablation: {name}", [
+        ("unoptimized ops", cost_unopt),
+        ("optimized ops", cost_opt),
+        ("saved", f"{1 - cost_opt / cost_unopt:.0%}"),
+    ], ("variant", "value"))
+    assert trace_opt == trace_unopt  # behaviour preserved
+    assert cost_opt < cost_unopt
+
+
+def test_per_pass_contribution(benchmark):
+    """Which pass saves what, one pass enabled at a time."""
+    source = sloppy_lookup()
+    baseline_cost, _ = measure(convert(source, ()))
+
+    def sweep():
+        rows = []
+        for enabled in ALL_PASSES:
+            cost, _trace = measure(convert(source, (enabled,)))
+            rows.append((enabled, cost, baseline_cost - cost))
+        full_cost, _trace = measure(convert(source, ALL_PASSES))
+        rows.append(("ALL", full_cost, baseline_cost - full_cost))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("E9.2 per-pass savings (ops)",
+                [("(none)", baseline_cost, 0)] + rows,
+                ("passes", "ops", "saved"))
+    all_cost = rows[-1][1]
+    assert all_cost <= min(cost for _n, cost, _s in rows)
+    assert any(saved > 0 for _n, _c, saved in rows[:-1])
+
+
+def test_every_pass_is_behaviour_preserving(benchmark):
+    """Ablation safety: each single pass keeps traces identical."""
+    def verify():
+        for name, factory in PROGRAMS.items():
+            source = factory()
+            reference = measure(convert(source, ()))[1]
+            for enabled in ALL_PASSES:
+                trace = measure(convert(source, (enabled,)))[1]
+                assert trace == reference, (name, enabled)
+        return True
+
+    assert benchmark(verify)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Mehl & Wang's hierarchical order transformation (Section 2.2).
+
+A course hierarchy (offerings and textbooks under courses) has its
+sibling segment order swapped.  A DL/I program that counts the
+dependents of a course with an *untyped* GNP loop keeps working; one
+that depends on visit order would not -- so command substitution
+rewrites the untyped loop into typed loops in the original order, and
+the converted program's trace matches the source exactly.
+
+Run:  python examples/hierarchical_reorder.py
+"""
+
+from repro.core.command_substitution import convert_hierarchical_program
+from repro.hierarchical import HierarchicalDatabase
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.ast import render_program
+from repro.programs.interpreter import run_program
+from repro.restructure import SwapSiblingOrder, restructure_database
+from repro.schema import Schema
+
+HIER_OK = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+
+
+def build_schema() -> Schema:
+    schema = Schema("IMS")
+    schema.define_record("COURSE", {"CNO": "X(6)"}, calc_keys=["CNO"])
+    schema.define_record("OFFERING", {"S": "X(4)"})
+    schema.define_record("TEXTBOOK", {"TITLE": "X(12)"})
+    schema.define_set("ALL-COURSE", "SYSTEM", "COURSE", order_keys=["CNO"])
+    schema.define_set("C-OFF", "COURSE", "OFFERING", order_keys=["S"])
+    schema.define_set("C-TXT", "COURSE", "TEXTBOOK", order_keys=["TITLE"])
+    return schema
+
+
+def populate(schema: Schema) -> HierarchicalDatabase:
+    db = HierarchicalDatabase(schema)
+    for cno in ("C1", "C2"):
+        course = db.insert_segment("COURSE", {"CNO": cno})
+        for term in ("F78", "S79"):
+            db.insert_segment("OFFERING", {"S": term},
+                              ("COURSE", course.rid))
+        db.insert_segment("TEXTBOOK", {"TITLE": f"{cno}-PRIMER"},
+                          ("COURSE", course.rid))
+    return db
+
+
+def walk_program() -> ast.Program:
+    return b.program("COUNT-DEPS", "hierarchical", "IMS", [
+        b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+        b.assign("N", 0),
+        b.gnp(),
+        b.while_(HIER_OK, [
+            b.assign("N", b.add(b.v("N"), 1)),
+            b.gnp(),
+        ]),
+        b.display("C1 DEPENDENTS:", b.v("N")),
+    ])
+
+
+def main() -> None:
+    schema = build_schema()
+    swap = SwapSiblingOrder("COURSE", ("C-TXT", "C-OFF"))
+    change = swap.changes(schema)[0]
+
+    source_db = populate(schema)
+    print("source hierarchical sequence:",
+          " ".join(name for name, _ in source_db.preorder()))
+    _target_schema, target_db = restructure_database(
+        populate(schema), swap, target_model="hierarchical")
+    print("target hierarchical sequence:",
+          " ".join(name for name, _ in target_db.preorder()))
+
+    print("\n=== source program ===")
+    print(render_program(walk_program()))
+    source_trace = run_program(walk_program(), source_db,
+                               consistent=False)
+    print("source trace:", source_trace.terminal_lines())
+
+    result = convert_hierarchical_program(walk_program(), change, schema)
+    print("\n=== converted program (command substitution) ===")
+    print(render_program(result.program))
+    for note in result.notes:
+        print(f"note: {note}")
+
+    converted_trace = run_program(result.program, target_db,
+                                  consistent=False)
+    print("converted trace:", converted_trace.terminal_lines())
+    print("\ntraces identical:", converted_trace == source_trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The Conversion Analyst in the loop (Section 4).
+
+"We expect that an interactive system would be most successful in
+resolving issues of database integrity and application program
+requirements" -- this example shows the three analyst touch-points:
+
+1. a program whose DML verb arrives from the terminal (Section 3.2)
+   fails mechanical analysis; the analyst pins the verb and conversion
+   proceeds;
+2. the Conversion Analyzer proposes rename hypotheses for remove+add
+   schema pairs, which the analyst would confirm;
+3. an information-reducing restructuring makes a program genuinely
+   unconvertible, and the supervisor reports exactly why.
+
+Run:  python examples/interactive_conversion.py
+"""
+
+from repro.core import ConversionSupervisor, RefusingAnalyst
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.programs import builder as b
+from repro.programs.ast import render_program
+from repro.restructure import DropField, RenameField, RenameRecord
+from repro.workloads import company
+
+
+def variable_verb_program():
+    return b.program("OPERATOR-CONSOLE", "network", "COMPANY-NAME", [
+        b.accept("REQUEST", prompt="OPERATION?"),
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.generic_call(b.v("REQUEST"), "EMP", **{
+            "EMP-NAME": "CONSOLE-HIRE", "DEPT-NAME": "SALES",
+            "AGE": 30, "DIV-NAME": "MACHINERY",
+        }),
+        b.display("REQUEST COMPLETE"),
+    ])
+
+
+def main() -> None:
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+
+    # -- 1. verb variability: refused, then analyst-pinned ----------------
+    print("=" * 70)
+    print("[1] run-time verb variability (Section 3.2)")
+    print("=" * 70)
+    program = variable_verb_program()
+    print(render_program(program))
+
+    refusing = ConversionSupervisor(schema, operator,
+                                    analyst=RefusingAnalyst())
+    report = refusing.convert_program(program)
+    print(f"without the analyst: {report.status}")
+    print(f"  reason: {report.failure}\n")
+
+    assisted = ConversionSupervisor(
+        schema, operator,
+        verb_pins={"OPERATOR-CONSOLE": {0: "STORE"}})
+    report = assisted.convert_program(program)
+    print(f"with the analyst pinning the verb to STORE: {report.status}")
+    for question in report.questions:
+        print(f"  analyst dialogue: {question}")
+    print()
+    print(render_program(report.target_program))
+
+    # -- 2. rename hypotheses ------------------------------------------------
+    print("=" * 70)
+    print("[2] rename inference (Section 5.1)")
+    print("=" * 70)
+    renamed = RenameRecord("EMP", "WORKER").apply_schema(schema)
+    renamed = RenameField("WORKER", "AGE", "YEARS").apply_schema(renamed)
+    analyzer = ConversionAnalyzer()
+    print("the analyst receives these hypotheses for confirmation:")
+    for suggestion in analyzer.suggest_renames(schema, renamed):
+        print(f"  {suggestion.render()}")
+    print()
+
+    # -- 3. genuinely unconvertible ---------------------------------------------
+    print("=" * 70)
+    print("[3] information-reducing change (Section 5.2)")
+    print("=" * 70)
+    reader = b.program("AGE-REPORT", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.display(b.field("EMP", "AGE")),
+        ]),
+    ])
+    dropping = ConversionSupervisor(
+        schema, DropField("EMP", "AGE", force=True))
+    report = dropping.convert_program(reader)
+    print(f"status: {report.status}")
+    print(f"reason: {report.failure}")
+    print("(the paper: 'conversion when not all information is preserved "
+          "is a different and more difficult conversion problem')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The Figure 3.1 school database and the Section 3.1 constraint story.
+
+Demonstrates, on a live CODASYL database:
+
+1. existence enforcement: inserting a course offering fails when its
+   course does not exist (AUTOMATIC + MANDATORY membership);
+2. the "null instructor" option: offerings may exist without an
+   instructor (MANUAL + OPTIONAL);
+3. the ERASE hazard: erasing an instructor WITH ALL MEMBERS silently
+   deletes its offerings;
+4. the rule no 1979 model could declare -- "a course may not be
+   offered more than twice in a school year" -- caught by the
+   declarative CardinalityLimit;
+5. the same instance in relational form (Figure 3.1a) with CNO and S
+   foreign-key columns.
+
+Run:  python examples/school_constraints.py
+"""
+
+from repro.errors import ExistenceViolation
+from repro.network import DMLSession
+from repro.workloads import school
+
+
+def main() -> None:
+    db = school.school_network_db(seed=1979)
+    session = DMLSession(db)
+    print(f"school database: {db.count('COURSE')} courses, "
+          f"{db.count('SEMESTER')} semesters, "
+          f"{db.count('OFFERING')} offerings, "
+          f"{db.count('INSTRUCTOR')} instructors")
+
+    # 1. existence enforcement ------------------------------------------------
+    print("\n[1] inserting an offering for a course that does not exist:")
+    try:
+        session.store("OFFERING", {"SECTION": 1, "ENROLLMENT": 10,
+                                   "CNO": "GHOST", "S": "F75"})
+    except ExistenceViolation as error:
+        print(f"    refused: {error}")
+
+    # 2. the null-instructor option -------------------------------------------
+    print("\n[2] an offering without an instructor is legal "
+          "(MANUAL/OPTIONAL set):")
+    offering = db.store("OFFERING").all_records()[0]
+    owner = db.owner_record(school.INSTRUCTOR_OFF, offering.rid)
+    print(f"    offering rid {offering.rid} instructor: {owner}")
+    db.verify_consistent()
+    print("    database consistent: yes")
+
+    # 3. the ERASE hazard -----------------------------------------------------
+    print("\n[3] ERASE instructor WITH ALL MEMBERS deletes offerings:")
+    instructor = session.find_any("INSTRUCTOR")
+    session.find_any("COURSE", **{"CNO": "C000"})
+    session.find_first("OFFERING", school.COURSE_OFF)
+    session.find_any("INSTRUCTOR", **{"INAME": instructor["INAME"]})
+    session.find_current("OFFERING")
+    session.connect(school.INSTRUCTOR_OFF)
+    before = db.count("OFFERING")
+    session.find_any("INSTRUCTOR", **{"INAME": instructor["INAME"]})
+    session.erase(all_members=True)
+    print(f"    offerings before: {before}, after: {db.count('OFFERING')}"
+          f"  (one offering silently gone -- the Section 3.1 hazard)")
+
+    # 4. the twice-per-year rule ------------------------------------------------
+    print("\n[4] offering course C001 three times in one year:")
+    semesters = db.store("SEMESTER").all_records()
+    by_year: dict[int, list[str]] = {}
+    for semester in semesters:
+        by_year.setdefault(semester["YEAR"], []).append(semester["S"])
+    year, keys = next((y, k) for y, k in by_year.items() if len(k) >= 2)
+    for index, key in enumerate((keys * 2)[:3]):
+        session.find_any("COURSE", **{"CNO": "C001"})
+        session.store("OFFERING", {"SECTION": 70 + index,
+                                   "ENROLLMENT": 5,
+                                   "CNO": "C001", "S": key})
+    violations = db.check_constraints()
+    for violation in violations:
+        print(f"    violation: {violation}")
+    print(f"    (rule: LIMIT {school.COURSE_OFF} TO 2 PER (YEAR) "
+          f"for year {year})")
+
+    # 5. the relational form ---------------------------------------------------
+    print("\n[5] the same schema in relational form (Figure 3.1a):")
+    relational = school.school_relational_db(seed=1979)
+    row = relational.relation("OFFERING").rows()[0]
+    print(f"    OFFERING row: {row}")
+    print("    (CNO and S are the foreign keys the paper's Figure 3.1a "
+          "shows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Program analysis.
+
+Section 3.2 catalogs the behaviours that make database programs hard or
+impossible to convert mechanically: run-time variability of DML verbs,
+dependence on record presentation order, "process the first" written
+for "process all", and status-code dependence.  Section 5.3 asks
+whether an analyzer can "detect database integrity constraints that are
+enforced procedurally in the program".
+
+This package implements both: a small dataflow analysis over the
+program AST, the four Section 3.2 pathology detectors, and the
+procedural-constraint detector.
+"""
+
+from repro.analysis.dataflow import (
+    assigned_variables,
+    constant_value,
+    input_tainted_variables,
+    is_runtime_constant,
+)
+from repro.analysis.variability import (
+    Finding,
+    detect_order_dependence,
+    detect_pathologies,
+    detect_process_first,
+    detect_status_code_dependence,
+    detect_verb_variability,
+)
+from repro.analysis.constraints import (
+    DetectedConstraint,
+    detect_procedural_constraints,
+)
+
+__all__ = [
+    "assigned_variables",
+    "constant_value",
+    "input_tainted_variables",
+    "is_runtime_constant",
+    "Finding",
+    "detect_pathologies",
+    "detect_verb_variability",
+    "detect_order_dependence",
+    "detect_process_first",
+    "detect_status_code_dependence",
+    "DetectedConstraint",
+    "detect_procedural_constraints",
+]

@@ -1,0 +1,214 @@
+"""Detection of procedurally-enforced integrity constraints.
+
+Section 5.3: "Another open problem is to determine whether the program
+analyzer can detect database integrity constraints that are enforced
+procedurally in the program (or when they are not but should be)."
+Section 3.1 argues such constraints should be "centralized, explicitly,
+as part of the data model".
+
+Two detectors cover the paper's two worked constraint examples:
+
+* **existence checks**: a FIND of a would-be owner whose status guards
+  a STORE of the member (the course-offering insertion rule);
+* **cardinality counts**: a counter incremented inside a set scan,
+  compared against a literal limit that guards a STORE (the
+  "course may not be offered more than twice" rule).
+
+Each detection proposes the equivalent declarative constraint, ready to
+be added to the schema by :class:`repro.restructure.AddConstraint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import expression_variables
+from repro.programs import ast
+from repro.programs.ast import Program, Stmt
+from repro.schema.constraints import (
+    CardinalityLimit,
+    Constraint,
+    ExistenceConstraint,
+)
+from repro.schema.model import Schema
+
+
+@dataclass(frozen=True)
+class DetectedConstraint:
+    """A constraint found enforced in program logic."""
+
+    kind: str                     # 'existence' | 'cardinality'
+    constraint: Constraint        # proposed declarative equivalent
+    evidence: str                 # what in the program implied it
+
+    def render(self) -> str:
+        return (f"{self.kind}: {self.constraint.describe()} "
+                f"[evidence: {self.evidence}]")
+
+
+def detect_procedural_constraints(program: Program,
+                                  schema: Schema) -> list[DetectedConstraint]:
+    """Run both detectors over a network program."""
+    detections = _detect_existence_checks(program, schema)
+    detections += _detect_cardinality_checks(program, schema)
+    return detections
+
+
+def _detect_existence_checks(program: Program,
+                             schema: Schema) -> list[DetectedConstraint]:
+    """FIND ANY owner ... IF DB-STATUS = OK ... STORE member."""
+    detections: list[DetectedConstraint] = []
+
+    def visit(statements: tuple[Stmt, ...]) -> None:
+        previous_find: ast.NetFindAny | None = None
+        for stmt in statements:
+            if isinstance(stmt, ast.NetFindAny):
+                previous_find = stmt
+            elif isinstance(stmt, ast.If) and previous_find is not None:
+                guarded = _status_guard(stmt)
+                if guarded is not None:
+                    branch = stmt.then if guarded else stmt.orelse
+                    for inner in ast.walk(branch):
+                        if not isinstance(inner, ast.NetStore):
+                            continue
+                        for set_type in schema.sets_between(
+                                previous_find.record, inner.record):
+                            detections.append(DetectedConstraint(
+                                "existence",
+                                ExistenceConstraint(
+                                    f"DETECTED-EXIST-{set_type.name}",
+                                    set_type.name,
+                                ),
+                                f"STORE {inner.record} guarded by "
+                                f"FIND ANY {previous_find.record} status",
+                            ))
+                visit(stmt.then)
+                visit(stmt.orelse)
+                previous_find = None
+            elif isinstance(stmt, (ast.Assign, ast.NetGet,
+                                   ast.WriteTerminal, ast.WriteFile)):
+                pass  # these do not disturb the find/guard pairing
+            else:
+                for block in ast.children_of(stmt):
+                    visit(block)
+                previous_find = None
+
+    visit(program.statements)
+    for procedure in program.procedures:
+        visit(procedure.body)
+    return _dedup(detections)
+
+
+def _status_guard(stmt: ast.If) -> bool | None:
+    """True when the THEN branch runs on status OK, False when the THEN
+    branch runs on failure, None when the condition is unrelated."""
+    condition = stmt.condition
+    if not isinstance(condition, ast.Bin):
+        return None
+    if not (isinstance(condition.left, ast.Var)
+            and condition.left.name == "DB-STATUS"
+            and isinstance(condition.right, ast.Const)):
+        return None
+    is_ok_code = condition.right.value == "0000"
+    if condition.op == "=":
+        return is_ok_code
+    if condition.op == "<>":
+        return not is_ok_code
+    return None
+
+
+def _detect_cardinality_checks(program: Program,
+                               schema: Schema) -> list[DetectedConstraint]:
+    """Counter incremented in a set scan, compared to a literal before
+    a STORE of that set's member type."""
+    detections: list[DetectedConstraint] = []
+
+    counters_by_set: dict[str, set[str]] = {}
+
+    def find_counters(statements: tuple[Stmt, ...]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.While):
+                sets_scanned = {
+                    inner.set_name for inner in ast.walk(stmt.body)
+                    if isinstance(inner, (ast.NetFindNext,
+                                          ast.NetFindNextUsing))
+                }
+                for inner in ast.walk(stmt.body):
+                    if (isinstance(inner, ast.Assign)
+                            and isinstance(inner.expr, ast.Bin)
+                            and inner.expr.op == "+"
+                            and inner.var in
+                            expression_variables(inner.expr)):
+                        for set_name in sets_scanned:
+                            counters_by_set.setdefault(
+                                set_name, set()
+                            ).add(inner.var)
+            for block in ast.children_of(stmt):
+                find_counters(block)
+
+    find_counters(program.statements)
+    for procedure in program.procedures:
+        find_counters(procedure.body)
+
+    def find_limit_guards(statements: tuple[Stmt, ...]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.If):
+                limit = _counter_limit(stmt.condition, counters_by_set)
+                if limit is not None:
+                    set_name, bound, counter = limit
+                    member = schema.set_type(set_name).member
+                    for inner in ast.walk(stmt.then + stmt.orelse):
+                        if isinstance(inner, ast.NetStore) and \
+                                inner.record == member:
+                            detections.append(DetectedConstraint(
+                                "cardinality",
+                                CardinalityLimit(
+                                    f"DETECTED-LIMIT-{set_name}",
+                                    set_name, bound,
+                                ),
+                                f"STORE {member} guarded by counter "
+                                f"{counter} over {set_name} vs {bound}",
+                            ))
+            for block in ast.children_of(stmt):
+                find_limit_guards(block)
+
+    find_limit_guards(program.statements)
+    for procedure in program.procedures:
+        find_limit_guards(procedure.body)
+    return _dedup(detections)
+
+
+def _counter_limit(condition: ast.Expr,
+                   counters_by_set: dict[str, set[str]]
+                   ) -> tuple[str, int, str] | None:
+    """Match ``counter < N`` / ``counter <= N`` against known counters,
+    returning (set name, limit, counter variable)."""
+    if not isinstance(condition, ast.Bin):
+        return None
+    if condition.op not in ("<", "<="):
+        return None
+    if not (isinstance(condition.left, ast.Var)
+            and isinstance(condition.right, ast.Const)
+            and isinstance(condition.right.value, int)):
+        return None
+    counter = condition.left.name
+    for set_name, counters in counters_by_set.items():
+        if counter in counters:
+            bound = condition.right.value
+            if condition.op == "<=":
+                bound += 1
+            # "store allowed while count < N" means at most N members.
+            return set_name, bound, counter
+    return None
+
+
+def _dedup(detections: list[DetectedConstraint]) -> list[DetectedConstraint]:
+    seen = set()
+    out = []
+    for detection in detections:
+        key = (detection.kind, detection.constraint.describe())
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(detection)
+    return out

@@ -1,0 +1,134 @@
+"""Dataflow analysis over the program AST.
+
+The paper requires that "any software which attempts to understand the
+program's behavior from a source language version of the program must
+(through data flow analysis techniques) make sure that the commands do
+not vary at run time" (Section 3.2).  The analysis here is deliberately
+conservative: a variable counts as a run-time constant only when it is
+assigned exactly once, from a literal, outside any loop or branch, and
+is never re-bound by terminal/file input, GET bindings, or query
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.programs import ast
+from repro.programs.ast import (
+    Assign,
+    Bin,
+    Const,
+    Expr,
+    Program,
+    Stmt,
+    Var,
+    walk_program,
+)
+
+
+def assigned_variables(program: Program) -> dict[str, int]:
+    """How many times each variable is (potentially) assigned.
+
+    Assignments inside loops count as 2 (may repeat); GET/GU/GN/query
+    bindings count their implicit targets.
+    """
+    counts: dict[str, int] = {}
+
+    def bump(name: str, times: int) -> None:
+        counts[name] = counts.get(name, 0) + times
+
+    def visit(statements: tuple[Stmt, ...], in_loop: bool) -> None:
+        weight = 2 if in_loop else 1
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                bump(stmt.var, weight)
+            elif isinstance(stmt, (ast.ReadTerminal, ast.ReadFile)):
+                bump(stmt.var, weight)
+            elif isinstance(stmt, ast.RelQuery):
+                bump(stmt.into_var, weight)
+            elif isinstance(stmt, ast.NetGet):
+                bump(f"{stmt.record}.*", weight)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.then, in_loop)
+                visit(stmt.orelse, in_loop)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body, True)
+            elif isinstance(stmt, ast.ForEachRow):
+                bump(f"{stmt.row_var}.*", 2)
+                visit(stmt.body, True)
+
+    visit(program.statements, False)
+    for procedure in program.procedures:
+        # Called procedures may run any number of times.
+        visit(procedure.body, True)
+    return counts
+
+
+def constant_value(program: Program, name: str) -> tuple[bool, Any]:
+    """(True, value) when ``name`` is provably a run-time constant.
+
+    Provable means: exactly one top-level ``MOVE literal TO name`` and
+    no other binding anywhere in the program.
+    """
+    counts = assigned_variables(program)
+    if counts.get(name, 0) != 1:
+        return False, None
+    for stmt in program.statements:  # top level only
+        if isinstance(stmt, Assign) and stmt.var == name:
+            if isinstance(stmt.expr, Const):
+                return True, stmt.expr.value
+            return False, None
+    return False, None
+
+
+def is_runtime_constant(program: Program, expr: Expr) -> bool:
+    """Is this expression's value fixed for the whole run?"""
+    if isinstance(expr, Const):
+        return True
+    if isinstance(expr, Var):
+        known, _value = constant_value(program, expr.name)
+        return known
+    if isinstance(expr, Bin):
+        return (is_runtime_constant(program, expr.left)
+                and is_runtime_constant(program, expr.right))
+    return False
+
+
+def input_tainted_variables(program: Program) -> set[str]:
+    """Variables whose value may derive from terminal or file input
+    (transitively through assignments)."""
+    tainted: set[str] = set()
+    for stmt in walk_program(program):
+        if isinstance(stmt, (ast.ReadTerminal, ast.ReadFile)):
+            tainted.add(stmt.var)
+    # Propagate through assignments to a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for stmt in walk_program(program):
+            if not isinstance(stmt, Assign) or stmt.var in tainted:
+                continue
+            if _mentions_any(stmt.expr, tainted):
+                tainted.add(stmt.var)
+                changed = True
+    return tainted
+
+
+def _mentions_any(expr: Expr, names: set[str]) -> bool:
+    if isinstance(expr, Var):
+        return expr.name in names
+    if isinstance(expr, Bin):
+        return (_mentions_any(expr.left, names)
+                or _mentions_any(expr.right, names))
+    return False
+
+
+def expression_variables(expr: Expr) -> set[str]:
+    """All variable names mentioned in an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Bin):
+        return expression_variables(expr.left) | \
+            expression_variables(expr.right)
+    return set()

@@ -1,0 +1,47 @@
+"""The Maryland conversion DDL/DML (Section 4.2).
+
+"At the University of Maryland, the approach has been to create a new
+DDL and DML which would be familiar while facilitating conversion."
+The DDL is :mod:`repro.schema.ddl` (Figure 4.3); this package is the
+DML: FIND statements naming a target record type and a qualified access
+path, plus SORT, STORE, DELETE and MODIFY::
+
+    FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))
+    FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+         DIV-EMP, EMP(DEPT-NAME = 'SALES'))
+
+and the schema-transformation-driven statement conversion that turns
+them into the Figure 4.4 forms (one SORT-wrapped, one not).
+"""
+
+from repro.cdml.ast import (
+    Cmp,
+    DeleteStmt,
+    FindStmt,
+    ModifyStmt,
+    PathItem,
+    Qual,
+    QualAnd,
+    QualOr,
+    SortStmt,
+    StoreStmt,
+)
+from repro.cdml.parser import parse_cdml
+from repro.cdml.evaluator import CdmlEngine
+from repro.cdml.transform import convert_statement
+
+__all__ = [
+    "Cmp",
+    "QualAnd",
+    "QualOr",
+    "Qual",
+    "PathItem",
+    "FindStmt",
+    "SortStmt",
+    "StoreStmt",
+    "DeleteStmt",
+    "ModifyStmt",
+    "parse_cdml",
+    "CdmlEngine",
+    "convert_statement",
+]

@@ -1,0 +1,172 @@
+"""CDML abstract syntax.
+
+A FIND statement is ``FIND(target: start, p1, p2, ...)`` where the
+path alternates set names and record names starting from SYSTEM (or a
+previously retrieved collection, named ``$VAR``).  Record items may
+carry a boolean qualification over the record's fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Union
+
+
+# -- qualifications -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """``field op literal``."""
+
+    field: str
+    op: str
+    value: Any
+
+    def render(self) -> str:
+        value = f"'{self.value}'" if isinstance(self.value, str) \
+            else str(self.value)
+        return f"{self.field} {self.op} {value}"
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class QualAnd:
+    left: "Qual"
+    right: "Qual"
+
+    def render(self) -> str:
+        return f"{self.left.render()} AND {self.right.render()}"
+
+    def fields(self) -> set[str]:
+        return self.left.fields() | self.right.fields()
+
+
+@dataclass(frozen=True)
+class QualOr:
+    left: "Qual"
+    right: "Qual"
+
+    def render(self) -> str:
+        return f"({self.left.render()} OR {self.right.render()})"
+
+    def fields(self) -> set[str]:
+        return self.left.fields() | self.right.fields()
+
+
+Qual = Union[Cmp, QualAnd, QualOr]
+
+
+def qual_and_all(quals: list[Qual]) -> Qual | None:
+    """Conjunction of a list of qualifications (None when empty)."""
+    result: Qual | None = None
+    for qual in quals:
+        result = qual if result is None else QualAnd(result, qual)
+    return result
+
+
+def split_conjuncts(qual: Qual | None) -> list[Qual]:
+    """Flatten top-level AND into a conjunct list."""
+    if qual is None:
+        return []
+    if isinstance(qual, QualAnd):
+        return split_conjuncts(qual.left) + split_conjuncts(qual.right)
+    return [qual]
+
+
+# -- path -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathItem:
+    """One path element: a set name or a (possibly qualified) record."""
+
+    name: str
+    qual: Qual | None = None
+
+    def render(self) -> str:
+        if self.qual is None:
+            return self.name
+        return f"{self.name}({self.qual.render()})"
+
+    def with_qual(self, qual: Qual | None) -> "PathItem":
+        return replace(self, qual=qual)
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FindStmt:
+    """``FIND(target: path...)`` -- returns a collection of target
+    records in access-path order."""
+
+    target: str
+    path: tuple[PathItem, ...]
+
+    def render(self) -> str:
+        items = ", ".join(item.render() for item in self.path)
+        return f"FIND({self.target}: {items})"
+
+
+@dataclass(frozen=True)
+class SortStmt:
+    """``SORT(FIND(...)) ON (keys)`` (Section 4.2's converted form)."""
+
+    inner: FindStmt
+    keys: tuple[str, ...]
+
+    def render(self) -> str:
+        return f"SORT({self.inner.render()}) ON ({', '.join(self.keys)})"
+
+
+@dataclass(frozen=True)
+class StoreStmt:
+    """``STORE(record: F1 = v1, ...)``.
+
+    ``ensure_path`` is set by statement conversion when a restructuring
+    interposed a record on the storage path: the engine then creates
+    the missing interposed owner, reproducing Su's "the system will
+    insert statements to traverse this relationship and continue to
+    enforce" (Section 4.1).
+    """
+
+    record: str
+    values: tuple[tuple[str, Any], ...]
+    ensure_path: bool = False
+
+    def render(self) -> str:
+        pairs = ", ".join(
+            f"{name} = {value!r}" for name, value in self.values
+        )
+        return f"STORE({self.record}: {pairs})"
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE(FIND(...))`` -- erase every found record."""
+
+    find: FindStmt
+    cascade: bool = False
+
+    def render(self) -> str:
+        return f"DELETE({self.find.render()})"
+
+
+@dataclass(frozen=True)
+class ModifyStmt:
+    """``MODIFY(FIND(...): F1 = v1, ...)``."""
+
+    find: FindStmt
+    updates: tuple[tuple[str, Any], ...]
+
+    def render(self) -> str:
+        pairs = ", ".join(
+            f"{name} = {value!r}" for name, value in self.updates
+        )
+        return f"MODIFY({self.find.render()}: {pairs})"
+
+
+Statement = Union[FindStmt, SortStmt, StoreStmt, DeleteStmt, ModifyStmt]

@@ -1,0 +1,258 @@
+"""CDML evaluation against a network database.
+
+The access path "begins with a SYSTEM owned set or a collection of
+previously retrieved target records" and "can be extended by set name
+and record name pairs" (Section 4.2).  Traversal direction is inferred
+per pair: owner -> member (downward, fan-out in set order) or member ->
+owner (upward).  Results come back as ordered lists of records, one
+per Section 4.2's "collections of records of a single record type".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cdml.ast import (
+    Cmp,
+    DeleteStmt,
+    FindStmt,
+    ModifyStmt,
+    Qual,
+    QualAnd,
+    QualOr,
+    SortStmt,
+    Statement,
+    StoreStmt,
+)
+from repro.engine.index import _orderable
+from repro.engine.storage import Record
+from repro.errors import QueryError
+from repro.network.database import NetworkDatabase
+from repro.network.dml import DMLSession
+from repro.network.sets import SYSTEM_OWNER_RID
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+}
+
+
+class CdmlEngine:
+    """Executes CDML statements against one network database.
+
+    Collections produced by FIND can be stashed under a ``$NAME`` and
+    used as the start of a later path ("the output of one retrieval
+    statement can provide input for another").
+    """
+
+    def __init__(self, db: NetworkDatabase):
+        self.db = db
+        self.collections: dict[str, list[Record]] = {}
+
+    # -- qualification -------------------------------------------------
+
+    def _matches(self, record: Record, qual: Qual | None) -> bool:
+        if qual is None:
+            return True
+        if isinstance(qual, Cmp):
+            value = self.db.read_field(record, qual.field)
+            return _OPS[qual.op](value, qual.value)
+        if isinstance(qual, QualAnd):
+            return (self._matches(record, qual.left)
+                    and self._matches(record, qual.right))
+        if isinstance(qual, QualOr):
+            return (self._matches(record, qual.left)
+                    or self._matches(record, qual.right))
+        raise QueryError(f"unknown qualification {qual!r}")
+
+    # -- FIND ----------------------------------------------------------
+
+    def find(self, stmt: FindStmt) -> list[Record]:
+        self.db.metrics.dml_calls += 1
+        path = list(stmt.path)
+        if not path:
+            raise QueryError("FIND: empty path")
+        head = path[0]
+
+        current: list[Record] | None
+        if head.name == "SYSTEM":
+            if head.qual is not None:
+                raise QueryError("FIND: SYSTEM cannot be qualified")
+            current = None  # positioned at SYSTEM, before the first set
+            index = 1
+        elif head.name.startswith("$"):
+            stash = self.collections.get(head.name)
+            if stash is None:
+                raise QueryError(f"FIND: no collection {head.name}")
+            current = [r for r in stash if self._matches(r, head.qual)]
+            index = 1
+        else:
+            raise QueryError(
+                f"FIND: path must start with SYSTEM or a $collection, "
+                f"got {head.name}"
+            )
+
+        while index < len(path):
+            set_item = path[index]
+            if set_item.qual is not None:
+                raise QueryError(
+                    f"FIND: set {set_item.name} cannot be qualified"
+                )
+            if index + 1 >= len(path):
+                raise QueryError(
+                    f"FIND: set {set_item.name} must be followed by a "
+                    "record name"
+                )
+            record_item = path[index + 1]
+            current = self._traverse(current, set_item.name, record_item.name,
+                                     record_item.qual)
+            index += 2
+
+        if current is None:
+            raise QueryError("FIND: path has no record steps")
+        if current and current[0].type_name != stmt.target:
+            raise QueryError(
+                f"FIND: path ends at {current[0].type_name}, "
+                f"target is {stmt.target}"
+            )
+        return current
+
+    def _traverse(self, current: list[Record] | None, set_name: str,
+                  record_name: str, qual: Qual | None) -> list[Record]:
+        set_type = self.db.schema.set_type(set_name)
+        set_store = self.db.set_store(set_name)
+        out: list[Record] = []
+        if current is None:
+            # From SYSTEM through a SYSTEM-owned set.
+            if not set_type.system_owned:
+                raise QueryError(
+                    f"FIND: set {set_name} is not SYSTEM-owned"
+                )
+            if set_type.member != record_name:
+                raise QueryError(
+                    f"FIND: {record_name} is not the member of {set_name}"
+                )
+            for rid in set_store.members(SYSTEM_OWNER_RID):
+                self.db.metrics.set_traversals += 1
+                record = self.db.store(record_name).fetch(rid)
+                if self._matches(record, qual):
+                    out.append(record)
+            return out
+        if not current:
+            return []
+        source_type = current[0].type_name
+        if set_type.owner == source_type and set_type.member == record_name:
+            # Downward: owners to members, in set order.
+            for owner in current:
+                for rid in set_store.members(owner.rid):
+                    self.db.metrics.set_traversals += 1
+                    record = self.db.store(record_name).fetch(rid)
+                    if self._matches(record, qual):
+                        out.append(record)
+            return out
+        if set_type.member == source_type and set_type.owner == record_name:
+            # Upward: members to owners (duplicates collapsed, ordered
+            # by first encounter).
+            seen: set[int] = set()
+            for member in current:
+                owner_rid = set_store.owner(member.rid)
+                if owner_rid is None or owner_rid in seen:
+                    continue
+                seen.add(owner_rid)
+                self.db.metrics.set_traversals += 1
+                record = self.db.store(record_name).fetch(owner_rid)
+                if self._matches(record, qual):
+                    out.append(record)
+            return out
+        raise QueryError(
+            f"FIND: set {set_name} does not connect {source_type} "
+            f"and {record_name}"
+        )
+
+    # -- other statements ---------------------------------------------------
+
+    def sort(self, stmt: SortStmt) -> list[Record]:
+        records = self.find(stmt.inner)
+        self.db.metrics.sort_operations += 1
+        return sorted(
+            records,
+            key=lambda r: tuple(
+                _orderable(self.db.read_field(r, key)) for key in stmt.keys
+            ),
+        )
+
+    def store(self, stmt: StoreStmt) -> Record:
+        session = DMLSession(self.db)
+        values = dict(stmt.values)
+        if stmt.ensure_path:
+            self._ensure_owners(stmt.record, values)
+        return session.store(stmt.record, values)
+
+    def _ensure_owners(self, record_name: str,
+                       values: dict[str, Any]) -> None:
+        """Create missing interposed owners selected by virtual-field
+        values (the conversion-inserted enforcement path).
+
+        Virtual values routed through the *same* set select one owner
+        together: an EMP stored with DEPT-NAME and (chained) DIV-NAME
+        needs one DEPT matching both, connected under the right DIV.
+        """
+        record_type = self.db.schema.record(record_name)
+        by_set: dict[str, dict[str, Any]] = {}
+        for name, value in values.items():
+            fld = record_type.field(name)
+            if fld.is_virtual and value is not None:
+                by_set.setdefault(fld.virtual_via, {})[
+                    fld.virtual_using] = value
+        for set_name, wanted in by_set.items():
+            set_type = self.db.schema.set_type(set_name)
+            exists = any(
+                all(self.db.read_field(record, field_name) == value
+                    for field_name, value in wanted.items())
+                for record in self.db.store(set_type.owner).all_records()
+            )
+            if not exists:
+                self._ensure_owners(set_type.owner, wanted)
+                session = DMLSession(self.db)
+                session.store(set_type.owner, wanted)
+
+    def delete(self, stmt: DeleteStmt) -> int:
+        records = self.find(stmt.find)
+        for record in records:
+            self.db.delete_record(record.type_name, record.rid,
+                                  all_members=stmt.cascade)
+        return len(records)
+
+    def modify(self, stmt: ModifyStmt) -> int:
+        records = self.find(stmt.find)
+        for record in records:
+            self.db.update_record(record.type_name, record.rid,
+                                  dict(stmt.updates))
+        return len(records)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def execute(self, stmt: Statement, into: str | None = None):
+        """Run any statement; FIND/SORT results may be stashed under a
+        ``$NAME`` collection for later paths."""
+        if isinstance(stmt, FindStmt):
+            result = self.find(stmt)
+        elif isinstance(stmt, SortStmt):
+            result = self.sort(stmt)
+        elif isinstance(stmt, StoreStmt):
+            return self.store(stmt)
+        elif isinstance(stmt, DeleteStmt):
+            return self.delete(stmt)
+        elif isinstance(stmt, ModifyStmt):
+            return self.modify(stmt)
+        else:
+            raise QueryError(f"unknown statement {stmt!r}")
+        if into is not None:
+            if not into.startswith("$"):
+                raise QueryError("collection names start with '$'")
+            self.collections[into] = result
+        return result

@@ -1,0 +1,217 @@
+"""CDML parser.
+
+Accepts the Section 4.2 surface syntax::
+
+    FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+         DIV-EMP, EMP(DEPT-NAME = 'SALES'))
+    SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)))
+        ON (EMP-NAME)
+    STORE(EMP: EMP-NAME = 'JONES', AGE = 30)
+    DELETE(FIND(...))
+    MODIFY(FIND(...): AGE = 31)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.cdml.ast import (
+    Cmp,
+    DeleteStmt,
+    FindStmt,
+    ModifyStmt,
+    PathItem,
+    Qual,
+    QualAnd,
+    QualOr,
+    SortStmt,
+    Statement,
+    StoreStmt,
+)
+from repro.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    '(?:[^']*)'
+    | \$?[A-Za-z0-9][A-Za-z0-9\-#]*
+    | <> | <= | >= | [=<>(),:]
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"CDML: unexpected character {text[pos]!r}")
+        tokens.append(match.group(0))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("CDML: unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _expect(self, expected: str) -> None:
+        token = self._next()
+        if token.upper() != expected:
+            raise QueryError(f"CDML: expected {expected!r}, got {token!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if not re.match(r"\$?[A-Za-z0-9]", token):
+            raise QueryError(f"CDML: expected a name, got {token!r}")
+        return token.upper()
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        try:
+            return int(token)
+        except ValueError:
+            raise QueryError(
+                f"CDML: expected a literal, got {token!r}"
+            ) from None
+
+    def statement(self) -> Statement:
+        keyword = self._identifier()
+        if keyword == "FIND":
+            return self._find()
+        if keyword == "SORT":
+            return self._sort()
+        if keyword == "STORE":
+            return self._store()
+        if keyword == "DELETE":
+            return self._delete()
+        if keyword == "MODIFY":
+            return self._modify()
+        raise QueryError(f"CDML: unknown statement {keyword!r}")
+
+    def _find(self) -> FindStmt:
+        self._expect("(")
+        target = self._identifier()
+        self._expect(":")
+        path = [self._path_item()]
+        while self._peek() == ",":
+            self._next()
+            path.append(self._path_item())
+        self._expect(")")
+        return FindStmt(target, tuple(path))
+
+    def _path_item(self) -> PathItem:
+        name = self._identifier()
+        qual = None
+        if self._peek() == "(":
+            self._next()
+            qual = self._qual()
+            self._expect(")")
+        return PathItem(name, qual)
+
+    def _qual(self) -> Qual:
+        left = self._qual_term()
+        while self._peek() is not None and \
+                self._peek().upper() in ("AND", "OR"):
+            op = self._next().upper()
+            right = self._qual_term()
+            left = QualAnd(left, right) if op == "AND" else QualOr(left, right)
+        return left
+
+    def _qual_term(self) -> Qual:
+        if self._peek() == "(":
+            self._next()
+            inner = self._qual()
+            self._expect(")")
+            return inner
+        field = self._identifier()
+        op = self._next()
+        if op not in ("=", "<>", "<", "<=", ">", ">="):
+            raise QueryError(f"CDML: expected an operator, got {op!r}")
+        return Cmp(field, op, self._literal())
+
+    def _sort(self) -> SortStmt:
+        self._expect("(")
+        keyword = self._identifier()
+        if keyword != "FIND":
+            raise QueryError("CDML: SORT expects a FIND argument")
+        inner = self._find()
+        self._expect(")")
+        self._expect("ON")
+        self._expect("(")
+        keys = [self._identifier()]
+        while self._peek() == ",":
+            self._next()
+            keys.append(self._identifier())
+        self._expect(")")
+        return SortStmt(inner, tuple(keys))
+
+    def _assignments(self) -> tuple[tuple[str, Any], ...]:
+        pairs = []
+        while True:
+            name = self._identifier()
+            self._expect("=")
+            pairs.append((name, self._literal()))
+            if self._peek() == ",":
+                self._next()
+                continue
+            break
+        return tuple(pairs)
+
+    def _store(self) -> StoreStmt:
+        self._expect("(")
+        record = self._identifier()
+        self._expect(":")
+        values = self._assignments()
+        self._expect(")")
+        return StoreStmt(record, values)
+
+    def _delete(self) -> DeleteStmt:
+        self._expect("(")
+        keyword = self._identifier()
+        if keyword != "FIND":
+            raise QueryError("CDML: DELETE expects a FIND argument")
+        find = self._find()
+        self._expect(")")
+        return DeleteStmt(find)
+
+    def _modify(self) -> ModifyStmt:
+        self._expect("(")
+        keyword = self._identifier()
+        if keyword != "FIND":
+            raise QueryError("CDML: MODIFY expects a FIND argument")
+        find = self._find()
+        self._expect(":")
+        updates = self._assignments()
+        self._expect(")")
+        return ModifyStmt(find, updates)
+
+
+def parse_cdml(text: str) -> Statement:
+    """Parse one CDML statement."""
+    parser = _Parser(_tokenize(text))
+    statement = parser.statement()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise QueryError(f"CDML: text after statement: {trailing!r}")
+    return statement

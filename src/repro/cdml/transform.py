@@ -1,0 +1,457 @@
+"""CDML statement conversion under schema transformations.
+
+"A conversion is considered as a sequence of transformations applied to
+the source schema ... These same transformations are also used to
+translate the database and to convert the DML statements written for
+the source schema." (Section 4.2)
+
+The headline rule is the interposition rewrite that produces the
+paper's two converted FIND statements:
+
+* qualification conjuncts that mention only the interposed record's key
+  fields are *pushed down* onto the new record step;
+* when those conjuncts pin every key field with equality, the original
+  member order within the single remaining group is intact and no SORT
+  is needed (the paper's MACHINERY/SALES example);
+* otherwise the converted FIND is wrapped in ``SORT ... ON`` the
+  original set's order keys (the paper's AGE > 30 example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cdml.ast import (
+    Cmp,
+    DeleteStmt,
+    FindStmt,
+    ModifyStmt,
+    PathItem,
+    Qual,
+    QualAnd,
+    QualOr,
+    SortStmt,
+    Statement,
+    StoreStmt,
+    qual_and_all,
+    split_conjuncts,
+)
+from repro.schema.diff import (
+    ConstraintAdded,
+    FieldRenamed,
+    MembershipChanged,
+    RecordInterposed,
+    RecordRenamed,
+    RecordsMerged,
+    SchemaChange,
+    SetOrderChanged,
+    SetRenamed,
+)
+from repro.schema.model import Schema
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """A converted statement plus analyst-facing notes."""
+
+    statement: Statement
+    notes: tuple[str, ...] = ()
+
+
+def convert_statement(stmt: Statement, changes: list[SchemaChange],
+                      source_schema: Schema, target_schema: Schema,
+                      strict: bool = False) -> ConversionResult:
+    """Convert one CDML statement for a list of classified changes.
+
+    With ``strict=False`` (default) the interposition rule emits the
+    paper's own converted forms -- including its ``SORT ON (EMP-NAME)``
+    wrapper, which preserves order only *within* upstream groups.  With
+    ``strict=True`` the SORT keys are extended with the upstream sets'
+    order keys (readable on the target through virtual-field chains)
+    so the converted statement is exactly I/O-equivalent.
+    """
+    notes: list[str] = []
+    for change in changes:
+        stmt = _apply_change(stmt, change, source_schema, target_schema,
+                             notes, strict)
+    return ConversionResult(stmt, tuple(notes))
+
+
+def _apply_change(stmt: Statement, change: SchemaChange,
+                  source_schema: Schema, target_schema: Schema,
+                  notes: list[str], strict: bool) -> Statement:
+    if isinstance(change, RecordRenamed):
+        return _rename_record(stmt, change.old_name, change.new_name)
+    if isinstance(change, SetRenamed):
+        return _rename_set(stmt, change.old_name, change.new_name)
+    if isinstance(change, FieldRenamed):
+        return _rename_field(stmt, change.record, change.old_name,
+                             change.new_name, source_schema)
+    if isinstance(change, RecordInterposed):
+        return _interpose(stmt, change, source_schema, target_schema,
+                          notes, strict)
+    if isinstance(change, RecordsMerged):
+        return _merge(stmt, change, source_schema, notes)
+    if isinstance(change, SetOrderChanged):
+        return _reorder(stmt, change, notes)
+    if isinstance(change, MembershipChanged):
+        notes.append(
+            f"membership of set {change.set_name} changed "
+            f"({change.old_insertion.value}/{change.old_retention.value} -> "
+            f"{change.new_insertion.value}/{change.new_retention.value}); "
+            "STORE/DELETE statements may now fail where they succeeded"
+        )
+        return stmt
+    if isinstance(change, ConstraintAdded):
+        notes.append(
+            f"new constraint {change.constraint.describe()}: converted "
+            "programs enforce the new requirement (Section 5.2: desired, "
+            "but not strictly I/O equivalent)"
+        )
+        return stmt
+    # Changes with no CDML impact (additions, removals handled upstream).
+    return stmt
+
+
+# ---------------------------------------------------------------------------
+# Renames
+# ---------------------------------------------------------------------------
+
+
+def _map_find(stmt: Statement, fn) -> Statement:
+    """Apply ``fn`` to every FindStmt inside a statement."""
+    if isinstance(stmt, FindStmt):
+        return fn(stmt)
+    if isinstance(stmt, SortStmt):
+        return replace(stmt, inner=fn(stmt.inner))
+    if isinstance(stmt, DeleteStmt):
+        return replace(stmt, find=fn(stmt.find))
+    if isinstance(stmt, ModifyStmt):
+        return replace(stmt, find=fn(stmt.find))
+    return stmt
+
+
+def _rename_record(stmt: Statement, old: str, new: str) -> Statement:
+    def fix(find: FindStmt) -> FindStmt:
+        return FindStmt(
+            new if find.target == old else find.target,
+            tuple(
+                replace(item, name=new) if item.name == old else item
+                for item in find.path
+            ),
+        )
+
+    stmt = _map_find(stmt, fix)
+    if isinstance(stmt, StoreStmt) and stmt.record == old:
+        stmt = replace(stmt, record=new)
+    return stmt
+
+
+def _rename_set(stmt: Statement, old: str, new: str) -> Statement:
+    def fix(find: FindStmt) -> FindStmt:
+        return replace(find, path=tuple(
+            replace(item, name=new) if item.name == old else item
+            for item in find.path
+        ))
+
+    return _map_find(stmt, fix)
+
+
+def _rename_qual_field(qual: Qual | None, old: str, new: str) -> Qual | None:
+    if qual is None:
+        return None
+    if isinstance(qual, Cmp):
+        return replace(qual, field=new) if qual.field == old else qual
+    if isinstance(qual, QualAnd):
+        return QualAnd(_rename_qual_field(qual.left, old, new),
+                       _rename_qual_field(qual.right, old, new))
+    return QualOr(_rename_qual_field(qual.left, old, new),
+                  _rename_qual_field(qual.right, old, new))
+
+
+def _rename_field(stmt: Statement, record: str, old: str, new: str,
+                  source_schema: Schema) -> Statement:
+    def fix(find: FindStmt) -> FindStmt:
+        return replace(find, path=tuple(
+            replace(item, qual=_rename_qual_field(item.qual, old, new))
+            if item.name == record else item
+            for item in find.path
+        ))
+
+    stmt = _map_find(stmt, fix)
+    if isinstance(stmt, StoreStmt) and stmt.record == record:
+        stmt = replace(stmt, values=tuple(
+            (new if name == old else name, value)
+            for name, value in stmt.values
+        ))
+    if isinstance(stmt, ModifyStmt) and stmt.find.target == record:
+        stmt = replace(stmt, updates=tuple(
+            (new if name == old else name, value)
+            for name, value in stmt.updates
+        ))
+    if isinstance(stmt, SortStmt) and stmt.inner.target == record:
+        stmt = replace(stmt, keys=tuple(
+            new if key == old else key for key in stmt.keys
+        ))
+    return stmt
+
+
+# ---------------------------------------------------------------------------
+# Interposition (Figure 4.2 -> Figure 4.4)
+# ---------------------------------------------------------------------------
+
+
+def _split_key_conjuncts(qual: Qual | None,
+                         key_fields: tuple[str, ...]
+                         ) -> tuple[Qual | None, Qual | None, bool]:
+    """Split a qualification into (key-only part, rest, pinned).
+
+    ``pinned`` is True when equality conjuncts cover every key field --
+    the condition under which the original member ordering survives.
+    OR-groups mixing key and non-key fields cannot be split; they stay
+    on the member (still correct: key fields are VIRTUAL there).
+    """
+    key_part: list[Qual] = []
+    rest: list[Qual] = []
+    pinned_fields: set[str] = set()
+    for conjunct in split_conjuncts(qual):
+        fields = conjunct.fields()
+        if fields and fields <= set(key_fields):
+            key_part.append(conjunct)
+            if isinstance(conjunct, Cmp) and conjunct.op == "=":
+                pinned_fields.add(conjunct.field)
+        else:
+            rest.append(conjunct)
+    pinned = pinned_fields == set(key_fields)
+    return qual_and_all(key_part), qual_and_all(rest), pinned
+
+
+def _interpose(stmt: Statement, change: RecordInterposed,
+               source_schema: Schema, target_schema: Schema,
+               notes: list[str], strict: bool) -> Statement:
+    if change.member:
+        member_name, owner_name = change.member, change.owner
+        sort_keys = change.order_keys
+    else:
+        set_type = source_schema.set_type(change.old_set)
+        member_name, owner_name = set_type.member, set_type.owner
+        sort_keys = set_type.order_keys
+    needs_sort = False
+    target_is_member = False
+    upstream_keys: list[str] = []
+
+    def fix(find: FindStmt) -> FindStmt:
+        nonlocal needs_sort, target_is_member, upstream_keys
+        path: list[PathItem] = []
+        index = 0
+        matched = False
+        items = list(find.path)
+        while index < len(items):
+            item = items[index]
+            if item.name != change.old_set:
+                if (not matched and item.name in source_schema.sets
+                        and index + 1 < len(items)):
+                    # A set step before the restructured one: its order
+                    # keys contribute to the source's result grouping,
+                    # unless the following record step pins them.
+                    keys = source_schema.set_type(item.name).order_keys
+                    qual = items[index + 1].qual
+                    if keys and not (qual is not None
+                                     and _pins_all(qual, keys)):
+                        upstream_keys.extend(keys)
+                path.append(item)
+                index += 1
+                continue
+            matched = True
+            record_item = items[index + 1]
+            if record_item.name == member_name:
+                # Downward: OLD_SET, M(q) -> UPPER, N(q_key), LOWER, M(q_rest)
+                key_qual, rest_qual, pinned = _split_key_conjuncts(
+                    record_item.qual, change.key_fields
+                )
+                path.append(PathItem(change.upper_set))
+                path.append(PathItem(change.new_record, key_qual))
+                path.append(PathItem(change.lower_set))
+                path.append(record_item.with_qual(rest_qual))
+                if not pinned:
+                    is_last = index + 2 >= len(items)
+                    if is_last and find.target == member_name:
+                        target_is_member = True
+                        needs_sort = True
+                    else:
+                        notes.append(
+                            f"FIND traverses restructured set "
+                            f"{change.old_set} mid-path; result order may "
+                            "differ from the source program "
+                            "(analyst review advised)"
+                        )
+            elif record_item.name == owner_name:
+                # Upward: OLD_SET, O(q) -> LOWER, N, UPPER, O(q)
+                path.append(PathItem(change.lower_set))
+                path.append(PathItem(change.new_record))
+                path.append(PathItem(change.upper_set))
+                path.append(record_item)
+            else:
+                path.append(item)
+                path.append(record_item)
+            index += 2
+        return replace(find, path=tuple(path))
+
+    converted = _map_find(stmt, fix)
+    if needs_sort and target_is_member and sort_keys \
+            and isinstance(converted, FindStmt):
+        keys = list(sort_keys)
+        if strict and upstream_keys:
+            target_record = target_schema.record(member_name)
+            readable = [k for k in upstream_keys
+                        if target_record.has_field(k)]
+            if len(readable) == len(upstream_keys):
+                keys = readable + keys
+                notes.append(
+                    "strict mode: SORT keys extended with upstream "
+                    f"grouping keys ({', '.join(readable)}) for exact "
+                    "I/O equivalence"
+                )
+            else:
+                missing = [k for k in upstream_keys
+                           if not target_record.has_field(k)]
+                notes.append(
+                    f"strict mode: upstream grouping keys {missing} are "
+                    f"not readable on {member_name}; falling back to "
+                    "member-key SORT (order preserved only within groups)"
+                )
+        elif upstream_keys:
+            notes.append(
+                "SORT restores member-key order globally; the source "
+                "grouped results by upstream sets "
+                f"({', '.join(sorted(set(upstream_keys)))}) -- strict "
+                "I/O equivalence needs strict mode (Section 5.2's "
+                "'levels of successful conversion')"
+            )
+        notes.append(
+            f"wrapped in SORT ON ({', '.join(keys)}) to preserve the "
+            f"original {change.old_set} member ordering"
+        )
+        converted = SortStmt(converted, tuple(keys))
+    elif needs_sort and not sort_keys:
+        notes.append(
+            f"set {change.old_set} had no order keys; original chained "
+            "order cannot be reconstructed (analyst review advised)"
+        )
+    if isinstance(converted, StoreStmt) and \
+            converted.record == member_name:
+        stored_keys = {name for name, _ in converted.values}
+        if stored_keys & set(change.key_fields):
+            converted = replace(converted, ensure_path=True)
+            notes.append(
+                f"STORE {member_name} now routes through interposed "
+                f"{change.new_record}; missing owners are created "
+                "(conversion-inserted enforcement, Section 4.1)"
+            )
+    return converted
+
+
+def _merge(stmt: Statement, change: RecordsMerged,
+           source_schema: Schema, notes: list[str]) -> Statement:
+    upper = source_schema.set_type(change.upper_set)
+    lower = source_schema.set_type(change.lower_set)
+    needs_sort = False
+
+    def fix(find: FindStmt) -> FindStmt:
+        nonlocal needs_sort
+        path: list[PathItem] = []
+        index = 0
+        items = list(find.path)
+        while index < len(items):
+            item = items[index]
+            # Downward O -> N -> M collapses to O -> M.
+            if (item.name == change.upper_set
+                    and index + 3 < len(items)
+                    and items[index + 1].name == change.removed_record
+                    and items[index + 2].name == change.lower_set):
+                middle_qual = items[index + 1].qual
+                member_item = items[index + 3]
+                merged_qual = qual_and_all(
+                    split_conjuncts(middle_qual)
+                    + split_conjuncts(member_item.qual)
+                )
+                path.append(PathItem(change.new_set))
+                path.append(member_item.with_qual(merged_qual))
+                if middle_qual is None or not _pins_all(
+                        middle_qual, change.inherited_fields):
+                    needs_sort = True
+                index += 4
+                continue
+            # Upward M -> N -> O collapses to M -> O.
+            if (item.name == change.lower_set
+                    and index + 3 < len(items)
+                    and items[index + 1].name == change.removed_record
+                    and items[index + 2].name == change.upper_set):
+                if items[index + 1].qual is not None:
+                    notes.append(
+                        f"qualification on merged record "
+                        f"{change.removed_record} during upward traversal "
+                        "was re-attached to the member step"
+                    )
+                path.append(PathItem(change.new_set))
+                path.append(items[index + 3])
+                index += 4
+                continue
+            # A path ending at the removed record itself cannot be
+            # converted mechanically.
+            if item.name == change.removed_record:
+                notes.append(
+                    f"path step {change.removed_record} no longer exists "
+                    "after the merge; analyst must redesign this access"
+                )
+            path.append(item)
+            index += 1
+        return replace(find, path=tuple(path))
+
+    converted = _map_find(stmt, fix)
+    if needs_sort and isinstance(converted, FindStmt) and \
+            converted.target == lower.member:
+        grouped_keys = tuple(change.inherited_fields) + lower.order_keys
+        notes.append(
+            f"wrapped in SORT ON ({', '.join(grouped_keys)}) to preserve "
+            f"the source's grouped-by-{change.removed_record} ordering"
+        )
+        converted = SortStmt(converted, grouped_keys)
+    del upper
+    return converted
+
+
+def _pins_all(qual: Qual, fields: tuple[str, ...]) -> bool:
+    pinned = {
+        c.field for c in split_conjuncts(qual)
+        if isinstance(c, Cmp) and c.op == "="
+    }
+    return set(fields) <= pinned
+
+
+# ---------------------------------------------------------------------------
+# Order changes
+# ---------------------------------------------------------------------------
+
+
+def _reorder(stmt: Statement, change: SetOrderChanged,
+             notes: list[str]) -> Statement:
+    if isinstance(stmt, SortStmt):
+        return stmt  # explicit SORT already fixes the order
+    if not isinstance(stmt, FindStmt):
+        return stmt
+    uses = any(item.name == change.set_name for item in stmt.path)
+    if not uses:
+        return stmt
+    last_set = stmt.path[-2].name if len(stmt.path) >= 2 else None
+    if last_set == change.set_name and change.old_keys:
+        notes.append(
+            f"set {change.set_name} ordering changed; wrapped in SORT ON "
+            f"({', '.join(change.old_keys)}) to preserve source order"
+        )
+        return SortStmt(stmt, tuple(change.old_keys))
+    notes.append(
+        f"set {change.set_name} ordering changed mid-path; result order "
+        "may differ (analyst review advised)"
+    )
+    return stmt

@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Everything the Conversion Analyst touches is a text artifact -- a DDL
+file (Figure 4.3 syntax), a restructuring specification, and program
+source in the pseudo-COBOL form -- so the whole Figure 4.1 pipeline is
+drivable from the shell::
+
+    python -m repro validate-ddl company.ddl
+    python -m repro changes --ddl company.ddl --spec fig44.spec
+    python -m repro analyze --ddl company.ddl --program report.cob
+    python -m repro convert --ddl company.ddl --spec fig44.spec \\
+        --program report.cob --target-model network
+    python -m repro suggest-renames --ddl old.ddl --target-ddl new.ddl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import detect_pathologies
+from repro.core import (
+    ConversionSupervisor,
+    ProgramAnalyzer,
+    access_pattern_sequence,
+)
+from repro.core.abstract import render_abstract
+from repro.core.access_patterns import render_sequence
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.errors import ReproError
+from repro.programs.ast import render_program
+from repro.programs.parser import parse_program
+from repro.restructure.spec import parse_spec
+from repro.schema.ddl import format_ddl, parse_ddl
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _load_schema(args) -> object:
+    return parse_ddl(_read(args.ddl))
+
+
+def cmd_validate_ddl(args) -> int:
+    """Parse and reformat a DDL file."""
+    schema = parse_ddl(_read(args.file))
+    print(format_ddl(schema), end="")
+    print(f"*> schema {schema.name}: {len(schema.records)} record "
+          f"type(s), {len(schema.sets)} set type(s), "
+          f"{len(schema.constraints)} constraint(s)")
+    return 0
+
+
+def cmd_changes(args) -> int:
+    """Classify the changes of a restructuring spec."""
+    schema = _load_schema(args)
+    operator = parse_spec(_read(args.spec))
+    catalog = ConversionAnalyzer().analyze_operator(schema, operator)
+    print(catalog.summary())
+    if args.target_ddl:
+        print()
+        print(format_ddl(catalog.target_schema), end="")
+    if not catalog.is_information_preserving():
+        print("WARNING: restructuring is information-reducing "
+              "(Section 1.1: a harder conversion problem)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Run the Program Analyzer over a source program."""
+    schema = _load_schema(args)
+    program = parse_program(_read(args.program))
+    findings = detect_pathologies(program)
+    for finding in findings:
+        print(finding.render())
+    blocking = [f for f in findings if f.blocking]
+    if blocking:
+        print("analysis blocked; resolve the findings above "
+              "(or pin verbs via the API)")
+        return 1
+    abstract = ProgramAnalyzer(schema).analyze(program)
+    print(render_abstract(abstract))
+    print("access pattern sequence (Section 4.1):")
+    print(render_sequence(access_pattern_sequence(abstract, schema)))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """Convert a program for a restructuring (Figure 4.1)."""
+    schema = _load_schema(args)
+    operator = parse_spec(_read(args.spec))
+    program = parse_program(_read(args.program))
+    passes = () if args.no_optimize else (
+        "pushdown", "keyed", "dedup-locate", "owner-elim")
+    supervisor = ConversionSupervisor(schema, operator,
+                                      optimizer_passes=passes)
+    report = supervisor.convert_program(
+        program, target_model=args.target_model)
+    print(report.render(), file=sys.stderr)
+    if report.target_program is None:
+        return 1
+    print(render_program(report.target_program), end="")
+    return 0
+
+
+def _load_inputs(args):
+    from repro.programs.interpreter import ProgramInputs
+
+    terminal = []
+    if getattr(args, "inputs", None):
+        terminal = _read(args.inputs).splitlines()
+    return ProgramInputs(terminal=terminal)
+
+
+def _build_database(schema, data_path: str | None):
+    from repro.network.database import NetworkDatabase
+    from repro.programs.interpreter import run_program
+
+    db = NetworkDatabase(schema)
+    if data_path:
+        loader = parse_program(_read(data_path))
+        run_program(loader, db, consistent=False)
+    return db
+
+
+def cmd_run(args) -> int:
+    """Load a database from a loader program and run an application
+    program against it -- on the source schema, or (with --spec) on
+    the restructured database after converting the program."""
+    from repro.programs.interpreter import run_program
+    from repro.restructure import restructure_database
+
+    schema = _load_schema(args)
+    program = parse_program(_read(args.program))
+    db = _build_database(schema, args.data)
+    inputs = _load_inputs(args)
+    if args.spec:
+        operator = parse_spec(_read(args.spec))
+        _target_schema, db = restructure_database(
+            db, operator, target_model=args.target_model or "network")
+        supervisor = ConversionSupervisor(schema, operator)
+        report = supervisor.convert_program(
+            program, target_model=args.target_model)
+        print(report.render(), file=sys.stderr)
+        if report.target_program is None:
+            return 1
+        program = report.target_program
+    trace = run_program(program, db, inputs, consistent=False)
+    print(trace.render())
+    return 0
+
+
+def cmd_check(args) -> int:
+    """The Section 1.1 loop in one command: run the source program on
+    the source database and the converted program on the restructured
+    database, and compare the I/O traces."""
+    from repro.core import check_equivalence
+    from repro.restructure import restructure_database
+
+    schema = _load_schema(args)
+    operator = parse_spec(_read(args.spec))
+    program = parse_program(_read(args.program))
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(program)
+    print(report.render(), file=sys.stderr)
+    if report.target_program is None:
+        return 1
+    source_db = _build_database(schema, args.data)
+    _target_schema, target_db = restructure_database(
+        _build_database(schema, args.data), operator)
+    result = check_equivalence(program, source_db,
+                               report.target_program, target_db,
+                               inputs=_load_inputs(args),
+                               warnings=tuple(report.warnings),
+                               consistent=False)
+    print(result.render())
+    if not result.equivalent:
+        print("source trace:", file=sys.stderr)
+        print(result.source_trace.render(), file=sys.stderr)
+        print("target trace:", file=sys.stderr)
+        print(result.target_trace.render(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_suggest_renames(args) -> int:
+    """Propose rename hypotheses between two schemas."""
+    source_schema = _load_schema(args)
+    target_schema = parse_ddl(_read(args.target_ddl))
+    suggestions = ConversionAnalyzer().suggest_renames(source_schema,
+                                                       target_schema)
+    if not suggestions:
+        print("no rename hypotheses")
+        return 0
+    for suggestion in suggestions:
+        print(suggestion.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database program conversion framework "
+                    "(CODASYL Systems Committee, 1979)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser(
+        "validate-ddl", help="parse and reformat a Figure 4.3 DDL file")
+    sub.add_argument("file")
+    sub.set_defaults(handler=cmd_validate_ddl)
+
+    sub = subparsers.add_parser(
+        "changes",
+        help="classify the changes of a restructuring specification")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--spec", required=True)
+    sub.add_argument("--target-ddl", action="store_true",
+                     help="also print the target schema DDL")
+    sub.set_defaults(handler=cmd_changes)
+
+    sub = subparsers.add_parser(
+        "analyze",
+        help="run the Program Analyzer over a source program")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--program", required=True)
+    sub.set_defaults(handler=cmd_analyze)
+
+    sub = subparsers.add_parser(
+        "convert",
+        help="convert a program for a restructuring (Figure 4.1)")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--spec", required=True)
+    sub.add_argument("--program", required=True)
+    sub.add_argument("--target-model", default=None,
+                     choices=["network", "relational", "hierarchical"])
+    sub.add_argument("--no-optimize", action="store_true")
+    sub.set_defaults(handler=cmd_convert)
+
+    sub = subparsers.add_parser(
+        "run",
+        help="load a database (loader program) and run a program; "
+             "with --spec, convert and run on the restructured DB")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--program", required=True)
+    sub.add_argument("--data", help="loader program (STOREs)")
+    sub.add_argument("--inputs", help="terminal input lines, one per line")
+    sub.add_argument("--spec")
+    sub.add_argument("--target-model", default=None,
+                     choices=["network", "relational", "hierarchical"])
+    sub.set_defaults(handler=cmd_run)
+
+    sub = subparsers.add_parser(
+        "check",
+        help="convert a program and verify I/O equivalence "
+             "(Section 1.1) against a loaded instance")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--spec", required=True)
+    sub.add_argument("--program", required=True)
+    sub.add_argument("--data", help="loader program (STOREs)")
+    sub.add_argument("--inputs", help="terminal input lines, one per line")
+    sub.set_defaults(handler=cmd_check)
+
+    sub = subparsers.add_parser(
+        "suggest-renames",
+        help="propose rename hypotheses between two schemas")
+    sub.add_argument("--ddl", required=True)
+    sub.add_argument("--target-ddl", required=True)
+    sub.set_defaults(handler=cmd_suggest_renames)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Florida access patterns (Section 4.1).
+
+Su's group describes application programs "in terms of sequences of
+access patterns to be performed on the network of association types".
+Four basic patterns:
+
+* ``ACCESS A via A`` -- locate instances of A by conditions on A;
+* ``ACCESS A via B through (Ai, Bj)`` -- relate unassociated entity
+  types by comparable fields;
+* ``ACCESS AB via B`` -- reach association occurrences from B;
+* ``ACCESS A via AB`` -- reach A instances through the association.
+
+The paper's worked example ("Find the names of employees who work for
+Manager Smith for more than ten years") produces::
+
+    ACCESS DEPT via DEPT
+    ACCESS EMP-DEPT via DEPT
+    ACCESS EMP via EMP-DEPT
+    RETRIEVE
+
+This module derives exactly that sequence from an abstract program, and
+renders it in the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import abstract
+from repro.core.abstract import (
+    AErase,
+    AFirst,
+    ALocate,
+    AModify,
+    AScan,
+    AStore,
+    AToOwner,
+    AbstractProgram,
+)
+from repro.programs import ast
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One step of a Florida access-pattern sequence."""
+
+    verb: str          # 'ACCESS' | 'RETRIEVE' | 'STORE' | 'MODIFY' | 'ERASE'
+    entity: str | None = None
+    via: str | None = None
+    conditions: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if self.verb != "ACCESS":
+            if self.entity is None:
+                return self.verb
+            return f"{self.verb} {self.entity}"
+        text = f"ACCESS {self.entity} via {self.via}"
+        if self.conditions:
+            text += f" [{'; '.join(self.conditions)}]"
+        return text
+
+
+def _is_association(schema, record_name: str) -> bool:
+    """Su's association record heuristic: a record type connecting two
+    or more entity types (member of >= 2 non-SYSTEM sets)."""
+    if schema is None:
+        return False
+    memberships = [
+        s for s in schema.sets_with_member(record_name)
+        if not s.system_owned
+    ]
+    return len(memberships) >= 2
+
+
+def _pattern_via(schema, entity: str, set_name: str,
+                 upward: bool = False) -> str:
+    """The paper's 'via' notation: the entity/association on the other
+    end when the traversal crosses an association *record*, the set
+    name (which then IS the association) otherwise."""
+    if schema is None or set_name not in schema.sets:
+        return set_name
+    set_type = schema.set_type(set_name)
+    other = set_type.owner if not upward else set_type.member
+    if upward and _is_association(schema, set_type.member):
+        # ACCESS A via AB: entity reached through the association.
+        return set_type.member
+    if not upward and _is_association(schema, entity):
+        # ACCESS AB via B: association reached from the entity.
+        return other
+    return set_name
+
+
+def access_pattern_sequence(program: AbstractProgram,
+                            schema=None,
+                            include_conditions: bool = False
+                            ) -> list[AccessPattern]:
+    """The flat access-pattern sequence of an abstract program.
+
+    Control structure is flattened (the paper's sequences are linear);
+    a RETRIEVE is recorded where bound fields reach observable output.
+    With ``schema`` given, the 'via' column uses the paper's notation:
+    association *records* print the related entity (ACCESS EMP-DEPT
+    via DEPT; ACCESS EMP via EMP-DEPT); otherwise the set name is the
+    association.
+    """
+    sequence: list[AccessPattern] = []
+
+    def conditions_of(node) -> tuple[str, ...]:
+        if not include_conditions:
+            return ()
+        return tuple(c.render() for c in node.conditions)
+
+    def visit(statements) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ALocate):
+                sequence.append(AccessPattern(
+                    "ACCESS", stmt.entity, stmt.entity,
+                    conditions_of(stmt),
+                ))
+            elif isinstance(stmt, (AScan, AFirst)):
+                conditions = conditions_of(stmt) \
+                    if isinstance(stmt, AScan) else ()
+                sequence.append(AccessPattern(
+                    "ACCESS", stmt.entity,
+                    _pattern_via(schema, stmt.entity, stmt.via),
+                    conditions,
+                ))
+                retrieves = _body_retrieves(stmt)
+                visit(stmt.body)
+                if retrieves:
+                    sequence.append(AccessPattern("RETRIEVE"))
+            elif isinstance(stmt, AToOwner):
+                sequence.append(AccessPattern(
+                    "ACCESS", stmt.entity,
+                    _pattern_via(schema, stmt.entity, stmt.via,
+                                 upward=True),
+                ))
+            elif isinstance(stmt, AStore):
+                sequence.append(AccessPattern("STORE", stmt.entity))
+            elif isinstance(stmt, AModify):
+                sequence.append(AccessPattern("MODIFY", stmt.entity))
+            elif isinstance(stmt, AErase):
+                sequence.append(AccessPattern("ERASE", stmt.entity))
+            else:
+                for block in abstract.children_of(stmt):
+                    visit(block)
+
+    visit(program.statements)
+    return sequence
+
+
+def _body_retrieves(node) -> bool:
+    """Does the scan body surface bound database fields (RECORD.FIELD
+    variables) to observable output?"""
+    for stmt in abstract.walk(node.body):
+        if isinstance(stmt, (ast.WriteTerminal, ast.WriteFile)):
+            for expr in stmt.exprs:
+                if _mentions_bound_field(expr):
+                    return True
+    return False
+
+
+def _mentions_bound_field(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Var):
+        return "." in expr.name
+    if isinstance(expr, ast.Bin):
+        return (_mentions_bound_field(expr.left)
+                or _mentions_bound_field(expr.right))
+    return False
+
+
+def render_sequence(sequence: list[AccessPattern]) -> str:
+    """The paper's vertical notation."""
+    return "\n".join(pattern.render() for pattern in sequence)

@@ -1,0 +1,317 @@
+"""Michigan code templates (Section 4.3).
+
+"Code templates are predefined sequences of host language DML
+statements (similar to macros) which implement a set of high level data
+manipulation operations.  Each code template corresponds to a operator
+in the relational algebra.  Application programs are written using
+nested code templates.  ...  High-level program conversion is
+accomplished by using relational algebra specifications for the data
+conversion to transform relational algebra specifications for the
+templates."  (Schindler; the approach Housel proposed independently.)
+
+This module implements exactly that workflow:
+
+* an algebra of template expressions -- :class:`RelationRef`,
+  :class:`Select`, :class:`Join` (navigational equi-join along a set),
+  :class:`Project` -- over the common schema;
+* :func:`expand` -- the macro expansion into an abstract program (and
+  from there, via the Program Generator, into concrete network or
+  relational DML);
+* :func:`convert_algebra` -- Schindler's conversion: the *algebra
+  expression itself* is rewritten for a schema change, then re-expanded
+  -- no program analysis needed, which is the paper's §4.3 argument for
+  writing programs with templates in the first place ("the problem of
+  decompiling an arbitrary host language program which does not use
+  code templates is a open problem").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.core.abstract import (
+    ACond,
+    AScan,
+    AbstractProgram,
+)
+from repro.errors import ConversionError, UnconvertiblePattern
+from repro.programs import ast
+from repro.schema.diff import (
+    FieldRenamed,
+    RecordInterposed,
+    RecordRenamed,
+    RecordsMerged,
+    SchemaChange,
+    SetRenamed,
+)
+from repro.schema.model import Schema
+
+
+# ---------------------------------------------------------------------------
+# The template algebra
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A base relation (all instances of a record type)."""
+
+    record: str
+
+    def render(self) -> str:
+        return self.record
+
+
+@dataclass(frozen=True)
+class Select:
+    """sigma: restrict by equality/comparison conditions."""
+
+    source: "Algebra"
+    conditions: tuple[ACond, ...]
+
+    def render(self) -> str:
+        conds = " AND ".join(c.render() for c in self.conditions)
+        return f"SELECT[{conds}]({self.source.render()})"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Navigational equi-join: members of ``via`` under each row of
+    ``source`` (whose record type must own the set)."""
+
+    source: "Algebra"
+    via: str
+    member: str
+
+    def render(self) -> str:
+        return f"JOIN[{self.via}]({self.source.render()}, {self.member})"
+
+
+@dataclass(frozen=True)
+class Project:
+    """pi: the output fields (entity-qualified, e.g. ``EMP.EMP-NAME``)."""
+
+    source: "Algebra"
+    fields: tuple[str, ...]
+
+    def render(self) -> str:
+        return f"PROJECT[{', '.join(self.fields)}]({self.source.render()})"
+
+
+Algebra = Union[RelationRef, Select, Join, Project]
+
+
+@dataclass(frozen=True)
+class TemplateProgram:
+    """A program written entirely in code templates: one algebra
+    expression whose projected fields are displayed per result row."""
+
+    name: str
+    schema_name: str
+    expression: Algebra
+
+    def render(self) -> str:
+        return f"TEMPLATE {self.name}: {self.expression.render()}"
+
+
+# ---------------------------------------------------------------------------
+# Macro expansion
+# ---------------------------------------------------------------------------
+
+
+def _system_set_for(schema: Schema, record: str) -> str:
+    for set_type in schema.system_sets():
+        if set_type.member == record:
+            return set_type.name
+    raise ConversionError(
+        f"record {record} has no SYSTEM set; template expansion needs "
+        "an entry point"
+    )
+
+
+def _normalize(expression: Algebra) -> tuple[Algebra, tuple[str, ...]]:
+    """Strip the outer Project (defaulting to no fields)."""
+    if isinstance(expression, Project):
+        return expression.source, expression.fields
+    return expression, ()
+
+
+@dataclass(frozen=True)
+class _Level:
+    """One scan level of the compiled expression."""
+
+    entity: str
+    via: str | None   # None = entry via the entity's SYSTEM set
+    conditions: tuple[ACond, ...]
+
+
+def _levels(expression: Algebra) -> list[_Level]:
+    """Flatten the algebra into scan levels, outermost first.
+
+    SELECT conditions attach to the level of the expression's *result*
+    entity (the innermost scan so far).
+    """
+    if isinstance(expression, RelationRef):
+        return [_Level(expression.record, None, ())]
+    if isinstance(expression, Select):
+        levels = _levels(expression.source)
+        last = levels[-1]
+        levels[-1] = replace(
+            last, conditions=last.conditions + expression.conditions
+        )
+        return levels
+    if isinstance(expression, Join):
+        return _levels(expression.source) + [
+            _Level(expression.member, expression.via, ())
+        ]
+    if isinstance(expression, Project):
+        raise ConversionError("PROJECT must be the outermost template")
+    raise ConversionError(f"unknown template {expression!r}")
+
+
+def expand(program: TemplateProgram, schema: Schema) -> AbstractProgram:
+    """Expand the template expression into an abstract program.
+
+    The expansion compiles the algebra into nested scans: the innermost
+    scan's body displays the projected fields, which is the template
+    bodies' "host language sequence".
+    """
+    inner, fields = _normalize(program.expression)
+    body: tuple = (ast.WriteTerminal(tuple(
+        ast.Var(field_name) for field_name in fields
+    )),) if fields else (ast.WriteTerminal((ast.Const("ROW"),)),)
+
+    statements: tuple = body
+    for level in reversed(_levels(inner)):
+        via = level.via
+        if via is None:
+            via = _system_set_for(schema, level.entity)
+        else:
+            set_type = schema.set_type(via)
+            if set_type.member != level.entity:
+                raise ConversionError(
+                    f"JOIN template: {level.entity} is not the member "
+                    f"of {via}"
+                )
+        statements = (AScan(level.entity, via, level.conditions,
+                            statements, bind=True, order_sensitive=True),)
+    return AbstractProgram(program.name, "network", program.schema_name,
+                           tuple(statements))
+
+
+# ---------------------------------------------------------------------------
+# Algebra-level conversion (Schindler / Housel)
+# ---------------------------------------------------------------------------
+
+
+def convert_algebra(program: TemplateProgram,
+                    changes: list[SchemaChange]) -> TemplateProgram:
+    """Rewrite the template expression for a list of schema changes.
+
+    This is the Section 4.3 move: because the program *is* an algebra
+    expression, conversion never inspects host-language code -- the
+    "relational algebra specifications for the data conversion
+    transform" the expression directly.
+    """
+    expression = program.expression
+    for change in changes:
+        expression = _apply(expression, change)
+    return replace(program, expression=expression)
+
+
+def _apply(expression: Algebra, change: SchemaChange) -> Algebra:
+    if isinstance(expression, Project):
+        return replace(
+            expression,
+            source=_apply(expression.source, change),
+            fields=tuple(
+                _rename_field_ref(f, change) for f in expression.fields
+            ),
+        )
+    if isinstance(expression, Select):
+        source = _apply(expression.source, change)
+        conditions = expression.conditions
+        if isinstance(change, FieldRenamed):
+            entity = _scanned_entity(source)
+            if entity == change.record:
+                conditions = tuple(
+                    replace(c, field=change.new_name)
+                    if c.field == change.old_name else c
+                    for c in conditions
+                )
+        return replace(expression, source=source, conditions=conditions)
+    if isinstance(expression, Join):
+        source = _apply(expression.source, change)
+        if isinstance(change, RecordRenamed) and \
+                expression.member == change.old_name:
+            return replace(expression, source=source,
+                           member=change.new_name)
+        if isinstance(change, SetRenamed) and \
+                expression.via == change.old_name:
+            return replace(expression, source=source,
+                           via=change.new_name)
+        if isinstance(change, RecordInterposed) and \
+                expression.via == change.old_set:
+            # JOIN[S](X, M) -> JOIN[LOWER](JOIN[UPPER](X, N), M):
+            # exactly the Figure 4.2 -> 4.4 path extension, at the
+            # algebra level.
+            return Join(
+                Join(source, change.upper_set, change.new_record),
+                change.lower_set, expression.member,
+            )
+        if isinstance(change, RecordsMerged) and \
+                expression.via == change.lower_set:
+            inner = source
+            if isinstance(inner, Join) and \
+                    inner.via == change.upper_set and \
+                    inner.member == change.removed_record:
+                return Join(_apply_done(inner.source), change.new_set,
+                            expression.member)
+            raise UnconvertiblePattern(
+                f"merge of {change.removed_record} needs the paired "
+                f"JOIN[{change.upper_set}] template"
+            )
+        return replace(expression, source=source)
+    if isinstance(expression, RelationRef):
+        if isinstance(change, RecordRenamed) and \
+                expression.record == change.old_name:
+            return RelationRef(change.new_name)
+        return expression
+    raise ConversionError(f"unknown template {expression!r}")
+
+
+def _apply_done(expression: Algebra) -> Algebra:
+    return expression
+
+
+def _scanned_entity(expression: Algebra) -> str | None:
+    if isinstance(expression, RelationRef):
+        return expression.record
+    if isinstance(expression, Join):
+        return expression.member
+    if isinstance(expression, Select):
+        return _scanned_entity(expression.source)
+    return None
+
+
+def _rename_field_ref(field_ref: str, change: SchemaChange) -> str:
+    entity, _dot, field_name = field_ref.partition(".")
+    if isinstance(change, RecordRenamed) and entity == change.old_name:
+        entity = change.new_name
+    if isinstance(change, FieldRenamed) and entity == change.record \
+            and field_name == change.old_name:
+        field_name = change.new_name
+    return f"{entity}.{field_name}"
+
+
+__all__ = [
+    "RelationRef",
+    "Select",
+    "Join",
+    "Project",
+    "Algebra",
+    "TemplateProgram",
+    "expand",
+    "convert_algebra",
+]

@@ -1,0 +1,152 @@
+"""Mehl & Wang command substitution for hierarchical programs.
+
+Section 2.2: "Mehl and Wang presented a method to intercept and
+interpret DL/I statements to account for changes in the hierarchical
+order of an IMS structure.  Algorithms involving command substitution
+rules for certain structural changes were derived to allow for correct
+execution of the old application programs."
+
+Unlike the Figure 4.1 decompile/recompile pipeline, this converter
+rewrites the *concrete* DL/I call sequence.  The rule implemented is
+the sibling-order rule: when the child segment types of a parent are
+reordered (:class:`~repro.schema.diff.SiblingOrderChanged`),
+
+* **typed** GNP/GN loops (an SSA naming one segment type) are
+  unaffected -- twin order within a type does not change;
+* an **untyped** GNP loop under an affected parent is substituted by a
+  sequence of typed GNP loops in the *original* sibling order, which
+  reconstructs the source presentation order exactly;
+* an untyped loop whose body reads type-specific fields cannot be
+  specialized mechanically and is referred to the analyst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import UnconvertiblePattern
+from repro.programs import ast
+from repro.schema.diff import SiblingOrderChanged
+from repro.schema.model import Schema
+
+
+@dataclass(frozen=True)
+class SubstitutionResult:
+    program: ast.Program
+    notes: tuple[str, ...]
+
+
+def _is_hier_status_ok(expr: ast.Expr) -> bool:
+    return (isinstance(expr, ast.Bin) and expr.op == "="
+            and isinstance(expr.left, ast.Var)
+            and expr.left.name == "DB-STATUS"
+            and isinstance(expr.right, ast.Const)
+            and expr.right.value == "  ")
+
+
+def _untyped(ssas: tuple[ast.SsaSpec, ...]) -> bool:
+    return len(ssas) == 0
+
+
+def _body_mentions_types(body: tuple[ast.Stmt, ...],
+                         types: list[str]) -> list[str]:
+    """Which of ``types`` have their fields referenced in the body?"""
+    mentioned = []
+
+    def in_expr(expr: ast.Expr, prefix: str) -> bool:
+        if isinstance(expr, ast.Var):
+            return expr.name.startswith(prefix)
+        if isinstance(expr, ast.Bin):
+            return in_expr(expr.left, prefix) or in_expr(expr.right, prefix)
+        return False
+
+    for type_name in types:
+        prefix = f"{type_name}."
+        for stmt in ast.walk(body):
+            exprs = list(getattr(stmt, "exprs", ()))
+            for attribute in ("condition", "expr"):
+                value = getattr(stmt, attribute, None)
+                if value is not None:
+                    exprs.append(value)
+            if any(in_expr(expr, prefix) for expr in exprs):
+                mentioned.append(type_name)
+                break
+    return mentioned
+
+
+def convert_hierarchical_program(program: ast.Program,
+                                 change: SiblingOrderChanged,
+                                 source_schema: Schema
+                                 ) -> SubstitutionResult:
+    """Apply the sibling-order command substitution rule."""
+    child_types = [
+        source_schema.set_type(name).member for name in change.old_order
+    ]
+    notes: list[str] = []
+
+    def fix(stmt: ast.Stmt):
+        # Pattern: GNP() ; WHILE status-ok { body... ; GNP() }
+        return stmt
+
+    # Pairwise rewriting needs sequence context, so walk blocks manually.
+    def rewrite_block(statements: tuple[ast.Stmt, ...]
+                      ) -> tuple[ast.Stmt, ...]:
+        out: list[ast.Stmt] = []
+        index = 0
+        while index < len(statements):
+            stmt = statements[index]
+            following = statements[index + 1] \
+                if index + 1 < len(statements) else None
+            if (isinstance(stmt, ast.HierGNP) and _untyped(stmt.ssas)
+                    and isinstance(following, ast.While)
+                    and _is_hier_status_ok(following.condition)
+                    and following.body
+                    and isinstance(following.body[-1], ast.HierGNP)
+                    and _untyped(following.body[-1].ssas)):
+                body = tuple(rewrite_block(following.body[:-1]))
+                specific = _body_mentions_types(body, child_types)
+                if specific:
+                    raise UnconvertiblePattern(
+                        "untyped GNP loop reads fields of segment "
+                        f"type(s) {specific}; command substitution "
+                        "cannot specialize it (analyst required)"
+                    )
+                for set_name in change.old_order:
+                    child = source_schema.set_type(set_name).member
+                    ssa = ast.SsaSpec(child)
+                    # Each generated loop scans the subtree from its
+                    # top: re-establish position at the parent first.
+                    out.append(ast.HierPositionParent())
+                    out.append(ast.HierGNP((ssa,)))
+                    out.append(ast.While(
+                        ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  ")),
+                        body + (ast.HierGNP((ssa,)),),
+                    ))
+                notes.append(
+                    "untyped GNP loop substituted by typed GNP loops in "
+                    f"original sibling order {list(change.old_order)}"
+                )
+                index += 2
+                continue
+            # Recurse into compound statements.
+            if isinstance(stmt, ast.If):
+                stmt = replace(stmt, then=rewrite_block(stmt.then),
+                               orelse=rewrite_block(stmt.orelse))
+            elif isinstance(stmt, ast.While):
+                rewritten = rewrite_block(stmt.body)
+                stmt = replace(stmt, body=rewritten)
+            out.append(stmt)
+            index += 1
+        return tuple(out)
+
+    del fix
+    converted = program.with_statements(rewrite_block(program.statements))
+    for stmt in ast.walk_program(converted):
+        if isinstance(stmt, ast.HierGN) and _untyped(stmt.ssas):
+            notes.append(
+                "program performs an untyped full-database GN walk; its "
+                "presentation order follows the (changed) hierarchical "
+                "sequence -- flagged for the analyst"
+            )
+            break
+    return SubstitutionResult(converted, tuple(notes))

@@ -1,0 +1,50 @@
+"""The Program Converter (Figure 4.1).
+
+Applies the selected transformation rules to the abstract source
+program, producing the abstract target program.  "The transformation
+rules map the access patterns and the application program structure to
+account for the database changes made."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.abstract import AbstractProgram
+from repro.core.analyzer_db import ChangeCatalog
+from repro.core.rules import RuleContext, rule_for
+
+
+@dataclass(frozen=True)
+class ConversionArtifacts:
+    """The converter's output: the target abstract program plus the
+    notes and warnings gathered while rewriting."""
+
+    program: AbstractProgram
+    notes: tuple[str, ...]
+    warnings: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when conversion required no behaviour caveats."""
+        return not self.warnings
+
+
+class ProgramConverter:
+    """Rule-driven abstract-to-abstract mapping."""
+
+    def convert(self, program: AbstractProgram,
+                catalog: ChangeCatalog) -> ConversionArtifacts:
+        """Apply one rule per classified change, in change order.
+
+        Raises :class:`~repro.errors.UnconvertiblePattern` when a
+        change has no applicable rule or a rule cannot absorb the
+        change for this program; the supervisor catches this and asks
+        the analyst.
+        """
+        ctx = RuleContext(catalog.source_schema, catalog.target_schema)
+        for change in catalog.changes:
+            rule = rule_for(change)
+            program = rule.apply(program, change, ctx)
+        return ConversionArtifacts(program, tuple(ctx.notes),
+                                   tuple(ctx.warnings))

@@ -1,0 +1,58 @@
+"""Operational equivalence checking.
+
+Section 1.1's rule, made executable: "except with respect to the
+database, a restructured program must preserve the input/output
+behavior of the original program."  We run the source program against
+the source database and the converted program against the restructured
+database, under identical terminal/file inputs, and compare the traces
+event by event.
+
+Section 5.2's "levels of successful conversion" appear as the
+``level`` field: ``strict`` when traces are identical, ``warned`` when
+they are identical but the conversion carried behaviour warnings, and
+``divergent`` when the traces differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.programs.ast import Program
+from repro.programs.interpreter import ProgramInputs, run_program
+from repro.programs.iotrace import IOTrace
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of one source-vs-target comparison."""
+
+    equivalent: bool
+    level: str                 # 'strict' | 'warned' | 'divergent'
+    divergence: str | None
+    source_trace: IOTrace
+    target_trace: IOTrace
+
+    def render(self) -> str:
+        if self.equivalent:
+            return f"equivalent ({self.level}): {len(self.source_trace)} events match"
+        return f"NOT equivalent: {self.divergence}"
+
+
+def check_equivalence(source_program: Program, source_db,
+                      target_program: Program, target_db,
+                      inputs: ProgramInputs | None = None,
+                      warnings: tuple[str, ...] = (),
+                      consistent: bool = True) -> EquivalenceReport:
+    """Run both programs and compare their observable behaviour."""
+    inputs = inputs or ProgramInputs()
+    source_trace = run_program(source_program, source_db, inputs.copy(),
+                               consistent=consistent)
+    target_trace = run_program(target_program, target_db, inputs.copy(),
+                               consistent=consistent)
+    divergence = source_trace.diff(target_trace)
+    if divergence is None:
+        level = "warned" if warnings else "strict"
+        return EquivalenceReport(True, level, None, source_trace,
+                                 target_trace)
+    return EquivalenceReport(False, "divergent", divergence, source_trace,
+                             target_trace)

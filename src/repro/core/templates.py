@@ -1,0 +1,300 @@
+"""Language templates: recognizers and emitters for canonical DML
+statement sequences.
+
+"The language templates are data manipulation language and/or host
+language sequences which carry out data access and manipulation
+operations which are meaningful and consistent with the source database
+schema." (Section 4)  The Program Analyzer matches these against the
+source program; the Program Generator expands them for the target.
+
+The catalog covers the sequences the paper itself exhibits:
+
+* FIND ANY by CALC key (the ``MOVE 'D2' TO D# ... FIND ANY DEPT``
+  template);
+* the member-scan loop (FIND FIRST + status-driven FIND NEXT);
+* the keyed scan (``FIND NEXT EMP WITHIN ED USING YEAR-OF-SERVICE``,
+  the paper's template (B));
+* process-first (FIND FIRST guarded by a status IF, Section 3.2);
+* FIND OWNER;
+* STORE/MODIFY/ERASE under established currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.abstract import (
+    ABind,
+    ACond,
+    AErase,
+    AFirst,
+    ALocate,
+    AModify,
+    AScan,
+    AStmt,
+    AStore,
+    AToOwner,
+)
+from repro.errors import AnalysisError
+from repro.programs import ast
+from repro.schema.model import Schema
+
+
+def _is_status_ok(expr: ast.Expr) -> bool:
+    return (isinstance(expr, ast.Bin) and expr.op == "="
+            and isinstance(expr.left, ast.Var)
+            and expr.left.name == "DB-STATUS"
+            and isinstance(expr.right, ast.Const)
+            and expr.right.value == "0000")
+
+
+def _conds(pairs: tuple[tuple[str, ast.Expr], ...]) -> tuple[ACond, ...]:
+    return tuple(ACond(name, "=", value) for name, value in pairs)
+
+
+def _emits_io(statements: tuple[ast.Stmt, ...]) -> bool:
+    for stmt in ast.walk(statements):
+        if isinstance(stmt, (ast.WriteTerminal, ast.WriteFile,
+                             ast.ReadTerminal, ast.ReadFile)):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Matching (network source -> abstract)
+# ---------------------------------------------------------------------------
+
+
+class NetworkTemplateMatcher:
+    """Matches the network template catalog against statement blocks."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def match_block(self, statements: tuple[ast.Stmt, ...]
+                    ) -> tuple[AStmt, ...]:
+        """Translate a whole block to abstract statements."""
+        out: list[AStmt] = []
+        index = 0
+        while index < len(statements):
+            node, consumed = self._match_at(statements, index)
+            out.append(node)
+            index += consumed
+        return tuple(out)
+
+    def _match_at(self, statements: tuple[ast.Stmt, ...],
+                  index: int) -> tuple[AStmt, int]:
+        stmt = statements[index]
+        following = statements[index + 1] if index + 1 < len(statements) \
+            else None
+
+        if isinstance(stmt, ast.NetFindAny):
+            bind = isinstance(following, ast.NetGet) and \
+                following.record == stmt.record
+            return ALocate(stmt.record, _conds(stmt.using), bind), \
+                (2 if bind else 1)
+
+        if isinstance(stmt, (ast.NetFindFirst, ast.NetFindNextUsing)):
+            scan = self._match_scan(stmt, following)
+            if scan is not None:
+                return scan, 2
+            first = self._match_first(stmt, following)
+            if first is not None:
+                return first, 2
+            raise AnalysisError(
+                f"no template matches navigation starting at "
+                f"{stmt.render()!r}"
+            )
+
+        if isinstance(stmt, ast.NetFindOwner):
+            set_type = self.schema.set_type(stmt.set_name)
+            bind = isinstance(following, ast.NetGet) and \
+                following.record == set_type.owner
+            return AToOwner(set_type.owner, stmt.set_name, bind), \
+                (2 if bind else 1)
+
+        if isinstance(stmt, ast.NetStore):
+            return AStore(stmt.record, stmt.values), 1
+        if isinstance(stmt, ast.NetModify):
+            return AModify(stmt.record, stmt.values), 1
+        if isinstance(stmt, ast.NetErase):
+            return AErase(stmt.record, stmt.all_members), 1
+
+        if isinstance(stmt, ast.NetGenericCall):
+            return self._match_generic(stmt), 1
+
+        if isinstance(stmt, ast.NetGet):
+            # Standalone GET under established currency (the idiom
+            # FIND ANY ... IF status-ok THEN GET ...).
+            return ABind(stmt.record), 1
+
+        if isinstance(stmt, (ast.NetFindNext, ast.NetConnect,
+                             ast.NetDisconnect)):
+            raise AnalysisError(
+                f"statement {stmt.render()!r} outside any recognized "
+                "template (free navigation / manual set surgery needs "
+                "the conversion analyst)"
+            )
+
+        # Host statements: recurse into nested blocks.
+        if isinstance(stmt, ast.If):
+            return replace(stmt, then=self.match_block(stmt.then),
+                           orelse=self.match_block(stmt.orelse)), 1
+        if isinstance(stmt, ast.While):
+            return replace(stmt, body=self.match_block(stmt.body)), 1
+        if isinstance(stmt, ast.ForEachRow):
+            return replace(stmt, body=self.match_block(stmt.body)), 1
+        return stmt, 1
+
+    def _match_scan(self, head: ast.Stmt,
+                    following: ast.Stmt | None) -> AScan | None:
+        """FIND FIRST/NEXT-USING + WHILE status-ok loop ending in the
+        matching FIND NEXT."""
+        if not isinstance(following, ast.While):
+            return None
+        if not _is_status_ok(following.condition):
+            return None
+        body = following.body
+        if not body:
+            return None
+        tail = body[-1]
+        if isinstance(head, ast.NetFindFirst):
+            if not (isinstance(tail, ast.NetFindNext)
+                    and tail.record == head.record
+                    and tail.set_name == head.set_name):
+                return None
+            conditions: tuple[ACond, ...] = ()
+        else:  # NetFindNextUsing as loop head: the paper's template (B)
+            if not (isinstance(tail, ast.NetFindNextUsing)
+                    and tail.record == head.record
+                    and tail.set_name == head.set_name
+                    and tail.using == head.using):
+                return None
+            conditions = _conds(head.using)
+        inner = body[:-1]
+        bind = bool(inner) and isinstance(inner[0], ast.NetGet) and \
+            inner[0].record == head.record
+        if bind:
+            inner = inner[1:]
+        return AScan(
+            head.record, head.set_name, conditions,
+            self.match_block(inner), bind,
+            order_sensitive=_emits_io(inner),
+            keyed=isinstance(head, ast.NetFindNextUsing),
+        )
+
+    def _match_first(self, head: ast.Stmt,
+                     following: ast.Stmt | None) -> AFirst | None:
+        """FIND FIRST + IF status-ok {GET ...} -- process-first."""
+        if not isinstance(head, ast.NetFindFirst):
+            return None
+        if not isinstance(following, ast.If):
+            return None
+        if not _is_status_ok(following.condition) or following.orelse:
+            return None
+        body = following.then
+        bind = bool(body) and isinstance(body[0], ast.NetGet) and \
+            body[0].record == head.record
+        if bind:
+            body = body[1:]
+        return AFirst(head.record, head.set_name,
+                      self.match_block(body), bind)
+
+    def _match_generic(self, stmt: ast.NetGenericCall) -> AStmt:
+        if not isinstance(stmt.verb, ast.Const):
+            raise AnalysisError(
+                f"DML verb of {stmt.render()!r} is not constant; the "
+                "request may vary at run time (Section 3.2)"
+            )
+        verb = stmt.verb.value
+        if verb == "FIND-ANY":
+            return ALocate(stmt.record, _conds(stmt.values), bind=False)
+        if verb == "GET":
+            return ALocate(stmt.record, (), bind=True)
+        if verb == "STORE":
+            return AStore(stmt.record, stmt.values)
+        if verb == "MODIFY":
+            return AModify(stmt.record, stmt.values)
+        if verb == "ERASE":
+            return AErase(stmt.record)
+        raise AnalysisError(f"unknown constant DML verb {verb!r}")
+
+
+# ---------------------------------------------------------------------------
+# Emission (abstract -> network)
+# ---------------------------------------------------------------------------
+
+
+def emit_locate_network(node: ALocate) -> list[ast.Stmt]:
+    """Expand a LOCATE to FIND ANY (+ GET when binding)."""
+    using = tuple((c.field, c.value) for c in node.conditions
+                  if c.op == "=")
+    if len(using) != len(node.conditions):
+        raise AnalysisError(
+            "network LOCATE supports equality conditions only; the "
+            "optimizer should have rewritten this access"
+        )
+    out: list[ast.Stmt] = [ast.NetFindAny(node.entity, using)]
+    if node.bind:
+        out.append(ast.NetGet(node.entity))
+    return out
+
+
+def emit_scan_network(node: AScan,
+                      body: tuple[ast.Stmt, ...]) -> list[ast.Stmt]:
+    """The canonical loop, keyed (template (B)) when marked and all
+    conditions are equalities; filtered otherwise."""
+    equalities = tuple((c.field, c.value) for c in node.conditions
+                       if c.op == "=")
+    all_equal = len(equalities) == len(node.conditions)
+    inner: list[ast.Stmt] = []
+    if node.bind:
+        inner.append(ast.NetGet(node.entity))
+    if node.keyed and all_equal and node.conditions:
+        head: ast.Stmt = ast.NetFindNextUsing(node.entity, node.via,
+                                              equalities)
+        inner.extend(body)
+        inner.append(ast.NetFindNextUsing(node.entity, node.via,
+                                          equalities))
+    else:
+        head = ast.NetFindFirst(node.entity, node.via)
+        filtered = body
+        if node.conditions:
+            condition = _conjunction(node)
+            filtered = (ast.If(condition, tuple(body)),)
+        inner.extend(filtered)
+        inner.append(ast.NetFindNext(node.entity, node.via))
+    return [head, ast.While(ast.status_ok(), tuple(inner))]
+
+
+def _conjunction(node: AScan) -> ast.Expr:
+    condition: ast.Expr | None = None
+    for cond in node.conditions:
+        comparison = ast.Bin(cond.op,
+                             ast.Var(f"{node.entity}.{cond.field}"),
+                             cond.value)
+        condition = comparison if condition is None else \
+            ast.Bin("AND", condition, comparison)
+    assert condition is not None
+    return condition
+
+
+def emit_first_network(node: AFirst,
+                       body: tuple[ast.Stmt, ...]) -> list[ast.Stmt]:
+    """Expand a FIRST to FIND FIRST guarded by a status IF."""
+    inner: list[ast.Stmt] = []
+    if node.bind:
+        inner.append(ast.NetGet(node.entity))
+    inner.extend(body)
+    return [
+        ast.NetFindFirst(node.entity, node.via),
+        ast.If(ast.status_ok(), tuple(inner)),
+    ]
+
+
+def emit_owner_network(node: AToOwner) -> list[ast.Stmt]:
+    """Expand an OWNER hop to FIND OWNER (+ GET when binding)."""
+    out: list[ast.Stmt] = [ast.NetFindOwner(node.via)]
+    if node.bind:
+        out.append(ast.NetGet(node.entity))
+    return out

@@ -1,0 +1,170 @@
+"""Secondary indexes.
+
+Two index flavours cover everything the data models need:
+
+* :class:`HashIndex` -- equality lookup, optionally unique.  Backs
+  relational keys, CODASYL CALC keys, and foreign-key existence checks.
+* :class:`SortedIndex` -- key-ordered traversal.  Backs CODASYL sorted
+  set occurrences and hierarchical sibling order.
+
+Keys may be single values or tuples of values (composite keys).  ``None``
+inside a key is allowed and sorts before every non-None value of any
+type, so indexes tolerate the "null instructor" records of Section 3.1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Iterator
+
+from repro.errors import DuplicateKey
+from repro.engine.metrics import Metrics
+
+
+def _orderable(key: Any) -> tuple:
+    """Map an index key to a tuple that sorts across mixed types.
+
+    Values are grouped by type name so ints compare with ints and
+    strings with strings; None sorts first.
+    """
+    parts = key if isinstance(key, tuple) else (key,)
+    out = []
+    for part in parts:
+        if part is None:
+            out.append((0, "", ""))
+        elif isinstance(part, bool):
+            out.append((1, "bool", part))
+        elif isinstance(part, (int, float)):
+            out.append((1, "number", part))
+        else:
+            out.append((1, type(part).__name__, str(part)))
+    return tuple(out)
+
+
+class HashIndex:
+    """Equality index from key to a list of rids (insertion order)."""
+
+    def __init__(self, name: str, unique: bool = False,
+                 metrics: Metrics | None = None):
+        self.name = name
+        self.unique = unique
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._entries: dict[Hashable, list[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(rids) for rids in self._entries.values())
+
+    def insert(self, key: Hashable, rid: int) -> None:
+        bucket = self._entries.setdefault(key, [])
+        if self.unique and bucket:
+            raise DuplicateKey(
+                f"index {self.name}: duplicate key {key!r}"
+            )
+        bucket.append(rid)
+
+    def remove(self, key: Hashable, rid: int) -> None:
+        bucket = self._entries.get(key, [])
+        if rid in bucket:
+            bucket.remove(rid)
+            if not bucket:
+                del self._entries[key]
+
+    def lookup(self, key: Hashable) -> list[int]:
+        """Rids with exactly this key, in insertion order."""
+        self.metrics.index_probes += 1
+        return list(self._entries.get(key, []))
+
+    def contains(self, key: Hashable) -> bool:
+        self.metrics.index_probes += 1
+        return bool(self._entries.get(key))
+
+    def keys(self) -> list[Hashable]:
+        return list(self._entries)
+
+
+class SortedIndex:
+    """Key-ordered index supporting ordered iteration and range scans."""
+
+    def __init__(self, name: str, unique: bool = False,
+                 metrics: Metrics | None = None):
+        self.name = name
+        self.unique = unique
+        self.metrics = metrics if metrics is not None else Metrics()
+        # Parallel arrays: _order holds (_orderable(key), seq) sort keys.
+        self._order: list[tuple] = []
+        self._items: list[tuple[Any, int]] = []  # (key, rid)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def insert(self, key: Any, rid: int) -> None:
+        if self.unique and self._key_present(key):
+            raise DuplicateKey(f"index {self.name}: duplicate key {key!r}")
+        self._seq += 1
+        sort_key = (_orderable(key), self._seq)
+        pos = bisect.bisect_left(self._order, sort_key)
+        self._order.insert(pos, sort_key)
+        self._items.insert(pos, (key, rid))
+
+    def _key_present(self, key: Any) -> bool:
+        target = _orderable(key)
+        pos = bisect.bisect_left(self._order, (target,))
+        return pos < len(self._order) and self._order[pos][0] == target
+
+    def remove(self, key: Any, rid: int) -> None:
+        target = _orderable(key)
+        pos = bisect.bisect_left(self._order, (target,))
+        while pos < len(self._order) and self._order[pos][0] == target:
+            if self._items[pos][1] == rid:
+                del self._order[pos]
+                del self._items[pos]
+                return
+            pos += 1
+
+    def scan(self) -> Iterator[int]:
+        """Yield rids in key order."""
+        self.metrics.index_scans += 1
+        for _key, rid in list(self._items):
+            yield rid
+
+    def scan_items(self) -> Iterator[tuple[Any, int]]:
+        """Yield (key, rid) pairs in key order."""
+        self.metrics.index_scans += 1
+        yield from list(self._items)
+
+    def lookup(self, key: Any) -> list[int]:
+        """Rids whose key equals ``key``, in key order."""
+        self.metrics.index_probes += 1
+        target = _orderable(key)
+        pos = bisect.bisect_left(self._order, (target,))
+        out = []
+        while pos < len(self._order) and self._order[pos][0] == target:
+            out.append(self._items[pos][1])
+            pos += 1
+        return out
+
+    def range(self, low: Any = None, high: Any = None) -> Iterator[int]:
+        """Yield rids with low <= key <= high (either bound optional)."""
+        self.metrics.index_scans += 1
+        low_key = _orderable(low) if low is not None else None
+        high_key = _orderable(high) if high is not None else None
+        for key, rid in list(self._items):
+            ordered = _orderable(key)
+            if low_key is not None and ordered < low_key:
+                continue
+            if high_key is not None and ordered > high_key:
+                break
+            yield rid
+
+    def first(self) -> int | None:
+        """Rid with the smallest key, or None when empty."""
+        self.metrics.index_probes += 1
+        return self._items[0][1] if self._items else None
+
+    def position(self, rid: int) -> int | None:
+        """Zero-based position of a rid in key order, or None."""
+        for pos, (_key, item_rid) in enumerate(self._items):
+            if item_rid == rid:
+                return pos
+        return None

@@ -1,0 +1,96 @@
+"""Operation metrics.
+
+The 1979 paper argues about strategy efficiency in terms of "increased
+overhead in program size and/or access path length" (Section 2.1.2).
+With no 1979 hardware to time, we count logical operations instead:
+records read and written, DML calls issued, index probes, and records
+materialized by bridge reconstruction.  Counts are machine-independent
+and directly capture access-path length.
+
+A single :class:`Metrics` object is threaded through an engine and the
+DML layers above it; :class:`MetricsScope` snapshots a region of
+execution so benchmarks can report per-phase deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+_COUNTERS = (
+    "records_read",
+    "records_written",
+    "records_deleted",
+    "index_probes",
+    "index_scans",
+    "set_traversals",
+    "dml_calls",
+    "emulation_mappings",
+    "bridge_materializations",
+    "sort_operations",
+)
+
+
+@dataclass
+class Metrics:
+    """Mutable counter bundle for one database engine instance."""
+
+    records_read: int = 0
+    records_written: int = 0
+    records_deleted: int = 0
+    index_probes: int = 0
+    index_scans: int = 0
+    set_traversals: int = 0
+    dml_calls: int = 0
+    emulation_mappings: int = 0
+    bridge_materializations: int = 0
+    sort_operations: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain dict copy of the current counts."""
+        return {name: getattr(self, name) for name in _COUNTERS}
+
+    def total_accesses(self) -> int:
+        """Total record-level touches; the paper's access-path length."""
+        return self.records_read + self.records_written + self.records_deleted
+
+    def add(self, other: "Metrics") -> None:
+        """Accumulate another metrics bundle into this one."""
+        for name in _COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __sub__(self, other: "Metrics") -> "Metrics":
+        out = Metrics()
+        for name in _COUNTERS:
+            setattr(out, name, getattr(self, name) - getattr(other, name))
+        return out
+
+
+@dataclass
+class MetricsScope:
+    """Context manager that measures the metric delta over a region.
+
+    Example::
+
+        with MetricsScope(db.metrics) as scope:
+            run_program(program, db)
+        print(scope.delta.total_accesses())
+    """
+
+    metrics: Metrics
+    delta: Metrics = field(default_factory=Metrics)
+    _before: dict[str, int] = field(default_factory=dict)
+
+    def __enter__(self) -> "MetricsScope":
+        self._before = self.metrics.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        after = self.metrics.snapshot()
+        for name, before_value in self._before.items():
+            setattr(self.delta, name, after[name] - before_value)

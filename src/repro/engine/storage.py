@@ -1,0 +1,135 @@
+"""Record storage.
+
+A :class:`RecordStore` holds the record instances of one record type.
+Records get stable integer ids (never reused within a store), field
+values are plain Python scalars, and iteration order is insertion order
+-- deterministic, which the equivalence checker relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import RecordNotFound
+from repro.engine.metrics import Metrics
+
+
+@dataclass(frozen=True)
+class Record:
+    """An immutable view of one stored record.
+
+    ``rid`` identifies the record within its store; ``type_name`` is the
+    owning record type; ``values`` maps field name to value.  Updates go
+    through :meth:`RecordStore.update`, which produces a new version --
+    holders of stale ``Record`` objects simply see old values, mirroring
+    the "record area" copy semantics of CODASYL run units.
+    """
+
+    rid: int
+    type_name: str
+    values: dict[str, Any]
+
+    def get(self, field_name: str, default: Any = None) -> Any:
+        return self.values.get(field_name, default)
+
+    def __getitem__(self, field_name: str) -> Any:
+        return self.values[field_name]
+
+    def with_values(self, **updates: Any) -> "Record":
+        """Return a copy with some field values replaced."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return Record(self.rid, self.type_name, merged)
+
+
+class RecordStore:
+    """Insertion-ordered storage for the instances of one record type."""
+
+    def __init__(self, type_name: str, metrics: Metrics | None = None):
+        self.type_name = type_name
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._records: dict[int, Record] = {}
+        self._next_rid = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._records
+
+    def insert(self, values: dict[str, Any]) -> Record:
+        """Store a new record and return it (with its assigned rid)."""
+        rid = self._next_rid
+        self._next_rid += 1
+        record = Record(rid, self.type_name, dict(values))
+        self._records[rid] = record
+        self.metrics.records_written += 1
+        return record
+
+    def fetch(self, rid: int) -> Record:
+        """Return the current version of the record with this rid."""
+        try:
+            record = self._records[rid]
+        except KeyError:
+            raise RecordNotFound(
+                f"{self.type_name}: no record with rid {rid}"
+            ) from None
+        self.metrics.records_read += 1
+        return record
+
+    def peek(self, rid: int) -> Record | None:
+        """Like :meth:`fetch` but uncounted and returning None if absent.
+
+        Used by internal bookkeeping (set pointers, index maintenance)
+        that should not inflate access-path-length measurements.
+        """
+        return self._records.get(rid)
+
+    def update(self, rid: int, updates: dict[str, Any]) -> Record:
+        """Replace some field values of an existing record."""
+        current = self._records.get(rid)
+        if current is None:
+            raise RecordNotFound(f"{self.type_name}: no record with rid {rid}")
+        new_record = current.with_values(**updates)
+        self._records[rid] = new_record
+        self.metrics.records_written += 1
+        return new_record
+
+    def delete(self, rid: int) -> Record:
+        """Remove a record, returning its last version."""
+        try:
+            record = self._records.pop(rid)
+        except KeyError:
+            raise RecordNotFound(
+                f"{self.type_name}: no record with rid {rid}"
+            ) from None
+        self.metrics.records_deleted += 1
+        return record
+
+    def scan(self) -> Iterator[Record]:
+        """Yield every record in insertion order (counted as reads)."""
+        self.metrics.index_scans += 1
+        for record in list(self._records.values()):
+            self.metrics.records_read += 1
+            yield record
+
+    def rids(self) -> list[int]:
+        """All live rids in insertion order (uncounted)."""
+        return list(self._records)
+
+    def all_records(self) -> list[Record]:
+        """All live records in insertion order (uncounted bulk access).
+
+        Intended for data translation and test assertions, not for DML
+        paths, so it does not contribute to access-path metrics.
+        """
+        return list(self._records.values())
+
+    def clear(self) -> None:
+        """Drop every record (rids are still not reused afterwards)."""
+        self._records.clear()
+
+    def load(self, rows: Iterable[dict[str, Any]]) -> list[Record]:
+        """Bulk-insert rows, returning the created records."""
+        return [self.insert(row) for row in rows]

@@ -1,0 +1,176 @@
+"""Exception hierarchy for the conversion framework.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy mirrors the subsystem
+layering: engine errors, schema/DDL errors, data-model DML errors,
+restructuring errors, and conversion errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class RecordNotFound(EngineError):
+    """A record id does not exist (or was deleted)."""
+
+
+class DuplicateKey(EngineError):
+    """An index with unique keys rejected a duplicate entry."""
+
+
+# ---------------------------------------------------------------------------
+# Schema / DDL
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """Base class for schema-definition errors."""
+
+
+class DDLSyntaxError(SchemaError):
+    """The DDL text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class UnknownRecordType(SchemaError):
+    """A record type name is not declared in the schema."""
+
+
+class UnknownField(SchemaError):
+    """A field name is not declared on the record type."""
+
+
+class UnknownSetType(SchemaError):
+    """A set type name is not declared in the schema."""
+
+
+# ---------------------------------------------------------------------------
+# Integrity
+# ---------------------------------------------------------------------------
+
+
+class IntegrityError(ReproError):
+    """A database operation would violate a declared integrity constraint.
+
+    The paper's Section 1.1 requires that every database program take the
+    database from one consistent state to another; the engines raise this
+    error whenever an operation (or a run-unit commit) would break that
+    guarantee.
+    """
+
+    def __init__(self, message: str, constraint: object | None = None):
+        self.constraint = constraint
+        super().__init__(message)
+
+
+class ExistenceViolation(IntegrityError):
+    """A referenced owner/parent instance does not exist (Section 3.1)."""
+
+
+class UniquenessViolation(IntegrityError):
+    """A tuple/record duplicates a declared key (Section 3.1)."""
+
+
+class CardinalityViolation(IntegrityError):
+    """A numeric limit on relationship participation is exceeded.
+
+    The paper's example: "a course may not be offered more than twice in
+    a school year" -- a constraint no 1979 data model could declare.
+    """
+
+
+class MandatoryViolation(IntegrityError):
+    """A MANDATORY set member would be left without an owner."""
+
+
+# ---------------------------------------------------------------------------
+# DML (all three data models)
+# ---------------------------------------------------------------------------
+
+
+class DMLError(ReproError):
+    """Base class for data-manipulation errors."""
+
+
+class CurrencyError(DMLError):
+    """A navigational DML verb was issued without the needed currency."""
+
+
+class EndOfSet(DMLError):
+    """FIND NEXT ran off the end of a set occurrence.
+
+    CODASYL systems signal this through a status code rather than an
+    exception; the network DML layer converts it to status ``0307`` so
+    programs can exhibit the status-code dependence of Section 3.2.
+    """
+
+
+class EndOfDatabase(DMLError):
+    """A hierarchical GET NEXT ran past the last segment (DL/I ``GB``)."""
+
+
+class QueryError(DMLError):
+    """A SEQUEL/CDML query is malformed or refers to unknown names."""
+
+
+# ---------------------------------------------------------------------------
+# Restructuring
+# ---------------------------------------------------------------------------
+
+
+class RestructureError(ReproError):
+    """A schema transformation cannot be applied."""
+
+
+class NotInvertible(RestructureError):
+    """The restructuring has no inverse mapping (Housel's restriction)."""
+
+
+class InformationLoss(RestructureError):
+    """The restructuring discards source information (Section 1.1 warns
+    that conversion without information preservation is a different and
+    harder problem)."""
+
+
+# ---------------------------------------------------------------------------
+# Conversion pipeline
+# ---------------------------------------------------------------------------
+
+
+class ConversionError(ReproError):
+    """Base class for Figure 4.1 pipeline failures."""
+
+
+class AnalysisError(ConversionError):
+    """The program analyzer could not derive an abstract representation."""
+
+
+class GenerationError(ConversionError):
+    """The program generator cannot express an abstract operation in
+    the target data model's DML."""
+
+
+class UnconvertiblePattern(ConversionError):
+    """No transformation rule covers an access pattern under the given
+    schema change; the supervisor reports these to the analyst."""
+
+
+class AnalystAbort(ConversionError):
+    """The conversion analyst declined to resolve an open question."""

@@ -1,0 +1,32 @@
+"""Hierarchical (IMS-like) data model.
+
+Models what the Mehl & Wang study (Section 2.2) converts: a forest of
+segment types with a declared hierarchical order, navigated by DL/I-style
+calls -- GET UNIQUE, GET NEXT, GET NEXT WITHIN PARENT, ISRT, DLET, REPL
+-- with segment search arguments (SSAs) and the two-letter status codes
+('GE' not found, 'GB' end of database) whose behaviour under
+restructuring Section 3.2 worries about.
+
+The same common schema drives the model: non-SYSTEM sets define the
+parent/child structure (the schema must be a forest), the order of set
+declarations gives the sibling segment-type order, and set order keys
+give twin (occurrence) order.
+"""
+
+from repro.hierarchical.database import HierarchicalDatabase
+from repro.hierarchical.dml import (
+    DLISession,
+    SSA,
+    STATUS_END,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+)
+
+__all__ = [
+    "HierarchicalDatabase",
+    "DLISession",
+    "SSA",
+    "STATUS_OK",
+    "STATUS_NOT_FOUND",
+    "STATUS_END",
+]

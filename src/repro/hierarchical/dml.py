@@ -1,0 +1,293 @@
+"""DL/I-style calls over the hierarchical database.
+
+A :class:`DLISession` is the program communication block: it holds the
+current position in the hierarchical sequence and the parentage set by
+the last successful GET, and exposes the calls Mehl & Wang's study
+intercepts (Section 2.2): GU, GN, GNP, ISRT, DLET, REPL.
+
+Qualification uses :class:`SSA` segment search arguments: a segment
+name plus an optional ``field op value`` condition, e.g.
+``SSA('COURSE', 'CNO', '=', 'C55')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.storage import Record
+from repro.errors import CurrencyError
+from repro.hierarchical.database import HierarchicalDatabase
+
+#: DL/I status codes (two-character, blank means success).
+STATUS_OK = "  "
+STATUS_NOT_FOUND = "GE"
+STATUS_END = "GB"
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+}
+
+
+@dataclass(frozen=True)
+class SSA:
+    """Segment search argument: segment name + optional qualification."""
+
+    segment: str
+    field: str | None = None
+    op: str = "="
+    value: Any = None
+
+    @property
+    def qualified(self) -> bool:
+        return self.field is not None
+
+    def matches(self, record: Record) -> bool:
+        if not self.qualified:
+            return True
+        return _OPS[self.op](record.get(self.field), self.value)
+
+    def render(self) -> str:
+        if not self.qualified:
+            return self.segment
+        return f"{self.segment}({self.field}{self.op}{self.value!r})"
+
+
+class DLISession:
+    """One program's position over a hierarchical database."""
+
+    def __init__(self, db: HierarchicalDatabase):
+        self.db = db
+        self.status = STATUS_OK
+        #: Position in the hierarchical sequence: index of the segment
+        #: returned by the last successful GET (-1 = before first).
+        self._position = -1
+        #: (segment type, rid) of the last GET, used as GNP parentage.
+        self.parentage: tuple[str, int] | None = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _sequence(self) -> list[tuple[str, int]]:
+        return self.db.preorder()
+
+    def _return(self, segment_name: str, rid: int,
+                index: int) -> Record:
+        self._position = index
+        self.parentage = (segment_name, rid)
+        self.status = STATUS_OK
+        return self.db.fetch(segment_name, rid)
+
+    def _match_path(self, ssas: tuple[SSA, ...],
+                    start: int) -> tuple[int, str, int] | None:
+        """Find the first sequence index >= start whose segment matches
+        the last SSA and whose ancestor path matches the earlier SSAs."""
+        sequence = self._sequence()
+        target = ssas[-1]
+        for index in range(start, len(sequence)):
+            segment_name, rid = sequence[index]
+            self.db.metrics.set_traversals += 1
+            if segment_name != target.segment:
+                continue
+            record = self.db.store(segment_name).peek(rid)
+            if record is None or not target.matches(record):
+                continue
+            if self._ancestors_match(segment_name, rid, ssas[:-1]):
+                return index, segment_name, rid
+        return None
+
+    def _ancestors_match(self, segment_name: str, rid: int,
+                         ancestor_ssas: tuple[SSA, ...]) -> bool:
+        # Collect the ancestor chain root-first.
+        chain: list[tuple[str, int]] = []
+        node: tuple[str, int] | None = (segment_name, rid)
+        while node is not None:
+            node = self.db.parent_of(node[0], node[1])
+            if node is not None:
+                chain.append(node)
+        chain.reverse()
+        ancestors_by_type = {name: rid_ for name, rid_ in chain}
+        for ssa in ancestor_ssas:
+            ancestor_rid = ancestors_by_type.get(ssa.segment)
+            if ancestor_rid is None:
+                return False
+            record = self.db.store(ssa.segment).peek(ancestor_rid)
+            if record is None or not ssa.matches(record):
+                return False
+        return True
+
+    # -- GET calls ------------------------------------------------------------
+
+    def get_unique(self, *ssas: SSA) -> Record | None:
+        """GU: position at the first segment matching the SSA path,
+        searching from the start of the database."""
+        self.db.metrics.dml_calls += 1
+        if not ssas:
+            raise CurrencyError("GU requires at least one SSA")
+        match = self._match_path(tuple(ssas), 0)
+        if match is None:
+            self.status = STATUS_NOT_FOUND
+            return None
+        index, segment_name, rid = match
+        return self._return(segment_name, rid, index)
+
+    def get_next(self, *ssas: SSA) -> Record | None:
+        """GN: next segment in hierarchical sequence (optionally
+        matching an SSA path)."""
+        self.db.metrics.dml_calls += 1
+        start = self._position + 1
+        sequence = self._sequence()
+        if not ssas:
+            if start >= len(sequence):
+                self.status = STATUS_END
+                return None
+            segment_name, rid = sequence[start]
+            self.db.metrics.set_traversals += 1
+            return self._return(segment_name, rid, start)
+        match = self._match_path(tuple(ssas), start)
+        if match is None:
+            self.status = STATUS_END
+            return None
+        index, segment_name, rid = match
+        return self._return(segment_name, rid, index)
+
+    def get_next_within_parent(self, *ssas: SSA) -> Record | None:
+        """GNP: like GN but confined to the current parentage's subtree.
+
+        The parentage is the segment of the last GU/GN (IMS semantics);
+        hitting the end of the subtree returns status 'GE'.
+        """
+        self.db.metrics.dml_calls += 1
+        if self.parentage is None:
+            self.status = STATUS_NOT_FOUND
+            return None
+        parent_name, parent_rid = self.parentage
+        sequence = self._sequence()
+        subtree = self._subtree_indexes(parent_name, parent_rid)
+        start = self._position + 1
+        for index in range(start, len(sequence)):
+            if index not in subtree:
+                break  # left the subtree: GNP exhausted
+            segment_name, rid = sequence[index]
+            self.db.metrics.set_traversals += 1
+            if ssas:
+                target = ssas[-1]
+                if segment_name != target.segment:
+                    continue
+                record = self.db.store(segment_name).peek(rid)
+                if record is None or not target.matches(record):
+                    continue
+                if not self._ancestors_match(segment_name, rid,
+                                             tuple(ssas[:-1])):
+                    continue
+            # GNP does not move the parentage; only the position.
+            self._position = index
+            self.status = STATUS_OK
+            return self.db.fetch(segment_name, rid)
+        self.status = STATUS_NOT_FOUND
+        return None
+
+    def _subtree_indexes(self, parent_name: str,
+                         parent_rid: int) -> set[int]:
+        sequence = self._sequence()
+        try:
+            root_index = sequence.index((parent_name, parent_rid))
+        except ValueError:
+            return set()
+        indexes = {root_index}
+        descendants = {(parent_name, parent_rid)}
+        for index in range(root_index + 1, len(sequence)):
+            segment_name, rid = sequence[index]
+            parent = self.db.parent_of(segment_name, rid)
+            if parent in descendants:
+                descendants.add((segment_name, rid))
+                indexes.add(index)
+            elif index > root_index and parent not in descendants:
+                # Preorder: once we see a segment outside the subtree,
+                # everything after is outside too.
+                break
+        return indexes
+
+    # -- update calls ------------------------------------------------------------
+
+    def insert(self, segment_name: str, values: dict[str, Any],
+               *parent_ssas: SSA) -> Record | None:
+        """ISRT: insert a segment; parent located by the SSA path (or
+        the current parentage when no SSAs are given)."""
+        self.db.metrics.dml_calls += 1
+        parent: tuple[str, int] | None = None
+        expected_parent = self.db.parent_type(segment_name)
+        if expected_parent is not None:
+            if parent_ssas:
+                match = self._match_path(tuple(parent_ssas), 0)
+                if match is None:
+                    self.status = STATUS_NOT_FOUND
+                    return None
+                _index, parent_name, parent_rid = match
+                parent = (parent_name, parent_rid)
+            elif self.parentage is not None:
+                parent = self._locate_ancestor(expected_parent)
+            if parent is None or parent[0] != expected_parent:
+                self.status = STATUS_NOT_FOUND
+                return None
+        record = self.db.insert_segment(segment_name, values, parent)
+        self.status = STATUS_OK
+        return record
+
+    def _locate_ancestor(self, wanted_type: str) -> tuple[str, int] | None:
+        node = self.parentage
+        while node is not None and node[0] != wanted_type:
+            node = self.db.parent_of(node[0], node[1])
+        return node
+
+    def delete(self) -> int:
+        """DLET: delete the current segment and its subtree."""
+        self.db.metrics.dml_calls += 1
+        if self.parentage is None:
+            self.status = STATUS_NOT_FOUND
+            return 0
+        segment_name, rid = self.parentage
+        count = self.db.delete_segment(segment_name, rid)
+        self.parentage = None
+        self._position -= 1
+        self.status = STATUS_OK
+        return count
+
+    def replace(self, updates: dict[str, Any]) -> Record | None:
+        """REPL: update the current segment's fields."""
+        self.db.metrics.dml_calls += 1
+        if self.parentage is None:
+            self.status = STATUS_NOT_FOUND
+            return None
+        segment_name, rid = self.parentage
+        record = self.db.replace_segment(segment_name, rid, updates)
+        self.status = STATUS_OK
+        return record
+
+    def position_to_parentage(self) -> None:
+        """Re-establish the position at the current parentage segment
+        (the Mehl & Wang substitution sequences need this between the
+        typed loops they generate: each loop scans the parent's subtree
+        from the top)."""
+        self.db.metrics.dml_calls += 1
+        if self.parentage is None:
+            self.status = STATUS_NOT_FOUND
+            return
+        sequence = self._sequence()
+        try:
+            self._position = sequence.index(self.parentage)
+        except ValueError:
+            self.status = STATUS_NOT_FOUND
+            return
+        self.status = STATUS_OK
+
+    def reset(self) -> None:
+        """Return to the start of the database (before the first
+        segment), clearing parentage."""
+        self._position = -1
+        self.parentage = None
+        self.status = STATUS_OK

@@ -1,0 +1,33 @@
+"""CODASYL network data model.
+
+A faithful in-memory model of the 1978 CODASYL DBTG architecture as the
+paper uses it: record types with CALC location, owner-coupled sets with
+AUTOMATIC/MANUAL insertion and MANDATORY/OPTIONAL retention, currency
+indicators, a user work area, and the navigational DML verbs (FIND ANY,
+FIND FIRST/NEXT/PRIOR WITHIN set, FIND OWNER, GET, STORE, MODIFY,
+ERASE, CONNECT, DISCONNECT).
+
+DML verbs report failure through status codes in ``session.status``
+rather than exceptions, because Section 3.2's "status code dependence"
+pathology only exists in a status-code world.
+"""
+
+from repro.network.database import NetworkDatabase
+from repro.network.dml import (
+    DMLSession,
+    STATUS_END_OF_SET,
+    STATUS_NOT_FOUND,
+    STATUS_NO_CURRENCY,
+    STATUS_OK,
+)
+from repro.network.currency import CurrencyTable
+
+__all__ = [
+    "NetworkDatabase",
+    "DMLSession",
+    "CurrencyTable",
+    "STATUS_OK",
+    "STATUS_NOT_FOUND",
+    "STATUS_END_OF_SET",
+    "STATUS_NO_CURRENCY",
+]

@@ -1,0 +1,113 @@
+"""Database programs.
+
+Section 1.1 defines a database program as "a program written in a
+conventional programming language, with embedded data manipulation
+statements which interact with a database system".  This package models
+exactly that: a small host-language AST (variables, expressions,
+control flow, terminal and file I/O) with embedded DML statements for
+all three data models, an interpreter that runs programs against a
+database while recording the I/O trace, and builder helpers for
+constructing programs compactly.
+
+The AST *is* the framework's "internal representation of the program"
+(Figure 4.1): it exposes "the program control structure, the
+relationships among program variables and the sub-program parameter
+passing structure" to the analyzer.
+"""
+
+from repro.programs.ast import (
+    Assign,
+    Bin,
+    Call,
+    Const,
+    ForEachRow,
+    HierDLET,
+    HierGN,
+    HierGNP,
+    HierGU,
+    HierISRT,
+    HierREPL,
+    If,
+    NetConnect,
+    NetDisconnect,
+    NetErase,
+    NetFindAny,
+    NetFindFirst,
+    NetFindNext,
+    NetFindNextUsing,
+    NetFindOwner,
+    NetGenericCall,
+    NetGet,
+    NetModify,
+    NetStore,
+    Procedure,
+    Program,
+    ReadFile,
+    ReadTerminal,
+    RelDelete,
+    RelInsert,
+    RelQuery,
+    RelUpdate,
+    SsaSpec,
+    Var,
+    While,
+    WriteFile,
+    WriteTerminal,
+    walk,
+)
+from repro.programs.iotrace import IOTrace, IOEvent
+from repro.programs.interpreter import Interpreter, ProgramInputs, run_program
+from repro.programs.parser import (
+    ProgramSyntaxError,
+    parse_expression,
+    parse_program,
+)
+
+__all__ = [
+    "Program",
+    "Procedure",
+    "Const",
+    "Var",
+    "Bin",
+    "Assign",
+    "If",
+    "While",
+    "ForEachRow",
+    "Call",
+    "ReadTerminal",
+    "WriteTerminal",
+    "ReadFile",
+    "WriteFile",
+    "NetFindAny",
+    "NetFindFirst",
+    "NetFindNext",
+    "NetFindNextUsing",
+    "NetFindOwner",
+    "NetGet",
+    "NetStore",
+    "NetModify",
+    "NetErase",
+    "NetConnect",
+    "NetDisconnect",
+    "NetGenericCall",
+    "RelQuery",
+    "RelInsert",
+    "RelDelete",
+    "RelUpdate",
+    "HierGU",
+    "HierGN",
+    "HierGNP",
+    "HierISRT",
+    "HierDLET",
+    "HierREPL",
+    "SsaSpec",
+    "walk",
+    "IOTrace",
+    "IOEvent",
+    "Interpreter",
+    "ProgramInputs",
+    "run_program",
+    "parse_program",
+    "parse_expression",
+    "ProgramSyntaxError",
+]

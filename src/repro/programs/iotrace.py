@@ -1,0 +1,91 @@
+"""Input/output traces -- the paper's equivalence currency.
+
+Section 1.1: "except with respect to the database, a restructured
+program must preserve the input/output behavior of the original
+program ... the program must give the same requests and/or messages as
+before conversion [and] present the same series of reads and writes to
+non-database files."
+
+An :class:`IOTrace` is the ordered list of those observable events.
+Database operations never appear in it, by construction: "a different
+combination of interactions is acceptable with respect to the
+database."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One observable event.
+
+    ``channel`` is ``terminal`` or a file name; ``direction`` is
+    ``read`` or ``write``; ``text`` is the line content.
+    """
+
+    channel: str
+    direction: str
+    text: str
+
+    def render(self) -> str:
+        arrow = "<-" if self.direction == "read" else "->"
+        return f"{self.channel} {arrow} {self.text}"
+
+
+@dataclass
+class IOTrace:
+    """The ordered observable behaviour of one program run."""
+
+    events: list[IOEvent] = field(default_factory=list)
+
+    def terminal_write(self, text: str) -> None:
+        self.events.append(IOEvent("terminal", "write", text))
+
+    def terminal_read(self, text: str) -> None:
+        self.events.append(IOEvent("terminal", "read", text))
+
+    def file_write(self, file_name: str, text: str) -> None:
+        self.events.append(IOEvent(file_name, "write", text))
+
+    def file_read(self, file_name: str, text: str) -> None:
+        self.events.append(IOEvent(file_name, "read", text))
+
+    def terminal_lines(self) -> list[str]:
+        """Lines written to the terminal, in order."""
+        return [
+            event.text for event in self.events
+            if event.channel == "terminal" and event.direction == "write"
+        ]
+
+    def file_lines(self, file_name: str) -> list[str]:
+        """Lines written to one file, in order."""
+        return [
+            event.text for event in self.events
+            if event.channel == file_name and event.direction == "write"
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOTrace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render(self) -> str:
+        return "\n".join(event.render() for event in self.events)
+
+    def diff(self, other: "IOTrace") -> str | None:
+        """A human-readable first divergence, or None when equal."""
+        for index, (mine, theirs) in enumerate(zip(self.events, other.events)):
+            if mine != theirs:
+                return (f"event {index}: {mine.render()!r} vs "
+                        f"{theirs.render()!r}")
+        if len(self.events) != len(other.events):
+            longer = self if len(self.events) > len(other.events) else other
+            index = min(len(self.events), len(other.events))
+            return (f"event {index}: one trace has extra "
+                    f"{longer.events[index].render()!r}")
+        return None

@@ -1,0 +1,465 @@
+"""Parser for the pseudo-COBOL program text.
+
+The Program Analyzer of Figure 4.1 reads *source programs*; this
+parser closes the loop: :func:`repro.programs.ast.render_program`
+produces a text form, and :func:`parse_program` reads it (or
+hand-written text in the same style) back into the AST.  Round-tripping
+is exact -- ``parse_program(render_program(p))`` reproduces ``p`` -- and
+is enforced by property tests over the generated corpus.
+
+The grammar is line-oriented: one statement per line, leaf statements
+terminated by a period, compound statements bracketed by
+``IF/ELSE/END-IF``, ``PERFORM WHILE/END-PERFORM`` and
+``FOR EACH/END-FOR``, procedures introduced by ``PROCEDURE NAME(...)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ReproError
+from repro.programs import ast
+
+
+class ProgramSyntaxError(ReproError):
+    """The program text could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+_EXPR_TOKEN = re.compile(r"'[^']*'|\(|\)|[^\s()]+")
+_OPS = ("AND", "OR", "=", "<>", "<=", ">=", "<", ">", "+", "-", "*")
+
+
+def _tokenize_expr(text: str) -> list[str]:
+    return _EXPR_TOKEN.findall(text)
+
+
+class _ExprParser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _next(self) -> str:
+        if self._pos >= len(self._tokens):
+            raise ProgramSyntaxError("unexpected end of expression")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse(self) -> ast.Expr:
+        expr = self._expr()
+        if self._pos != len(self._tokens):
+            raise ProgramSyntaxError(
+                f"trailing tokens in expression: "
+                f"{self._tokens[self._pos:]!r}"
+            )
+        return expr
+
+    def _expr(self) -> ast.Expr:
+        token = self._next()
+        if token == "(":
+            left = self._expr()
+            op = self._next()
+            if op not in _OPS:
+                raise ProgramSyntaxError(f"expected an operator, got {op!r}")
+            right = self._expr()
+            closing = self._next()
+            if closing != ")":
+                raise ProgramSyntaxError(f"expected ')', got {closing!r}")
+            return ast.Bin(op, left, right)
+        return _atom(token)
+
+
+def _atom(token: str) -> ast.Expr:
+    if token.startswith("'") and token.endswith("'"):
+        return ast.Const(token[1:-1])
+    if re.fullmatch(r"-?\d+", token):
+        return ast.Const(int(token))
+    if token == "True":
+        return ast.Const(True)
+    if token == "False":
+        return ast.Const(False)
+    if token == "None":
+        return ast.Const(None)
+    return ast.Var(token)
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse one rendered expression."""
+    return _ExprParser(_tokenize_expr(text)).parse()
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on a separator, ignoring occurrences inside quotes,
+    parentheses, or brackets."""
+    parts: list[str] = []
+    depth = 0
+    quoted = False
+    current = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "'":
+            quoted = not quoted
+        elif not quoted and ch in "([":
+            depth += 1
+        elif not quoted and ch in ")]":
+            depth -= 1
+        if (not quoted and depth == 0
+                and text.startswith(separator, index)):
+            parts.append("".join(current))
+            current = []
+            index += len(separator)
+            continue
+        current.append(ch)
+        index += 1
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_pairs(text: str) -> tuple[tuple[str, ast.Expr], ...]:
+    """Parse ``K1=expr, K2=expr`` lists."""
+    text = text.strip()
+    if not text:
+        return ()
+    pairs = []
+    for part in _split_top_level(text, ", "):
+        name, _eq, value = part.partition("=")
+        if not _eq:
+            raise ProgramSyntaxError(f"expected NAME=value, got {part!r}")
+        pairs.append((name.strip(), parse_expression(value.strip())))
+    return tuple(pairs)
+
+
+def _parse_exprs(text: str) -> tuple[ast.Expr, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(parse_expression(part.strip())
+                 for part in _split_top_level(text, ", "))
+
+
+_SSA_RE = re.compile(
+    r"^([A-Z0-9\-#]+)(?:\((.+?)(<=|>=|<>|=|<|>)(.+)\))?$"
+)
+
+
+def _parse_ssa(text: str) -> ast.SsaSpec:
+    match = _SSA_RE.match(text.strip())
+    if match is None:
+        raise ProgramSyntaxError(f"malformed SSA {text!r}")
+    segment, field_name, op, value = match.groups()
+    if field_name is None:
+        return ast.SsaSpec(segment)
+    return ast.SsaSpec(segment, field_name, op,
+                       parse_expression(value))
+
+
+def _parse_ssas(text: str) -> tuple[ast.SsaSpec, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(_parse_ssa(part) for part in _split_top_level(text, " "))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class _ProgramParser:
+    def __init__(self, text: str):
+        self._lines = [
+            (number, line.strip())
+            for number, line in enumerate(text.splitlines(), start=1)
+            if line.strip()
+        ]
+        self._pos = 0
+
+    def _peek(self) -> tuple[int, str] | None:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _next(self) -> tuple[int, str]:
+        entry = self._peek()
+        if entry is None:
+            raise ProgramSyntaxError("unexpected end of program text")
+        self._pos += 1
+        return entry
+
+    def parse(self) -> ast.Program:
+        line_no, header = self._next()
+        match = re.match(
+            r"^PROGRAM ([A-Z0-9\-#]+) \((\w+) / ([A-Z0-9\-#]+)\)\.$",
+            header,
+        )
+        if match is None:
+            raise ProgramSyntaxError(
+                f"expected 'PROGRAM NAME (model / schema).', got "
+                f"{header!r}", line_no,
+            )
+        name, model, schema_name = match.groups()
+        statements = self._block(stop={"PROCEDURE"})
+        procedures = []
+        while self._peek() is not None:
+            procedures.append(self._procedure())
+        return ast.Program(name, model, schema_name, tuple(statements),
+                           tuple(procedures))
+
+    def _procedure(self) -> ast.Procedure:
+        line_no, header = self._next()
+        match = re.match(r"^PROCEDURE ([A-Z0-9\-#]+)\((.*)\)\.$", header)
+        if match is None:
+            raise ProgramSyntaxError(
+                f"expected 'PROCEDURE NAME(params).', got {header!r}",
+                line_no,
+            )
+        name, params_text = match.groups()
+        parameters = tuple(
+            p.strip() for p in params_text.split(",") if p.strip()
+        )
+        body = self._block(stop={"PROCEDURE"})
+        return ast.Procedure(name, parameters, tuple(body))
+
+    def _block(self, stop: set[str]) -> list[ast.Stmt]:
+        statements: list[ast.Stmt] = []
+        while True:
+            entry = self._peek()
+            if entry is None:
+                return statements
+            _line_no, line = entry
+            head = line.split("(")[0].split()[0] if line else ""
+            if head in stop or line in ("END-IF", "ELSE", "END-PERFORM",
+                                        "END-FOR"):
+                return statements
+            if line.startswith("PROCEDURE "):
+                return statements
+            statements.append(self._statement())
+
+    def _statement(self) -> ast.Stmt:
+        line_no, line = self._next()
+        try:
+            return self._dispatch(line)
+        except ProgramSyntaxError:
+            raise
+        except ReproError:
+            raise
+        except Exception as error:  # tokenizer edge cases -> syntax error
+            raise ProgramSyntaxError(
+                f"cannot parse {line!r}: {error}", line_no
+            ) from error
+
+    def _dispatch(self, line: str) -> ast.Stmt:
+        # -- compound statements ---------------------------------------
+        if line.startswith("IF "):
+            condition = parse_expression(line[3:])
+            then = self._block(stop=set())
+            _no, marker = self._next()
+            orelse: list[ast.Stmt] = []
+            if marker == "ELSE":
+                orelse = self._block(stop=set())
+                _no, marker = self._next()
+            if marker != "END-IF":
+                raise ProgramSyntaxError(
+                    f"expected END-IF, got {marker!r}"
+                )
+            return ast.If(condition, tuple(then), tuple(orelse))
+        if line.startswith("PERFORM WHILE "):
+            condition = parse_expression(line[len("PERFORM WHILE "):])
+            body = self._block(stop=set())
+            _no, marker = self._next()
+            if marker != "END-PERFORM":
+                raise ProgramSyntaxError(
+                    f"expected END-PERFORM, got {marker!r}"
+                )
+            return ast.While(condition, tuple(body))
+        if line.startswith("FOR EACH "):
+            match = re.match(r"^FOR EACH (\S+) IN (\S+)$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed FOR EACH: {line!r}")
+            body = self._block(stop=set())
+            _no, marker = self._next()
+            if marker != "END-FOR":
+                raise ProgramSyntaxError(
+                    f"expected END-FOR, got {marker!r}"
+                )
+            return ast.ForEachRow(match.group(1), match.group(2),
+                                  tuple(body))
+
+        # -- leaf statements (trailing period) ---------------------------
+        if not line.endswith("."):
+            raise ProgramSyntaxError(f"missing period: {line!r}")
+        return self._leaf(line[:-1])
+
+    def _leaf(self, line: str) -> ast.Stmt:
+        # host language -------------------------------------------------
+        if line.startswith("MOVE "):
+            expr_text, _sep, var = line[5:].rpartition(" TO ")
+            return ast.Assign(var.strip(), parse_expression(expr_text))
+        if line.startswith("DISPLAY "):
+            return ast.WriteTerminal(_parse_exprs(line[8:]))
+        if line == "DISPLAY":
+            return ast.WriteTerminal(())
+        if line.startswith("ACCEPT "):
+            rest = line[7:]
+            match = re.match(r"^(\S+) PROMPT '([^']*)'$", rest)
+            if match:
+                return ast.ReadTerminal(match.group(1), match.group(2))
+            return ast.ReadTerminal(rest.strip())
+        if line.startswith("READ "):
+            match = re.match(r"^READ (\S+) INTO (\S+)$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed READ: {line!r}")
+            return ast.ReadFile(match.group(1), match.group(2))
+        if line.startswith("WRITE "):
+            body, _sep, file_name = line[6:].rpartition(" TO ")
+            return ast.WriteFile(file_name.strip(), _parse_exprs(body))
+        if line.startswith("BIND FIRST "):
+            match = re.match(r"^BIND FIRST (\S+) FROM (\S+)$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed BIND FIRST: {line!r}")
+            return ast.BindFirstRow(match.group(1), match.group(2))
+        if line.startswith("PERFORM "):
+            match = re.match(r"^PERFORM ([A-Z0-9\-#]+)\((.*)\)$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed PERFORM: {line!r}")
+            return ast.Call(match.group(1), _parse_exprs(match.group(2)))
+
+        # network DML ----------------------------------------------------
+        if line.startswith("FIND ANY "):
+            rest = line[len("FIND ANY "):]
+            record, _sep, using = rest.partition(" USING ")
+            return ast.NetFindAny(record.strip(), _parse_pairs(using))
+        if line.startswith("FIND FIRST "):
+            match = re.match(r"^FIND FIRST (\S+) WITHIN (\S+)$", line)
+            return ast.NetFindFirst(match.group(1), match.group(2))
+        if line.startswith("FIND NEXT "):
+            match = re.match(
+                r"^FIND NEXT (\S+) WITHIN (\S+)(?: USING (.+))?$", line)
+            if match.group(3):
+                return ast.NetFindNextUsing(match.group(1), match.group(2),
+                                            _parse_pairs(match.group(3)))
+            return ast.NetFindNext(match.group(1), match.group(2))
+        if line.startswith("FIND OWNER WITHIN "):
+            return ast.NetFindOwner(line[len("FIND OWNER WITHIN "):])
+        if line.startswith("FIND CURRENT "):
+            return ast.NetFindCurrent(line[len("FIND CURRENT "):].strip())
+        if line.startswith("GET "):
+            return ast.NetGet(line[4:].strip())
+        if line.startswith("STORE "):
+            match = re.match(r"^STORE (\S+) \((.*)\)$", line)
+            return ast.NetStore(match.group(1),
+                                _parse_pairs(match.group(2)))
+        if line.startswith("MODIFY "):
+            match = re.match(r"^MODIFY (\S+) \((.*)\)$", line)
+            return ast.NetModify(match.group(1),
+                                 _parse_pairs(match.group(2)))
+        if line.startswith("ERASE "):
+            rest = line[6:]
+            if rest.endswith(" ALL MEMBERS"):
+                return ast.NetErase(rest[:-len(" ALL MEMBERS")].strip(),
+                                    all_members=True)
+            return ast.NetErase(rest.strip())
+        if line.startswith("CONNECT "):
+            match = re.match(r"^CONNECT (\S+) TO (\S+)$", line)
+            return ast.NetConnect(match.group(1), match.group(2))
+        if line.startswith("DISCONNECT "):
+            match = re.match(r"^DISCONNECT (\S+) FROM (\S+)$", line)
+            return ast.NetDisconnect(match.group(1), match.group(2))
+        if line.startswith("RECONNECT "):
+            match = re.match(
+                r"^RECONNECT (\S+) IN (\S+) TO ([A-Z0-9\-#]+)=(.+?)"
+                r"( ENSURING OWNER)?$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed RECONNECT: {line!r}")
+            return ast.NetReconnect(
+                match.group(1), match.group(2), match.group(3),
+                parse_expression(match.group(4)),
+                ensure_owner=match.group(5) is not None,
+            )
+        if line.startswith("CALL DML("):
+            inner = line[len("CALL DML("):-1]
+            parts = _split_top_level(inner, ", ")
+            verb = parse_expression(parts[0])
+            record = parts[1].strip()
+            pairs = _parse_pairs(", ".join(parts[2:])) if len(parts) > 2 \
+                else ()
+            return ast.NetGenericCall(verb, record, pairs)
+
+        # relational DML ---------------------------------------------------
+        if line.startswith("QUERY ["):
+            match = re.match(
+                r"^QUERY \[(.+)\] INTO (\S+?)(?: USING \((.*)\))?$", line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed QUERY: {line!r}")
+            parameters = tuple(
+                p.strip() for p in (match.group(3) or "").split(",")
+                if p.strip()
+            )
+            return ast.RelQuery(match.group(1), match.group(2), parameters)
+        if line.startswith("INSERT INTO "):
+            match = re.match(r"^INSERT INTO (\S+) \((.*)\)$", line)
+            return ast.RelInsert(match.group(1),
+                                 _parse_pairs(match.group(2)))
+        if line.startswith("DELETE FROM "):
+            match = re.match(r"^DELETE FROM (\S+) WHERE (.+)$", line)
+            pairs = _parse_pairs(
+                ", ".join(_split_top_level(match.group(2), " AND "))
+            )
+            return ast.RelDelete(match.group(1), pairs)
+        if line.startswith("UPDATE "):
+            match = re.match(r"^UPDATE (\S+) SET (.+) WHERE (.+)$", line)
+            equal = _parse_pairs(
+                ", ".join(_split_top_level(match.group(3), " AND "))
+            )
+            return ast.RelUpdate(match.group(1), equal,
+                                 _parse_pairs(match.group(2)))
+
+        # hierarchical DML ----------------------------------------------------
+        if line == "GU" or line.startswith("GU "):
+            return ast.HierGU(_parse_ssas(line[2:]))
+        if line == "GNP" or line.startswith("GNP "):
+            return ast.HierGNP(_parse_ssas(line[3:]))
+        if line == "GN" or line.startswith("GN "):
+            return ast.HierGN(_parse_ssas(line[2:]))
+        if line.startswith("ISRT "):
+            match = re.match(r"^ISRT (\S+) \((.*?)\)(?: UNDER (.+))?$",
+                             line)
+            if match is None:
+                raise ProgramSyntaxError(f"malformed ISRT: {line!r}")
+            return ast.HierISRT(
+                match.group(1), _parse_pairs(match.group(2)),
+                _parse_ssas(match.group(3) or ""),
+            )
+        if line == "DLET":
+            return ast.HierDLET()
+        if line.startswith("REPL "):
+            match = re.match(r"^REPL \((.*)\)$", line)
+            return ast.HierREPL(_parse_pairs(match.group(1)))
+        if line == "POSITION PARENT":
+            return ast.HierPositionParent()
+
+        raise ProgramSyntaxError(f"unrecognized statement {line!r}")
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse pseudo-COBOL program text into a :class:`Program`."""
+    return _ProgramParser(text).parse()
+
+
+def roundtrips(program: ast.Program) -> bool:
+    """True when render -> parse reproduces the program exactly."""
+    return parse_program(ast.render_program(program)) == program
+
+
+__all__ = ["parse_program", "parse_expression", "ProgramSyntaxError",
+           "roundtrips"]

@@ -1,0 +1,40 @@
+"""Relational data model.
+
+The 1979-vintage relational model as the paper discusses it: relations
+of tuples, key declarations as the only native constraint (Section 3.1),
+a relational algebra for the Michigan code-template work (Section 4.3),
+and a SEQUEL subset for the Florida language templates (Section 4.1).
+
+Owner-coupled sets from the common schema are interpreted as foreign
+keys: the member relation carries columns matching the owner's CALC key
+(exactly Figure 3.1a, where COURSE-OFFERING(CNO, S, ...) references
+COURSE(CNO, ...) and SEMESTER(S, ...)).
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.database import RelationalDatabase
+from repro.relational.algebra import (
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    sort,
+    union,
+)
+from repro.relational.sequel import evaluate, parse_sequel, SequelQuery
+
+__all__ = [
+    "Relation",
+    "RelationalDatabase",
+    "select",
+    "project",
+    "join",
+    "union",
+    "difference",
+    "rename",
+    "sort",
+    "parse_sequel",
+    "evaluate",
+    "SequelQuery",
+]

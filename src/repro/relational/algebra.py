@@ -1,0 +1,166 @@
+"""Relational algebra.
+
+The Michigan code-template approach builds conversion around operators
+"correspond[ing] to a operator in the relational algebra" (Section 4.3),
+and Housel's common language is "a subset of CONVERT plus some of Codd's
+relational operators ... designed to have convenient algebraic
+properties to facilitate program transformation" (Section 2.2).  These
+are those operators, over materialized :class:`Relation` values.
+
+Every operator returns a fresh Relation wired to the same metrics
+object, so the cost of intermediate materialization shows up in the
+experiments (the bridge strategy's reconstruction cost, E5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.engine.index import _orderable
+from repro.errors import QueryError
+from repro.relational.relation import Relation
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+def select(relation: Relation, predicate: Predicate,
+           name: str | None = None) -> Relation:
+    """sigma: rows satisfying the predicate."""
+    out = relation.derived(name or f"select({relation.name})",
+                           relation.columns)
+    for row in relation:
+        if predicate(row):
+            out.append(row)
+    return out
+
+
+def project(relation: Relation, columns: Iterable[str],
+            name: str | None = None, dedup: bool = True) -> Relation:
+    """pi: keep the named columns; duplicates removed by default (Codd
+    semantics; pass dedup=False for the multiset behaviour SEQUEL
+    exhibits)."""
+    columns = list(columns)
+    missing = [c for c in columns if c not in relation.columns]
+    if missing:
+        raise QueryError(
+            f"project: {relation.name} has no columns {missing}"
+        )
+    out = relation.derived(name or f"project({relation.name})", columns)
+    seen: set[tuple] = set()
+    for row in relation:
+        projected = {c: row[c] for c in columns}
+        if dedup:
+            key = tuple(_orderable(projected[c]) for c in columns)
+            if key in seen:
+                continue
+            seen.add(key)
+        out.append(projected)
+    return out
+
+
+def join(left: Relation, right: Relation,
+         on: Iterable[tuple[str, str]],
+         name: str | None = None) -> Relation:
+    """Equi-join on (left column, right column) pairs.
+
+    Right columns that collide with left column names are prefixed
+    with the right relation's name.
+    """
+    on = list(on)
+    for left_col, right_col in on:
+        if left_col not in left.columns:
+            raise QueryError(f"join: {left.name} has no column {left_col}")
+        if right_col not in right.columns:
+            raise QueryError(f"join: {right.name} has no column {right_col}")
+    rename_map = {
+        col: (f"{right.name}.{col}" if col in left.columns else col)
+        for col in right.columns
+    }
+    out_columns = left.columns + [rename_map[c] for c in right.columns]
+    out = left.derived(name or f"join({left.name},{right.name})", out_columns)
+    # Hash join on the right side.
+    buckets: dict[tuple, list[dict[str, Any]]] = {}
+    for row in right:
+        key = tuple(_orderable(row[rc]) for _lc, rc in on)
+        buckets.setdefault(key, []).append(row)
+    for row in left:
+        key = tuple(_orderable(row[lc]) for lc, _rc in on)
+        left.metrics.index_probes += 1
+        for match in buckets.get(key, []):
+            combined = dict(row)
+            combined.update({rename_map[c]: match[c] for c in right.columns})
+            out.append(combined)
+    return out
+
+
+def union(left: Relation, right: Relation,
+          name: str | None = None) -> Relation:
+    """Set union (columns must match by name)."""
+    if set(left.columns) != set(right.columns):
+        raise QueryError(
+            f"union: column mismatch {left.columns} vs {right.columns}"
+        )
+    out = left.derived(name or f"union({left.name},{right.name})",
+                       left.columns)
+    seen: set[tuple] = set()
+    for source in (left, right):
+        for row in source:
+            key = tuple(_orderable(row[c]) for c in left.columns)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append({c: row[c] for c in left.columns})
+    return out
+
+
+def difference(left: Relation, right: Relation,
+               name: str | None = None) -> Relation:
+    """Set difference (left rows absent from right)."""
+    if set(left.columns) != set(right.columns):
+        raise QueryError(
+            f"difference: column mismatch {left.columns} vs {right.columns}"
+        )
+    exclude = {
+        tuple(_orderable(row[c]) for c in left.columns)
+        for row in right
+    }
+    out = left.derived(name or f"difference({left.name},{right.name})",
+                       left.columns)
+    for row in left:
+        key = tuple(_orderable(row[c]) for c in left.columns)
+        if key not in exclude:
+            out.append(row)
+    return out
+
+
+def rename(relation: Relation, mapping: dict[str, str],
+           name: str | None = None) -> Relation:
+    """rho: rename columns."""
+    for old in mapping:
+        if old not in relation.columns:
+            raise QueryError(f"rename: {relation.name} has no column {old}")
+    out_columns = [mapping.get(c, c) for c in relation.columns]
+    out = relation.derived(name or f"rename({relation.name})", out_columns)
+    for row in relation:
+        out.append({mapping.get(c, c): row[c] for c in relation.columns})
+    return out
+
+
+def sort(relation: Relation, keys: Iterable[str],
+         name: str | None = None) -> Relation:
+    """Order rows by the key columns (the Maryland SORT(FIND(...))
+    wrapper of Section 4.2)."""
+    keys = list(keys)
+    for key in keys:
+        if key not in relation.columns:
+            raise QueryError(f"sort: {relation.name} has no column {key}")
+    relation.metrics.sort_operations += 1
+    ordered = sorted(
+        relation,
+        key=lambda row: tuple(_orderable(row[k]) for k in keys),
+    )
+    out = relation.derived(name or f"sort({relation.name})",
+                           relation.columns)
+    for row in ordered:
+        out.append(row)
+    return out

@@ -1,0 +1,99 @@
+"""Relations: named, typed collections of tuples.
+
+A :class:`Relation` is a materialized table -- either a base relation
+living in a :class:`RelationalDatabase` or an intermediate result of
+the algebra.  Rows are plain dicts; column order is declared and
+preserved through operations so printed results are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.metrics import Metrics
+from repro.errors import QueryError
+
+
+class Relation:
+    """An ordered collection of rows over a fixed column list."""
+
+    def __init__(self, name: str, columns: Iterable[str],
+                 rows: Iterable[dict[str, Any]] = (),
+                 metrics: Metrics | None = None):
+        self.name = name
+        self.columns = list(columns)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._rows: list[dict[str, Any]] = []
+        for row in rows:
+            self.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for row in self._rows:
+            self.metrics.records_read += 1
+            yield row
+
+    def append(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Add a row (missing columns become None; extras rejected)."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise QueryError(
+                f"relation {self.name}: unknown columns {sorted(unknown)}"
+            )
+        complete = {col: row.get(col) for col in self.columns}
+        self._rows.append(complete)
+        self.metrics.records_written += 1
+        return complete
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All rows (uncounted bulk access for assertions/translation)."""
+        return [dict(row) for row in self._rows]
+
+    def remove_where(self, predicate: Callable[[dict[str, Any]], bool]) -> int:
+        """Delete matching rows, returning the count removed."""
+        kept = []
+        removed = 0
+        for row in self._rows:
+            self.metrics.records_read += 1
+            if predicate(row):
+                removed += 1
+                self.metrics.records_deleted += 1
+            else:
+                kept.append(row)
+        self._rows = kept
+        return removed
+
+    def update_where(self, predicate: Callable[[dict[str, Any]], bool],
+                     updates: dict[str, Any]) -> int:
+        """Update matching rows in place, returning the count changed."""
+        unknown = set(updates) - set(self.columns)
+        if unknown:
+            raise QueryError(
+                f"relation {self.name}: unknown columns {sorted(unknown)}"
+            )
+        changed = 0
+        for row in self._rows:
+            self.metrics.records_read += 1
+            if predicate(row):
+                row.update(updates)
+                changed += 1
+                self.metrics.records_written += 1
+        return changed
+
+    def column_values(self, column: str) -> list[Any]:
+        """The values of one column, in row order."""
+        if column not in self.columns:
+            raise QueryError(
+                f"relation {self.name}: no column {column}"
+            )
+        return [row[column] for row in self._rows]
+
+    def derived(self, name: str, columns: Iterable[str]) -> "Relation":
+        """An empty relation sharing this one's metrics (for algebra
+        results, so intermediate materialization is measured)."""
+        return Relation(name, columns, metrics=self.metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.name}({', '.join(self.columns)}) {len(self)} rows>"

@@ -1,0 +1,295 @@
+"""SEQUEL subset: parser and evaluator.
+
+The Florida work expresses relational language templates in SEQUEL
+(Section 4.1, example (A))::
+
+    SELECT ENAME FROM EMP WHERE E# IN
+        SELECT E# FROM EMP-DEPT
+        WHERE D# = 'D2' AND YEAR-OF-SERVICE = 3
+
+The subset implemented is what the paper's templates need: SELECT with
+a column list or ``*``, one FROM table, a WHERE conjunction of
+comparisons and uncorrelated IN-subqueries, and ORDER BY.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.errors import QueryError
+from repro.relational.algebra import project, select as alg_select, sort
+from repro.relational.database import RelationalDatabase
+from repro.relational.relation import Relation
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?NAME`` placeholder, substituted from a program variable
+    before evaluation (the RelQuery parameter mechanism)."""
+
+    name: str
+
+    def render(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column op literal`` -- op in =, <>, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: Any
+
+    def render(self) -> str:
+        if isinstance(self.value, Param):
+            value = self.value.render()
+        elif isinstance(self.value, str):
+            value = f"'{self.value}'"
+        else:
+            value = str(self.value)
+        return f"{self.column} {self.op} {value}"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``column IN (SELECT ...)``."""
+
+    column: str
+    query: "SequelQuery"
+
+    def render(self) -> str:
+        return f"{self.column} IN ({self.query.render()})"
+
+
+Condition = Union[Comparison, InSubquery]
+
+
+@dataclass(frozen=True)
+class SequelQuery:
+    """One SELECT block."""
+
+    columns: tuple[str, ...]          # empty tuple means SELECT *
+    table: str
+    where: tuple[Condition, ...] = ()
+    order_by: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        column_text = ", ".join(self.columns) if self.columns else "*"
+        text = f"SELECT {column_text} FROM {self.table}"
+        if self.where:
+            text += " WHERE " + " AND ".join(c.render() for c in self.where)
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(self.order_by)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+_SEQUEL_TOKEN_RE = re.compile(
+    r"""
+    '(?:[^']*)'
+    | \?[A-Za-z0-9][A-Za-z0-9\-#_.]*
+    | [A-Za-z0-9][A-Za-z0-9\-#_.]*
+    | <> | <= | >= | [=<>(),*]
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "IN", "ORDER", "BY"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _SEQUEL_TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"SEQUEL: unexpected character {text[pos]!r}")
+        tokens.append(match.group(0))
+        pos = match.end()
+    return tokens
+
+
+class _SequelParser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _peek_upper(self) -> str | None:
+        token = self._peek()
+        return token.upper() if token is not None else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("SEQUEL: unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, keyword: str) -> None:
+        token = self._next()
+        if token.upper() != keyword:
+            raise QueryError(f"SEQUEL: expected {keyword}, got {token!r}")
+
+    def parse_query(self) -> SequelQuery:
+        self._expect("SELECT")
+        columns: tuple[str, ...]
+        if self._peek() == "*":
+            self._next()
+            columns = ()
+        else:
+            names = [self._identifier()]
+            while self._peek() == ",":
+                self._next()
+                names.append(self._identifier())
+            columns = tuple(names)
+        self._expect("FROM")
+        table = self._identifier()
+        where: list[Condition] = []
+        order_by: tuple[str, ...] = ()
+        if self._peek_upper() == "WHERE":
+            self._next()
+            where.append(self._condition())
+            while self._peek_upper() == "AND":
+                self._next()
+                where.append(self._condition())
+        if self._peek_upper() == "ORDER":
+            self._next()
+            self._expect("BY")
+            keys = [self._identifier()]
+            while self._peek() == ",":
+                self._next()
+                keys.append(self._identifier())
+            order_by = tuple(keys)
+        return SequelQuery(columns, table, tuple(where), order_by)
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.upper() in _KEYWORDS or not re.match(r"[A-Za-z0-9]", token):
+            raise QueryError(f"SEQUEL: expected identifier, got {token!r}")
+        return token.upper()
+
+    def _condition(self) -> Condition:
+        column = self._identifier()
+        token = self._next()
+        upper = token.upper()
+        if upper == "IN":
+            parenthesized = self._peek() == "("
+            if parenthesized:
+                self._next()
+            subquery = self.parse_query()
+            if parenthesized:
+                closing = self._next()
+                if closing != ")":
+                    raise QueryError(
+                        f"SEQUEL: expected ')', got {closing!r}"
+                    )
+            return InSubquery(column, subquery)
+        if upper in ("=", "<>", "<", "<=", ">", ">="):
+            return Comparison(column, upper, self._literal())
+        raise QueryError(f"SEQUEL: expected an operator, got {token!r}")
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        if token.startswith("?"):
+            return Param(token[1:])
+        try:
+            return int(token)
+        except ValueError:
+            raise QueryError(
+                f"SEQUEL: expected a literal, got {token!r}"
+            ) from None
+
+
+def parse_sequel(text: str) -> SequelQuery:
+    """Parse one SEQUEL SELECT statement."""
+    parser = _SequelParser(_tokenize(text))
+    query = parser.parse_query()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise QueryError(f"SEQUEL: text after query: {trailing!r}")
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+}
+
+
+def evaluate(query: SequelQuery, db: RelationalDatabase) -> Relation:
+    """Run a query, returning a materialized result relation.
+
+    Subqueries are uncorrelated, so each is materialized once and
+    turned into a membership set.
+    """
+    db.metrics.dml_calls += 1
+    base = db.relation(query.table)
+    memberships: list[tuple[str, set]] = []
+    comparisons: list[Comparison] = []
+    for condition in query.where:
+        if isinstance(condition, InSubquery):
+            inner = evaluate(condition.query, db)
+            if len(inner.columns) != 1 and condition.query.columns:
+                values = set(inner.column_values(condition.query.columns[0]))
+            else:
+                values = set(inner.column_values(inner.columns[0]))
+            memberships.append((condition.column, values))
+        else:
+            comparisons.append(condition)
+
+    def predicate(row: dict[str, Any]) -> bool:
+        for comparison in comparisons:
+            if isinstance(comparison.value, Param):
+                raise QueryError(
+                    f"SEQUEL: unbound parameter ?{comparison.value.name} "
+                    "(substitute program variables before evaluation)"
+                )
+            if comparison.column not in row:
+                raise QueryError(
+                    f"SEQUEL: {query.table} has no column {comparison.column}"
+                )
+            if not _OPS[comparison.op](row[comparison.column], comparison.value):
+                return False
+        for column, values in memberships:
+            if row.get(column) not in values:
+                return False
+        return True
+
+    result = alg_select(base, predicate, name=f"result({query.table})")
+    if query.order_by:
+        result = sort(result, query.order_by)
+    if query.columns:
+        result = project(result, query.columns, dedup=False,
+                         name=f"result({query.table})")
+    return result

@@ -1,0 +1,72 @@
+"""Database restructuring.
+
+The paper's problem statement (Section 1.1) takes as given "a new
+database schema and a definition of a restructuring to some new
+(logical) form".  This package is that definition made executable:
+
+* :mod:`repro.restructure.translator` -- a model-neutral data snapshot,
+  extractors for all three data models, and loaders that materialize a
+  snapshot into any of them (the EXPRESS-style data translation the
+  paper cites as prior work).
+* :mod:`repro.restructure.operators` -- the restructuring operator
+  catalog; each operator transforms the schema, declares its
+  :class:`~repro.schema.diff.SchemaChange` list for the Conversion
+  Analyzer, transforms snapshots, and knows its inverse (or refuses,
+  per Housel's invertibility restriction, Section 2.2).
+"""
+
+from repro.restructure.translator import (
+    DataSnapshot,
+    extract_snapshot,
+    load_hierarchical,
+    load_network,
+    load_relational,
+    restructure_database,
+)
+from repro.restructure.operators import (
+    AddConstraint,
+    AddField,
+    ExtractFields,
+    InlineFields,
+    ChangeMembership,
+    ChangeSetOrder,
+    Composite,
+    DropConstraint,
+    DropField,
+    InterposeRecord,
+    MaterializeField,
+    MergeRecords,
+    RenameField,
+    RenameRecord,
+    RenameSet,
+    RestructuringOperator,
+    SwapSiblingOrder,
+    VirtualizeField,
+)
+
+__all__ = [
+    "DataSnapshot",
+    "extract_snapshot",
+    "load_network",
+    "load_relational",
+    "load_hierarchical",
+    "restructure_database",
+    "RestructuringOperator",
+    "RenameRecord",
+    "RenameField",
+    "RenameSet",
+    "AddField",
+    "ExtractFields",
+    "InlineFields",
+    "DropField",
+    "ChangeSetOrder",
+    "ChangeMembership",
+    "InterposeRecord",
+    "MergeRecords",
+    "VirtualizeField",
+    "MaterializeField",
+    "SwapSiblingOrder",
+    "AddConstraint",
+    "DropConstraint",
+    "Composite",
+]

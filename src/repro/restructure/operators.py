@@ -1,0 +1,1283 @@
+"""Restructuring operators.
+
+Each operator packages the three things the framework needs about one
+schema transformation:
+
+1. the schema mapping (:meth:`apply_schema`),
+2. the classified change list for the Conversion Analyzer
+   (:meth:`changes`),
+3. the data mapping over snapshots (:meth:`translate`),
+
+plus Housel's question -- :meth:`inverse` returns the operator that
+undoes this one, or raises :class:`~repro.errors.NotInvertible`
+("the assumption of the existence of inverse operators restricts the
+scope of the conversion problem", Section 2.2).
+
+The star of the catalog is :class:`InterposeRecord`, which is the
+paper's own Figure 4.2 -> Figure 4.4 transformation: a new DEPT record
+type interposed on the DIV-EMP set, with the member's DEPT-NAME field
+becoming VIRTUAL through the new set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+from repro.errors import (
+    InformationLoss,
+    NotInvertible,
+    RestructureError,
+    SchemaError,
+)
+from repro.restructure.translator import DataSnapshot, RowId
+from repro.schema.constraints import Constraint
+from repro.schema.diff import (
+    ConstraintAdded,
+    ConstraintRemoved,
+    FieldAdded,
+    FieldRemoved,
+    FieldRenamed,
+    FieldsExtracted,
+    FieldsInlined,
+    MembershipChanged,
+    RecordAdded,
+    RecordInterposed,
+    RecordRemoved,
+    RecordRenamed,
+    RecordsMerged,
+    SchemaChange,
+    SetOrderChanged,
+    SetRenamed,
+    SiblingOrderChanged,
+    SetAdded,
+    SetRemoved,
+    VirtualizedField,
+)
+from repro.schema.model import (
+    Field,
+    Insertion,
+    RecordType,
+    Retention,
+    Schema,
+    SetType,
+)
+from repro.schema.types import parse_pic
+
+
+class RestructuringOperator:
+    """Base class; operators are immutable and schema-checked on use."""
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        raise NotImplementedError
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        raise NotImplementedError
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        """Default data mapping: identity."""
+        return snapshot.copy()
+
+    def inverse(self, schema: Schema) -> "RestructuringOperator":
+        raise NotInvertible(
+            f"{type(self).__name__} has no inverse mapping"
+        )
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+def _rename_row_ids(snapshot: DataSnapshot, old: str,
+                    new: str) -> DataSnapshot:
+    """Rewrite every RowId mentioning a renamed record type."""
+
+    def fix(row_id: RowId | None) -> RowId | None:
+        if row_id is None:
+            return None
+        return (new, row_id[1]) if row_id[0] == old else row_id
+
+    out = DataSnapshot()
+    for name, rows in snapshot.rows.items():
+        out.rows[new if name == old else name] = [dict(r) for r in rows]
+    for set_name, pairs in snapshot.links.items():
+        out.links[set_name] = [
+            (fix(owner_id), fix(member_id)) for owner_id, member_id in pairs
+        ]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Renames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class RenameRecord(RestructuringOperator):
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"rename record {self.old_name} -> {self.new_name}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record = schema.record(self.old_name)
+        if self.new_name in schema.records:
+            raise RestructureError(
+                f"record {self.new_name} already exists"
+            )
+        out = Schema(schema.name)
+        for name, existing in schema.records.items():
+            if name == self.old_name:
+                out.records[self.new_name] = replace(
+                    existing, name=self.new_name
+                )
+            else:
+                out.records[name] = existing
+        for name, set_type in schema.sets.items():
+            out.sets[name] = replace(
+                set_type,
+                owner=(self.new_name if set_type.owner == self.old_name
+                       else set_type.owner),
+                member=(self.new_name if set_type.member == self.old_name
+                        else set_type.member),
+            )
+        out.constraints = [
+            _rename_constraint_record(c, self.old_name, self.new_name)
+            for c in schema.constraints
+        ]
+        del record
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [RecordRenamed(self.old_name, self.new_name)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        return _rename_row_ids(snapshot, self.old_name, self.new_name)
+
+    def inverse(self, schema: Schema) -> "RenameRecord":
+        return RenameRecord(self.new_name, self.old_name)
+
+
+def _rename_constraint_record(constraint: Constraint, old: str,
+                              new: str) -> Constraint:
+    if getattr(constraint, "record", None) == old:
+        return replace(constraint, record=new)
+    return constraint
+
+
+@dataclass(frozen=True, repr=False)
+class RenameField(RestructuringOperator):
+    record: str
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return (f"rename field {self.record}.{self.old_name} -> "
+                f"{self.new_name}")
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record_type = schema.record(self.record)
+        record_type.field(self.old_name)
+        if record_type.has_field(self.new_name):
+            raise RestructureError(
+                f"field {self.record}.{self.new_name} already exists"
+            )
+        out = schema.copy()
+        new_fields = tuple(
+            replace(f, name=self.new_name) if f.name == self.old_name else f
+            for f in record_type.fields
+        )
+        new_calc = tuple(
+            self.new_name if key == self.old_name else key
+            for key in record_type.calc_keys
+        )
+        out.records[self.record] = replace(
+            record_type, fields=new_fields, calc_keys=new_calc
+        )
+        for name, set_type in schema.sets.items():
+            updated = set_type
+            if set_type.member == self.record and \
+                    self.old_name in set_type.order_keys:
+                updated = replace(updated, order_keys=tuple(
+                    self.new_name if key == self.old_name else key
+                    for key in set_type.order_keys
+                ))
+            out.sets[name] = updated
+        # Virtual fields on other records USING the renamed owner field.
+        for name, other in list(out.records.items()):
+            changed = False
+            fields = []
+            for fld in other.fields:
+                if (fld.is_virtual and fld.virtual_using == self.old_name
+                        and schema.set_type(fld.virtual_via).owner
+                        == self.record):
+                    fields.append(replace(fld, virtual_using=self.new_name))
+                    changed = True
+                else:
+                    fields.append(fld)
+            if changed:
+                out.records[name] = replace(other, fields=tuple(fields))
+        out.constraints = [
+            _rename_constraint_field(c, self.record, self.old_name,
+                                     self.new_name, schema)
+            for c in schema.constraints
+        ]
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [FieldRenamed(self.record, self.old_name, self.new_name)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        if source_schema.record(self.record).field(self.old_name).is_virtual:
+            return out
+        for row in out.rows.get(self.record, []):
+            if self.old_name in row:
+                row[self.new_name] = row.pop(self.old_name)
+        return out
+
+    def inverse(self, schema: Schema) -> "RenameField":
+        return RenameField(self.record, self.new_name, self.old_name)
+
+
+def _rename_constraint_field(constraint: Constraint, record: str, old: str,
+                             new: str, schema: Schema) -> Constraint:
+    if getattr(constraint, "record", None) == record:
+        if getattr(constraint, "field", None) == old:
+            return replace(constraint, field=new)
+        fields = getattr(constraint, "fields", None)
+        if fields and old in fields:
+            return replace(constraint, fields=tuple(
+                new if f == old else f for f in fields
+            ))
+    set_name = getattr(constraint, "set_name", None)
+    per_fields = getattr(constraint, "per_fields", None)
+    if set_name and per_fields and old in per_fields:
+        if schema.set_type(set_name).member == record:
+            return replace(constraint, per_fields=tuple(
+                new if f == old else f for f in per_fields
+            ))
+    return constraint
+
+
+@dataclass(frozen=True, repr=False)
+class RenameSet(RestructuringOperator):
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"rename set {self.old_name} -> {self.new_name}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        set_type = schema.set_type(self.old_name)
+        if self.new_name in schema.sets:
+            raise RestructureError(f"set {self.new_name} already exists")
+        out = Schema(schema.name, dict(schema.records), {}, [])
+        for name, existing in schema.sets.items():
+            if name == self.old_name:
+                out.sets[self.new_name] = replace(set_type,
+                                                  name=self.new_name)
+            else:
+                out.sets[name] = existing
+        for name, record in schema.records.items():
+            fields = tuple(
+                replace(f, virtual_via=self.new_name)
+                if f.is_virtual and f.virtual_via == self.old_name else f
+                for f in record.fields
+            )
+            if fields != record.fields:
+                out.records[name] = replace(record, fields=fields)
+        out.constraints = [
+            replace(c, set_name=self.new_name)
+            if getattr(c, "set_name", None) == self.old_name else c
+            for c in schema.constraints
+        ]
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [SetRenamed(self.old_name, self.new_name)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        if self.old_name in out.links:
+            out.links[self.new_name] = out.links.pop(self.old_name)
+        return out
+
+    def inverse(self, schema: Schema) -> "RenameSet":
+        return RenameSet(self.new_name, self.old_name)
+
+
+# ---------------------------------------------------------------------------
+# Field addition / removal
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class AddField(RestructuringOperator):
+    record: str
+    field_name: str
+    pic: str
+    default: Any = None
+
+    def describe(self) -> str:
+        return f"add field {self.record}.{self.field_name} PIC {self.pic}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record_type = schema.record(self.record)
+        if record_type.has_field(self.field_name):
+            raise RestructureError(
+                f"field {self.record}.{self.field_name} already exists"
+            )
+        out = schema.copy()
+        out.records[self.record] = record_type.with_fields(
+            record_type.fields + (Field(self.field_name,
+                                        parse_pic(self.pic)),)
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [FieldAdded(self.record, self.field_name, self.default)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        for row in out.rows.get(self.record, []):
+            row[self.field_name] = self.default
+        return out
+
+    def inverse(self, schema: Schema) -> "DropField":
+        return DropField(self.record, self.field_name, force=True)
+
+
+@dataclass(frozen=True, repr=False)
+class DropField(RestructuringOperator):
+    """Remove a field -- information-reducing, so it must be forced
+    (Section 1.1: "conversion when not all information is preserved is
+    a different and more difficult conversion problem")."""
+
+    record: str
+    field_name: str
+    force: bool = False
+
+    def describe(self) -> str:
+        return f"drop field {self.record}.{self.field_name}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        if not self.force:
+            raise InformationLoss(
+                f"dropping {self.record}.{self.field_name} discards "
+                "information; pass force=True to accept"
+            )
+        record_type = schema.record(self.record)
+        record_type.field(self.field_name)
+        if self.field_name in record_type.calc_keys:
+            raise RestructureError(
+                f"cannot drop CALC key field {self.record}.{self.field_name}"
+            )
+        for set_type in schema.sets_with_member(self.record):
+            if self.field_name in set_type.order_keys:
+                raise RestructureError(
+                    f"cannot drop {self.record}.{self.field_name}: it is "
+                    f"an order key of set {set_type.name}"
+                )
+        out = schema.copy()
+        out.records[self.record] = record_type.with_fields(
+            f for f in record_type.fields if f.name != self.field_name
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [FieldRemoved(self.record, self.field_name)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        for row in out.rows.get(self.record, []):
+            row.pop(self.field_name, None)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Set behaviour
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class ChangeSetOrder(RestructuringOperator):
+    """Change a set's member ordering.
+
+    ``allow_duplicates`` defaults to None (keep the source setting);
+    pass True when the new keys are not unique within occurrences.
+    """
+
+    set_name: str
+    new_keys: tuple[str, ...]
+    allow_duplicates: bool | None = None
+
+    def describe(self) -> str:
+        return f"reorder set {self.set_name} by {list(self.new_keys)}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        set_type = schema.set_type(self.set_name)
+        member = schema.record(set_type.member)
+        for key in self.new_keys:
+            member.field(key)
+        duplicates = (set_type.allow_duplicates
+                      if self.allow_duplicates is None
+                      else self.allow_duplicates)
+        out = schema.copy()
+        out.sets[self.set_name] = replace(
+            set_type, order_keys=tuple(self.new_keys),
+            allow_duplicates=duplicates,
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        set_type = schema.set_type(self.set_name)
+        return [SetOrderChanged(self.set_name, set_type.order_keys,
+                                tuple(self.new_keys))]
+
+    def inverse(self, schema: Schema) -> "ChangeSetOrder":
+        set_type = schema.set_type(self.set_name)
+        return ChangeSetOrder(self.set_name, set_type.order_keys,
+                              set_type.allow_duplicates)
+
+
+@dataclass(frozen=True, repr=False)
+class ChangeMembership(RestructuringOperator):
+    set_name: str
+    insertion: Insertion
+    retention: Retention
+
+    def describe(self) -> str:
+        return (f"set {self.set_name} membership -> "
+                f"{self.insertion.value}/{self.retention.value}")
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        set_type = schema.set_type(self.set_name)
+        out = schema.copy()
+        out.sets[self.set_name] = replace(
+            set_type, insertion=self.insertion, retention=self.retention
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        set_type = schema.set_type(self.set_name)
+        return [MembershipChanged(
+            self.set_name, set_type.insertion, self.insertion,
+            set_type.retention, self.retention,
+        )]
+
+    def inverse(self, schema: Schema) -> "ChangeMembership":
+        set_type = schema.set_type(self.set_name)
+        return ChangeMembership(self.set_name, set_type.insertion,
+                                set_type.retention)
+
+
+@dataclass(frozen=True, repr=False)
+class SwapSiblingOrder(RestructuringOperator):
+    """Reorder the child set types of one owner (the sibling-order
+    component of the Mehl & Wang hierarchical order transformation:
+    the GN preorder sequence changes, the data does not)."""
+
+    owner: str
+    new_order: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"sibling order of {self.owner} -> {list(self.new_order)}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        owned = [s.name for s in schema.sets_owned_by(self.owner)]
+        if sorted(owned) != sorted(self.new_order):
+            raise RestructureError(
+                f"new order {list(self.new_order)} must be a permutation "
+                f"of {owned}"
+            )
+        out = Schema(schema.name, dict(schema.records), {},
+                     list(schema.constraints))
+        pending = list(self.new_order)
+        for name, set_type in schema.sets.items():
+            if set_type.owner == self.owner:
+                next_name = pending.pop(0)
+                out.sets[next_name] = schema.sets[next_name]
+            else:
+                out.sets[name] = set_type
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        owned = tuple(s.name for s in schema.sets_owned_by(self.owner))
+        return [SiblingOrderChanged(self.owner, owned,
+                                    tuple(self.new_order))]
+
+    def inverse(self, schema: Schema) -> "SwapSiblingOrder":
+        owned = tuple(s.name for s in schema.sets_owned_by(self.owner))
+        return SwapSiblingOrder(self.owner, owned)
+
+
+# ---------------------------------------------------------------------------
+# Virtualization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class VirtualizeField(RestructuringOperator):
+    """Replace a stored member field by a VIRTUAL reference to the
+    owner's equal-valued field (factoring out redundancy)."""
+
+    record: str
+    field_name: str
+    via_set: str
+    using_field: str | None = None  # defaults to the same name
+    force: bool = False
+
+    @property
+    def _using(self) -> str:
+        return self.using_field or self.field_name
+
+    def describe(self) -> str:
+        return (f"virtualize {self.record}.{self.field_name} via "
+                f"{self.via_set}")
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record_type = schema.record(self.record)
+        fld = record_type.field(self.field_name)
+        if fld.is_virtual:
+            raise RestructureError(
+                f"{self.record}.{self.field_name} is already virtual"
+            )
+        set_type = schema.set_type(self.via_set)
+        if set_type.member != self.record:
+            raise RestructureError(
+                f"{self.record} is not the member of {self.via_set}"
+            )
+        schema.record(set_type.owner).field(self._using)
+        if self.field_name in record_type.calc_keys:
+            raise RestructureError(
+                f"cannot virtualize CALC key {self.record}.{self.field_name}"
+            )
+        for owned in schema.sets_with_member(self.record):
+            if self.field_name in owned.order_keys:
+                raise RestructureError(
+                    f"cannot virtualize order key "
+                    f"{self.record}.{self.field_name} of {owned.name}"
+                )
+        out = schema.copy()
+        out.records[self.record] = record_type.with_fields(
+            replace(f, virtual_via=self.via_set, virtual_using=self._using)
+            if f.name == self.field_name else f
+            for f in record_type.fields
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [VirtualizedField(self.record, self.field_name, True,
+                                 self.via_set)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        for index, row in enumerate(out.rows.get(self.record, [])):
+            stored = row.pop(self.field_name, None)
+            if stored is None:
+                continue
+            owner_id = out.owner_of(self.via_set, (self.record, index))
+            owner_value = (out.row(owner_id).get(self._using)
+                           if owner_id is not None else None)
+            if stored != owner_value and not self.force:
+                raise InformationLoss(
+                    f"{self.record}[{index}].{self.field_name} = "
+                    f"{stored!r} differs from owner's {self._using} = "
+                    f"{owner_value!r}; virtualization loses it "
+                    "(pass force=True to accept)"
+                )
+        return out
+
+    def inverse(self, schema: Schema) -> "MaterializeField":
+        return MaterializeField(self.record, self.field_name)
+
+
+@dataclass(frozen=True, repr=False)
+class MaterializeField(RestructuringOperator):
+    """Turn a VIRTUAL field back into a stored field (denormalize)."""
+
+    record: str
+    field_name: str
+
+    def describe(self) -> str:
+        return f"materialize {self.record}.{self.field_name}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record_type = schema.record(self.record)
+        fld = record_type.field(self.field_name)
+        if not fld.is_virtual:
+            raise RestructureError(
+                f"{self.record}.{self.field_name} is not virtual"
+            )
+        owner = schema.record(schema.set_type(fld.virtual_via).owner)
+        owner_field = owner.field(fld.virtual_using)
+        out = schema.copy()
+        out.records[self.record] = record_type.with_fields(
+            Field(self.field_name, owner_field.type)
+            if f.name == self.field_name else f
+            for f in record_type.fields
+        )
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [VirtualizedField(self.record, self.field_name, False)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        fld = source_schema.record(self.record).field(self.field_name)
+        out = snapshot.copy()
+        for index, row in enumerate(out.rows.get(self.record, [])):
+            owner_id = out.owner_of(fld.virtual_via, (self.record, index))
+            row[self.field_name] = (
+                out.row(owner_id).get(fld.virtual_using)
+                if owner_id is not None else None
+            )
+        return out
+
+    def inverse(self, schema: Schema) -> "VirtualizeField":
+        fld = schema.record(self.record).field(self.field_name)
+        return VirtualizeField(self.record, self.field_name,
+                               fld.virtual_via, fld.virtual_using)
+
+
+# ---------------------------------------------------------------------------
+# Structural: interpose / merge (Figure 4.2 <-> Figure 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class InterposeRecord(RestructuringOperator):
+    """Interpose a new record type on a set.
+
+    The Figure 4.2 -> Figure 4.4 transformation: set ``old_set`` from
+    owner O to member M is replaced by O -> (upper_set) -> N ->
+    (lower_set) -> M, where one N instance exists per distinct
+    (O instance, key_fields values) group and M's key fields become
+    VIRTUAL through the lower set.
+    """
+
+    old_set: str
+    new_record: str
+    key_fields: tuple[str, ...]
+    upper_set: str
+    lower_set: str
+
+    def describe(self) -> str:
+        return (f"interpose {self.new_record}({', '.join(self.key_fields)}) "
+                f"on set {self.old_set}")
+
+    def _validate(self, schema: Schema) -> SetType:
+        set_type = schema.set_type(self.old_set)
+        if set_type.system_owned:
+            raise RestructureError(
+                f"cannot interpose on SYSTEM set {self.old_set}"
+            )
+        if self.new_record in schema.records:
+            raise RestructureError(
+                f"record {self.new_record} already exists"
+            )
+        member = schema.record(set_type.member)
+        for key in self.key_fields:
+            if member.field(key).is_virtual:
+                raise RestructureError(
+                    f"key field {key} of {member.name} is virtual"
+                )
+        return set_type
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        set_type = self._validate(schema)
+        member = schema.record(set_type.member)
+        new_fields = [
+            Field(key, member.field(key).type) for key in self.key_fields
+        ]
+        # Member fields that were VIRTUAL through the old set must be
+        # re-routed: the new record gets a matching virtual field
+        # through the upper set, and the member chains through it.
+        for fld in member.fields:
+            if fld.is_virtual and fld.virtual_via == self.old_set:
+                new_fields.append(Field(
+                    fld.name, fld.type,
+                    virtual_via=self.upper_set,
+                    virtual_using=fld.virtual_using,
+                ))
+        new_record = RecordType(self.new_record, tuple(new_fields),
+                                calc_keys=tuple(self.key_fields))
+
+        def rewire(fld: Field) -> Field:
+            if fld.name in self.key_fields:
+                return replace(fld, virtual_via=self.lower_set,
+                               virtual_using=fld.name)
+            if fld.is_virtual and fld.virtual_via == self.old_set:
+                return replace(fld, virtual_via=self.lower_set,
+                               virtual_using=fld.name)
+            return fld
+
+        member_fields = tuple(rewire(f) for f in member.fields)
+        lower_keys = tuple(
+            key for key in set_type.order_keys
+            if key not in self.key_fields
+        )
+        upper = SetType(self.upper_set, set_type.owner, self.new_record,
+                        tuple(self.key_fields), set_type.insertion,
+                        set_type.retention, allow_duplicates=False)
+        lower = SetType(self.lower_set, self.new_record, set_type.member,
+                        lower_keys, set_type.insertion, set_type.retention,
+                        set_type.allow_duplicates)
+        out = Schema(schema.name, {}, {},
+                     self._remap_constraints(schema))
+        for name, record in schema.records.items():
+            out.records[name] = (record.with_fields(member_fields)
+                                 if name == member.name else record)
+        out.records[self.new_record] = new_record
+        for name, existing in schema.sets.items():
+            if name == self.old_set:
+                out.sets[self.upper_set] = upper
+                out.sets[self.lower_set] = lower
+            else:
+                out.sets[name] = existing
+        return out
+
+    def _remap_constraints(self, schema: Schema) -> list[Constraint]:
+        """Constraints naming the interposed set are restated.
+
+        Existence over the old set decomposes into existence through
+        both halves of the new path; cardinality limits over the old
+        set count members per *owner*, which no single new set
+        expresses -- the paper's "constraints can be arbitrarily
+        complex" open problem -- so they are refused to the analyst.
+        """
+        from repro.schema.constraints import (
+            CardinalityLimit as _Limit,
+            ExistenceConstraint as _Exists,
+        )
+
+        out: list[Constraint] = []
+        for constraint in schema.constraints:
+            if getattr(constraint, "set_name", None) != self.old_set:
+                out.append(constraint)
+                continue
+            if isinstance(constraint, _Exists):
+                out.append(_Exists(constraint.name, self.lower_set))
+                out.append(_Exists(f"{constraint.name}-GROUP",
+                                   self.upper_set))
+                continue
+            if isinstance(constraint, _Limit):
+                raise RestructureError(
+                    f"constraint {constraint.name} limits members of "
+                    f"{self.old_set} per owner; after interposition the "
+                    "count spans groups and must be restated by the "
+                    "analyst"
+                )
+            out.append(constraint)
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        set_type = self._validate(schema)
+        changes: list[SchemaChange] = [RecordInterposed(
+            self.old_set, self.new_record, tuple(self.key_fields),
+            self.upper_set, self.lower_set,
+            owner=set_type.owner, member=set_type.member,
+            order_keys=set_type.order_keys,
+        )]
+        member = schema.set_type(self.old_set).member
+        for key in self.key_fields:
+            changes.append(VirtualizedField(member, key, True,
+                                            self.lower_set))
+        return changes
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        set_type = source_schema.set_type(self.old_set)
+        member_name = set_type.member
+        out = snapshot.copy()
+        pairs = out.links.pop(self.old_set, [])
+        owner_by_member: dict[RowId, RowId | None] = {
+            member_id: owner_id for owner_id, member_id in pairs
+        }
+        groups: dict[tuple, int] = {}
+        new_rows: list[dict[str, Any]] = []
+        upper_links: list[tuple[RowId | None, RowId]] = []
+        lower_links: list[tuple[RowId | None, RowId]] = []
+        for index, row in enumerate(out.rows.get(member_name, [])):
+            member_id: RowId = (member_name, index)
+            owner_id = owner_by_member.get(member_id)
+            key_values = tuple(row.get(key) for key in self.key_fields)
+            group = (owner_id, key_values)
+            if group not in groups:
+                groups[group] = len(new_rows)
+                new_rows.append(dict(zip(self.key_fields, key_values)))
+                new_id: RowId = (self.new_record, groups[group])
+                if owner_id is not None:
+                    upper_links.append((owner_id, new_id))
+            lower_links.append(((self.new_record, groups[group]), member_id))
+            for key in self.key_fields:
+                row.pop(key, None)
+        out.rows[self.new_record] = new_rows
+        out.links[self.upper_set] = upper_links
+        out.links[self.lower_set] = lower_links
+        return out
+
+    def inverse(self, schema: Schema) -> "MergeRecords":
+        set_type = schema.set_type(self.old_set)
+        return MergeRecords(
+            self.new_record, self.upper_set, self.lower_set, self.old_set,
+            tuple(self.key_fields),
+            restore_order_keys=set_type.order_keys,
+            restore_insertion=set_type.insertion,
+            restore_retention=set_type.retention,
+            restore_allow_duplicates=set_type.allow_duplicates,
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class MergeRecords(RestructuringOperator):
+    """Collapse an interposed record back into its members (the inverse
+    of :class:`InterposeRecord`): N between upper_set and lower_set is
+    removed, its ``inherited_fields`` are stored back on the member,
+    and a direct ``new_set`` connects the old owner to the member."""
+
+    record: str
+    upper_set: str
+    lower_set: str
+    new_set: str
+    inherited_fields: tuple[str, ...]
+    restore_order_keys: tuple[str, ...] | None = None
+    restore_insertion: Insertion | None = None
+    restore_retention: Retention | None = None
+    restore_allow_duplicates: bool | None = None
+
+    def describe(self) -> str:
+        return (f"merge {self.record} into members of {self.lower_set} "
+                f"(new set {self.new_set})")
+
+    def _validate(self, schema: Schema) -> tuple[SetType, SetType]:
+        upper = schema.set_type(self.upper_set)
+        lower = schema.set_type(self.lower_set)
+        if upper.member != self.record or lower.owner != self.record:
+            raise RestructureError(
+                f"{self.record} must be member of {self.upper_set} and "
+                f"owner of {self.lower_set}"
+            )
+        middle = schema.record(self.record)
+        missing = [
+            f for f in self.inherited_fields if not middle.has_field(f)
+        ]
+        if missing:
+            raise RestructureError(
+                f"{self.record} lacks inherited fields {missing}"
+            )
+        dropped = [
+            f.name for f in middle.fields
+            if f.name not in self.inherited_fields and not f.is_virtual
+        ]
+        if dropped:
+            raise InformationLoss(
+                f"merging {self.record} would drop fields {dropped}; "
+                "inherit them or drop them explicitly first"
+            )
+        return upper, lower
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        upper, lower = self._validate(schema)
+        middle = schema.record(self.record)
+        member = schema.record(lower.member)
+        def restore(f: Field) -> Field:
+            if not (f.is_virtual and f.virtual_via == self.lower_set):
+                return f
+            if f.name in self.inherited_fields:
+                return Field(f.name, middle.field(f.name).type)
+            # A chained virtual (via the middle record's own virtual
+            # field): re-route directly through the new set.
+            middle_field = middle.field(f.virtual_using)
+            if middle_field.is_virtual and \
+                    middle_field.virtual_via == self.upper_set:
+                return replace(f, virtual_via=self.new_set,
+                               virtual_using=middle_field.virtual_using)
+            return f
+
+        member_fields = tuple(restore(f) for f in member.fields)
+        order_keys = (self.restore_order_keys
+                      if self.restore_order_keys is not None
+                      else lower.order_keys)
+        new_set = SetType(
+            self.new_set, upper.owner, lower.member, tuple(order_keys),
+            self.restore_insertion or lower.insertion,
+            self.restore_retention or lower.retention,
+            (self.restore_allow_duplicates
+             if self.restore_allow_duplicates is not None
+             else lower.allow_duplicates),
+        )
+        out = Schema(schema.name, {}, {},
+                     self._remap_constraints(schema))
+        for name, record in schema.records.items():
+            if name == self.record:
+                continue
+            out.records[name] = (record.with_fields(member_fields)
+                                 if name == member.name else record)
+        placed = False
+        for name, existing in schema.sets.items():
+            if name in (self.upper_set, self.lower_set):
+                if not placed:
+                    out.sets[self.new_set] = new_set
+                    placed = True
+                continue
+            out.sets[name] = existing
+        return out
+
+    def _remap_constraints(self, schema: Schema) -> list[Constraint]:
+        """Inverse of the interpose remapping: existence over the
+        lower set becomes existence over the direct set; existence
+        over the upper set (the group's own owner) folds away with the
+        group record; limits on either half are refused."""
+        from repro.schema.constraints import (
+            CardinalityLimit as _Limit,
+            ExistenceConstraint as _Exists,
+        )
+
+        out: list[Constraint] = []
+        for constraint in schema.constraints:
+            set_name = getattr(constraint, "set_name", None)
+            if set_name not in (self.upper_set, self.lower_set):
+                out.append(constraint)
+                continue
+            if isinstance(constraint, _Exists):
+                if set_name == self.lower_set:
+                    out.append(_Exists(constraint.name, self.new_set))
+                # upper-set existence concerned the removed record: gone
+                continue
+            if isinstance(constraint, _Limit):
+                raise RestructureError(
+                    f"constraint {constraint.name} limits a set being "
+                    "merged away; restate it for the collapsed structure"
+                )
+            out.append(constraint)
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        self._validate(schema)
+        return [RecordsMerged(self.record, self.upper_set, self.lower_set,
+                              self.new_set, tuple(self.inherited_fields))]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        middle_rows = out.rows.pop(self.record, [])
+        upper_pairs = out.links.pop(self.upper_set, [])
+        lower_pairs = out.links.pop(self.lower_set, [])
+        owner_of_middle: dict[RowId, RowId | None] = {
+            member_id: owner_id for owner_id, member_id in upper_pairs
+        }
+        new_pairs: list[tuple[RowId | None, RowId]] = []
+        for middle_id, member_id in lower_pairs:
+            if middle_id is None:
+                continue
+            middle_row = middle_rows[middle_id[1]]
+            member_row = out.row(member_id)
+            for field_name in self.inherited_fields:
+                member_row[field_name] = middle_row.get(field_name)
+            owner_id = owner_of_middle.get(middle_id)
+            if owner_id is not None:
+                new_pairs.append((owner_id, member_id))
+        out.links[self.new_set] = new_pairs
+        return out
+
+    def inverse(self, schema: Schema) -> "InterposeRecord":
+        return InterposeRecord(self.new_set, self.record,
+                               tuple(self.inherited_fields),
+                               self.upper_set, self.lower_set)
+
+
+# ---------------------------------------------------------------------------
+# Vertical partitioning: extract / inline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class ExtractFields(RestructuringOperator):
+    """Split fields off into a new 1:1-linked owner record (vertical
+    partition -- one of Section 5.1's "classes of meaningful changes").
+
+    Each source instance gets one ``new_record`` instance holding the
+    moved fields; ``link_set`` connects them (new record owns); the
+    moved fields become VIRTUAL on the source record, so reads keep
+    working unchanged.
+    """
+
+    record: str
+    fields: tuple[str, ...]
+    new_record: str
+    link_set: str
+
+    def describe(self) -> str:
+        return (f"extract {list(self.fields)} of {self.record} into "
+                f"{self.new_record}")
+
+    def _validate(self, schema: Schema) -> RecordType:
+        record_type = schema.record(self.record)
+        if self.new_record in schema.records:
+            raise RestructureError(
+                f"record {self.new_record} already exists"
+            )
+        if self.link_set in schema.sets:
+            raise RestructureError(f"set {self.link_set} already exists")
+        if not self.fields:
+            raise RestructureError("extract needs at least one field")
+        for name in self.fields:
+            fld = record_type.field(name)
+            if fld.is_virtual:
+                raise RestructureError(
+                    f"cannot extract virtual field {self.record}.{name}"
+                )
+            if name in record_type.calc_keys:
+                raise RestructureError(
+                    f"cannot extract CALC key {self.record}.{name}"
+                )
+        for set_type in schema.sets_with_member(self.record):
+            moved = set(self.fields) & set(set_type.order_keys)
+            if moved:
+                raise RestructureError(
+                    f"cannot extract order key(s) {sorted(moved)} of set "
+                    f"{set_type.name}"
+                )
+        return record_type
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        record_type = self._validate(schema)
+        extracted = RecordType(self.new_record, tuple(
+            Field(name, record_type.field(name).type)
+            for name in self.fields
+        ))
+        source_fields = tuple(
+            replace(f, virtual_via=self.link_set, virtual_using=f.name)
+            if f.name in self.fields else f
+            for f in record_type.fields
+        )
+        link = SetType(self.link_set, self.new_record, self.record,
+                       insertion=Insertion.AUTOMATIC,
+                       retention=Retention.MANDATORY)
+        out = schema.copy()
+        out.records[self.record] = record_type.with_fields(source_fields)
+        out.records[self.new_record] = extracted
+        out.sets[self.link_set] = link
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        self._validate(schema)
+        return [FieldsExtracted(self.record, tuple(self.fields),
+                                self.new_record, self.link_set)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        new_rows: list[dict[str, Any]] = []
+        links: list[tuple[RowId | None, RowId]] = []
+        for index, row in enumerate(out.rows.get(self.record, [])):
+            new_rows.append({
+                name: row.pop(name, None) for name in self.fields
+            })
+            links.append(((self.new_record, index), (self.record, index)))
+        out.rows[self.new_record] = new_rows
+        out.links[self.link_set] = links
+        return out
+
+    def inverse(self, schema: Schema) -> "InlineFields":
+        return InlineFields(self.record, tuple(self.fields),
+                            self.new_record, self.link_set)
+
+
+@dataclass(frozen=True, repr=False)
+class InlineFields(RestructuringOperator):
+    """Inverse of :class:`ExtractFields`: copy the extracted record's
+    fields back into the member and drop the record and its link set."""
+
+    record: str
+    fields: tuple[str, ...]
+    removed_record: str
+    link_set: str
+
+    def describe(self) -> str:
+        return (f"inline {self.removed_record} back into {self.record}")
+
+    def _validate(self, schema: Schema) -> None:
+        link = schema.set_type(self.link_set)
+        if link.owner != self.removed_record or link.member != self.record:
+            raise RestructureError(
+                f"set {self.link_set} does not link {self.removed_record} "
+                f"over {self.record}"
+            )
+        removed = schema.record(self.removed_record)
+        dropped = [
+            f.name for f in removed.fields
+            if f.name not in self.fields and not f.is_virtual
+        ]
+        if dropped:
+            raise InformationLoss(
+                f"inlining {self.removed_record} would drop fields "
+                f"{dropped}"
+            )
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        self._validate(schema)
+        removed = schema.record(self.removed_record)
+        record_type = schema.record(self.record)
+        restored = tuple(
+            Field(f.name, removed.field(f.name).type)
+            if (f.is_virtual and f.virtual_via == self.link_set
+                and f.name in self.fields) else f
+            for f in record_type.fields
+        )
+        kept_constraints = []
+        for constraint in schema.constraints:
+            if getattr(constraint, "set_name", None) == self.link_set:
+                continue  # the 1:1 link (and its guarantees) fold away
+            if getattr(constraint, "record", None) == self.removed_record:
+                continue
+            kept_constraints.append(constraint)
+        out = Schema(schema.name, {}, {}, kept_constraints)
+        for name, existing in schema.records.items():
+            if name == self.removed_record:
+                continue
+            out.records[name] = (existing.with_fields(restored)
+                                 if name == self.record else existing)
+        for name, set_type in schema.sets.items():
+            if name != self.link_set:
+                out.sets[name] = set_type
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        self._validate(schema)
+        return [FieldsInlined(self.record, tuple(self.fields),
+                              self.removed_record, self.link_set)]
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        out = snapshot.copy()
+        removed_rows = out.rows.pop(self.removed_record, [])
+        pairs = out.links.pop(self.link_set, [])
+        for owner_id, member_id in pairs:
+            if owner_id is None:
+                continue
+            source_row = removed_rows[owner_id[1]]
+            member_row = out.row(member_id)
+            for name in self.fields:
+                member_row[name] = source_row.get(name)
+        return out
+
+    def inverse(self, schema: Schema) -> "ExtractFields":
+        return ExtractFields(self.record, tuple(self.fields),
+                             self.removed_record, self.link_set)
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class AddConstraint(RestructuringOperator):
+    """Declare a new constraint -- the Section 5.2 semantic change
+    ("the schema is changed to require each employee to have a
+    department"): existing programs must be converted to honour it."""
+
+    constraint: Constraint
+
+    def describe(self) -> str:
+        return f"add constraint {self.constraint.describe()}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        self.constraint.validate_against(schema)
+        out = schema.copy()
+        out.constraints = list(schema.constraints) + [self.constraint]
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        return [ConstraintAdded(self.constraint)]
+
+    def inverse(self, schema: Schema) -> "DropConstraint":
+        return DropConstraint(self.constraint.name)
+
+
+@dataclass(frozen=True, repr=False)
+class DropConstraint(RestructuringOperator):
+    name: str
+
+    def describe(self) -> str:
+        return f"drop constraint {self.name}"
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        if not any(c.name == self.name for c in schema.constraints):
+            raise RestructureError(f"no constraint named {self.name}")
+        out = schema.copy()
+        out.constraints = [
+            c for c in schema.constraints if c.name != self.name
+        ]
+        return out
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        for constraint in schema.constraints:
+            if constraint.name == self.name:
+                return [ConstraintRemoved(constraint)]
+        raise RestructureError(f"no constraint named {self.name}")
+
+    def inverse(self, schema: Schema) -> "AddConstraint":
+        for constraint in schema.constraints:
+            if constraint.name == self.name:
+                return AddConstraint(constraint)
+        raise RestructureError(f"no constraint named {self.name}")
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Composite(RestructuringOperator):
+    """A sequence of operators applied left to right."""
+
+    operators: tuple[RestructuringOperator, ...]
+
+    def describe(self) -> str:
+        return " ; ".join(op.describe() for op in self.operators)
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        for operator in self.operators:
+            schema = operator.apply_schema(schema)
+        return schema
+
+    def changes(self, schema: Schema) -> list[SchemaChange]:
+        out: list[SchemaChange] = []
+        for operator in self.operators:
+            out.extend(operator.changes(schema))
+            schema = operator.apply_schema(schema)
+        return out
+
+    def translate(self, snapshot: DataSnapshot, source_schema: Schema,
+                  target_schema: Schema) -> DataSnapshot:
+        current_schema = source_schema
+        for operator in self.operators:
+            next_schema = operator.apply_schema(current_schema)
+            snapshot = operator.translate(snapshot, current_schema,
+                                          next_schema)
+            current_schema = next_schema
+        return snapshot
+
+    def inverse(self, schema: Schema) -> "Composite":
+        inverses: list[RestructuringOperator] = []
+        current_schema = schema
+        for operator in self.operators:
+            inverses.append(operator.inverse(current_schema))
+            current_schema = operator.apply_schema(current_schema)
+        inverses.reverse()
+        return Composite(tuple(inverses))

@@ -1,0 +1,286 @@
+"""The restructuring specification language.
+
+The problem statement's second input is "a definition of a
+restructuring to some new (logical) form" (Section 1.1).  This module
+gives that definition a concrete, file-able syntax in the spirit of the
+Figure 4.3 DDL -- one statement per operator, period-terminated::
+
+    RENAME RECORD EMP TO WORKER.
+    RENAME FIELD WORKER.AGE TO YEARS.
+    RENAME SET DIV-EMP TO STAFF.
+    ADD FIELD EMP.GRADE PIC 9(2) DEFAULT 1.
+    DROP FIELD EMP.AGE FORCE.
+    REORDER SET DIV-EMP BY (AGE) DUPLICATES ALLOWED.
+    MEMBERSHIP DIV-EMP AUTOMATIC MANDATORY.
+    INTERPOSE DEPT (DEPT-NAME) ON DIV-EMP AS DIV-DEPT, DEPT-EMP.
+    MERGE DEPT BETWEEN DIV-DEPT, DEPT-EMP AS DIV-EMP INHERIT (DEPT-NAME).
+    VIRTUALIZE M.CITY VIA OM.
+    MATERIALIZE M.CITY.
+    EXTRACT EMP (AGE) INTO EMP-DETAIL VIA EMP-DATA.
+    INLINE EMP-DETAIL INTO EMP (AGE) VIA EMP-DATA.
+    SIBLINGS COURSE (C-TXT, C-OFF).
+    DROP CONSTRAINT COURSE-LIMIT.
+
+A spec with several statements parses to a
+:class:`~repro.restructure.operators.Composite` applied left to right.
+:func:`format_spec` renders operators back; parse/format round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DDLSyntaxError
+from repro.restructure.operators import (
+    AddField,
+    ChangeMembership,
+    ChangeSetOrder,
+    Composite,
+    DropConstraint,
+    DropField,
+    ExtractFields,
+    InlineFields,
+    InterposeRecord,
+    MaterializeField,
+    MergeRecords,
+    RenameField,
+    RenameRecord,
+    RenameSet,
+    RestructuringOperator,
+    SwapSiblingOrder,
+    VirtualizeField,
+)
+from repro.schema.model import Insertion, Retention
+
+_NAME = r"[A-Z0-9][A-Z0-9\-#]*"
+_QUALIFIED = rf"({_NAME})\.({_NAME})"
+
+
+def _name_list(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _parse_default(text: str):
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    return int(text)
+
+
+_PATTERNS: list[tuple[re.Pattern, object]] = []
+
+
+def _statement(pattern: str):
+    compiled = re.compile(f"^{pattern}$")
+
+    def register(fn):
+        _PATTERNS.append((compiled, fn))
+        return fn
+
+    return register
+
+
+@_statement(rf"RENAME RECORD ({_NAME}) TO ({_NAME})")
+def _rename_record(match) -> RestructuringOperator:
+    return RenameRecord(match.group(1), match.group(2))
+
+
+@_statement(rf"RENAME FIELD {_QUALIFIED} TO ({_NAME})")
+def _rename_field(match) -> RestructuringOperator:
+    return RenameField(match.group(1), match.group(2), match.group(3))
+
+
+@_statement(rf"RENAME SET ({_NAME}) TO ({_NAME})")
+def _rename_set(match) -> RestructuringOperator:
+    return RenameSet(match.group(1), match.group(2))
+
+
+@_statement(rf"ADD FIELD {_QUALIFIED} PIC (\S+)(?: DEFAULT (.+))?")
+def _add_field(match) -> RestructuringOperator:
+    default = _parse_default(match.group(4)) if match.group(4) else None
+    return AddField(match.group(1), match.group(2), match.group(3),
+                    default)
+
+
+@_statement(rf"DROP FIELD {_QUALIFIED}( FORCE)?")
+def _drop_field(match) -> RestructuringOperator:
+    return DropField(match.group(1), match.group(2),
+                     force=match.group(3) is not None)
+
+
+@_statement(rf"REORDER SET ({_NAME}) BY \((.*?)\)"
+            r"(?: DUPLICATES (ALLOWED|NOT ALLOWED))?")
+def _reorder_set(match) -> RestructuringOperator:
+    duplicates = None
+    if match.group(3) == "ALLOWED":
+        duplicates = True
+    elif match.group(3) == "NOT ALLOWED":
+        duplicates = False
+    return ChangeSetOrder(match.group(1), _name_list(match.group(2)),
+                          allow_duplicates=duplicates)
+
+
+@_statement(rf"MEMBERSHIP ({_NAME}) (AUTOMATIC|MANUAL) "
+            r"(MANDATORY|OPTIONAL)")
+def _membership(match) -> RestructuringOperator:
+    return ChangeMembership(match.group(1),
+                            Insertion[match.group(2)],
+                            Retention[match.group(3)])
+
+
+@_statement(rf"INTERPOSE ({_NAME}) \((.*?)\) ON ({_NAME}) "
+            rf"AS ({_NAME}), ({_NAME})")
+def _interpose(match) -> RestructuringOperator:
+    return InterposeRecord(match.group(3), match.group(1),
+                           _name_list(match.group(2)),
+                           match.group(4), match.group(5))
+
+
+@_statement(rf"MERGE ({_NAME}) BETWEEN ({_NAME}), ({_NAME}) "
+            rf"AS ({_NAME}) INHERIT \((.*?)\)")
+def _merge(match) -> RestructuringOperator:
+    return MergeRecords(match.group(1), match.group(2), match.group(3),
+                        match.group(4), _name_list(match.group(5)))
+
+
+@_statement(rf"VIRTUALIZE {_QUALIFIED} VIA ({_NAME})"
+            rf"(?: USING ({_NAME}))?( FORCE)?")
+def _virtualize(match) -> RestructuringOperator:
+    return VirtualizeField(match.group(1), match.group(2), match.group(3),
+                           using_field=match.group(4),
+                           force=match.group(5) is not None)
+
+
+@_statement(rf"MATERIALIZE {_QUALIFIED}")
+def _materialize(match) -> RestructuringOperator:
+    return MaterializeField(match.group(1), match.group(2))
+
+
+@_statement(rf"EXTRACT ({_NAME}) \((.*?)\) INTO ({_NAME}) VIA ({_NAME})")
+def _extract(match) -> RestructuringOperator:
+    return ExtractFields(match.group(1), _name_list(match.group(2)),
+                         match.group(3), match.group(4))
+
+
+@_statement(rf"INLINE ({_NAME}) INTO ({_NAME}) \((.*?)\) VIA ({_NAME})")
+def _inline(match) -> RestructuringOperator:
+    return InlineFields(match.group(2), _name_list(match.group(3)),
+                        match.group(1), match.group(4))
+
+
+@_statement(rf"SIBLINGS ({_NAME}) \((.*?)\)")
+def _siblings(match) -> RestructuringOperator:
+    return SwapSiblingOrder(match.group(1), _name_list(match.group(2)))
+
+
+@_statement(rf"DROP CONSTRAINT ({_NAME})")
+def _drop_constraint(match) -> RestructuringOperator:
+    return DropConstraint(match.group(1))
+
+
+def parse_spec(text: str) -> RestructuringOperator:
+    """Parse a restructuring specification.
+
+    Returns the single operator for a one-statement spec, a
+    :class:`Composite` otherwise.
+    """
+    operators: list[RestructuringOperator] = []
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("*>")[0].strip()
+        if not line:
+            continue
+        if not line.endswith("."):
+            raise DDLSyntaxError("missing statement period", line=line_no)
+        statement = re.sub(r"\s+", " ", line[:-1].strip())
+        for pattern, handler in _PATTERNS:
+            match = pattern.match(statement)
+            if match is not None:
+                operators.append(handler(match))
+                break
+        else:
+            raise DDLSyntaxError(
+                f"unrecognized restructuring statement {statement!r}",
+                line=line_no,
+            )
+    if not operators:
+        raise DDLSyntaxError("empty restructuring specification")
+    if len(operators) == 1:
+        return operators[0]
+    return Composite(tuple(operators))
+
+
+def format_spec(operator: RestructuringOperator) -> str:
+    """Render an operator (or Composite) back into specification text."""
+    if isinstance(operator, Composite):
+        return "\n".join(
+            format_spec(inner) for inner in operator.operators
+        ) + ("" if not operator.operators else "")
+    return _format_one(operator) + "."
+
+
+def _format_one(operator: RestructuringOperator) -> str:
+    if isinstance(operator, RenameRecord):
+        return f"RENAME RECORD {operator.old_name} TO {operator.new_name}"
+    if isinstance(operator, RenameField):
+        return (f"RENAME FIELD {operator.record}.{operator.old_name} "
+                f"TO {operator.new_name}")
+    if isinstance(operator, RenameSet):
+        return f"RENAME SET {operator.old_name} TO {operator.new_name}"
+    if isinstance(operator, AddField):
+        text = (f"ADD FIELD {operator.record}.{operator.field_name} "
+                f"PIC {operator.pic}")
+        if operator.default is not None:
+            default = (f"'{operator.default}'"
+                       if isinstance(operator.default, str)
+                       else operator.default)
+            text += f" DEFAULT {default}"
+        return text
+    if isinstance(operator, DropField):
+        force = " FORCE" if operator.force else ""
+        return f"DROP FIELD {operator.record}.{operator.field_name}{force}"
+    if isinstance(operator, ChangeSetOrder):
+        text = (f"REORDER SET {operator.set_name} BY "
+                f"({', '.join(operator.new_keys)})")
+        if operator.allow_duplicates is True:
+            text += " DUPLICATES ALLOWED"
+        elif operator.allow_duplicates is False:
+            text += " DUPLICATES NOT ALLOWED"
+        return text
+    if isinstance(operator, ChangeMembership):
+        return (f"MEMBERSHIP {operator.set_name} "
+                f"{operator.insertion.value} {operator.retention.value}")
+    if isinstance(operator, InterposeRecord):
+        return (f"INTERPOSE {operator.new_record} "
+                f"({', '.join(operator.key_fields)}) ON "
+                f"{operator.old_set} AS {operator.upper_set}, "
+                f"{operator.lower_set}")
+    if isinstance(operator, MergeRecords):
+        return (f"MERGE {operator.record} BETWEEN {operator.upper_set}, "
+                f"{operator.lower_set} AS {operator.new_set} INHERIT "
+                f"({', '.join(operator.inherited_fields)})")
+    if isinstance(operator, VirtualizeField):
+        text = (f"VIRTUALIZE {operator.record}.{operator.field_name} "
+                f"VIA {operator.via_set}")
+        if operator.using_field:
+            text += f" USING {operator.using_field}"
+        if operator.force:
+            text += " FORCE"
+        return text
+    if isinstance(operator, MaterializeField):
+        return f"MATERIALIZE {operator.record}.{operator.field_name}"
+    if isinstance(operator, ExtractFields):
+        return (f"EXTRACT {operator.record} "
+                f"({', '.join(operator.fields)}) INTO "
+                f"{operator.new_record} VIA {operator.link_set}")
+    if isinstance(operator, InlineFields):
+        return (f"INLINE {operator.removed_record} INTO {operator.record} "
+                f"({', '.join(operator.fields)}) VIA {operator.link_set}")
+    if isinstance(operator, SwapSiblingOrder):
+        return (f"SIBLINGS {operator.owner} "
+                f"({', '.join(operator.new_order)})")
+    if isinstance(operator, DropConstraint):
+        return f"DROP CONSTRAINT {operator.name}"
+    raise TypeError(f"cannot format operator {operator!r}")
+
+
+__all__ = ["parse_spec", "format_spec"]

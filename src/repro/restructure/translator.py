@@ -1,0 +1,320 @@
+"""Model-neutral data snapshots and data translation.
+
+A :class:`DataSnapshot` captures a database instance independent of the
+data model: rows per record type (identified by a per-type position)
+plus the set connections.  Restructuring operators transform snapshots;
+loaders materialize them into any of the three engines.  This is the
+reproduction's analogue of the data-translation systems the paper
+builds on (EXPRESS and the Michigan translator, references 4 and 5).
+
+Identity convention: a row is identified by ``(record_name, index)``
+with index the 0-based position in the snapshot's row list.  Links are
+``(owner_id | None, member_id)`` -- None for SYSTEM-owned sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.metrics import Metrics
+from repro.errors import RestructureError
+from repro.hierarchical.database import HierarchicalDatabase
+from repro.network.database import NetworkDatabase
+from repro.network.sets import SYSTEM_OWNER_RID
+from repro.relational.database import RelationalDatabase, fk_columns
+from repro.schema.model import Schema
+
+RowId = tuple[str, int]
+
+
+@dataclass
+class DataSnapshot:
+    """A database instance, detached from any engine.
+
+    ``rows[record]`` holds stored-field dicts; ``links[set]`` holds
+    (owner RowId or None, member RowId) pairs in set order.
+    """
+
+    rows: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    links: dict[str, list[tuple[RowId | None, RowId]]] = \
+        field(default_factory=dict)
+
+    def copy(self) -> "DataSnapshot":
+        return DataSnapshot(
+            {name: [dict(row) for row in rows]
+             for name, rows in self.rows.items()},
+            {name: list(pairs) for name, pairs in self.links.items()},
+        )
+
+    def row(self, row_id: RowId) -> dict[str, Any]:
+        record_name, index = row_id
+        return self.rows[record_name][index]
+
+    def owner_of(self, set_name: str, member_id: RowId) -> RowId | None:
+        for owner_id, linked_member in self.links.get(set_name, []):
+            if linked_member == member_id:
+                return owner_id
+        return None
+
+    def members_of(self, set_name: str, owner_id: RowId | None) -> list[RowId]:
+        return [
+            member_id
+            for linked_owner, member_id in self.links.get(set_name, [])
+            if linked_owner == owner_id
+        ]
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def extract_snapshot(db) -> DataSnapshot:
+    """Snapshot any of the three database types."""
+    if isinstance(db, NetworkDatabase):
+        return _extract_network(db)
+    if isinstance(db, RelationalDatabase):
+        return _extract_relational(db)
+    if isinstance(db, HierarchicalDatabase):
+        return _extract_hierarchical(db)
+    raise RestructureError(
+        f"cannot snapshot database of type {type(db).__name__}"
+    )
+
+
+def _extract_network(db: NetworkDatabase) -> DataSnapshot:
+    snapshot = DataSnapshot()
+    rid_to_id: dict[tuple[str, int], RowId] = {}
+    for record_name in db.schema.records:
+        rows = []
+        for index, record in enumerate(db.store(record_name).all_records()):
+            record_type = db.schema.record(record_name)
+            rows.append({
+                name: record.get(name)
+                for name in record_type.stored_field_names()
+            })
+            rid_to_id[(record_name, record.rid)] = (record_name, index)
+        snapshot.rows[record_name] = rows
+    for set_name, set_type in db.schema.sets.items():
+        pairs: list[tuple[RowId | None, RowId]] = []
+        set_store = db.set_store(set_name)
+        owner_rids = ([SYSTEM_OWNER_RID] if set_type.system_owned
+                      else set_store.owners())
+        for owner_rid in owner_rids:
+            owner_id = (None if set_type.system_owned
+                        else rid_to_id[(set_type.owner, owner_rid)])
+            for member_rid in set_store.members(owner_rid):
+                member_id = rid_to_id[(set_type.member, member_rid)]
+                pairs.append((owner_id, member_id))
+        snapshot.links[set_name] = pairs
+    return snapshot
+
+
+def _extract_relational(db: RelationalDatabase) -> DataSnapshot:
+    snapshot = DataSnapshot()
+    for record_name in db.schema.records:
+        record_type = db.schema.record(record_name)
+        stored = record_type.stored_field_names()
+        snapshot.rows[record_name] = [
+            {name: row.get(name) for name in stored}
+            for row in db.relation(record_name).rows()
+        ]
+    for set_name, set_type in db.schema.sets.items():
+        pairs: list[tuple[RowId | None, RowId]] = []
+        if set_type.system_owned:
+            for index in range(len(snapshot.rows[set_type.member])):
+                pairs.append((None, (set_type.member, index)))
+        else:
+            columns = fk_columns(db.schema, set_type)
+            owner_rows = db.relation(set_type.owner).rows()
+            owner_by_key = {
+                tuple(row.get(c) for c in columns): index
+                for index, row in enumerate(owner_rows)
+            }
+            member_rows = db.relation(set_type.member).rows()
+            for index, row in enumerate(member_rows):
+                key = tuple(row.get(c) for c in columns)
+                if any(part is None for part in key):
+                    continue
+                owner_index = owner_by_key.get(key)
+                if owner_index is None:
+                    continue
+                pairs.append((
+                    (set_type.owner, owner_index),
+                    (set_type.member, index),
+                ))
+        snapshot.links[set_name] = pairs
+    return snapshot
+
+
+def _extract_hierarchical(db: HierarchicalDatabase) -> DataSnapshot:
+    snapshot = DataSnapshot()
+    rid_to_id: dict[tuple[str, int], RowId] = {}
+    for record_name in db.schema.records:
+        record_type = db.schema.record(record_name)
+        rows = []
+        for index, record in enumerate(db.store(record_name).all_records()):
+            rows.append({
+                name: record.get(name)
+                for name in record_type.stored_field_names()
+            })
+            rid_to_id[(record_name, record.rid)] = (record_name, index)
+        snapshot.rows[record_name] = rows
+    for set_name, set_type in db.schema.sets.items():
+        pairs: list[tuple[RowId | None, RowId]] = []
+        if set_type.system_owned:
+            for rid in db.roots(set_type.member):
+                pairs.append((None, rid_to_id[(set_type.member, rid)]))
+        else:
+            for record in db.store(set_type.owner).all_records():
+                for child_rid in db.children(set_type.owner, record.rid,
+                                             set_type.member):
+                    pairs.append((
+                        rid_to_id[(set_type.owner, record.rid)],
+                        rid_to_id[(set_type.member, child_rid)],
+                    ))
+        snapshot.links[set_name] = pairs
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+def load_network(schema: Schema, snapshot: DataSnapshot,
+                 metrics: Metrics | None = None) -> NetworkDatabase:
+    """Materialize a snapshot as a network database."""
+    db = NetworkDatabase(schema, metrics)
+    id_to_rid: dict[RowId, int] = {}
+    for record_name in schema.records:
+        for index, row in enumerate(snapshot.rows.get(record_name, [])):
+            record = db.insert_record(record_name, row)
+            id_to_rid[(record_name, index)] = record.rid
+    for set_name, set_type in schema.sets.items():
+        for owner_id, member_id in snapshot.links.get(set_name, []):
+            owner_rid = (SYSTEM_OWNER_RID if owner_id is None
+                         else id_to_rid[owner_id])
+            db.connect(set_name, owner_rid, id_to_rid[member_id])
+    return db
+
+
+def load_relational(schema: Schema, snapshot: DataSnapshot,
+                    metrics: Metrics | None = None) -> RelationalDatabase:
+    """Materialize a snapshot as a relational database.
+
+    Foreign-key columns are filled from the snapshot's links (owner
+    CALC-key values copied into the member row, Figure 3.1a style).
+    Weak-entity owners (composite foreign keys) require the owner's own
+    FK columns to be filled first, so rows are completed in ownership
+    order (owners before members).
+    """
+    db = RelationalDatabase(schema, metrics)
+    # Complete rows (stored fields + FK columns) per record type.
+    complete: dict[str, list[dict[str, Any]]] = {
+        name: [dict(row) for row in snapshot.rows.get(name, [])]
+        for name in schema.records
+    }
+
+    def ownership_depth(record_name: str,
+                        seen: frozenset[str] = frozenset()) -> int:
+        if record_name in seen:
+            return 0
+        depth = 0
+        for set_type in schema.sets_with_member(record_name):
+            if set_type.system_owned:
+                continue
+            depth = max(depth, 1 + ownership_depth(
+                set_type.owner, seen | {record_name}))
+        return depth
+
+    ordered = sorted(schema.records, key=ownership_depth)
+    for record_name in ordered:
+        for set_type in schema.sets_with_member(record_name):
+            if set_type.system_owned:
+                continue
+            columns = fk_columns(schema, set_type)
+            for owner_id, member_id in snapshot.links.get(
+                    set_type.name, []):
+                if owner_id is None or member_id[0] != record_name:
+                    continue
+                owner_row = complete[owner_id[0]][owner_id[1]]
+                member_row = complete[record_name][member_id[1]]
+                for column in columns:
+                    member_row.setdefault(column, owner_row.get(column))
+    for record_name in schema.records:
+        for row in complete[record_name]:
+            db.insert(record_name, row, enforce_keys=False)
+    return db
+
+
+def load_hierarchical(schema: Schema, snapshot: DataSnapshot,
+                      metrics: Metrics | None = None) -> HierarchicalDatabase:
+    """Materialize a snapshot as a hierarchical database.
+
+    Parents must be inserted before children; we insert record types in
+    topological (root-first) order.
+    """
+    db = HierarchicalDatabase(schema, metrics)
+    id_to_rid: dict[RowId, int] = {}
+    parent_sets = {
+        set_type.member: set_type
+        for set_type in schema.sets.values() if not set_type.system_owned
+    }
+
+    def depth(record_name: str) -> int:
+        level = 0
+        node = record_name
+        while node in parent_sets:
+            level += 1
+            node = parent_sets[node].owner
+        return level
+
+    ordered = sorted(schema.records, key=depth)
+    for record_name in ordered:
+        set_type = parent_sets.get(record_name)
+        for index, row in enumerate(snapshot.rows.get(record_name, [])):
+            parent: tuple[str, int] | None = None
+            if set_type is not None:
+                owner_id = snapshot.owner_of(set_type.name,
+                                             (record_name, index))
+                if owner_id is None:
+                    raise RestructureError(
+                        f"cannot load {record_name}[{index}] into a "
+                        f"hierarchy: no parent link in {set_type.name}"
+                    )
+                parent = (owner_id[0], id_to_rid[owner_id])
+            record = db.insert_segment(record_name, row, parent)
+            id_to_rid[(record_name, index)] = record.rid
+    return db
+
+
+_LOADERS = {
+    "network": load_network,
+    "relational": load_relational,
+    "hierarchical": load_hierarchical,
+}
+
+
+def restructure_database(db, operator, target_model: str = "network",
+                         metrics: Metrics | None = None):
+    """End-to-end data translation: snapshot the source, apply the
+    operator's schema and data mappings, load into the target model.
+
+    Returns ``(target_schema, target_db)``.
+    """
+    try:
+        loader = _LOADERS[target_model]
+    except KeyError:
+        raise RestructureError(
+            f"unknown target model {target_model!r}"
+        ) from None
+    source_schema = db.schema
+    target_schema = operator.apply_schema(source_schema)
+    snapshot = extract_snapshot(db)
+    translated = operator.translate(snapshot, source_schema, target_schema)
+    return target_schema, loader(target_schema, translated, metrics)

@@ -1,0 +1,97 @@
+"""Common schema model.
+
+The paper's framework rests on "a precise description of the data
+structures, integrity constraints, and permissible operations"
+(Abstract).  This package provides that description:
+
+* :mod:`repro.schema.types` -- COBOL-style PIC field types.
+* :mod:`repro.schema.model` -- records, fields, owner-coupled set types,
+  and the :class:`Schema` container, interpretable by all three data
+  models (Section 5.1 of the paper asks for a representation "at a level
+  which is high enough to be realized in either data model").
+* :mod:`repro.schema.constraints` -- declarative integrity constraints,
+  including the kinds Section 3.1 shows no 1979 model could declare.
+* :mod:`repro.schema.ddl` -- parser for the Figure 4.3 DDL syntax.
+* :mod:`repro.schema.diff` -- the schema-change taxonomy consumed by the
+  Conversion Analyzer.
+"""
+
+from repro.schema.types import FieldType, parse_pic
+from repro.schema.model import (
+    Field,
+    Insertion,
+    Retention,
+    RecordType,
+    Schema,
+    SetType,
+    SYSTEM,
+)
+from repro.schema.constraints import (
+    CardinalityLimit,
+    Constraint,
+    DomainConstraint,
+    ExistenceConstraint,
+    NotNull,
+    UniqueKey,
+)
+from repro.schema.ddl import parse_ddl, format_ddl
+from repro.schema.diff import (
+    ConstraintAdded,
+    ConstraintRemoved,
+    FieldAdded,
+    FieldRemoved,
+    FieldRenamed,
+    MembershipChanged,
+    RecordAdded,
+    RecordInterposed,
+    RecordRemoved,
+    RecordRenamed,
+    RecordsMerged,
+    SchemaChange,
+    SetAdded,
+    SetOrderChanged,
+    SetRemoved,
+    SetRenamed,
+    SiblingOrderChanged,
+    VirtualizedField,
+    diff_schemas,
+)
+
+__all__ = [
+    "FieldType",
+    "parse_pic",
+    "Field",
+    "Insertion",
+    "Retention",
+    "RecordType",
+    "Schema",
+    "SetType",
+    "SYSTEM",
+    "Constraint",
+    "UniqueKey",
+    "NotNull",
+    "ExistenceConstraint",
+    "CardinalityLimit",
+    "DomainConstraint",
+    "parse_ddl",
+    "format_ddl",
+    "SchemaChange",
+    "RecordRenamed",
+    "RecordAdded",
+    "RecordRemoved",
+    "FieldRenamed",
+    "FieldAdded",
+    "FieldRemoved",
+    "SetRenamed",
+    "SetAdded",
+    "SetRemoved",
+    "SetOrderChanged",
+    "SiblingOrderChanged",
+    "VirtualizedField",
+    "MembershipChanged",
+    "RecordInterposed",
+    "RecordsMerged",
+    "ConstraintAdded",
+    "ConstraintRemoved",
+    "diff_schemas",
+]

@@ -1,0 +1,300 @@
+"""Declarative integrity constraints.
+
+Section 3.1 names the inability to declare integrity constraints as
+"the single most significant deficiency in the existing models": the
+relational model of 1979 declares only tuple uniqueness, the
+owner-coupled-set model only AUTOMATIC/MANUAL + OPTIONAL/MANDATORY
+existence, and numeric participation limits ("a course may not be
+offered more than twice in a school year") can live only in program
+logic.  The paper argues conversion becomes tractable when constraints
+are "centralized, explicitly, as part of the data model" -- so this
+module provides exactly that: a small constraint algebra that any of the
+three data models can enforce, and that the conversion analyzer reads.
+
+Constraints check themselves against a :class:`DatabaseView`, a minimal
+protocol implemented by the network, relational, and hierarchical
+engines, so one constraint definition is enforceable everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.engine.storage import Record
+from repro.schema.model import Schema
+
+
+@runtime_checkable
+class DatabaseView(Protocol):
+    """What a database must expose for constraint checking."""
+
+    schema: Schema
+
+    def instances(self, record_name: str) -> Iterable[Record]:
+        """All current instances of a record type."""
+        ...
+
+    def owner_record(self, set_name: str, member_rid: int) -> Record | None:
+        """The owner of a member in a set occurrence, if connected."""
+        ...
+
+    def member_records(self, set_name: str, owner_rid: int) -> Iterable[Record]:
+        """The members of one set occurrence, in set order."""
+        ...
+
+    def read_field(self, record: Record, field_name: str) -> Any:
+        """A field value, resolving VIRTUAL fields through their set."""
+        ...
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected constraint violation."""
+
+    constraint: "Constraint"
+    record_name: str
+    rid: int | None
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.constraint.name}: {self.message}"
+
+
+class Constraint:
+    """Base class: named, schema-validatable, database-checkable."""
+
+    name: str
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise SchemaError if this constraint references unknown names."""
+        raise NotImplementedError
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        """Return all current violations in the database."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable statement of the rule."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@dataclass(frozen=True, repr=False)
+class UniqueKey(Constraint):
+    """No two instances of ``record`` share values for ``fields``.
+
+    The one constraint the 1979 relational model could declare
+    ("tuple uniqueness by means of key declarations", Section 3.1).
+    Rows with a None in any key field are exempt, matching the usual
+    key-on-non-null reading.
+    """
+
+    name: str
+    record: str
+    fields: tuple[str, ...]
+
+    def validate_against(self, schema: Schema) -> None:
+        record = schema.record(self.record)
+        for field_name in self.fields:
+            record.field(field_name)
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        seen: dict[tuple, int] = {}
+        violations: list[Violation] = []
+        for record in view.instances(self.record):
+            key = tuple(view.read_field(record, f) for f in self.fields)
+            if any(part is None for part in key):
+                continue
+            if key in seen:
+                violations.append(Violation(
+                    self, self.record, record.rid,
+                    f"duplicate key {key!r} in {self.record} "
+                    f"(rids {seen[key]} and {record.rid})",
+                ))
+            else:
+                seen[key] = record.rid
+        return violations
+
+    def describe(self) -> str:
+        return f"UNIQUE ({', '.join(self.fields)}) IN {self.record}"
+
+
+@dataclass(frozen=True, repr=False)
+class NotNull(Constraint):
+    """``field`` of ``record`` may not be null.
+
+    Section 3.1: "CNO and S can not have null values".
+    """
+
+    name: str
+    record: str
+    field: str
+
+    def validate_against(self, schema: Schema) -> None:
+        schema.record(self.record).field(self.field)
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        violations = []
+        for record in view.instances(self.record):
+            if view.read_field(record, self.field) is None:
+                violations.append(Violation(
+                    self, self.record, record.rid,
+                    f"{self.record}.{self.field} is null (rid {record.rid})",
+                ))
+        return violations
+
+    def describe(self) -> str:
+        return f"NOT NULL {self.field} IN {self.record}"
+
+
+@dataclass(frozen=True, repr=False)
+class ExistenceConstraint(Constraint):
+    """Every instance of the member record type must be connected to an
+    owner through ``set_name``.
+
+    This is the declarative form of Section 3.1's existence rule: "a
+    course-offering instance cannot exist unless the course and semester
+    instances it references do".  In CODASYL terms it is what
+    AUTOMATIC + MANDATORY membership approximates.
+    """
+
+    name: str
+    set_name: str
+
+    def validate_against(self, schema: Schema) -> None:
+        set_type = schema.set_type(self.set_name)
+        if set_type.system_owned:
+            from repro.errors import SchemaError
+
+            raise SchemaError(
+                f"constraint {self.name}: EXISTENCE over a SYSTEM set "
+                "is vacuous"
+            )
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        set_type = view.schema.set_type(self.set_name)
+        violations = []
+        for record in view.instances(set_type.member):
+            if view.owner_record(self.set_name, record.rid) is None:
+                violations.append(Violation(
+                    self, set_type.member, record.rid,
+                    f"{set_type.member} rid {record.rid} has no owner "
+                    f"in set {self.set_name}",
+                ))
+        return violations
+
+    def describe(self) -> str:
+        return f"EXISTENCE OF MEMBER IN {self.set_name}"
+
+
+@dataclass(frozen=True, repr=False)
+class CardinalityLimit(Constraint):
+    """At most ``limit`` members per owner occurrence of ``set_name``,
+    optionally counted within groups of equal ``per_fields`` values.
+
+    The paper's example: "a course may not be offered more than twice
+    in a school year" -- with YEAR available on the member (possibly as
+    a VIRTUAL field through the semester set), this is
+    ``LIMIT <offering-set> TO 2 PER (YEAR)``.  Section 3.1 notes that
+    "in all existing models, a constraint like this could only be
+    maintained by user programs".
+    """
+
+    name: str
+    set_name: str
+    limit: int
+    per_fields: tuple[str, ...] = ()
+
+    def validate_against(self, schema: Schema) -> None:
+        set_type = schema.set_type(self.set_name)
+        member = schema.record(set_type.member)
+        for field_name in self.per_fields:
+            member.field(field_name)
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        set_type = view.schema.set_type(self.set_name)
+        violations: list[Violation] = []
+        if set_type.system_owned:
+            owner_rids: list[int | None] = [None]
+        else:
+            owner_rids = [r.rid for r in view.instances(set_type.owner)]
+        for owner_rid in owner_rids:
+            groups: dict[tuple, int] = {}
+            members = view.member_records(self.set_name, owner_rid or 0) \
+                if owner_rid is not None \
+                else view.instances(set_type.member)
+            for member in members:
+                group = tuple(
+                    view.read_field(member, f) for f in self.per_fields
+                )
+                groups[group] = groups.get(group, 0) + 1
+            for group, count in groups.items():
+                if count > self.limit:
+                    suffix = f" per {group!r}" if self.per_fields else ""
+                    violations.append(Violation(
+                        self, set_type.member, None,
+                        f"set {self.set_name} owner {owner_rid} has "
+                        f"{count} members{suffix}, limit {self.limit}",
+                    ))
+        return violations
+
+    def describe(self) -> str:
+        per = f" PER ({', '.join(self.per_fields)})" if self.per_fields else ""
+        return f"LIMIT {self.set_name} TO {self.limit}{per}"
+
+
+@dataclass(frozen=True, repr=False)
+class DomainConstraint(Constraint):
+    """``field`` of ``record`` must lie in [low, high] and/or in an
+    explicit value list.  Null passes (combine with NotNull to forbid).
+    """
+
+    name: str
+    record: str
+    field: str
+    low: Any = None
+    high: Any = None
+    allowed: tuple[Any, ...] | None = None
+
+    def validate_against(self, schema: Schema) -> None:
+        schema.record(self.record).field(self.field)
+
+    def check(self, view: DatabaseView) -> list[Violation]:
+        violations = []
+        for record in view.instances(self.record):
+            value = view.read_field(record, self.field)
+            if value is None:
+                continue
+            bad = False
+            if self.allowed is not None and value not in self.allowed:
+                bad = True
+            if self.low is not None and value < self.low:
+                bad = True
+            if self.high is not None and value > self.high:
+                bad = True
+            if bad:
+                violations.append(Violation(
+                    self, self.record, record.rid,
+                    f"{self.record}.{self.field} = {value!r} out of domain "
+                    f"(rid {record.rid})",
+                ))
+        return violations
+
+    def describe(self) -> str:
+        parts = [f"DOMAIN {self.field} IN {self.record}"]
+        if self.low is not None or self.high is not None:
+            parts.append(f"FROM {self.low!r} TO {self.high!r}")
+        if self.allowed is not None:
+            parts.append(f"IN {list(self.allowed)!r}")
+        return " ".join(parts)
+
+
+def check_all(view: DatabaseView) -> list[Violation]:
+    """Check every constraint declared in the view's schema."""
+    violations: list[Violation] = []
+    for constraint in view.schema.constraints:
+        violations.extend(constraint.check(view))
+    return violations

@@ -1,0 +1,519 @@
+"""Parser and formatter for the Figure 4.3 DDL syntax.
+
+The paper's Maryland project (Section 4.2) defines a DDL "which would be
+familiar while facilitating conversion"; Figure 4.3 gives its concrete
+syntax.  We parse that syntax exactly, plus three small extensions the
+rest of the paper needs:
+
+* ``LOCATION MODE IS CALC USING (F1, F2).`` on records (CODASYL direct
+  access, needed by the optimizer's access-path selection);
+* ``INSERTION IS ... / RETENTION IS ... / DUPLICATES ARE ...`` on sets
+  (the Section 3.1 membership classes);
+* a ``CONSTRAINT SECTION`` declaring the Section 3.1 constraint kinds
+  that 1979 models could not express.
+
+Example (Figure 4.3 verbatim)::
+
+    SCHEMA NAME IS COMPANY-NAME.
+    RECORD SECTION.
+      RECORD NAME IS DIV.
+        FIELDS ARE.
+          DIV-NAME PIC X(20).
+          DIV-LOC PIC X(10).
+      END RECORD.
+      ...
+    END RECORD SECTION.
+    SET SECTION.
+      SET NAME IS ALL-DIV.
+        OWNER IS SYSTEM.
+        MEMBER IS DIV.
+        SET KEYS ARE (DIV-NAME).
+      END SET.
+      ...
+    END SET SECTION.
+    END SCHEMA.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import DDLSyntaxError
+from repro.schema.constraints import (
+    CardinalityLimit,
+    Constraint,
+    DomainConstraint,
+    ExistenceConstraint,
+    NotNull,
+    UniqueKey,
+)
+from repro.schema.model import (
+    Field,
+    Insertion,
+    RecordType,
+    Retention,
+    Schema,
+    SetType,
+)
+from repro.schema.types import parse_pic
+
+
+class _Token:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text: str, line: int):
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.text!r}@{self.line})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    '(?:[^']*)'            # quoted literal
+    | [A-Za-z0-9][A-Za-z0-9\-#]*(?:\(\d+\))?   # word, maybe PIC suffix
+    | [().,]               # punctuation
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("*>")[0]  # allow trailing comments
+        pos = 0
+        while pos < len(stripped):
+            ch = stripped[pos]
+            if ch.isspace():
+                pos += 1
+                continue
+            match = _TOKEN_RE.match(stripped, pos)
+            if match is None:
+                raise DDLSyntaxError(
+                    f"unexpected character {ch!r}", line=line_no
+                )
+            token_text = match.group(0)
+            # A word glued to a PIC suffix like X(20) stays one token,
+            # but a trailing period belongs to the statement terminator.
+            tokens.append(_Token(token_text, line_no))
+            pos = match.end()
+            if pos < len(stripped) and stripped[pos] == ".":
+                # Only treat as terminator when followed by space/EOL.
+                tokens.append(_Token(".", line_no))
+                pos += 1
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the statement-period grammar."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token primitives ----------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DDLSyntaxError("unexpected end of DDL text")
+        self._pos += 1
+        return token
+
+    def _expect(self, *expected: str) -> _Token:
+        token = self._next()
+        if token.text.upper() not in expected:
+            raise DDLSyntaxError(
+                f"expected {' or '.join(expected)}, got {token.text!r}",
+                line=token.line,
+            )
+        return token
+
+    def _expect_word(self) -> str:
+        token = self._next()
+        if token.text in "().,":
+            raise DDLSyntaxError(
+                f"expected a name, got {token.text!r}", line=token.line
+            )
+        return token.text.upper()
+
+    def _at(self, *words: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text.upper() == words[0] and \
+            self._lookahead_matches(words)
+
+    def _lookahead_matches(self, words: tuple[str, ...]) -> bool:
+        for offset, word in enumerate(words):
+            index = self._pos + offset
+            if index >= len(self._tokens):
+                return False
+            if self._tokens[index].text.upper() != word:
+                return False
+        return True
+
+    def _name_list(self) -> tuple[str, ...]:
+        """Parse ``(A, B, C)``."""
+        self._expect("(")
+        names = [self._expect_word()]
+        while self._peek() is not None and self._peek().text == ",":
+            self._next()
+            names.append(self._expect_word())
+        self._expect(")")
+        return tuple(names)
+
+    def _value(self) -> Any:
+        """A literal: quoted string or integer."""
+        token = self._next()
+        text = token.text
+        if text.startswith("'") and text.endswith("'"):
+            return text[1:-1]
+        try:
+            return int(text)
+        except ValueError:
+            raise DDLSyntaxError(
+                f"expected a literal, got {text!r}", line=token.line
+            ) from None
+
+    def _value_list(self) -> tuple[Any, ...]:
+        self._expect("(")
+        values = [self._value()]
+        while self._peek() is not None and self._peek().text == ",":
+            self._next()
+            values.append(self._value())
+        self._expect(")")
+        return tuple(values)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_schema(self) -> Schema:
+        self._expect("SCHEMA")
+        self._expect("NAME")
+        self._expect("IS")
+        schema = Schema(self._expect_word())
+        self._expect(".")
+        while not self._at("END", "SCHEMA"):
+            if self._at("RECORD", "SECTION"):
+                self._record_section(schema)
+            elif self._at("SET", "SECTION"):
+                self._set_section(schema)
+            elif self._at("CONSTRAINT", "SECTION"):
+                self._constraint_section(schema)
+            else:
+                token = self._peek()
+                raise DDLSyntaxError(
+                    f"expected a section, got {token.text!r}",
+                    line=token.line,
+                )
+        self._expect("END")
+        self._expect("SCHEMA")
+        self._expect(".")
+        schema.validate()
+        return schema
+
+    def _record_section(self, schema: Schema) -> None:
+        self._expect("RECORD")
+        self._expect("SECTION")
+        self._expect(".")
+        while not self._at("END", "RECORD", "SECTION"):
+            schema.add_record(self._record())
+        self._expect("END")
+        self._expect("RECORD")
+        self._expect("SECTION")
+        self._expect(".")
+
+    def _record(self) -> RecordType:
+        self._expect("RECORD")
+        self._expect("NAME")
+        self._expect("IS")
+        name = self._expect_word()
+        self._expect(".")
+        calc_keys: tuple[str, ...] = ()
+        if self._at("LOCATION"):
+            self._expect("LOCATION")
+            self._expect("MODE")
+            self._expect("IS")
+            self._expect("CALC")
+            self._expect("USING")
+            calc_keys = self._name_list()
+            self._expect(".")
+        self._expect("FIELDS")
+        self._expect("ARE")
+        self._expect(".")
+        fields: list[Field] = []
+        while not self._at("END", "RECORD"):
+            fields.append(self._field())
+        self._expect("END")
+        self._expect("RECORD")
+        self._expect(".")
+        return RecordType(name, tuple(fields), calc_keys)
+
+    def _field(self) -> Field:
+        name = self._expect_word()
+        token = self._next()
+        keyword = token.text.upper()
+        if keyword == "PIC":
+            pic = self._next().text
+            self._expect(".")
+            return Field(name, parse_pic(pic))
+        if keyword == "VIRTUAL":
+            self._expect("VIA")
+            via = self._expect_word()
+            self._expect("USING")
+            using = self._expect_word()
+            self._expect(".")
+            # The virtual field's type is resolved from the owner at
+            # schema validation; declare a wide alphanumeric here and
+            # let validation confirm the reference.
+            return Field(name, parse_pic("X(255)"),
+                         virtual_via=via, virtual_using=using)
+        raise DDLSyntaxError(
+            f"expected PIC or VIRTUAL after field {name}, got {keyword!r}",
+            line=token.line,
+        )
+
+    def _set_section(self, schema: Schema) -> None:
+        self._expect("SET")
+        self._expect("SECTION")
+        self._expect(".")
+        while not self._at("END", "SET", "SECTION"):
+            set_type = self._set()
+            schema.validate_set(set_type)
+            schema.add_set(set_type)
+        self._expect("END")
+        self._expect("SET")
+        self._expect("SECTION")
+        self._expect(".")
+
+    def _set(self) -> SetType:
+        self._expect("SET")
+        self._expect("NAME")
+        self._expect("IS")
+        name = self._expect_word()
+        self._expect(".")
+        self._expect("OWNER")
+        self._expect("IS")
+        owner = self._expect_word()
+        self._expect(".")
+        self._expect("MEMBER")
+        self._expect("IS")
+        member = self._expect_word()
+        self._expect(".")
+        order_keys: tuple[str, ...] = ()
+        insertion = Insertion.AUTOMATIC
+        retention = Retention.OPTIONAL
+        allow_duplicates = True
+        while not self._at("END", "SET"):
+            if self._at("SET", "KEYS"):
+                self._expect("SET")
+                self._expect("KEYS")
+                self._expect("ARE")
+                order_keys = self._name_list()
+                self._expect(".")
+                # Figure 4.3's "SET KEYS" implies no duplicate keys
+                # within an occurrence ("Duplicates are not allowed
+                # within a set occurrence", Section 4.2).
+                allow_duplicates = False
+            elif self._at("INSERTION"):
+                self._expect("INSERTION")
+                self._expect("IS")
+                insertion = Insertion[self._expect("AUTOMATIC", "MANUAL").text.upper()]
+                self._expect(".")
+            elif self._at("RETENTION"):
+                self._expect("RETENTION")
+                self._expect("IS")
+                retention = Retention[self._expect("MANDATORY", "OPTIONAL").text.upper()]
+                self._expect(".")
+            elif self._at("DUPLICATES"):
+                self._expect("DUPLICATES")
+                self._expect("ARE")
+                word = self._expect("ALLOWED", "NOT")
+                if word.text.upper() == "NOT":
+                    self._expect("ALLOWED")
+                    allow_duplicates = False
+                else:
+                    allow_duplicates = True
+                self._expect(".")
+            else:
+                token = self._peek()
+                raise DDLSyntaxError(
+                    f"unexpected clause {token.text!r} in SET {name}",
+                    line=token.line,
+                )
+        self._expect("END")
+        self._expect("SET")
+        self._expect(".")
+        return SetType(name, owner, member, order_keys,
+                       insertion, retention, allow_duplicates)
+
+    def _constraint_section(self, schema: Schema) -> None:
+        self._expect("CONSTRAINT")
+        self._expect("SECTION")
+        self._expect(".")
+        while not self._at("END", "CONSTRAINT", "SECTION"):
+            schema.add_constraint(self._constraint())
+        self._expect("END")
+        self._expect("CONSTRAINT")
+        self._expect("SECTION")
+        self._expect(".")
+
+    def _constraint(self) -> Constraint:
+        self._expect("CONSTRAINT")
+        self._expect("NAME")
+        self._expect("IS")
+        name = self._expect_word()
+        self._expect(".")
+        token = self._next()
+        keyword = token.text.upper()
+        constraint: Constraint
+        if keyword == "UNIQUE":
+            fields = self._name_list()
+            self._expect("IN")
+            record = self._expect_word()
+            constraint = UniqueKey(name, record, fields)
+        elif keyword == "NOT":
+            self._expect("NULL")
+            field_name = self._expect_word()
+            self._expect("IN")
+            record = self._expect_word()
+            constraint = NotNull(name, record, field_name)
+        elif keyword == "EXISTENCE":
+            self._expect("OF")
+            self._expect("MEMBER")
+            self._expect("IN")
+            set_name = self._expect_word()
+            constraint = ExistenceConstraint(name, set_name)
+        elif keyword == "LIMIT":
+            set_name = self._expect_word()
+            self._expect("TO")
+            limit_token = self._next()
+            try:
+                limit = int(limit_token.text)
+            except ValueError:
+                raise DDLSyntaxError(
+                    f"LIMIT needs a number, got {limit_token.text!r}",
+                    line=limit_token.line,
+                ) from None
+            per: tuple[str, ...] = ()
+            if self._at("PER"):
+                self._expect("PER")
+                per = self._name_list()
+            constraint = CardinalityLimit(name, set_name, limit, per)
+        elif keyword == "DOMAIN":
+            field_name = self._expect_word()
+            self._expect("IN")
+            record = self._expect_word()
+            low = high = None
+            allowed = None
+            if self._at("FROM"):
+                self._expect("FROM")
+                low = self._value()
+                self._expect("TO")
+                high = self._value()
+            elif self._at("AMONG"):
+                self._expect("AMONG")
+                allowed = self._value_list()
+            constraint = DomainConstraint(name, record, field_name,
+                                          low, high, allowed)
+        else:
+            raise DDLSyntaxError(
+                f"unknown constraint kind {keyword!r}", line=token.line
+            )
+        self._expect(".")
+        self._expect("END")
+        self._expect("CONSTRAINT")
+        self._expect(".")
+        return constraint
+
+
+def parse_ddl(text: str) -> Schema:
+    """Parse DDL text (Figure 4.3 syntax) into a validated Schema."""
+    parser = _Parser(_tokenize(text))
+    schema = parser.parse_schema()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise DDLSyntaxError(
+            f"text after END SCHEMA: {trailing.text!r}", line=trailing.line
+        )
+    return schema
+
+
+def format_ddl(schema: Schema) -> str:
+    """Render a Schema back into DDL text (parse/format round-trips)."""
+    lines = [f"SCHEMA NAME IS {schema.name}."]
+    lines.append("RECORD SECTION.")
+    for record in schema.records.values():
+        lines.append(f"  RECORD NAME IS {record.name}.")
+        if record.calc_keys:
+            keys = ", ".join(record.calc_keys)
+            lines.append(f"    LOCATION MODE IS CALC USING ({keys}).")
+        lines.append("    FIELDS ARE.")
+        for fld in record.fields:
+            if fld.is_virtual:
+                lines.append(
+                    f"      {fld.name} VIRTUAL VIA {fld.virtual_via} "
+                    f"USING {fld.virtual_using}."
+                )
+            else:
+                lines.append(f"      {fld.name} PIC {fld.type.pic}.")
+        lines.append("  END RECORD.")
+    lines.append("END RECORD SECTION.")
+    lines.append("SET SECTION.")
+    for set_type in schema.sets.values():
+        lines.append(f"  SET NAME IS {set_type.name}.")
+        lines.append(f"    OWNER IS {set_type.owner}.")
+        lines.append(f"    MEMBER IS {set_type.member}.")
+        if set_type.order_keys:
+            keys = ", ".join(set_type.order_keys)
+            lines.append(f"    SET KEYS ARE ({keys}).")
+        lines.append(f"    INSERTION IS {set_type.insertion.value}.")
+        lines.append(f"    RETENTION IS {set_type.retention.value}.")
+        if set_type.allow_duplicates:
+            lines.append("    DUPLICATES ARE ALLOWED.")
+        else:
+            lines.append("    DUPLICATES ARE NOT ALLOWED.")
+        lines.append("  END SET.")
+    lines.append("END SET SECTION.")
+    if schema.constraints:
+        lines.append("CONSTRAINT SECTION.")
+        for constraint in schema.constraints:
+            lines.append(f"  CONSTRAINT NAME IS {constraint.name}.")
+            lines.append(f"    {_format_constraint(constraint)}.")
+            lines.append("  END CONSTRAINT.")
+        lines.append("END CONSTRAINT SECTION.")
+    lines.append("END SCHEMA.")
+    return "\n".join(lines) + "\n"
+
+
+def _format_constraint(constraint: Constraint) -> str:
+    if isinstance(constraint, UniqueKey):
+        return f"UNIQUE ({', '.join(constraint.fields)}) IN {constraint.record}"
+    if isinstance(constraint, NotNull):
+        return f"NOT NULL {constraint.field} IN {constraint.record}"
+    if isinstance(constraint, ExistenceConstraint):
+        return f"EXISTENCE OF MEMBER IN {constraint.set_name}"
+    if isinstance(constraint, CardinalityLimit):
+        text = f"LIMIT {constraint.set_name} TO {constraint.limit}"
+        if constraint.per_fields:
+            text += f" PER ({', '.join(constraint.per_fields)})"
+        return text
+    if isinstance(constraint, DomainConstraint):
+        text = f"DOMAIN {constraint.field} IN {constraint.record}"
+        if constraint.low is not None or constraint.high is not None:
+            text += f" FROM {_literal(constraint.low)} TO {_literal(constraint.high)}"
+        if constraint.allowed is not None:
+            values = ", ".join(_literal(v) for v in constraint.allowed)
+            text += f" AMONG ({values})"
+        return text
+    raise TypeError(f"cannot format constraint {constraint!r}")
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"'{value}'"

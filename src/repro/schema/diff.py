@@ -1,0 +1,396 @@
+"""Schema-change taxonomy and schema differencing.
+
+Figure 4.1's Conversion Analyzer "analyzes the source and target
+databases in order to classify the types of changes that have been made
+and to encode the descriptions in suitable internal representations".
+The internal representation is this module's :class:`SchemaChange`
+hierarchy.
+
+Changes arrive in two ways, matching the paper's two inputs (a new
+schema, and "a definition of a restructuring"):
+
+* :func:`diff_schemas` infers simple changes by name-matching two
+  schemas (additions, removals, ordering and membership changes);
+* the restructuring operators of :mod:`repro.restructure.operators`
+  *declare* the structural changes (renames, interpositions, merges)
+  that no name-diff can infer reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.constraints import Constraint
+from repro.schema.model import Field, Insertion, Retention, Schema, SetType
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """Base class for one classified change between source and target."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        """Stable identifier used to select transformation rules."""
+        return type(self).__name__
+
+
+# -- naming changes ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecordRenamed(SchemaChange):
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"record {self.old_name} renamed to {self.new_name}"
+
+
+@dataclass(frozen=True)
+class FieldRenamed(SchemaChange):
+    record: str
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return (f"field {self.record}.{self.old_name} renamed to "
+                f"{self.new_name}")
+
+
+@dataclass(frozen=True)
+class SetRenamed(SchemaChange):
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"set {self.old_name} renamed to {self.new_name}"
+
+
+# -- additive / subtractive changes -----------------------------------------
+
+
+@dataclass(frozen=True)
+class RecordAdded(SchemaChange):
+    record: str
+
+    def describe(self) -> str:
+        return f"record type {self.record} added"
+
+
+@dataclass(frozen=True)
+class RecordRemoved(SchemaChange):
+    record: str
+
+    def describe(self) -> str:
+        return f"record type {self.record} removed"
+
+
+@dataclass(frozen=True)
+class FieldAdded(SchemaChange):
+    record: str
+    field_name: str
+    default: object = None
+
+    def describe(self) -> str:
+        return f"field {self.record}.{self.field_name} added"
+
+
+@dataclass(frozen=True)
+class FieldRemoved(SchemaChange):
+    record: str
+    field_name: str
+
+    def describe(self) -> str:
+        return f"field {self.record}.{self.field_name} removed"
+
+
+@dataclass(frozen=True)
+class SetAdded(SchemaChange):
+    set_name: str
+
+    def describe(self) -> str:
+        return f"set type {self.set_name} added"
+
+
+@dataclass(frozen=True)
+class SetRemoved(SchemaChange):
+    set_name: str
+
+    def describe(self) -> str:
+        return f"set type {self.set_name} removed"
+
+
+# -- behavioural changes -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetOrderChanged(SchemaChange):
+    """The member ordering of a set changed (Section 3.2's order
+    dependence makes this change dangerous for unconverted programs)."""
+
+    set_name: str
+    old_keys: tuple[str, ...]
+    new_keys: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (f"set {self.set_name} order changed from "
+                f"{list(self.old_keys)} to {list(self.new_keys)}")
+
+
+@dataclass(frozen=True)
+class MembershipChanged(SchemaChange):
+    """Insertion/retention class changed (AUTOMATIC/MANUAL,
+    MANDATORY/OPTIONAL -- the Section 3.1 existence machinery)."""
+
+    set_name: str
+    old_insertion: Insertion
+    new_insertion: Insertion
+    old_retention: Retention
+    new_retention: Retention
+
+    def describe(self) -> str:
+        return (f"set {self.set_name} membership changed "
+                f"{self.old_insertion.value}/{self.old_retention.value} -> "
+                f"{self.new_insertion.value}/{self.new_retention.value}")
+
+
+@dataclass(frozen=True)
+class VirtualizedField(SchemaChange):
+    """A stored member field became VIRTUAL through a set (or back)."""
+
+    record: str
+    field_name: str
+    now_virtual: bool
+    via_set: str | None = None
+
+    def describe(self) -> str:
+        direction = "virtualized" if self.now_virtual else "materialized"
+        return f"field {self.record}.{self.field_name} {direction}"
+
+
+# -- structural changes (declared by restructuring operators) ---------------
+
+
+@dataclass(frozen=True)
+class RecordInterposed(SchemaChange):
+    """A new record type was interposed on a set path.
+
+    This is exactly the Figure 4.2 -> Figure 4.4 transformation: the
+    set DIV-EMP is replaced by DIV -> (DIV-DEPT) -> DEPT -> (DEPT-EMP)
+    -> EMP, with DEPT formed from the member's DEPT-NAME field.
+    """
+
+    old_set: str
+    new_record: str
+    key_fields: tuple[str, ...]
+    upper_set: str
+    lower_set: str
+    #: Snapshot of the source set at the time of the change, so rules
+    #: do not depend on the (possibly already-evolved) source schema.
+    owner: str = ""
+    member: str = ""
+    order_keys: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (f"record {self.new_record} interposed on set "
+                f"{self.old_set} (now {self.upper_set} + {self.lower_set})")
+
+
+@dataclass(frozen=True)
+class FieldsExtracted(SchemaChange):
+    """Fields of a record were split off into a new owner record
+    (vertical partition): one new-record instance per source instance,
+    linked 1:1 through ``link_set``, the moved fields VIRTUAL on the
+    source record."""
+
+    record: str
+    fields: tuple[str, ...]
+    new_record: str
+    link_set: str
+
+    def describe(self) -> str:
+        return (f"fields {list(self.fields)} of {self.record} extracted "
+                f"into {self.new_record} (1:1 via {self.link_set})")
+
+
+@dataclass(frozen=True)
+class FieldsInlined(SchemaChange):
+    """Inverse of :class:`FieldsExtracted`: the extracted record's
+    fields were copied back and the record removed."""
+
+    record: str
+    fields: tuple[str, ...]
+    removed_record: str
+    link_set: str
+
+    def describe(self) -> str:
+        return (f"record {self.removed_record} inlined back into "
+                f"{self.record} (fields {list(self.fields)})")
+
+
+@dataclass(frozen=True)
+class RecordsMerged(SchemaChange):
+    """An interposed record was collapsed back into its members
+    (inverse of :class:`RecordInterposed`)."""
+
+    removed_record: str
+    upper_set: str
+    lower_set: str
+    new_set: str
+    inherited_fields: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (f"record {self.removed_record} merged away; "
+                f"{self.upper_set}+{self.lower_set} collapsed to "
+                f"{self.new_set}")
+
+
+@dataclass(frozen=True)
+class SiblingOrderChanged(SchemaChange):
+    """The child set types of an owner were reordered, changing the
+    hierarchical (GN preorder) sequence -- the Mehl & Wang order
+    transformation (Section 2.2)."""
+
+    owner: str
+    old_order: tuple[str, ...]
+    new_order: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (f"sibling order of {self.owner} changed "
+                f"{list(self.old_order)} -> {list(self.new_order)}")
+
+
+@dataclass(frozen=True)
+class HierarchyReordered(SchemaChange):
+    """Parent and child were exchanged in a hierarchical structure
+    (the Mehl & Wang order transformation, Section 2.2)."""
+
+    old_parent: str
+    old_child: str
+    set_name: str
+    new_set_name: str
+
+    def describe(self) -> str:
+        return (f"hierarchy inverted: {self.old_parent} over "
+                f"{self.old_child} becomes {self.old_child} over "
+                f"{self.old_parent}")
+
+
+# -- constraint changes ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstraintAdded(SchemaChange):
+    """A constraint was added -- the Section 5.2 example: "the schema is
+    changed to require each employee to have a department"; conversion
+    preserves the *new* requirements, with a warning."""
+
+    constraint: Constraint = field(compare=False)
+
+    def describe(self) -> str:
+        return f"constraint added: {self.constraint.describe()}"
+
+
+@dataclass(frozen=True)
+class ConstraintRemoved(SchemaChange):
+    constraint: Constraint = field(compare=False)
+
+    def describe(self) -> str:
+        return f"constraint removed: {self.constraint.describe()}"
+
+
+# ---------------------------------------------------------------------------
+# Differencing
+# ---------------------------------------------------------------------------
+
+
+def diff_schemas(source: Schema, target: Schema) -> list[SchemaChange]:
+    """Classify changes between two schemas by name matching.
+
+    Renames and structural transformations are not inferred (two
+    unrelated record types may share no names); restructuring operators
+    declare those explicitly.  The result is deterministic: records,
+    then fields, then sets, then constraints, each in source order.
+    """
+    changes: list[SchemaChange] = []
+
+    for name in source.records:
+        if name not in target.records:
+            changes.append(RecordRemoved(name))
+    for name in target.records:
+        if name not in source.records:
+            changes.append(RecordAdded(name))
+
+    for name, source_record in source.records.items():
+        target_record = target.records.get(name)
+        if target_record is None:
+            continue
+        changes.extend(_diff_fields(name, source_record.fields,
+                                    target_record.fields))
+
+    for name, source_set in source.sets.items():
+        target_set = target.sets.get(name)
+        if target_set is None:
+            changes.append(SetRemoved(name))
+            continue
+        changes.extend(_diff_set(source_set, target_set))
+    for name in target.sets:
+        if name not in source.sets:
+            changes.append(SetAdded(name))
+
+    source_constraints = {c.describe(): c for c in source.constraints}
+    target_constraints = {c.describe(): c for c in target.constraints}
+    for text, constraint in source_constraints.items():
+        if text not in target_constraints:
+            changes.append(ConstraintRemoved(constraint))
+    for text, constraint in target_constraints.items():
+        if text not in source_constraints:
+            changes.append(ConstraintAdded(constraint))
+
+    return changes
+
+
+def _diff_fields(record_name: str, source_fields: tuple[Field, ...],
+                 target_fields: tuple[Field, ...]) -> list[SchemaChange]:
+    changes: list[SchemaChange] = []
+    source_by_name = {f.name: f for f in source_fields}
+    target_by_name = {f.name: f for f in target_fields}
+    for name, source_field in source_by_name.items():
+        target_field = target_by_name.get(name)
+        if target_field is None:
+            changes.append(FieldRemoved(record_name, name))
+        elif source_field.is_virtual != target_field.is_virtual:
+            changes.append(VirtualizedField(
+                record_name, name, target_field.is_virtual,
+                target_field.virtual_via,
+            ))
+    for name in target_by_name:
+        if name not in source_by_name:
+            changes.append(FieldAdded(record_name, name))
+    return changes
+
+
+def _diff_set(source_set: SetType, target_set: SetType) -> list[SchemaChange]:
+    changes: list[SchemaChange] = []
+    if (source_set.owner != target_set.owner
+            or source_set.member != target_set.member):
+        # Same name, different endpoints: treat as remove + add; the
+        # converter will flag programs touching it for the analyst.
+        changes.append(SetRemoved(source_set.name))
+        changes.append(SetAdded(target_set.name))
+        return changes
+    if source_set.order_keys != target_set.order_keys:
+        changes.append(SetOrderChanged(
+            source_set.name, source_set.order_keys, target_set.order_keys,
+        ))
+    if (source_set.insertion != target_set.insertion
+            or source_set.retention != target_set.retention):
+        changes.append(MembershipChanged(
+            source_set.name,
+            source_set.insertion, target_set.insertion,
+            source_set.retention, target_set.retention,
+        ))
+    return changes

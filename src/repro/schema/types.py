@@ -1,0 +1,86 @@
+"""COBOL-style PIC field types.
+
+The Figure 4.3 DDL declares fields as ``DIV-NAME PIC X(20)`` or
+``AGE PIC X(2)``.  We support the two 1979 staples:
+
+* ``X(n)`` -- alphanumeric, at most n characters;
+* ``9(n)`` -- unsigned numeric, at most n digits.
+
+A :class:`FieldType` validates and coerces host values, which is how the
+engines catch programs writing data the schema does not allow.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+_PIC_RE = re.compile(r"^(X|9)\((\d+)\)$")
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """A parsed PIC clause: kind ``'X'`` or ``'9'`` plus a width."""
+
+    kind: str
+    width: int
+
+    @property
+    def pic(self) -> str:
+        """The PIC string this type was declared with."""
+        return f"{self.kind}({self.width})"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == "9"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce ``value`` to this type, raising SchemaError if invalid.
+
+        ``None`` always passes (nullability is a constraint, not a
+        type property -- Section 3.1's "null instructor").
+        """
+        if value is None:
+            return None
+        if self.kind == "9":
+            if isinstance(value, bool) or not isinstance(value, (int, str)):
+                raise SchemaError(
+                    f"PIC {self.pic} field cannot hold {value!r}"
+                )
+            try:
+                number = int(value)
+            except ValueError:
+                raise SchemaError(
+                    f"PIC {self.pic} field cannot hold {value!r}"
+                ) from None
+            if number < 0:
+                raise SchemaError(f"PIC {self.pic} field cannot be negative")
+            if len(str(number)) > self.width:
+                raise SchemaError(
+                    f"PIC {self.pic} field overflows with {number}"
+                )
+            return number
+        # Alphanumeric: accept anything with a string form, bound length.
+        text = value if isinstance(value, str) else str(value)
+        if len(text) > self.width:
+            raise SchemaError(
+                f"PIC {self.pic} field overflows with {text!r} "
+                f"({len(text)} chars)"
+            )
+        return text
+
+
+def parse_pic(pic: str) -> FieldType:
+    """Parse a PIC clause like ``X(20)`` or ``9(4)``."""
+    match = _PIC_RE.match(pic.strip().upper())
+    if match is None:
+        raise SchemaError(f"unsupported PIC clause: {pic!r}")
+    kind, width_text = match.groups()
+    width = int(width_text)
+    if width == 0:
+        raise SchemaError(f"PIC width must be positive: {pic!r}")
+    return FieldType(kind, width)

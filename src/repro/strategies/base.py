@@ -1,0 +1,48 @@
+"""Strategy interface.
+
+A strategy is prepared once for (source schema, operator, target
+database) and then runs source programs; it reports each run's I/O
+trace plus the operation-count delta, measured over one shared
+:class:`~repro.engine.metrics.Metrics` object covering the target
+database *and* any scratch structures the strategy builds (emulation
+tables, bridge reconstructions), so overhead is attributed honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.metrics import Metrics, MetricsScope
+from repro.programs.ast import Program
+from repro.programs.interpreter import ProgramInputs
+from repro.programs.iotrace import IOTrace
+
+
+@dataclass
+class StrategyRun:
+    """One program execution under a strategy."""
+
+    strategy: str
+    program: str
+    trace: IOTrace
+    metrics: Metrics
+
+    def cost(self) -> int:
+        """The access-path-length proxy: total record touches plus
+        per-call mapping and materialization work."""
+        return (self.metrics.total_accesses()
+                + self.metrics.emulation_mappings
+                + self.metrics.bridge_materializations)
+
+
+class ConversionStrategy:
+    """Base class; subclasses implement :meth:`run`."""
+
+    name = "abstract"
+
+    def run(self, program: Program,
+            inputs: ProgramInputs | None = None) -> StrategyRun:
+        raise NotImplementedError
+
+    def _measured(self, metrics: Metrics) -> MetricsScope:
+        return MetricsScope(metrics)

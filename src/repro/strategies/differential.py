@@ -1,0 +1,59 @@
+"""Differential files (Severance & Lohman, reference 9).
+
+The bridge strategy lets the source program update a *reconstructed*
+copy of the source database; the updates must then be reflected in the
+real (restructured) target.  "Differential file techniques can be used
+to ease this process" -- instead of re-translating the whole
+reconstruction, only the logged deltas are applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DifferentialEntry:
+    """One logged update against the reconstruction.
+
+    ``op`` is 'store' | 'modify' | 'erase'; ``rid`` is the rid in the
+    reconstruction (None for stores until assigned).
+    """
+
+    op: str
+    record: str
+    rid: int | None
+    values: tuple[tuple[str, Any], ...] = ()
+    cascade: bool = False
+
+
+@dataclass
+class DifferentialFile:
+    """Ordered log of updates made through a bridge session."""
+
+    entries: list[DifferentialEntry] = field(default_factory=list)
+
+    def log_store(self, record: str, rid: int,
+                  values: dict[str, Any]) -> None:
+        self.entries.append(DifferentialEntry(
+            "store", record, rid, tuple(values.items())
+        ))
+
+    def log_modify(self, record: str, rid: int,
+                   updates: dict[str, Any]) -> None:
+        self.entries.append(DifferentialEntry(
+            "modify", record, rid, tuple(updates.items())
+        ))
+
+    def log_erase(self, record: str, rid: int, cascade: bool) -> None:
+        self.entries.append(DifferentialEntry(
+            "erase", record, rid, cascade=cascade
+        ))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.entries)

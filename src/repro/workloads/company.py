@@ -1,0 +1,109 @@
+"""The Figures 4.2-4.4 company database.
+
+``FIGURE_4_3_DDL`` is the paper's schema declaration, verbatim in our
+DDL syntax; :func:`figure_44_operator` is the restructuring the paper
+performs on it (a DEPT record type interposed on DIV-EMP); the paper's
+two FIND statements are exported as constants for the E3 experiment.
+"""
+
+from __future__ import annotations
+
+from repro.network.database import NetworkDatabase
+from repro.network.dml import DMLSession
+from repro.restructure.operators import InterposeRecord
+from repro.schema.ddl import parse_ddl
+from repro.schema.model import Schema
+from repro.workloads.datagen import DataGen
+
+#: Figure 4.3, in this library's DDL (the figure's syntax plus the
+#: CALC clauses the examples rely on).
+FIGURE_4_3_DDL = """
+SCHEMA NAME IS COMPANY-NAME.
+RECORD SECTION.
+  RECORD NAME IS DIV.
+    LOCATION MODE IS CALC USING (DIV-NAME).
+    FIELDS ARE.
+      DIV-NAME PIC X(20).
+      DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+    LOCATION MODE IS CALC USING (EMP-NAME).
+    FIELDS ARE.
+      EMP-NAME PIC X(25).
+      DEPT-NAME PIC X(10).
+      AGE PIC 9(2).
+      DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+    OWNER IS SYSTEM.
+    MEMBER IS DIV.
+    SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+    OWNER IS DIV.
+    MEMBER IS EMP.
+    SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.
+"""
+
+#: The paper's example FIND statements (Section 4.2).
+FIND_OVER_30 = "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))"
+FIND_MACHINERY_SALES = (
+    "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), "
+    "DIV-EMP, EMP(DEPT-NAME = 'SALES'))"
+)
+
+#: The paper's converted forms (Figure 4.4 text).
+CONVERTED_OVER_30 = (
+    "SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, "
+    "EMP(AGE > 30))) ON (EMP-NAME)"
+)
+CONVERTED_MACHINERY_SALES = (
+    "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, "
+    "DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)"
+)
+
+
+def figure_42_schema() -> Schema:
+    """The Figure 4.2/4.3 schema, parsed from the DDL text."""
+    return parse_ddl(FIGURE_4_3_DDL)
+
+
+def figure_44_operator() -> InterposeRecord:
+    """The Figure 4.2 -> Figure 4.4 restructuring."""
+    return InterposeRecord("DIV-EMP", "DEPT", ("DEPT-NAME",),
+                           "DIV-DEPT", "DEPT-EMP")
+
+
+def populate(db: NetworkDatabase, seed: int = 1979, divisions: int = 2,
+             employees_per_division: int = 20,
+             departments_per_division: int = 4) -> NetworkDatabase:
+    """Load a company instance (always includes the MACHINERY division
+    and a SALES department so the paper's queries return rows)."""
+    gen = DataGen(seed)
+    session = DMLSession(db)
+    division_names = ["MACHINERY", "CHEMICAL", "TEXTILE", "MINING",
+                      "SHIPPING", "FOUNDRY"]
+    departments = ["SALES", "ENG", "ADMIN", "PLANT", "AUDIT", "STAFF"]
+    for d_index in range(divisions):
+        division = division_names[d_index % len(division_names)]
+        session.store("DIV", {"DIV-NAME": division, "DIV-LOC": gen.city()})
+        for e_index in range(employees_per_division):
+            dept = departments[e_index % departments_per_division]
+            session.store("EMP", {
+                "EMP-NAME": gen.surname(d_index * 1000 + e_index),
+                "DEPT-NAME": dept,
+                "AGE": gen.age(),
+                "DIV-NAME": division,
+            })
+    db.verify_consistent()
+    return db
+
+
+def company_db(seed: int = 1979, **kwargs) -> NetworkDatabase:
+    """A populated Figure 4.2 database."""
+    return populate(NetworkDatabase(figure_42_schema()), seed, **kwargs)

@@ -1,0 +1,401 @@
+"""Generated program corpus.
+
+E2 and E6 need "large classes of programs" (Section 5.3) to measure
+conversion automation rates and pathology-detector accuracy.  The
+corpus generator produces application programs over the Figure 4.2
+company schema: clean programs drawn from seven realistic shapes, plus
+controlled injection of the four Section 3.2 pathologies.
+
+Every program is labelled with ground truth
+(:class:`CorpusProgram.pathologies`), so detector precision/recall is
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.ast import Program
+from repro.workloads.datagen import DataGen
+
+#: The seven clean shapes.
+CLEAN_KINDS = (
+    "report",        # scan + filter + display
+    "lookup",        # find one employee, display
+    "hire",          # store a new employee
+    "raise",         # modify ages in a department
+    "fire",          # erase an employee
+    "audit-file",    # scan + write to a non-database file
+    "guarded-store", # existence check before store (procedural constraint)
+)
+
+#: The four Section 3.2 pathologies.
+PATHOLOGY_KINDS = (
+    "verb-variability",
+    "order-dependence",
+    "process-first",
+    "status-code",
+)
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """A generated program plus its ground-truth labels."""
+
+    program: Program
+    kind: str
+    pathologies: frozenset[str] = frozenset()
+    #: Terminal inputs the program expects, if any.
+    terminal_inputs: tuple[str, ...] = ()
+
+
+@dataclass
+class CorpusSpec:
+    """Knobs for one corpus."""
+
+    seed: int = 1979
+    size: int = 50
+    pathology_rate: float = 0.25
+    divisions: tuple[str, ...] = ("MACHINERY", "CHEMICAL")
+    departments: tuple[str, ...] = ("SALES", "ENG", "ADMIN", "PLANT")
+
+
+def generate_corpus(spec: CorpusSpec | None = None) -> list[CorpusProgram]:
+    """Deterministically generate a labelled corpus."""
+    spec = spec or CorpusSpec()
+    gen = DataGen(spec.seed)
+    out: list[CorpusProgram] = []
+    for index in range(spec.size):
+        if gen.chance(spec.pathology_rate):
+            kind = gen.choice(PATHOLOGY_KINDS)
+            out.append(_pathological(kind, index, gen, spec))
+        else:
+            kind = gen.choice(CLEAN_KINDS)
+            out.append(_clean(kind, index, gen, spec))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Clean shapes
+# ---------------------------------------------------------------------------
+
+
+def _clean(kind: str, index: int, gen: DataGen,
+           spec: CorpusSpec) -> CorpusProgram:
+    name = f"{kind.upper()}-{index:03d}"
+    division = gen.choice(spec.divisions)
+    dept = gen.choice(spec.departments)
+    if kind == "report":
+        threshold = gen.int_between(25, 55)
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.if_(b.gt(b.field("EMP", "AGE"), threshold), [
+                    b.display(b.field("EMP", "EMP-NAME"),
+                              b.field("EMP", "AGE")),
+                ]),
+            ]),
+            b.display("END-REPORT"),
+        ])
+        # The report displays per member: order dependent by nature.
+        return CorpusProgram(program, kind,
+                             frozenset({"order-dependence"}))
+    if kind == "lookup":
+        employee = gen.surname(index)
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": employee}),
+            b.if_(ast.status_ok(), [
+                b.get("EMP"),
+                b.display(b.field("EMP", "EMP-NAME"),
+                          b.field("EMP", "AGE")),
+            ], [
+                b.display("NOT FOUND"),
+            ]),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "hire":
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            b.store("EMP", **{
+                "EMP-NAME": f"NEW-{index:04d}",
+                "DEPT-NAME": dept,
+                "AGE": gen.age(),
+                "DIV-NAME": division,
+            }),
+            b.display("HIRED", f"NEW-{index:04d}"),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "raise":
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.if_(b.eq(b.field("EMP", "DEPT-NAME"), dept), [
+                    b.modify("EMP", **{
+                        "AGE": b.add(b.field("EMP", "AGE"), 0),
+                    }),
+                ]),
+            ]),
+            b.display("RAISED"),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "fire":
+        employee = gen.surname(index)
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": employee}),
+            b.if_(ast.status_ok(), [
+                b.erase("EMP"),
+                b.display("FIRED", employee),
+            ], [
+                b.display("NO SUCH EMPLOYEE"),
+            ]),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "audit-file":
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.write_file("AUDIT", b.field("EMP", "EMP-NAME"),
+                             b.field("EMP", "DEPT-NAME")),
+            ]),
+            b.display("AUDITED"),
+        ])
+        return CorpusProgram(program, kind,
+                             frozenset({"order-dependence"}))
+    if kind == "guarded-store":
+        # Procedurally-enforced existence constraint (E11 target):
+        # only hire into a division that exists.
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            b.if_(ast.status_ok(), [
+                b.store("EMP", **{
+                    "EMP-NAME": f"GRD-{index:04d}",
+                    "DEPT-NAME": dept,
+                    "AGE": gen.age(),
+                    "DIV-NAME": division,
+                }),
+                b.display("STORED"),
+            ], [
+                b.display("NO SUCH DIVISION"),
+            ]),
+        ])
+        return CorpusProgram(program, kind)
+    raise ValueError(f"unknown clean kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pathological shapes (Section 3.2)
+# ---------------------------------------------------------------------------
+
+
+def _pathological(kind: str, index: int, gen: DataGen,
+                  spec: CorpusSpec) -> CorpusProgram:
+    name = f"PATH-{kind.upper()}-{index:03d}"
+    division = gen.choice(spec.divisions)
+    if kind == "verb-variability":
+        # The DML verb arrives from the terminal: "what appeared to be
+        # a read at compile time might become an update".
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.accept("REQUEST", prompt="VERB?"),
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            b.generic_call(b.v("REQUEST"), "EMP", **{
+                "EMP-NAME": f"VAR-{index:04d}",
+                "AGE": 30,
+                "DEPT-NAME": "SALES",
+                "DIV-NAME": division,
+            }),
+            b.display("DONE"),
+        ])
+        return CorpusProgram(program, kind, frozenset({kind}),
+                             terminal_inputs=("STORE",))
+    if kind == "order-dependence":
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ])
+        return CorpusProgram(program, kind, frozenset({kind}))
+    if kind == "process-first":
+        # "may have intended to 'process all' ... but may have written
+        # a program which will 'process the first'".
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            *b.process_first("EMP", "DIV-EMP", [
+                b.display("SENIOR:", b.field("EMP", "EMP-NAME")),
+            ]),
+        ])
+        return CorpusProgram(program, kind, frozenset({kind}))
+    if kind == "status-code":
+        # Branches on the specific end-of-set code.
+        program = b.program(name, "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": division}),
+            b.find_first("EMP", "DIV-EMP"),
+            b.while_(ast.status_ok(), [
+                b.get("EMP"),
+                b.find_next("EMP", "DIV-EMP"),
+            ]),
+            b.if_(ast.status_is("0307"), [
+                b.display("END OF SET REACHED"),
+            ], [
+                b.display("UNEXPECTED STATUS"),
+            ]),
+        ])
+        return CorpusProgram(program, kind, frozenset({kind}))
+    raise ValueError(f"unknown pathology kind {kind!r}")
+
+
+def corpus_counts(corpus: list[CorpusProgram]) -> dict[str, int]:
+    """Programs per kind, for reporting."""
+    counts: dict[str, int] = {}
+    for item in corpus:
+        counts[item.kind] = counts.get(item.kind, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Relational corpus
+# ---------------------------------------------------------------------------
+
+#: Relational program shapes over the same application.
+RELATIONAL_KINDS = ("rel-report", "rel-lookup", "rel-hire", "rel-raise")
+
+
+def generate_relational_corpus(spec: CorpusSpec | None = None
+                               ) -> list[CorpusProgram]:
+    """The same application system written set-at-a-time.
+
+    Used by the E2 comparison of conversion sensitivity: under the
+    Figure 4.4 restructuring the relational EMP relation keeps its
+    DEPT-NAME column (as a foreign key), so these programs are far less
+    sensitive to the change than their navigational twins -- the data
+    independence contrast Section 1.2 gestures at.
+    """
+    spec = spec or CorpusSpec()
+    gen = DataGen(spec.seed + 1)
+    out: list[CorpusProgram] = []
+    for index in range(spec.size):
+        kind = gen.choice(RELATIONAL_KINDS)
+        out.append(_relational(kind, index, gen, spec))
+    return out
+
+
+#: Hierarchical program shapes (for the Mehl & Wang experiment).
+HIERARCHICAL_KINDS = ("hier-typed-scan", "hier-untyped-count",
+                      "hier-type-specific-untyped", "hier-full-walk")
+
+
+def generate_hierarchical_corpus(spec: CorpusSpec | None = None,
+                                 courses: tuple[str, ...] = ("C000",
+                                                             "C001",
+                                                             "C002"),
+                                 ) -> list[CorpusProgram]:
+    """DL/I programs over a course hierarchy, in the four shapes the
+    command-substitution rules distinguish: typed loops (untouched),
+    untyped type-agnostic loops (substituted), untyped loops with
+    type-specific bodies (refused to the analyst), and full GN walks
+    (flagged)."""
+    spec = spec or CorpusSpec()
+    gen = DataGen(spec.seed + 2)
+    out: list[CorpusProgram] = []
+    hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+    for index in range(spec.size):
+        kind = gen.choice(HIERARCHICAL_KINDS)
+        name = f"{kind.upper()}-{index:03d}"
+        cno = gen.choice(courses)
+        if kind == "hier-typed-scan":
+            program = b.program(name, "hierarchical", "IMS", [
+                b.gu(b.ssa("COURSE", "CNO", "=", cno)),
+                b.gnp(b.ssa("OFFERING")),
+                b.while_(hier_ok, [
+                    b.display(b.field("OFFERING", "S")),
+                    b.gnp(b.ssa("OFFERING")),
+                ]),
+            ])
+        elif kind == "hier-untyped-count":
+            program = b.program(name, "hierarchical", "IMS", [
+                b.gu(b.ssa("COURSE", "CNO", "=", cno)),
+                b.assign("N", 0),
+                b.gnp(),
+                b.while_(hier_ok, [
+                    b.assign("N", b.add(b.v("N"), 1)),
+                    b.gnp(),
+                ]),
+                b.display(cno, b.v("N")),
+            ])
+        elif kind == "hier-type-specific-untyped":
+            program = b.program(name, "hierarchical", "IMS", [
+                b.gu(b.ssa("COURSE", "CNO", "=", cno)),
+                b.gnp(),
+                b.while_(hier_ok, [
+                    b.display(b.field("OFFERING", "S")),  # type-bound!
+                    b.gnp(),
+                ]),
+            ])
+        else:  # hier-full-walk
+            program = b.program(name, "hierarchical", "IMS", [
+                b.assign("N", 0),
+                b.gn(),
+                b.while_(hier_ok, [
+                    b.assign("N", b.add(b.v("N"), 1)),
+                    b.gn(),
+                ]),
+                b.display("SEGMENTS", b.v("N")),
+            ])
+        out.append(CorpusProgram(program, kind))
+    return out
+
+
+def _relational(kind: str, index: int, gen: DataGen,
+                spec: CorpusSpec) -> CorpusProgram:
+    name = f"{kind.upper()}-{index:03d}"
+    division = gen.choice(spec.divisions)
+    dept = gen.choice(spec.departments)
+    if kind == "rel-report":
+        threshold = gen.int_between(25, 55)
+        program = b.program(name, "relational", "COMPANY-NAME", [
+            b.query(
+                f"SELECT EMP-NAME, AGE FROM EMP WHERE AGE > {threshold} "
+                "ORDER BY EMP-NAME",
+                "$ROWS",
+            ),
+            b.for_each_row("ROW", "$ROWS", [
+                b.display(b.v("ROW.EMP-NAME"), b.v("ROW.AGE")),
+            ]),
+            b.display("END-REPORT"),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "rel-lookup":
+        employee = gen.surname(index)
+        program = b.program(name, "relational", "COMPANY-NAME", [
+            b.query(
+                f"SELECT AGE FROM EMP WHERE EMP-NAME = '{employee}'",
+                "$ROWS",
+            ),
+            ast.BindFirstRow("EMP", "$ROWS"),
+            b.if_(ast.status_ok(), [
+                b.display(employee, b.v("EMP.AGE")),
+            ], [b.display("NOT FOUND")]),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "rel-hire":
+        program = b.program(name, "relational", "COMPANY-NAME", [
+            b.rel_insert("EMP", **{
+                "EMP-NAME": f"RNEW-{index:04d}",
+                "DEPT-NAME": dept,
+                "AGE": gen.age(),
+                "DIV-NAME": division,
+            }),
+            b.display("HIRED", f"RNEW-{index:04d}"),
+        ])
+        return CorpusProgram(program, kind)
+    if kind == "rel-raise":
+        employee = gen.surname(index)
+        program = b.program(name, "relational", "COMPANY-NAME", [
+            b.rel_update("EMP", {"EMP-NAME": employee},
+                         {"AGE": gen.age()}),
+            b.display(b.v("DB-STATUS")),
+        ])
+        return CorpusProgram(program, kind)
+    raise ValueError(f"unknown relational kind {kind!r}")

@@ -1,0 +1,157 @@
+"""The Figure 3.1 school database.
+
+Figure 3.1a (relational)::
+
+    COURSE-OFFERING(CNO, S, ...)
+    COURSE(CNO, CNAME, ...)
+    SEMESTER(S, YEAR, ...)
+
+Figure 3.1b (CODASYL): COURSE and SEMESTER own OFFERING through the
+"course's offering" and "semester's offering" sets.  We add the
+INSTRUCTOR record type the Section 3.1 discussion needs ("if a course
+offering may or may not have an instructor when it is inserted ...")
+as an OPTIONAL/MANUAL set, plus the two constraints the paper says no
+1979 model could declare:
+
+* existence: an offering cannot exist without its course and semester
+  (AUTOMATIC + MANDATORY membership, also declared explicitly);
+* cardinality: "a course may not be offered more than twice in a
+  school year" -- ``LIMIT COURSE-OFF TO 2 PER (YEAR)`` with YEAR
+  reaching the offering VIRTUALly through the semester set.
+"""
+
+from __future__ import annotations
+
+from repro.network.database import NetworkDatabase
+from repro.network.dml import DMLSession
+from repro.relational.database import RelationalDatabase
+from repro.restructure.translator import extract_snapshot, load_relational
+from repro.schema.constraints import (
+    CardinalityLimit,
+    ExistenceConstraint,
+    NotNull,
+    UniqueKey,
+)
+from repro.schema.model import Insertion, Retention, Schema
+from repro.workloads.datagen import DataGen
+
+#: Set names from Figure 3.1b.
+COURSE_OFF = "COURSE-OFF"        # course's offering
+SEMESTER_OFF = "SEMESTER-OFF"    # semester's offering
+INSTRUCTOR_OFF = "INSTRUCTOR-OFF"
+
+
+def school_schema(with_constraints: bool = True) -> Schema:
+    """The common schema both data models interpret."""
+    schema = Schema("SCHOOL")
+    schema.define_record("COURSE", {
+        "CNO": "X(6)", "CNAME": "X(20)", "CREDITS": "9(1)",
+    }, calc_keys=["CNO"])
+    schema.define_record("SEMESTER", {
+        "S": "X(4)", "YEAR": "9(4)",
+    }, calc_keys=["S"])
+    schema.define_record("INSTRUCTOR", {
+        "INAME": "X(20)", "IDEPT": "X(10)",
+    }, calc_keys=["INAME"])
+    schema.define_record("OFFERING", {
+        "SECTION": "9(2)", "ENROLLMENT": "9(3)",
+    })
+    schema.define_set("ALL-COURSE", "SYSTEM", "COURSE",
+                      order_keys=["CNO"], allow_duplicates=False)
+    schema.define_set("ALL-SEMESTER", "SYSTEM", "SEMESTER",
+                      order_keys=["S"], allow_duplicates=False)
+    schema.define_set("ALL-INSTRUCTOR", "SYSTEM", "INSTRUCTOR",
+                      order_keys=["INAME"], allow_duplicates=False)
+    schema.define_set(COURSE_OFF, "COURSE", "OFFERING",
+                      order_keys=["SECTION"],
+                      insertion=Insertion.AUTOMATIC,
+                      retention=Retention.MANDATORY)
+    schema.define_set(SEMESTER_OFF, "SEMESTER", "OFFERING",
+                      insertion=Insertion.AUTOMATIC,
+                      retention=Retention.MANDATORY)
+    # "a course offering may or may not have an instructor when it is
+    # inserted": MANUAL + OPTIONAL.
+    schema.define_set(INSTRUCTOR_OFF, "INSTRUCTOR", "OFFERING",
+                      insertion=Insertion.MANUAL,
+                      retention=Retention.OPTIONAL)
+    # Virtual fields: the offering can see its course/semester keys.
+    from repro.schema.model import Field
+    from repro.schema.types import parse_pic
+
+    offering = schema.records["OFFERING"]
+    schema.records["OFFERING"] = offering.with_fields(
+        offering.fields + (
+            Field("CNO", parse_pic("X(6)"),
+                  virtual_via=COURSE_OFF, virtual_using="CNO"),
+            Field("S", parse_pic("X(4)"),
+                  virtual_via=SEMESTER_OFF, virtual_using="S"),
+            Field("YEAR", parse_pic("9(4)"),
+                  virtual_via=SEMESTER_OFF, virtual_using="YEAR"),
+        )
+    )
+    if with_constraints:
+        schema.add_constraint(UniqueKey("COURSE-KEY", "COURSE", ("CNO",)))
+        schema.add_constraint(UniqueKey("SEMESTER-KEY", "SEMESTER", ("S",)))
+        schema.add_constraint(NotNull("OFFERING-CNO", "OFFERING", "CNO"))
+        schema.add_constraint(NotNull("OFFERING-S", "OFFERING", "S"))
+        schema.add_constraint(
+            ExistenceConstraint("OFFERING-HAS-COURSE", COURSE_OFF))
+        schema.add_constraint(
+            ExistenceConstraint("OFFERING-HAS-SEMESTER", SEMESTER_OFF))
+        # "a course may not be offered more than twice in a school year"
+        schema.add_constraint(
+            CardinalityLimit("TWICE-PER-YEAR", COURSE_OFF, 2, ("YEAR",)))
+    schema.validate()
+    return schema
+
+
+def populate(db: NetworkDatabase, seed: int = 1979, courses: int = 12,
+             semesters: int = 4, offerings_per_course: int = 2,
+             instructors: int = 6) -> NetworkDatabase:
+    """Load a consistent school database instance."""
+    gen = DataGen(seed)
+    session = DMLSession(db)
+    semester_keys = []
+    for index in range(semesters):
+        term = "FS"[index % 2]
+        year = 1975 + index // 2
+        key = f"{term}{str(year)[-2:]}"
+        semester_keys.append(key)
+        session.store("SEMESTER", {"S": key, "YEAR": year})
+    for index in range(instructors):
+        session.store("INSTRUCTOR", {
+            "INAME": gen.surname(index), "IDEPT": gen.dept_name(),
+        })
+    for index in range(courses):
+        cno = f"C{index:03d}"
+        session.store("COURSE", {
+            "CNO": cno,
+            "CNAME": f"{gen.dept_name()}-{index:03d}",
+            "CREDITS": gen.int_between(1, 5),
+        })
+        # Each course offered in distinct semesters (at most twice per
+        # year is guaranteed because semester keys are distinct terms).
+        chosen = gen.sample(semester_keys,
+                            min(offerings_per_course, len(semester_keys)))
+        for section, semester_key in enumerate(chosen, start=1):
+            session.store("OFFERING", {
+                "SECTION": section,
+                "ENROLLMENT": gen.int_between(5, 120),
+                "CNO": cno,
+                "S": semester_key,
+            })
+    db.verify_consistent()
+    return db
+
+
+def school_network_db(seed: int = 1979, **kwargs) -> NetworkDatabase:
+    """A populated CODASYL school database (Figure 3.1b)."""
+    return populate(NetworkDatabase(school_schema()), seed, **kwargs)
+
+
+def school_relational_db(seed: int = 1979, **kwargs) -> RelationalDatabase:
+    """The same instance in relational form (Figure 3.1a): OFFERING
+    carries CNO and S foreign-key columns."""
+    network = school_network_db(seed, **kwargs)
+    snapshot = extract_snapshot(network)
+    return load_relational(network.schema, snapshot)

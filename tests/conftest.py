@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's schemas and databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import DMLSession, NetworkDatabase
+from repro.restructure import restructure_database
+from repro.schema import Schema
+from repro.workloads import company, florida, school
+
+
+@pytest.fixture
+def company_schema() -> Schema:
+    """The Figure 4.2/4.3 schema."""
+    return company.figure_42_schema()
+
+
+@pytest.fixture
+def company_db(company_schema) -> NetworkDatabase:
+    """A deterministic Figure 4.2 instance (2 divisions, 40 employees)."""
+    return company.company_db(seed=42)
+
+
+@pytest.fixture
+def interpose_operator():
+    """The Figure 4.2 -> 4.4 restructuring."""
+    return company.figure_44_operator()
+
+
+@pytest.fixture
+def restructured_company(company_db, interpose_operator):
+    """(target schema, target database) after the Figure 4.4 change."""
+    return restructure_database(company_db, interpose_operator)
+
+
+@pytest.fixture
+def school_db() -> NetworkDatabase:
+    return school.school_network_db(seed=7)
+
+
+@pytest.fixture
+def florida_db() -> NetworkDatabase:
+    return florida.florida_network_db(seed=11)
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """A minimal one-set schema used by low-level engine tests."""
+    schema = Schema("SMALL")
+    schema.define_record("OWNER", {"KEY": "X(4)", "NAME": "X(10)"},
+                         calc_keys=["KEY"])
+    schema.define_record("ITEM", {"SEQ": "9(3)", "LABEL": "X(10)"})
+    schema.define_set("ALL-OWNER", "SYSTEM", "OWNER", order_keys=["KEY"],
+                      allow_duplicates=False)
+    schema.define_set("OWNS", "OWNER", "ITEM", order_keys=["SEQ"])
+    return schema
+
+
+@pytest.fixture
+def small_db(small_schema) -> NetworkDatabase:
+    db = NetworkDatabase(small_schema)
+    session = DMLSession(db)
+    for key in ("K1", "K2"):
+        session.store("OWNER", {"KEY": key, "NAME": f"OWNER-{key}"})
+        for seq in (3, 1, 2):
+            session.store("ITEM", {"SEQ": seq, "LABEL": f"{key}-{seq}"})
+    return db

@@ -1,0 +1,354 @@
+"""Unit tests for the Maryland CDML: parser, evaluator, transformation.
+
+E3's headline assertions live here: the paper's two FIND statements
+convert into exactly the forms printed in Section 4.2.
+"""
+
+import pytest
+
+from repro.cdml import (
+    CdmlEngine,
+    DeleteStmt,
+    FindStmt,
+    ModifyStmt,
+    SortStmt,
+    StoreStmt,
+    convert_statement,
+    parse_cdml,
+)
+from repro.errors import QueryError
+from repro.restructure import restructure_database
+from repro.workloads.company import (
+    CONVERTED_MACHINERY_SALES,
+    CONVERTED_OVER_30,
+    FIND_MACHINERY_SALES,
+    FIND_OVER_30,
+)
+
+
+class TestParser:
+    def test_parse_paper_query_1(self):
+        stmt = parse_cdml(FIND_OVER_30)
+        assert isinstance(stmt, FindStmt)
+        assert stmt.target == "EMP"
+        assert [item.name for item in stmt.path] == \
+            ["SYSTEM", "ALL-DIV", "DIV", "DIV-EMP", "EMP"]
+        assert stmt.path[-1].qual.render() == "AGE > 30"
+
+    def test_parse_paper_query_2(self):
+        stmt = parse_cdml(FIND_MACHINERY_SALES)
+        assert stmt.path[2].qual.render() == "DIV-NAME = 'MACHINERY'"
+        assert stmt.path[4].qual.render() == "DEPT-NAME = 'SALES'"
+
+    def test_parse_sort(self):
+        stmt = parse_cdml(CONVERTED_OVER_30)
+        assert isinstance(stmt, SortStmt)
+        assert stmt.keys == ("EMP-NAME",)
+        assert stmt.inner.target == "EMP"
+
+    def test_parse_store(self):
+        stmt = parse_cdml("STORE(EMP: EMP-NAME = 'X', AGE = 30)")
+        assert isinstance(stmt, StoreStmt)
+        assert dict(stmt.values) == {"EMP-NAME": "X", "AGE": 30}
+
+    def test_parse_delete_and_modify(self):
+        stmt = parse_cdml(f"DELETE({FIND_OVER_30})")
+        assert isinstance(stmt, DeleteStmt)
+        stmt = parse_cdml(f"MODIFY({FIND_OVER_30}: AGE = 31)")
+        assert isinstance(stmt, ModifyStmt)
+        assert dict(stmt.updates) == {"AGE": 31}
+
+    def test_boolean_quals(self):
+        stmt = parse_cdml(
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+            "EMP(AGE > 30 AND DEPT-NAME = 'SALES'))")
+        qual = stmt.path[-1].qual
+        assert "AND" in qual.render()
+
+    def test_or_qual(self):
+        stmt = parse_cdml(
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+            "EMP(AGE > 60 OR AGE < 20))")
+        assert "OR" in stmt.path[-1].qual.render()
+
+    @pytest.mark.parametrize("bad", [
+        "FIND(EMP SYSTEM)",
+        "FIND(EMP: )",
+        "SORT(STORE(EMP: A = 1)) ON (A)",
+        "FIND(EMP: SYSTEM) trailing",
+        "FROB(EMP: SYSTEM)",
+    ])
+    def test_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_cdml(bad)
+
+    def test_render_round_trip(self):
+        for text in (FIND_OVER_30, FIND_MACHINERY_SALES,
+                     CONVERTED_OVER_30, CONVERTED_MACHINERY_SALES):
+            stmt = parse_cdml(text)
+            assert parse_cdml(stmt.render()).render() == stmt.render()
+
+
+class TestEvaluator:
+    def test_query_1_traversal_order(self, company_db):
+        engine = CdmlEngine(company_db)
+        records = engine.find(parse_cdml(FIND_OVER_30))
+        assert all(r["AGE"] > 30 for r in records)
+        assert records, "seeded data must include employees over 30"
+
+    def test_query_2_filters_both_levels(self, company_db):
+        engine = CdmlEngine(company_db)
+        records = engine.find(parse_cdml(FIND_MACHINERY_SALES))
+        for record in records:
+            assert company_db.read_field(record, "DIV-NAME") == "MACHINERY"
+            assert record["DEPT-NAME"] == "SALES"
+
+    def test_sort_statement(self, company_db):
+        engine = CdmlEngine(company_db)
+        records = engine.execute(parse_cdml(
+            f"SORT({FIND_OVER_30}) ON (AGE)"))
+        ages = [r["AGE"] for r in records]
+        assert ages == sorted(ages)
+
+    def test_collections_feed_later_finds(self, company_db):
+        engine = CdmlEngine(company_db)
+        engine.execute(parse_cdml(FIND_OVER_30), into="$OLD")
+        records = engine.find(parse_cdml("FIND(EMP: $OLD(AGE > 50))"))
+        assert all(r["AGE"] > 50 for r in records)
+
+    def test_unknown_collection(self, company_db):
+        engine = CdmlEngine(company_db)
+        with pytest.raises(QueryError):
+            engine.find(parse_cdml("FIND(EMP: $NOPE)"))
+
+    def test_upward_traversal(self, company_db):
+        engine = CdmlEngine(company_db)
+        records = engine.find(parse_cdml(
+            "FIND(DIV: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30), "
+            "DIV-EMP, DIV)"))
+        # every division with an employee over 30, no duplicates
+        names = [r["DIV-NAME"] for r in records]
+        assert len(names) == len(set(names))
+
+    def test_store_and_delete(self, company_db):
+        engine = CdmlEngine(company_db)
+        before = company_db.count("EMP")
+        engine.execute(parse_cdml(
+            "STORE(EMP: EMP-NAME = 'CDML-NEW', DEPT-NAME = 'SALES', "
+            "AGE = 33, DIV-NAME = 'MACHINERY')"))
+        assert company_db.count("EMP") == before + 1
+        engine.execute(parse_cdml(
+            "DELETE(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, "
+            "EMP(EMP-NAME = 'CDML-NEW')))"))
+        assert company_db.count("EMP") == before
+
+    def test_modify(self, company_db):
+        engine = CdmlEngine(company_db)
+        count = engine.execute(parse_cdml(
+            f"MODIFY({FIND_OVER_30}: AGE = 99)"))
+        assert count > 0
+        records = engine.find(parse_cdml(
+            "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE = 99))"))
+        assert len(records) == count
+
+    def test_wrong_target_rejected(self, company_db):
+        engine = CdmlEngine(company_db)
+        with pytest.raises(QueryError):
+            engine.find(parse_cdml("FIND(DIV: SYSTEM, ALL-DIV, DIV, "
+                                   "DIV-EMP, EMP)"))
+
+    def test_path_must_alternate(self, company_db):
+        engine = CdmlEngine(company_db)
+        with pytest.raises(QueryError):
+            engine.find(parse_cdml("FIND(EMP: SYSTEM, ALL-DIV)"))
+
+
+class TestTransformation:
+    @pytest.fixture
+    def conversion(self, company_schema, interpose_operator):
+        changes = interpose_operator.changes(company_schema)
+        target_schema = interpose_operator.apply_schema(company_schema)
+        return company_schema, target_schema, changes
+
+    def test_paper_conversion_query_1_verbatim(self, conversion):
+        source_schema, target_schema, changes = conversion
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   source_schema, target_schema)
+        assert result.statement.render() == CONVERTED_OVER_30
+
+    def test_paper_conversion_query_2_verbatim(self, conversion):
+        source_schema, target_schema, changes = conversion
+        result = convert_statement(parse_cdml(FIND_MACHINERY_SALES),
+                                   changes, source_schema, target_schema)
+        assert result.statement.render() == CONVERTED_MACHINERY_SALES
+        assert result.notes == ()  # pinned: fully mechanical, no caveats
+
+    def test_strict_mode_extends_sort_keys(self, conversion):
+        source_schema, target_schema, changes = conversion
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   source_schema, target_schema,
+                                   strict=True)
+        assert isinstance(result.statement, SortStmt)
+        assert result.statement.keys == ("DIV-NAME", "EMP-NAME")
+
+    def test_equivalence_of_converted_statements(self, company_db,
+                                                 conversion,
+                                                 interpose_operator):
+        source_schema, target_schema, changes = conversion
+        _schema, target_db = restructure_database(company_db,
+                                                  interpose_operator)
+        source_engine = CdmlEngine(company_db)
+        target_engine = CdmlEngine(target_db)
+
+        # Query 2: paper mode is already strictly equivalent.
+        q2 = parse_cdml(FIND_MACHINERY_SALES)
+        converted_2 = convert_statement(q2, changes, source_schema,
+                                        target_schema).statement
+        assert [r["EMP-NAME"] for r in source_engine.find(q2)] == \
+            [r["EMP-NAME"] for r in target_engine.execute(converted_2)]
+
+        # Query 1: strict mode restores the exact source order.
+        q1 = parse_cdml(FIND_OVER_30)
+        converted_1 = convert_statement(q1, changes, source_schema,
+                                        target_schema,
+                                        strict=True).statement
+        assert [r["EMP-NAME"] for r in source_engine.find(q1)] == \
+            [r["EMP-NAME"] for r in target_engine.execute(converted_1)]
+
+    def test_paper_mode_query_1_is_only_group_equivalent(self, company_db,
+                                                         conversion,
+                                                         interpose_operator):
+        """The reproduction's finding: the paper's own SORT ON
+        (EMP-NAME) restores name order globally, not the source's
+        per-division grouping."""
+        source_schema, target_schema, changes = conversion
+        _schema, target_db = restructure_database(company_db,
+                                                  interpose_operator)
+        q1 = parse_cdml(FIND_OVER_30)
+        converted = convert_statement(q1, changes, source_schema,
+                                      target_schema).statement
+        source_names = [r["EMP-NAME"]
+                        for r in CdmlEngine(company_db).find(q1)]
+        target_names = [r["EMP-NAME"]
+                        for r in CdmlEngine(target_db).execute(converted)]
+        assert sorted(source_names) == sorted(target_names)
+        assert target_names == sorted(target_names)  # global name order
+
+    def test_store_conversion_gains_ensure_path(self, conversion):
+        source_schema, target_schema, changes = conversion
+        stmt = parse_cdml("STORE(EMP: EMP-NAME = 'X', DEPT-NAME = 'NEWD', "
+                          "AGE = 20, DIV-NAME = 'MACHINERY')")
+        result = convert_statement(stmt, changes, source_schema,
+                                   target_schema)
+        assert isinstance(result.statement, StoreStmt)
+        assert result.statement.ensure_path
+        assert any("interposed" in note for note in result.notes)
+
+    def test_converted_store_creates_group(self, company_db, conversion,
+                                           interpose_operator):
+        source_schema, target_schema, changes = conversion
+        _schema, target_db = restructure_database(company_db,
+                                                  interpose_operator)
+        stmt = parse_cdml("STORE(EMP: EMP-NAME = 'X-NEW', "
+                          "DEPT-NAME = 'BRANDNEW', AGE = 20, "
+                          "DIV-NAME = 'MACHINERY')")
+        converted = convert_statement(stmt, changes, source_schema,
+                                      target_schema).statement
+        engine = CdmlEngine(target_db)
+        before = target_db.count("DEPT")
+        engine.execute(converted)
+        assert target_db.count("DEPT") == before + 1
+        target_db.verify_consistent()
+
+    def test_rename_conversions(self, company_schema):
+        from repro.restructure import RenameField, RenameRecord, RenameSet
+
+        operator = RenameRecord("EMP", "WORKER")
+        changes = operator.changes(company_schema)
+        target_schema = operator.apply_schema(company_schema)
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   company_schema, target_schema)
+        assert "WORKER(AGE > 30)" in result.statement.render()
+
+        operator = RenameSet("DIV-EMP", "STAFF")
+        changes = operator.changes(company_schema)
+        target_schema = operator.apply_schema(company_schema)
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   company_schema, target_schema)
+        assert "STAFF, EMP" in result.statement.render()
+
+        operator = RenameField("EMP", "AGE", "YEARS")
+        changes = operator.changes(company_schema)
+        target_schema = operator.apply_schema(company_schema)
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   company_schema, target_schema)
+        assert "YEARS > 30" in result.statement.render()
+
+    def test_merge_conversion_round_trip(self, conversion,
+                                         interpose_operator,
+                                         company_schema):
+        """Converting the converted statement with the inverse change
+        returns to the original form (up to the SORT wrapper)."""
+        source_schema, target_schema, changes = conversion
+        q2 = parse_cdml(FIND_MACHINERY_SALES)
+        converted = convert_statement(q2, changes, source_schema,
+                                      target_schema).statement
+        merge = interpose_operator.inverse(company_schema)
+        back_changes = merge.changes(target_schema)
+        back_schema = merge.apply_schema(target_schema)
+        back = convert_statement(converted, back_changes, target_schema,
+                                 back_schema).statement
+        assert back.render() == q2.render()
+
+    def test_set_order_change_wraps_sort(self, company_schema):
+        from repro.restructure import ChangeSetOrder
+
+        operator = ChangeSetOrder("DIV-EMP", ("AGE",),
+                                  allow_duplicates=True)
+        changes = operator.changes(company_schema)
+        target_schema = operator.apply_schema(company_schema)
+        result = convert_statement(parse_cdml(FIND_OVER_30), changes,
+                                   company_schema, target_schema)
+        assert isinstance(result.statement, SortStmt)
+        assert result.statement.keys == ("EMP-NAME",)
+
+
+def test_composite_reorder_then_interpose(company_db, company_schema):
+    """Composite conversion preserves behaviour against the ORIGINAL
+    schema: the reorder step wraps a SORT on the original keys, and the
+    later interposition rewrites the inner FIND without disturbing it.
+    The RecordInterposed snapshot keeps the rules consistent even
+    though the interposition happened after the reorder."""
+    from repro.restructure import ChangeSetOrder, Composite
+    from repro.workloads import company
+
+    operator = Composite((
+        ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=True),
+        company.figure_44_operator(),
+    ))
+    changes = operator.changes(company_schema)
+    # the snapshot records the interposition-era ordering (AGE)
+    interposed = [c for c in changes
+                  if type(c).__name__ == "RecordInterposed"][0]
+    assert interposed.order_keys == ("AGE",)
+
+    target_schema = operator.apply_schema(company_schema)
+    statement = parse_cdml(FIND_OVER_30)
+    result = convert_statement(statement, changes, company_schema,
+                               target_schema)
+    # the reorder step already wrapped SORT on the ORIGINAL keys; the
+    # interposition rewrites the inner path and leaves the wrapper
+    assert isinstance(result.statement, SortStmt)
+    assert result.statement.keys == ("EMP-NAME",)
+    assert "DIV-DEPT" in result.statement.inner.render()
+
+    _ts, target_db = restructure_database(company_db, operator)
+    source_names = sorted(
+        r["EMP-NAME"]
+        for r in CdmlEngine(company.company_db(seed=42)).find(statement)
+    )
+    target_names = sorted(
+        r["EMP-NAME"]
+        for r in CdmlEngine(target_db).execute(result.statement)
+    )
+    assert source_names == target_names

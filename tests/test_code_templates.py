@@ -1,0 +1,177 @@
+"""Tests for the Michigan code-template approach (Section 4.3)."""
+
+import pytest
+
+from repro.core import ProgramGenerator
+from repro.core.code_templates import (
+    Join,
+    Project,
+    RelationRef,
+    Select,
+    TemplateProgram,
+    convert_algebra,
+    expand,
+)
+from repro.core.abstract import ACond, AScan
+from repro.errors import ConversionError
+from repro.programs import ast
+from repro.programs.interpreter import run_program
+from repro.restructure import restructure_database
+from repro.workloads import company
+
+
+def sales_report() -> TemplateProgram:
+    """Employees of every division's SALES department, over 40."""
+    return TemplateProgram(
+        "SALES-REPORT", "COMPANY-NAME",
+        Project(
+            Select(
+                Join(RelationRef("DIV"), "DIV-EMP", "EMP"),
+                (ACond("DEPT-NAME", "=", ast.Const("SALES")),
+                 ACond("AGE", ">", ast.Const(40))),
+            ),
+            ("DIV.DIV-NAME", "EMP.EMP-NAME"),
+        ),
+    )
+
+
+class TestExpansion:
+    def test_levels_become_nested_scans(self, company_schema):
+        abstract = expand(sales_report(), company_schema)
+        outer = abstract.statements[0]
+        assert isinstance(outer, AScan)
+        assert outer.entity == "DIV"
+        assert outer.via == "ALL-DIV"
+        inner = outer.body[0]
+        assert isinstance(inner, AScan)
+        assert inner.entity == "EMP"
+        assert inner.via == "DIV-EMP"
+        assert {c.field for c in inner.conditions} == \
+            {"DEPT-NAME", "AGE"}
+
+    def test_select_on_outer_level(self, company_schema):
+        program = TemplateProgram(
+            "T", "COMPANY-NAME",
+            Join(
+                Select(RelationRef("DIV"),
+                       (ACond("DIV-NAME", "=",
+                              ast.Const("MACHINERY")),)),
+                "DIV-EMP", "EMP",
+            ),
+        )
+        abstract = expand(program, company_schema)
+        outer = abstract.statements[0]
+        assert outer.conditions[0].field == "DIV-NAME"
+        assert outer.body[0].conditions == ()
+
+    def test_expanded_program_runs(self, company_schema, company_db):
+        abstract = expand(sales_report(), company_schema)
+        program = ProgramGenerator(company_schema).generate(abstract,
+                                                            "network")
+        trace = run_program(program, company_db, consistent=False)
+        expected = sorted(
+            f"{company_db.read_field(r, 'DIV-NAME')} {r['EMP-NAME']}"
+            for r in company_db.store("EMP").all_records()
+            if r["DEPT-NAME"] == "SALES" and r["AGE"] > 40
+        )
+        assert sorted(trace.terminal_lines()) == expected
+
+    def test_project_must_be_outermost(self, company_schema):
+        bad = TemplateProgram("T", "COMPANY-NAME", Join(
+            Project(RelationRef("DIV"), ("DIV.DIV-NAME",)),
+            "DIV-EMP", "EMP",
+        ))
+        with pytest.raises(ConversionError):
+            expand(bad, company_schema)
+
+    def test_join_must_follow_schema(self, company_schema):
+        bad = TemplateProgram("T", "COMPANY-NAME",
+                              Join(RelationRef("DIV"), "DIV-EMP", "DIV"))
+        with pytest.raises(ConversionError):
+            expand(bad, company_schema)
+
+
+class TestAlgebraConversion:
+    def test_interpose_extends_join_path(self, company_schema,
+                                         interpose_operator):
+        changes = interpose_operator.changes(company_schema)
+        converted = convert_algebra(sales_report(), changes)
+        text = converted.expression.render()
+        assert "JOIN[DIV-DEPT]" in text
+        assert "JOIN[DEPT-EMP]" in text
+
+    def test_converted_template_equivalent_as_multiset(
+            self, company_schema, interpose_operator):
+        changes = interpose_operator.changes(company_schema)
+        target_schema = interpose_operator.apply_schema(company_schema)
+        source_db = company.company_db(seed=31)
+        _ts, target_db = restructure_database(
+            company.company_db(seed=31), interpose_operator)
+
+        source_program = ProgramGenerator(company_schema).generate(
+            expand(sales_report(), company_schema), "network")
+        converted = convert_algebra(sales_report(), changes)
+        target_program = ProgramGenerator(target_schema).generate(
+            expand(converted, target_schema), "network")
+
+        source_trace = run_program(source_program, source_db,
+                                   consistent=False)
+        target_trace = run_program(target_program, target_db,
+                                   consistent=False)
+        assert sorted(source_trace.terminal_lines()) == \
+            sorted(target_trace.terminal_lines())
+
+    def test_merge_collapses_join_path(self, company_schema,
+                                       interpose_operator):
+        changes = interpose_operator.changes(company_schema)
+        converted = convert_algebra(sales_report(), changes)
+        target_schema = interpose_operator.apply_schema(company_schema)
+        merge = interpose_operator.inverse(company_schema)
+        back = convert_algebra(converted, merge.changes(target_schema))
+        assert back.expression.render() == \
+            sales_report().expression.render()
+
+    def test_renames_flow_through(self, company_schema):
+        from repro.restructure import Composite, RenameField, RenameRecord
+
+        operator = Composite((
+            RenameRecord("EMP", "WORKER"),
+            RenameField("WORKER", "AGE", "YEARS"),
+        ))
+        changes = operator.changes(company_schema)
+        converted = convert_algebra(sales_report(), changes)
+        text = converted.expression.render()
+        assert "WORKER" in text
+        assert "YEARS >" in text
+        assert "WORKER.EMP-NAME" in text
+
+    def test_template_written_program_converts_automatically(
+            self, company_schema, interpose_operator):
+        """Section 4.3's pitch: template-written programs skip program
+        analysis entirely.  The expanded source program also converts
+        through the ordinary Figure 4.1 pipeline -- templates and the
+        pipeline agree."""
+        from repro.core import ConversionSupervisor
+
+        source_program = ProgramGenerator(company_schema).generate(
+            expand(sales_report(), company_schema), "network")
+        supervisor = ConversionSupervisor(company_schema,
+                                          interpose_operator)
+        report = supervisor.convert_program(source_program)
+        assert report.converted
+
+        # the pipeline-converted and algebra-converted programs agree
+        changes = interpose_operator.changes(company_schema)
+        target_schema = interpose_operator.apply_schema(company_schema)
+        algebra_program = ProgramGenerator(target_schema).generate(
+            expand(convert_algebra(sales_report(), changes),
+                   target_schema), "network")
+        _ts, target_db = restructure_database(
+            company.company_db(seed=31), interpose_operator)
+        _ts, target_db_2 = restructure_database(
+            company.company_db(seed=31), interpose_operator)
+        pipeline_trace = run_program(report.target_program, target_db,
+                                     consistent=False)
+        algebra_trace = run_program(algebra_program, target_db_2,
+                                    consistent=False)
+        assert pipeline_trace == algebra_trace

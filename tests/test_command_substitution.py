@@ -1,0 +1,209 @@
+"""Tests for the Mehl & Wang command substitution (Section 2.2, E8)."""
+
+import pytest
+
+from repro.core.command_substitution import convert_hierarchical_program
+from repro.errors import UnconvertiblePattern
+from repro.hierarchical import HierarchicalDatabase
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.interpreter import run_program
+from repro.restructure import (
+    SwapSiblingOrder,
+    extract_snapshot,
+    load_hierarchical,
+    restructure_database,
+)
+from repro.schema import Schema
+from repro.schema.diff import SiblingOrderChanged
+
+
+def ims_schema() -> Schema:
+    """A course with two child segment types: offerings and texts."""
+    schema = Schema("IMS")
+    schema.define_record("COURSE", {"CNO": "X(6)"}, calc_keys=["CNO"])
+    schema.define_record("OFFERING", {"S": "X(4)"})
+    schema.define_record("TEXTBOOK", {"TITLE": "X(12)"})
+    schema.define_set("ALL-COURSE", "SYSTEM", "COURSE", order_keys=["CNO"])
+    schema.define_set("C-OFF", "COURSE", "OFFERING", order_keys=["S"])
+    schema.define_set("C-TXT", "COURSE", "TEXTBOOK", order_keys=["TITLE"])
+    return schema
+
+
+def populate(schema: Schema) -> HierarchicalDatabase:
+    db = HierarchicalDatabase(schema)
+    for cno in ("C1", "C2"):
+        course = db.insert_segment("COURSE", {"CNO": cno})
+        for s in ("F78", "S79"):
+            db.insert_segment("OFFERING", {"S": s}, ("COURSE", course.rid))
+        db.insert_segment("TEXTBOOK", {"TITLE": f"{cno}-BOOK"},
+                          ("COURSE", course.rid))
+    return db
+
+
+def untyped_walk_program() -> ast.Program:
+    """Count the dependents of each course with an untyped GNP loop."""
+    hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+    return b.program("COUNT-DEPS", "hierarchical", "IMS", [
+        b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+        b.assign("N", 0),
+        b.gnp(),
+        b.while_(hier_ok, [
+            b.assign("N", b.add(b.v("N"), 1)),
+            b.gnp(),
+        ]),
+        b.display("DEPENDENTS", b.v("N")),
+    ])
+
+
+def typed_walk_program() -> ast.Program:
+    hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+    return b.program("LIST-OFF", "hierarchical", "IMS", [
+        b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+        b.gnp(b.ssa("OFFERING")),
+        b.while_(hier_ok, [
+            b.display(b.field("OFFERING", "S")),
+            b.gnp(b.ssa("OFFERING")),
+        ]),
+    ])
+
+
+@pytest.fixture
+def swap():
+    return SwapSiblingOrder("COURSE", ("C-TXT", "C-OFF"))
+
+
+@pytest.fixture
+def change(swap):
+    schema = ims_schema()
+    return swap.changes(schema)[0]
+
+
+class TestSiblingSwapData:
+    def test_preorder_changes(self, swap):
+        schema = ims_schema()
+        db = populate(schema)
+        target_schema, target_db = restructure_database(
+            db, swap, target_model="hierarchical")
+        source_walk = [name for name, _ in db.preorder()]
+        target_walk = [name for name, _ in target_db.preorder()]
+        assert source_walk != target_walk
+        assert source_walk[1] == "OFFERING"
+        assert target_walk[1] == "TEXTBOOK"
+
+    def test_data_identical_as_multiset(self, swap):
+        schema = ims_schema()
+        db = populate(schema)
+        _schema, target_db = restructure_database(
+            db, swap, target_model="hierarchical")
+        for record_name in schema.records:
+            assert target_db.count(record_name) == db.count(record_name)
+
+
+class TestCommandSubstitution:
+    def test_untyped_loop_substituted(self, change):
+        schema = ims_schema()
+        result = convert_hierarchical_program(untyped_walk_program(),
+                                              change, schema)
+        gnps = [s for s in ast.walk_program(result.program)
+                if isinstance(s, ast.HierGNP)]
+        # two typed loop heads + two typed loop tails
+        typed = [g for g in gnps if g.ssas]
+        assert len(typed) == 4
+        segments = {g.ssas[0].segment for g in typed}
+        assert segments == {"OFFERING", "TEXTBOOK"}
+        assert result.notes
+
+    def test_typed_loop_untouched(self, change):
+        schema = ims_schema()
+        result = convert_hierarchical_program(typed_walk_program(),
+                                              change, schema)
+        assert result.program.statements == \
+            typed_walk_program().statements
+
+    def test_type_specific_untyped_body_rejected(self, change):
+        schema = ims_schema()
+        hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+        program = b.program("BAD", "hierarchical", "IMS", [
+            b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+            b.gnp(),
+            b.while_(hier_ok, [
+                b.display(b.field("OFFERING", "S")),  # type-specific
+                b.gnp(),
+            ]),
+        ])
+        with pytest.raises(UnconvertiblePattern):
+            convert_hierarchical_program(program, change, schema)
+
+    def test_full_gn_walk_flagged(self, change):
+        schema = ims_schema()
+        hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+        program = b.program("WALK", "hierarchical", "IMS", [
+            b.gn(),
+            b.while_(hier_ok, [b.assign("N", 1), b.gn()]),
+        ])
+        result = convert_hierarchical_program(program, change, schema)
+        assert any("GN walk" in note for note in result.notes)
+
+
+class TestEndToEndEquivalence:
+    def test_converted_program_matches_source_trace(self, swap, change):
+        schema = ims_schema()
+        source_db = populate(schema)
+        source_trace = run_program(untyped_walk_program(), source_db,
+                                   consistent=False)
+
+        target_schema, target_db = restructure_database(
+            populate(schema), swap, target_model="hierarchical")
+        result = convert_hierarchical_program(untyped_walk_program(),
+                                              change, schema)
+        converted_trace = run_program(result.program, target_db,
+                                      consistent=False)
+        assert converted_trace == source_trace
+
+        # and the UNCONVERTED program still happens to count the same
+        # number (counting is order-insensitive) -- but a display-order
+        # program would diverge; prove that with the typed variant
+        # against an order-revealing untyped program:
+        reveal = b.program("REVEAL", "hierarchical", "IMS", [
+            b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+            b.assign("FIRST", ""),
+            b.gnp(),
+            b.if_(ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  ")), [
+                b.display("VISITED FIRST CHILD"),
+            ]),
+        ])
+        del reveal
+
+    def test_order_revealing_program_diverges_without_conversion(
+            self, swap, change):
+        """Why conversion is needed: an untyped GNP sequence shows a
+        different first dependent after the swap."""
+        schema = ims_schema()
+        hier_ok = ast.Bin("=", ast.Var("DB-STATUS"), ast.Const("  "))
+        del hier_ok
+        program = b.program("FIRST-DEP", "hierarchical", "IMS", [
+            b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+            b.gnp(),
+            b.display(b.v("DB-STATUS")),
+        ])
+        source_db = populate(schema)
+        source_first = run_program(program, source_db, consistent=False)
+        _schema, target_db = restructure_database(
+            populate(schema), swap, target_model="hierarchical")
+        target_first = run_program(program, target_db, consistent=False)
+        # both succeed (status '  ') but position at different segments;
+        # demonstrate via the session directly:
+        from repro.hierarchical import DLISession, SSA
+
+        s1 = DLISession(populate(schema))
+        s1.get_unique(SSA("COURSE", "CNO", "=", "C1"))
+        first_source = s1.get_next_within_parent()
+        _schema, tdb = restructure_database(
+            populate(schema), swap, target_model="hierarchical")
+        s2 = DLISession(tdb)
+        s2.get_unique(SSA("COURSE", "CNO", "=", "C1"))
+        first_target = s2.get_next_within_parent()
+        assert first_source.type_name == "OFFERING"
+        assert first_target.type_name == "TEXTBOOK"
+        assert source_first == target_first  # statuses equal regardless

@@ -1,0 +1,236 @@
+"""Cross-model program generation (the Section 4.1 claim that one
+abstract representation regenerates programs for any DBMS)."""
+
+import pytest
+
+from repro.core import ProgramAnalyzer, ProgramGenerator
+from repro.core.generator import _RelationalLowering
+from repro.errors import GenerationError
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.interpreter import run_program
+from repro.restructure import extract_snapshot, load_hierarchical, \
+    load_relational
+from repro.workloads import florida
+
+
+@pytest.fixture
+def schema():
+    return florida.florida_schema()
+
+
+@pytest.fixture
+def abstract(schema):
+    return florida.smith_query_abstract()
+
+
+class TestNetworkGeneration:
+    def test_emits_canonical_templates(self, schema, abstract):
+        program = ProgramGenerator(schema).generate(abstract, "network")
+        text = ast.render_program(program)
+        assert "FIND ANY DEPT USING MGR='SMITH'" in text
+        assert "FIND FIRST EMP-DEPT WITHIN D-ED" in text
+        assert "FIND OWNER WITHIN E-ED" in text
+
+    def test_generated_program_runs(self, schema, abstract, florida_db):
+        program = ProgramGenerator(schema).generate(abstract, "network")
+        trace = run_program(program, florida_db, consistent=False)
+        assert trace.terminal_lines()
+
+    def test_keyed_scan_emits_template_b(self, schema):
+        """Equality conditions produce FIND NEXT ... USING (template B)."""
+        from repro.core.abstract import ACond, ALocate, AScan, \
+            AbstractProgram
+
+        abstract = AbstractProgram("T", "network", "FLORIDA", (
+            ALocate("DEPT", (ACond("D#", "=", ast.Const("D2")),),
+                    bind=False),
+            AScan("EMP-DEPT", florida.DEPT_ED,
+                  (ACond("YEAR-OF-SERVICE", "=", ast.Const(3)),),
+                  (b.display("HIT"),), bind=True, keyed=True),
+        ))
+        program = ProgramGenerator(schema).generate(abstract, "network")
+        text = ast.render_program(program)
+        assert "FIND NEXT EMP-DEPT WITHIN D-ED USING " \
+            "YEAR-OF-SERVICE=3" in text
+
+    def test_roundtrip_analyze_generate(self, schema, florida_db):
+        """analyze(generate(analyze(p))) is stable and equivalent."""
+        source = florida.smith_query_network_program()
+        analyzer = ProgramAnalyzer(schema)
+        abstract1 = analyzer.analyze(source)
+        regenerated = ProgramGenerator(schema).generate(abstract1,
+                                                        "network")
+        trace1 = run_program(source, florida.florida_network_db(),
+                             consistent=False)
+        trace2 = run_program(regenerated, florida.florida_network_db(),
+                             consistent=False)
+        assert trace1 == trace2
+
+
+class TestRelationalGeneration:
+    def test_smith_query_generates_and_runs(self, schema, abstract,
+                                            florida_db):
+        program = ProgramGenerator(schema).generate(abstract,
+                                                    "relational")
+        assert program.model == "relational"
+        rdb = load_relational(schema, extract_snapshot(florida_db))
+        trace = run_program(program, rdb, consistent=False)
+        network_trace = run_program(
+            florida.smith_query_network_program(),
+            florida.florida_network_db(seed=11), consistent=False)
+        assert sorted(trace.terminal_lines()) == \
+            sorted(network_trace.terminal_lines())
+
+    def test_scan_query_carries_fk_conditions(self, schema, abstract):
+        program = ProgramGenerator(schema).generate(abstract,
+                                                    "relational")
+        queries = [s for s in ast.walk(program.statements)
+                   if isinstance(s, ast.RelQuery)]
+        scan_queries = [q for q in queries if "EMP-DEPT" in q.sequel]
+        assert scan_queries
+        assert "D# = ?DEPT.D#" in scan_queries[0].sequel
+
+    def test_store_gains_fk_columns_from_position(self, schema):
+        from repro.core.abstract import ACond, ALocate, AStore, \
+            AbstractProgram
+
+        abstract = AbstractProgram("T", "network", "FLORIDA", (
+            ALocate("DEPT", (ACond("D#", "=", ast.Const("D1")),),
+                    bind=True),
+            AStore("EMP-DEPT",
+                   (("YEAR-OF-SERVICE", ast.Const(1)),)),
+        ))
+        program = ProgramGenerator(schema).generate(abstract,
+                                                    "relational")
+        inserts = [s for s in ast.walk(program.statements)
+                   if isinstance(s, ast.RelInsert)]
+        columns = dict(inserts[0].values)
+        assert "D#" in columns  # filled from the positioned DEPT
+
+    def test_update_needs_position(self, schema):
+        from repro.core.abstract import AModify, AbstractProgram
+
+        abstract = AbstractProgram("T", "network", "FLORIDA", (
+            AModify("EMP", (("AGE", ast.Const(30)),)),
+        ))
+        with pytest.raises(GenerationError):
+            ProgramGenerator(schema).generate(abstract, "relational")
+
+    def test_value_sql_literals(self, schema):
+        lowering = _RelationalLowering(schema)
+        assert lowering._value_sql(ast.Const("X")) == ("'X'", [])
+        assert lowering._value_sql(ast.Const(5)) == ("5", [])
+        text, params = lowering._value_sql(ast.Var("A.B"))
+        assert text == "?A.B" and params == ["A.B"]
+        with pytest.raises(GenerationError):
+            lowering._value_sql(ast.Bin("+", ast.Const(1), ast.Const(2)))
+
+
+class TestHierarchicalGeneration:
+    @pytest.fixture
+    def hier_db(self):
+        from repro.hierarchical import HierarchicalDatabase
+        from repro.schema import Schema
+
+        hier = Schema("SCHOOL-H")
+        hier.define_record("COURSE", {"CNO": "X(6)", "CNAME": "X(20)"},
+                           calc_keys=["CNO"])
+        hier.define_record("OFFERING", {"SECTION": "9(2)"})
+        hier.define_set("ALL-COURSE", "SYSTEM", "COURSE",
+                        order_keys=["CNO"])
+        hier.define_set("COURSE-OFF", "COURSE", "OFFERING",
+                        order_keys=["SECTION"])
+        db = HierarchicalDatabase(hier)
+        course = db.insert_segment("COURSE", {"CNO": "C000",
+                                              "CNAME": "DB"})
+        db.insert_segment("OFFERING", {"SECTION": 1},
+                          ("COURSE", course.rid))
+        db.insert_segment("OFFERING", {"SECTION": 2},
+                          ("COURSE", course.rid))
+        return db
+
+    def test_locate_scan_lowering(self, hier_db):
+        from repro.core.abstract import ACond, ALocate, AScan, \
+            AbstractProgram
+
+        abstract = AbstractProgram("T", "network", "SCHOOL-H", (
+            ALocate("COURSE", (ACond("CNO", "=", ast.Const("C000")),),
+                    bind=True),
+            AScan("OFFERING", "COURSE-OFF", (), (
+                b.display(b.field("OFFERING", "SECTION")),
+            ), bind=True),
+        ))
+        program = ProgramGenerator(hier_db.schema).generate(
+            abstract, "hierarchical")
+        text = ast.render_program(program)
+        assert "GU COURSE(CNO='C000')" in text
+        assert "GNP OFFERING" in text
+        trace = run_program(program, hier_db, consistent=False)
+        assert trace.terminal_lines() == ["1", "2"]
+
+    def test_to_owner_unsupported(self, hier_db):
+        from repro.core.abstract import AToOwner, AbstractProgram
+
+        abstract = AbstractProgram("T", "network", "SCHOOL-H", (
+            AToOwner("COURSE", "COURSE-OFF"),
+        ))
+        with pytest.raises(GenerationError):
+            ProgramGenerator(hier_db.schema).generate(abstract,
+                                                      "hierarchical")
+
+
+def test_unknown_target_model(schema, abstract):
+    with pytest.raises(GenerationError):
+        ProgramGenerator(schema).generate(abstract, "object-oriented")
+
+
+class TestNestedHierarchicalGeneration:
+    """SYSTEM-set scans become GN loops (parentage per segment), so
+    nested GNP scans work -- a network program retargets to DL/I."""
+
+    @pytest.fixture
+    def forest(self):
+        from repro.hierarchical import HierarchicalDatabase
+        from repro.network import DMLSession, NetworkDatabase
+        from repro.schema import Schema
+
+        schema = Schema("SCHOOL-H")
+        schema.define_record("COURSE", {"CNO": "X(6)"}, calc_keys=["CNO"])
+        schema.define_record("OFFERING", {"S": "X(4)", "SIZE": "9(3)"})
+        schema.define_set("ALL-COURSE", "SYSTEM", "COURSE",
+                          order_keys=["CNO"])
+        schema.define_set("C-OFF", "COURSE", "OFFERING", order_keys=["S"])
+
+        network = NetworkDatabase(schema)
+        session = DMLSession(network)
+        for cno, terms in (("C1", ("F78", "S79")), ("C2", ("F78",))):
+            session.store("COURSE", {"CNO": cno})
+            for term in terms:
+                session.store("OFFERING", {"S": term, "SIZE": 10})
+        from repro.restructure import extract_snapshot, load_hierarchical
+
+        hierarchical = load_hierarchical(schema,
+                                         extract_snapshot(network))
+        return schema, network, hierarchical
+
+    def test_full_sweep_network_to_hierarchical(self, forest):
+        schema, network, hierarchical = forest
+        source = b.program("SWEEP", "network", "SCHOOL-H", [
+            *b.scan_set("COURSE", "ALL-COURSE", [
+                b.display("COURSE", b.field("COURSE", "CNO")),
+                *b.scan_set("OFFERING", "C-OFF", [
+                    b.display("  OFF", b.field("OFFERING", "S")),
+                ]),
+            ]),
+        ])
+        abstract = ProgramAnalyzer(schema).analyze(source)
+        hier_program = ProgramGenerator(schema).generate(
+            abstract, "hierarchical")
+        network_trace = run_program(source, network, consistent=False)
+        hier_trace = run_program(hier_program, hierarchical,
+                                 consistent=False)
+        assert hier_trace == network_trace
+        text = ast.render_program(hier_program)
+        assert "GN COURSE" in text
+        assert "GNP OFFERING" in text

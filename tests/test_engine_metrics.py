@@ -1,0 +1,45 @@
+"""Unit tests for the metrics bundle."""
+
+from repro.engine import Metrics, MetricsScope
+
+
+def test_snapshot_and_reset():
+    metrics = Metrics()
+    metrics.records_read = 5
+    metrics.dml_calls = 2
+    snap = metrics.snapshot()
+    assert snap["records_read"] == 5
+    metrics.reset()
+    assert metrics.records_read == 0
+    assert snap["records_read"] == 5  # snapshot is detached
+
+
+def test_total_accesses():
+    metrics = Metrics(records_read=3, records_written=2, records_deleted=1)
+    assert metrics.total_accesses() == 6
+
+
+def test_subtraction():
+    after = Metrics(records_read=10, dml_calls=4)
+    before = Metrics(records_read=3, dml_calls=1)
+    delta = after - before
+    assert delta.records_read == 7
+    assert delta.dml_calls == 3
+
+
+def test_add_accumulates():
+    total = Metrics(records_read=1)
+    total.add(Metrics(records_read=2, sort_operations=1))
+    assert total.records_read == 3
+    assert total.sort_operations == 1
+
+
+def test_scope_measures_delta():
+    metrics = Metrics()
+    metrics.records_read = 100
+    with MetricsScope(metrics) as scope:
+        metrics.records_read += 7
+        metrics.index_probes += 2
+    assert scope.delta.records_read == 7
+    assert scope.delta.index_probes == 2
+    assert scope.delta.dml_calls == 0

@@ -1,0 +1,99 @@
+"""Unit tests for the record store."""
+
+import pytest
+
+from repro.engine import Metrics, RecordStore
+from repro.errors import RecordNotFound
+
+
+@pytest.fixture
+def store():
+    return RecordStore("EMP", Metrics())
+
+
+def test_insert_assigns_increasing_rids(store):
+    first = store.insert({"NAME": "A"})
+    second = store.insert({"NAME": "B"})
+    assert first.rid == 1
+    assert second.rid == 2
+    assert len(store) == 2
+
+
+def test_fetch_returns_current_version(store):
+    record = store.insert({"NAME": "A", "AGE": 1})
+    store.update(record.rid, {"AGE": 2})
+    assert store.fetch(record.rid)["AGE"] == 2
+
+
+def test_stale_record_objects_keep_old_values(store):
+    record = store.insert({"AGE": 1})
+    store.update(record.rid, {"AGE": 2})
+    assert record["AGE"] == 1  # run-unit copy semantics
+
+
+def test_fetch_missing_raises(store):
+    with pytest.raises(RecordNotFound):
+        store.fetch(99)
+
+
+def test_delete_removes_and_rids_never_reused(store):
+    record = store.insert({"NAME": "A"})
+    store.delete(record.rid)
+    replacement = store.insert({"NAME": "B"})
+    assert replacement.rid == 2
+    with pytest.raises(RecordNotFound):
+        store.fetch(record.rid)
+
+
+def test_delete_missing_raises(store):
+    with pytest.raises(RecordNotFound):
+        store.delete(1)
+
+
+def test_scan_is_insertion_ordered(store):
+    names = ["C", "A", "B"]
+    for name in names:
+        store.insert({"NAME": name})
+    assert [r["NAME"] for r in store.scan()] == names
+
+
+def test_scan_counts_reads(store):
+    store.insert({"NAME": "A"})
+    store.insert({"NAME": "B"})
+    before = store.metrics.records_read
+    list(store.scan())
+    assert store.metrics.records_read == before + 2
+
+
+def test_peek_is_uncounted(store):
+    record = store.insert({"NAME": "A"})
+    before = store.metrics.records_read
+    assert store.peek(record.rid) is not None
+    assert store.peek(999) is None
+    assert store.metrics.records_read == before
+
+
+def test_update_missing_raises(store):
+    with pytest.raises(RecordNotFound):
+        store.update(5, {"NAME": "X"})
+
+
+def test_with_values_copy_semantics(store):
+    record = store.insert({"A": 1, "B": 2})
+    changed = record.with_values(B=3)
+    assert changed["A"] == 1
+    assert changed["B"] == 3
+    assert record["B"] == 2
+
+
+def test_load_bulk(store):
+    records = store.load([{"NAME": "A"}, {"NAME": "B"}])
+    assert [r.rid for r in records] == [1, 2]
+
+
+def test_metrics_track_writes_and_deletes(store):
+    record = store.insert({"NAME": "A"})
+    store.update(record.rid, {"NAME": "B"})
+    store.delete(record.rid)
+    assert store.metrics.records_written == 2
+    assert store.metrics.records_deleted == 1

@@ -1,0 +1,272 @@
+"""Error-path and rendering coverage across modules."""
+
+import pytest
+
+from repro.cdml import CdmlEngine, parse_cdml
+from repro.core import check_equivalence
+from repro.core.report import BatchReport, ConversionReport
+from repro.core.supervisor import AnalystQuestion, ScriptedAnalyst
+from repro.errors import QueryError, RestructureError
+from repro.network import DMLSession, NetworkDatabase
+from repro.programs import builder as b
+from repro.programs.interpreter import Interpreter, InterpreterError
+from repro.restructure import restructure_database
+from repro.restructure.translator import (
+    DataSnapshot,
+    load_hierarchical,
+)
+from repro.schema import Schema
+from repro.workloads import company
+
+
+class TestTranslatorErrors:
+    def test_unknown_target_model(self, company_db, interpose_operator):
+        with pytest.raises(RestructureError):
+            restructure_database(company_db, interpose_operator,
+                                 target_model="object")
+
+    def test_snapshot_of_unknown_object(self):
+        from repro.restructure import extract_snapshot
+
+        with pytest.raises(RestructureError):
+            extract_snapshot(object())
+
+    def test_hierarchical_load_requires_parents(self):
+        schema = Schema("H")
+        schema.define_record("P", {"K": "X(2)"}, calc_keys=["K"])
+        schema.define_record("C", {"V": "9(2)"})
+        schema.define_set("ALL-P", "SYSTEM", "P")
+        schema.define_set("PC", "P", "C")
+        snapshot = DataSnapshot(
+            rows={"P": [{"K": "A"}], "C": [{"V": 1}]},
+            links={"ALL-P": [(None, ("P", 0))], "PC": []},  # orphan C
+        )
+        with pytest.raises(RestructureError):
+            load_hierarchical(schema, snapshot)
+
+
+class TestInterpreterErrors:
+    def test_wrong_model_statement(self, small_db):
+        program = b.program("T", "network", "S", [
+            b.rel_insert("EMP", **{"A": 1}),
+        ])
+        interpreter = Interpreter(small_db)
+        with pytest.raises(InterpreterError):
+            interpreter.run(program)
+
+    def test_hier_statement_on_network_db(self, small_db):
+        program = b.program("T", "network", "S", [b.gu(b.ssa("X"))])
+        with pytest.raises(InterpreterError):
+            Interpreter(small_db).run(program)
+
+    def test_unknown_db_type(self):
+        with pytest.raises(InterpreterError):
+            Interpreter(object())
+
+    def test_for_each_without_rows(self, small_db):
+        program = b.program("T", "network", "S", [
+            b.for_each_row("R", "$NOPE", [b.display("X")]),
+        ])
+        interpreter = Interpreter(small_db)
+        interpreter.env["$NOPE"] = None
+        with pytest.raises(InterpreterError):
+            interpreter.run(program)
+
+    def test_call_unknown_procedure(self, small_db):
+        program = b.program("T", "network", "S", [b.call("NOPE")])
+        with pytest.raises(KeyError):
+            Interpreter(small_db).run(program)
+
+    def test_call_arity_mismatch(self, small_db):
+        program = b.program("T", "network", "S", [
+            b.call("P", 1, 2),
+        ], procedures=[b.procedure("P", ("A",), [])])
+        with pytest.raises(InterpreterError):
+            Interpreter(small_db).run(program)
+
+
+class TestCdmlErrors:
+    def test_system_cannot_be_qualified(self, company_db):
+        with pytest.raises(QueryError):
+            CdmlEngine(company_db).find(parse_cdml(
+                "FIND(DIV: SYSTEM(X = 1), ALL-DIV, DIV)"))
+
+    def test_set_cannot_be_qualified(self, company_db):
+        statement = parse_cdml(
+            "FIND(EMP: SYSTEM, ALL-DIV(X = 1), DIV, DIV-EMP, EMP)")
+        # qualification lands on a set position
+        from repro.cdml.ast import FindStmt, PathItem, Cmp
+
+        bad = FindStmt("EMP", (
+            PathItem("SYSTEM"),
+            PathItem("ALL-DIV", Cmp("X", "=", 1)),
+            PathItem("DIV"),
+        ))
+        with pytest.raises(QueryError):
+            CdmlEngine(company_db).find(bad)
+        del statement
+
+    def test_disconnected_set_in_path(self, company_db):
+        with pytest.raises(QueryError):
+            CdmlEngine(company_db).find(parse_cdml(
+                "FIND(EMP: SYSTEM, DIV-EMP, EMP)"))
+
+    def test_collection_name_must_start_with_dollar(self, company_db):
+        engine = CdmlEngine(company_db)
+        with pytest.raises(QueryError):
+            engine.execute(parse_cdml(
+                "FIND(DIV: SYSTEM, ALL-DIV, DIV)"), into="BAD")
+
+
+class TestReportRendering:
+    def test_conversion_report_render_with_programs(self, company_schema,
+                                                    interpose_operator):
+        from repro.core import ConversionSupervisor
+
+        supervisor = ConversionSupervisor(company_schema,
+                                          interpose_operator)
+        program = b.program("HIRE", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            b.store("EMP", **{"EMP-NAME": "X", "AGE": 1,
+                              "DEPT-NAME": "SALES"}),
+        ])
+        report = supervisor.convert_program(program)
+        text = report.render(include_programs=True)
+        assert "=== HIRE: automatic ===" in text
+        assert "ABSTRACT HIRE" in text
+        assert "PROGRAM HIRE" in text
+
+    def test_failed_report_render(self):
+        report = ConversionReport("X", "needs-manual-conversion",
+                                  failure="boom")
+        assert "failure: boom" in report.render()
+
+    def test_batch_report_empty(self):
+        batch = BatchReport()
+        assert batch.automation_rate() == 0.0
+        assert batch.conversion_rate() == 0.0
+        assert "0 program(s)" in batch.render()
+
+    def test_analyst_question_render(self):
+        question = AnalystQuestion("pin-verb", "P", "which verb?",
+                                   options=("STORE", "ERASE"))
+        assert "[STORE/ERASE]" in question.render()
+
+    def test_scripted_analyst_records_transcript(self):
+        analyst = ScriptedAnalyst({"pin-verb": "STORE"})
+        question = AnalystQuestion("pin-verb", "P", "?")
+        assert analyst.answer(question) == "STORE"
+        assert analyst.answer(
+            AnalystQuestion("other", "P", "?")) is None
+        assert len(analyst.transcript) == 2
+
+    def test_equivalence_report_render(self, company_db):
+        program = b.program("T", "network", "COMPANY-NAME", [
+            b.display("HELLO"),
+        ])
+        result = check_equivalence(program, company_db, program,
+                                   company.company_db(seed=42))
+        assert "equivalent (strict)" in result.render()
+
+    def test_divergent_report_render(self, company_db):
+        left = b.program("L", "network", "COMPANY-NAME",
+                         [b.display("A")])
+        right = b.program("R", "network", "COMPANY-NAME",
+                          [b.display("B")])
+        result = check_equivalence(left, company_db, right,
+                                   company.company_db(seed=42))
+        assert not result.equivalent
+        assert "NOT equivalent" in result.render()
+
+
+class TestBridgeComposite:
+    def test_bridge_under_rename_plus_interpose(self, company_schema):
+        from repro.core.analyzer_db import ConversionAnalyzer
+        from repro.programs.interpreter import run_program
+        from repro.restructure import Composite, RenameField
+        from repro.strategies import BridgeStrategy
+
+        operator = Composite((
+            company.figure_44_operator(),
+            RenameField("EMP", "AGE", "YEARS"),
+        ))
+        catalog = ConversionAnalyzer().analyze_operator(company_schema,
+                                                        operator)
+        program = b.program("REPORT", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.if_(b.gt(b.field("EMP", "AGE"), 40), [
+                    b.display(b.field("EMP", "EMP-NAME")),
+                ]),
+            ]),
+        ])
+        source_trace = run_program(program, company.company_db(seed=3),
+                                   consistent=False)
+        _ts, target_db = restructure_database(company.company_db(seed=3),
+                                              operator)
+        strategy = BridgeStrategy(target_db, operator, catalog)
+        run = strategy.run(program)
+        assert run.trace == source_trace
+
+
+class TestSupervisorAmbiguousPath:
+    def test_parallel_set_raises_question(self, company_schema):
+        """A second set between DIV and EMP in the target makes the
+        scan path ambiguous: the analyst must confirm."""
+        from repro.core import ConversionSupervisor
+        from repro.restructure import RestructuringOperator
+
+        class AddParallelSet(RestructuringOperator):
+            def describe(self):
+                return "add a parallel DIV->EMP set"
+
+            def apply_schema(self, schema):
+                out = schema.copy()
+                out.define_set("SECOND-PATH", "DIV", "EMP")
+                return out
+
+            def changes(self, schema):
+                from repro.schema.diff import SetAdded
+
+                return [SetAdded("SECOND-PATH")]
+
+        analyst = ScriptedAnalyst({"ambiguous-path": "keep-declared-set"})
+        supervisor = ConversionSupervisor(company_schema,
+                                          AddParallelSet(),
+                                          analyst=analyst)
+        program = b.program("SCANNER", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [b.display("X")]),
+        ])
+        report = supervisor.convert_program(program)
+        assert report.converted
+        assert report.status == "analyst-assisted"
+        assert any("ambiguous-path" in q for q in report.questions)
+
+    def test_refusal_aborts(self, company_schema):
+        from repro.core import ConversionSupervisor, RefusingAnalyst
+        from repro.restructure import RestructuringOperator
+
+        class AddParallelSet(RestructuringOperator):
+            def describe(self):
+                return "add a parallel DIV->EMP set"
+
+            def apply_schema(self, schema):
+                out = schema.copy()
+                out.define_set("SECOND-PATH", "DIV", "EMP")
+                return out
+
+            def changes(self, schema):
+                from repro.schema.diff import SetAdded
+
+                return [SetAdded("SECOND-PATH")]
+
+        supervisor = ConversionSupervisor(company_schema,
+                                          AddParallelSet(),
+                                          analyst=RefusingAnalyst())
+        program = b.program("SCANNER", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [b.display("X")]),
+        ])
+        report = supervisor.convert_program(program)
+        assert report.status == "needs-manual-conversion"

@@ -1,0 +1,191 @@
+"""Tests for the vertical-partition operator (ExtractFields) and its
+program conversion rule."""
+
+import pytest
+
+from repro.core import ConversionSupervisor, check_equivalence
+from repro.errors import InformationLoss, RestructureError
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.restructure import (
+    ExtractFields,
+    InlineFields,
+    restructure_database,
+)
+from repro.workloads import company
+
+
+@pytest.fixture
+def extract_op():
+    """Split EMP's personal data (AGE) into an EMP-DETAIL record."""
+    return ExtractFields("EMP", ("AGE",), "EMP-DETAIL", "EMP-DATA")
+
+
+class TestSchemaAndData:
+    def test_schema_shape(self, company_schema, extract_op):
+        target = extract_op.apply_schema(company_schema)
+        assert target.record("EMP-DETAIL").has_field("AGE")
+        assert target.record("EMP").field("AGE").is_virtual
+        link = target.set_type("EMP-DATA")
+        assert link.owner == "EMP-DETAIL"
+        assert link.member == "EMP"
+
+    def test_data_translation_one_to_one(self, company_db, extract_op):
+        _schema, target_db = restructure_database(company_db, extract_op)
+        assert target_db.count("EMP-DETAIL") == target_db.count("EMP")
+        for record in target_db.store("EMP").all_records():
+            assert "AGE" not in record.values
+            assert target_db.read_field(record, "AGE") is not None
+        target_db.verify_consistent()
+
+    def test_inverse_round_trip(self, company_db, company_schema,
+                                extract_op):
+        _ts, target_db = restructure_database(company_db, extract_op)
+        inverse = extract_op.inverse(company_schema)
+        assert isinstance(inverse, InlineFields)
+        _bs, back_db = restructure_database(target_db, inverse)
+        original = sorted(tuple(sorted(r.values.items()))
+                          for r in company_db.store("EMP").all_records())
+        returned = sorted(tuple(sorted(r.values.items()))
+                          for r in back_db.store("EMP").all_records())
+        assert original == returned
+
+    def test_cannot_extract_calc_key(self, company_schema):
+        with pytest.raises(RestructureError):
+            ExtractFields("EMP", ("EMP-NAME",), "X", "L").apply_schema(
+                company_schema)
+
+    def test_cannot_extract_order_key(self, company_schema):
+        with pytest.raises(RestructureError):
+            ExtractFields("EMP", ("EMP-NAME",), "X", "L").apply_schema(
+                company_schema)
+
+    def test_cannot_extract_virtual(self, company_schema):
+        with pytest.raises(RestructureError):
+            ExtractFields("EMP", ("DIV-NAME",), "X", "L").apply_schema(
+                company_schema)
+
+    def test_inline_refuses_extra_fields(self, company_schema,
+                                         extract_op):
+        target = extract_op.apply_schema(company_schema)
+        bad = InlineFields("EMP", (), "EMP-DETAIL", "EMP-DATA")
+        with pytest.raises(InformationLoss):
+            bad.apply_schema(target)
+
+
+class TestProgramConversion:
+    def convert_and_check(self, program, extract_op, inputs=None,
+                          seed=42):
+        schema = company.figure_42_schema()
+        supervisor = ConversionSupervisor(schema, extract_op)
+        report = supervisor.convert_program(program)
+        assert report.target_program is not None, report.failure
+        source_db = company.company_db(seed=seed)
+        _ts, target_db = restructure_database(
+            company.company_db(seed=seed), extract_op)
+        result = check_equivalence(program, source_db,
+                                   report.target_program, target_db,
+                                   inputs=inputs,
+                                   warnings=tuple(report.warnings))
+        return result, report, target_db
+
+    def test_reads_unchanged_and_equivalent(self, extract_op):
+        program = b.program("READER", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.if_(b.gt(b.field("EMP", "AGE"), 45), [
+                    b.display(b.field("EMP", "EMP-NAME"),
+                              b.field("EMP", "AGE")),
+                ]),
+            ]),
+        ])
+        result, _report, _db = self.convert_and_check(program, extract_op)
+        assert result.equivalent
+        assert result.level == "strict"
+
+    def test_store_splits_across_both_records(self, extract_op):
+        program = b.program("HIRE", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            b.store("EMP", **{"EMP-NAME": "ZZ-SPLIT", "AGE": 33,
+                              "DEPT-NAME": "SALES",
+                              "DIV-NAME": "MACHINERY"}),
+            b.display("HIRED"),
+        ])
+        result, report, target_db = self.convert_and_check(program,
+                                                           extract_op)
+        assert result.equivalent
+        assert any("splits" in note for note in report.notes)
+        stored = [r for r in target_db.store("EMP").all_records()
+                  if r["EMP-NAME"] == "ZZ-SPLIT"]
+        assert stored
+        assert target_db.read_field(stored[0], "AGE") == 33
+        target_db.verify_consistent()
+
+    def test_modify_routes_to_extracted_record(self, extract_op):
+        program = b.program("BIRTHDAY", "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": "CLARK-0000"}),
+            b.if_(ast.status_ok(), [
+                b.get("EMP"),
+                b.modify("EMP", **{
+                    "AGE": b.add(b.field("EMP", "AGE"), 1),
+                }),
+                b.get("EMP"),
+                b.display(b.field("EMP", "EMP-NAME"),
+                          b.field("EMP", "AGE")),
+            ], [b.display("MISSING")]),
+        ])
+        result, report, target_db = self.convert_and_check(
+            program, extract_op, seed=1979)
+        assert result.equivalent, result.divergence
+        assert any("routed" in note for note in report.notes)
+        target_db.verify_consistent()
+
+    def test_erase_removes_partner(self, extract_op):
+        program = b.program("FIRE", "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": "CLARK-0000"}),
+            b.if_(ast.status_ok(), [
+                b.erase("EMP"),
+                b.display("FIRED"),
+            ], [b.display("MISSING")]),
+        ])
+        result, _report, target_db = self.convert_and_check(
+            program, extract_op, seed=1979)
+        assert result.equivalent
+        # partner detail removed too: counts stay 1:1
+        assert target_db.count("EMP-DETAIL") == target_db.count("EMP")
+        target_db.verify_consistent()
+
+    def test_locate_by_extracted_field_still_works(self, extract_op):
+        """find_any on a now-virtual field resolves through the link."""
+        program = b.program("BY-AGE", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            b.find_any("EMP", **{"AGE": 44}),
+            b.display(b.v("DB-STATUS")),
+        ])
+        result, _report, _db = self.convert_and_check(program, extract_op,
+                                                      seed=1979)
+        assert result.equivalent
+
+    def test_inline_conversion_round_trip(self, extract_op,
+                                          company_schema):
+        """Programs converted for extract, then for inline, behave like
+        the original."""
+        program = b.program("READER", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.display(b.field("EMP", "AGE")),
+            ]),
+        ])
+        schema = company.figure_42_schema()
+        forward = ConversionSupervisor(schema, extract_op)
+        report_1 = forward.convert_program(program)
+        target_schema = extract_op.apply_schema(schema)
+        backward = ConversionSupervisor(target_schema,
+                                        extract_op.inverse(schema))
+        report_2 = backward.convert_program(report_1.target_program)
+        assert report_2.target_program is not None, report_2.failure
+        source_db = company.company_db(seed=7)
+        result = check_equivalence(program, source_db,
+                                   report_2.target_program,
+                                   company.company_db(seed=7))
+        assert result.equivalent

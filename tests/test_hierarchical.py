@@ -1,0 +1,201 @@
+"""Unit tests for the hierarchical (IMS/DL-I) model."""
+
+import pytest
+
+from repro.errors import RecordNotFound, SchemaError
+from repro.hierarchical import (
+    DLISession,
+    HierarchicalDatabase,
+    SSA,
+    STATUS_END,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+)
+from repro.schema import Schema
+
+
+def school_h_schema() -> Schema:
+    schema = Schema("SCHOOL-H")
+    schema.define_record("COURSE", {"CNO": "X(4)", "CNAME": "X(20)"},
+                         calc_keys=["CNO"])
+    schema.define_record("OFFERING", {"S": "X(4)", "YEAR": "9(4)"})
+    schema.define_record("STUDENT", {"SNAME": "X(20)"})
+    schema.define_set("ALL-COURSE", "SYSTEM", "COURSE", order_keys=["CNO"])
+    schema.define_set("C-O", "COURSE", "OFFERING", order_keys=["S"])
+    schema.define_set("O-S", "OFFERING", "STUDENT", order_keys=["SNAME"])
+    return schema
+
+
+@pytest.fixture
+def db():
+    db = HierarchicalDatabase(school_h_schema())
+    c2 = db.insert_segment("COURSE", {"CNO": "C2", "CNAME": "DB"})
+    c1 = db.insert_segment("COURSE", {"CNO": "C1", "CNAME": "OS"})
+    o1 = db.insert_segment("OFFERING", {"S": "F78", "YEAR": 1978},
+                           ("COURSE", c2.rid))
+    db.insert_segment("OFFERING", {"S": "S79", "YEAR": 1979},
+                      ("COURSE", c2.rid))
+    db.insert_segment("STUDENT", {"SNAME": "ADAMS"}, ("OFFERING", o1.rid))
+    db.insert_segment("STUDENT", {"SNAME": "BAKER"}, ("OFFERING", o1.rid))
+    db.insert_segment("OFFERING", {"S": "F78", "YEAR": 1978},
+                      ("COURSE", c1.rid))
+    return db
+
+
+class TestStructure:
+    def test_non_hierarchical_schema_rejected(self):
+        schema = school_h_schema()
+        schema.define_record("EXTRA", {"X": "X(1)"})
+        schema.define_set("X-S", "EXTRA", "STUDENT")
+        with pytest.raises(SchemaError):
+            HierarchicalDatabase(schema)
+
+    def test_root_and_child_types(self, db):
+        assert db.root_types() == ["COURSE"]
+        assert db.child_types("COURSE") == ["OFFERING"]
+        assert db.parent_type("STUDENT") == "OFFERING"
+        assert db.level("STUDENT") == 3
+
+    def test_roots_in_twin_order(self, db):
+        names = [db.fetch("COURSE", rid)["CNO"] for rid in db.roots("COURSE")]
+        assert names == ["C1", "C2"]
+
+    def test_preorder_sequence(self, db):
+        walk = [name for name, _rid in db.preorder()]
+        assert walk == ["COURSE", "OFFERING", "COURSE", "OFFERING",
+                        "STUDENT", "STUDENT", "OFFERING"]
+
+    def test_insert_requires_correct_parent_type(self, db):
+        with pytest.raises(SchemaError):
+            db.insert_segment("STUDENT", {"SNAME": "X"}, ("COURSE", 1))
+        with pytest.raises(SchemaError):
+            db.insert_segment("COURSE", {"CNO": "C9"}, ("COURSE", 1))
+
+    def test_insert_requires_live_parent(self, db):
+        with pytest.raises(RecordNotFound):
+            db.insert_segment("OFFERING", {"S": "X"}, ("COURSE", 999))
+
+    def test_delete_cascades_subtree(self, db):
+        course_rid = db.roots("COURSE")[1]  # C2 with 2 offerings, 2 students
+        deleted = db.delete_segment("COURSE", course_rid)
+        assert deleted == 5
+        assert db.count("STUDENT") == 0
+
+    def test_replace_resorts_twins(self, db):
+        course_rid = db.roots("COURSE")[1]
+        offerings = db.children("COURSE", course_rid, "OFFERING")
+        db.replace_segment("OFFERING", offerings[0], {"S": "Z99"})
+        new_order = [db.fetch("OFFERING", rid)["S"]
+                     for rid in db.children("COURSE", course_rid,
+                                            "OFFERING")]
+        assert new_order == ["S79", "Z99"]
+
+
+class TestDLI:
+    def test_gu_qualified(self, db):
+        session = DLISession(db)
+        record = session.get_unique(SSA("COURSE", "CNO", "=", "C2"))
+        assert record["CNAME"] == "DB"
+        assert session.status == STATUS_OK
+
+    def test_gu_with_path_qualification(self, db):
+        session = DLISession(db)
+        record = session.get_unique(
+            SSA("COURSE", "CNO", "=", "C2"),
+            SSA("OFFERING", "S", "=", "F78"),
+            SSA("STUDENT", "SNAME", "=", "BAKER"),
+        )
+        assert record["SNAME"] == "BAKER"
+
+    def test_gu_miss(self, db):
+        session = DLISession(db)
+        assert session.get_unique(SSA("COURSE", "CNO", "=", "C9")) is None
+        assert session.status == STATUS_NOT_FOUND
+
+    def test_gn_walks_whole_database(self, db):
+        session = DLISession(db)
+        walk = []
+        while True:
+            record = session.get_next()
+            if record is None:
+                break
+            walk.append(record.type_name)
+        assert session.status == STATUS_END
+        assert walk == [name for name, _ in db.preorder()]
+
+    def test_gn_qualified_skips(self, db):
+        session = DLISession(db)
+        sections = []
+        while True:
+            record = session.get_next(SSA("OFFERING"))
+            if record is None:
+                break
+            sections.append(record["S"])
+        assert sections == ["F78", "F78", "S79"]
+
+    def test_gnp_confined_to_parent(self, db):
+        session = DLISession(db)
+        session.get_unique(SSA("COURSE", "CNO", "=", "C2"))
+        found = []
+        while True:
+            record = session.get_next_within_parent(SSA("STUDENT"))
+            if record is None:
+                break
+            found.append(record["SNAME"])
+        assert session.status == STATUS_NOT_FOUND
+        assert found == ["ADAMS", "BAKER"]
+
+    def test_gnp_without_parentage(self, db):
+        session = DLISession(db)
+        assert session.get_next_within_parent() is None
+        assert session.status == STATUS_NOT_FOUND
+
+    def test_isrt_under_parentage(self, db):
+        session = DLISession(db)
+        session.get_unique(SSA("COURSE", "CNO", "=", "C1"))
+        record = session.insert("OFFERING", {"S": "W80", "YEAR": 1980})
+        assert record is not None
+        parent = db.parent_of("OFFERING", record.rid)
+        assert db.fetch(*parent)["CNO"] == "C1"
+
+    def test_isrt_with_parent_ssas(self, db):
+        session = DLISession(db)
+        record = session.insert("STUDENT", {"SNAME": "CLARK"},
+                                SSA("COURSE", "CNO", "=", "C2"),
+                                SSA("OFFERING", "S", "=", "S79"))
+        assert record is not None
+        assert session.status == STATUS_OK
+
+    def test_isrt_missing_parent(self, db):
+        session = DLISession(db)
+        assert session.insert("OFFERING", {"S": "X"},
+                              SSA("COURSE", "CNO", "=", "C9")) is None
+        assert session.status == STATUS_NOT_FOUND
+
+    def test_dlet_removes_subtree(self, db):
+        session = DLISession(db)
+        session.get_unique(SSA("COURSE", "CNO", "=", "C2"),
+                           SSA("OFFERING", "S", "=", "F78"))
+        count = session.delete()
+        assert count == 3  # offering + 2 students
+        assert db.count("STUDENT") == 0
+
+    def test_repl_updates_current(self, db):
+        session = DLISession(db)
+        session.get_unique(SSA("COURSE", "CNO", "=", "C1"))
+        session.replace({"CNAME": "OPSYS"})
+        again = DLISession(db)
+        record = again.get_unique(SSA("COURSE", "CNO", "=", "C1"))
+        assert record["CNAME"] == "OPSYS"
+
+    def test_reset(self, db):
+        session = DLISession(db)
+        session.get_unique(SSA("COURSE", "CNO", "=", "C2"))
+        session.reset()
+        first = session.get_next()
+        assert first["CNO"] == "C1"
+
+    def test_comparison_operators_in_ssa(self, db):
+        session = DLISession(db)
+        record = session.get_unique(SSA("OFFERING", "YEAR", ">", 1978))
+        assert record["YEAR"] == 1979

@@ -1,0 +1,166 @@
+"""Unit tests for set occurrence stores and currency."""
+
+import pytest
+
+from repro.errors import IntegrityError, UniquenessViolation
+from repro.network import DMLSession, NetworkDatabase
+from repro.network.currency import CurrencyTable
+from repro.network.sets import SYSTEM_OWNER_RID
+from repro.schema import Schema
+
+
+@pytest.fixture
+def db():
+    schema = Schema("T")
+    schema.define_record("P", {"K": "X(2)"}, calc_keys=["K"])
+    schema.define_record("C", {"V": "9(2)", "L": "X(4)"})
+    schema.define_set("ALL-P", "SYSTEM", "P")
+    schema.define_set("SORTED", "P", "C", order_keys=["V"],
+                      allow_duplicates=False)
+    schema.define_set("CHAINED", "P", "C")
+    return NetworkDatabase(schema)
+
+
+def _p(db, key):
+    return db.insert_record("P", {"K": key})
+
+
+def _c(db, v, label="x"):
+    return db.insert_record("C", {"V": v, "L": label})
+
+
+class TestSetStore:
+    def test_sorted_insertion(self, db):
+        parent = _p(db, "A")
+        store = db.set_store("SORTED")
+        for value in (5, 1, 3):
+            child = _c(db, value)
+            store.connect(parent.rid, child.rid)
+        values = [db.store("C").peek(rid)["V"]
+                  for rid in store.members(parent.rid)]
+        assert values == [1, 3, 5]
+
+    def test_chained_keeps_insertion_order(self, db):
+        parent = _p(db, "A")
+        store = db.set_store("CHAINED")
+        rids = []
+        for value in (5, 1, 3):
+            child = _c(db, value)
+            store.connect(parent.rid, child.rid)
+            rids.append(child.rid)
+        assert store.members(parent.rid) == rids
+
+    def test_duplicate_key_rejected(self, db):
+        parent = _p(db, "A")
+        store = db.set_store("SORTED")
+        store.connect(parent.rid, _c(db, 1).rid)
+        with pytest.raises(UniquenessViolation):
+            store.connect(parent.rid, _c(db, 1).rid)
+
+    def test_duplicate_keys_ok_in_other_occurrence(self, db):
+        store = db.set_store("SORTED")
+        store.connect(_p(db, "A").rid, _c(db, 1).rid)
+        store.connect(_p(db, "B").rid, _c(db, 1).rid)  # no error
+
+    def test_double_connect_rejected(self, db):
+        parent = _p(db, "A")
+        child = _c(db, 1)
+        store = db.set_store("SORTED")
+        store.connect(parent.rid, child.rid)
+        with pytest.raises(IntegrityError):
+            store.connect(parent.rid, child.rid)
+
+    def test_disconnect_returns_owner(self, db):
+        parent = _p(db, "A")
+        child = _c(db, 1)
+        store = db.set_store("SORTED")
+        store.connect(parent.rid, child.rid)
+        assert store.disconnect(child.rid) == parent.rid
+        assert store.disconnect(child.rid) is None
+        assert store.members(parent.rid) == []
+
+    def test_next_and_prior(self, db):
+        parent = _p(db, "A")
+        store = db.set_store("SORTED")
+        children = [_c(db, v) for v in (1, 2, 3)]
+        for child in children:
+            store.connect(parent.rid, child.rid)
+        assert store.next_after(children[0].rid) == children[1].rid
+        assert store.next_after(children[2].rid) is None
+        assert store.prior_before(children[1].rid) == children[0].rid
+        assert store.prior_before(children[0].rid) is None
+
+    def test_reposition_after_key_change(self, db):
+        parent = _p(db, "A")
+        store = db.set_store("SORTED")
+        children = [_c(db, v) for v in (1, 2, 3)]
+        for child in children:
+            store.connect(parent.rid, child.rid)
+        db.update_record("C", children[0].rid, {"V": 99})
+        values = [db.store("C").peek(rid)["V"]
+                  for rid in store.members(parent.rid)]
+        assert values == [2, 3, 99]
+
+    def test_owners_listing(self, db):
+        a, b = _p(db, "A"), _p(db, "B")
+        store = db.set_store("SORTED")
+        store.connect(a.rid, _c(db, 1).rid)
+        assert store.owners() == [a.rid]
+        store.connect(b.rid, _c(db, 1).rid)
+        assert set(store.owners()) == {a.rid, b.rid}
+
+    def test_system_owner_rid(self, db):
+        store = db.set_store("ALL-P")
+        parent = _p(db, "A")
+        store.connect(SYSTEM_OWNER_RID, parent.rid)
+        assert store.members(SYSTEM_OWNER_RID) == [parent.rid]
+
+
+class TestCurrency:
+    def test_note_updates_all_indicators(self, db):
+        table = CurrencyTable()
+        table.note(db.schema, "C", 7)
+        assert table.run_unit.rid == 7
+        assert table.of_record("C").rid == 7
+        assert table.of_set("SORTED").rid == 7
+        assert table.of_set("CHAINED").rid == 7
+        assert table.of_set("ALL-P") is None  # C not in ALL-P
+
+    def test_retain_sets(self, db):
+        table = CurrencyTable()
+        table.note(db.schema, "C", 1)
+        table.note(db.schema, "C", 2, retain_sets=frozenset({"SORTED"}))
+        assert table.of_set("SORTED").rid == 1
+        assert table.of_set("CHAINED").rid == 2
+
+    def test_forget_record_clears_pointers(self, db):
+        table = CurrencyTable()
+        table.note(db.schema, "C", 1)
+        table.forget_record("C", 1)
+        assert table.run_unit is None
+        assert table.of_record("C") is None
+        assert table.of_set("SORTED") is None
+
+    def test_clear(self, db):
+        table = CurrencyTable()
+        table.note(db.schema, "P", 1)
+        table.clear()
+        assert table.run_unit is None
+        assert table.records == {}
+
+
+class TestCurrencySideEffects:
+    def test_find_updates_set_currency_of_participating_sets(self, small_db):
+        session = DMLSession(small_db)
+        session.find_any("OWNER", **{"KEY": "K1"})
+        assert session.currency.of_set("OWNS").record_name == "OWNER"
+        session.find_first("ITEM", "OWNS")
+        assert session.currency.of_set("OWNS").record_name == "ITEM"
+
+    def test_scanning_one_set_does_not_move_another_systems(self, small_db):
+        session = DMLSession(small_db)
+        session.find_any("OWNER", **{"KEY": "K1"})
+        before = session.currency.of_set("ALL-OWNER")
+        session.find_first("ITEM", "OWNS")
+        # ITEM does not participate in ALL-OWNER: currency unchanged.
+        assert session.currency.of_set("ALL-OWNER") == before

@@ -1,0 +1,280 @@
+"""Unit tests for the program AST, builder, interpreter and I/O traces."""
+
+import pytest
+
+from repro.programs import ProgramInputs, run_program
+from repro.programs import builder as b
+from repro.programs import ast
+from repro.programs.ast import render_program, transform_program, walk_program
+from repro.programs.interpreter import Interpreter, InterpreterError
+from repro.programs.iotrace import IOTrace
+
+
+class TestExpressions:
+    def run_expr(self, expr, env=None, db=None, small_db=None):
+        interpreter = Interpreter(db if db is not None else small_db)
+        interpreter.env.update(env or {})
+        return interpreter.eval(expr)
+
+    def test_arithmetic_and_comparison(self, small_db):
+        interpreter = Interpreter(small_db)
+        assert interpreter.eval(b.add(2, 3)) == 5
+        assert interpreter.eval(b.gt(5, 3)) is True
+        assert interpreter.eval(b.le(5, 3)) is False
+        assert interpreter.eval(b.ne("a", "b")) is True
+
+    def test_boolean_short_circuit(self, small_db):
+        interpreter = Interpreter(small_db)
+        # right side references an unbound var: must not be evaluated
+        expr = b.or_(b.eq(1, 1), b.eq(b.v("UNBOUND"), 1))
+        assert interpreter.eval(expr) is True
+        expr = b.and_(b.eq(1, 2), b.eq(b.v("UNBOUND"), 1))
+        assert interpreter.eval(expr) is False
+
+    def test_none_comparisons(self, small_db):
+        interpreter = Interpreter(small_db)
+        interpreter.env["X"] = None
+        assert interpreter.eval(b.eq(b.v("X"), None)) is True
+        assert interpreter.eval(b.lt(b.v("X"), 5)) is True  # None < all
+        assert interpreter.eval(b.gt(b.v("X"), 5)) is False
+
+    def test_unbound_variable_raises(self, small_db):
+        interpreter = Interpreter(small_db)
+        with pytest.raises(InterpreterError):
+            interpreter.eval(b.v("NOPE"))
+
+
+class TestHostStatements:
+    def test_terminal_io(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.accept("NAME", prompt="WHO?"),
+            b.display("HELLO", b.v("NAME")),
+        ])
+        trace = run_program(program, small_db,
+                            ProgramInputs(terminal=["WORLD"]))
+        assert trace.terminal_lines() == ["WHO?", "HELLO WORLD"]
+        reads = [e for e in trace.events if e.direction == "read"]
+        assert reads[0].text == "WORLD"
+
+    def test_terminal_read_exhausted_gives_empty(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.accept("X"),
+            b.display(b.v("X"), "END"),
+        ])
+        trace = run_program(program, small_db)
+        assert trace.terminal_lines() == [" END"]
+
+    def test_file_io_and_eof(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.read_file("IN", "LINE"),
+            b.while_(b.eq(b.v("FILE-STATUS"), "00"), [
+                b.write_file("OUT", b.v("LINE")),
+                b.read_file("IN", "LINE"),
+            ]),
+            b.display("COPIED"),
+        ])
+        trace = run_program(program, small_db,
+                            ProgramInputs(files={"IN": ["a", "b"]}))
+        assert trace.file_lines("OUT") == ["a", "b"]
+
+    def test_if_else(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.assign("X", 10),
+            b.if_(b.gt(b.v("X"), 5), [b.display("BIG")],
+                  [b.display("SMALL")]),
+        ])
+        assert run_program(program, small_db).terminal_lines() == ["BIG"]
+
+    def test_while_loop(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.assign("I", 0),
+            b.while_(b.lt(b.v("I"), 3), [
+                b.display(b.v("I")),
+                b.assign("I", b.add(b.v("I"), 1)),
+            ]),
+        ])
+        assert run_program(program, small_db).terminal_lines() == \
+            ["0", "1", "2"]
+
+    def test_step_budget_stops_infinite_loop(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.while_(b.eq(1, 1), [b.assign("X", 1)]),
+        ])
+        interpreter = Interpreter(small_db, max_steps=1000)
+        with pytest.raises(InterpreterError):
+            interpreter.run(program)
+
+    def test_procedure_call_binds_and_restores(self, small_db):
+        procedure = b.procedure("GREET", ("WHO",), [
+            b.display("HI", b.v("WHO")),
+        ])
+        program = b.program("T", "network", "SMALL", [
+            b.assign("WHO", "OUTER"),
+            b.call("GREET", "INNER"),
+            b.display(b.v("WHO")),
+        ], procedures=[procedure])
+        trace = run_program(program, small_db)
+        assert trace.terminal_lines() == ["HI INNER", "OUTER"]
+
+    def test_procedure_with_dml(self, small_db):
+        procedure = b.procedure("SHOW", ("KEY",), [
+            b.find_any("OWNER", **{"KEY": b.v("KEY")}),
+            b.get("OWNER"),
+            b.display(b.field("OWNER", "NAME")),
+        ])
+        program = b.program("T", "network", "SMALL", [
+            b.call("SHOW", "K1"),
+            b.call("SHOW", "K2"),
+        ], procedures=[procedure])
+        trace = run_program(program, small_db, consistent=False)
+        assert trace.terminal_lines() == ["OWNER-K1", "OWNER-K2"]
+
+    def test_bind_first_row(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.assign("ROWS", 0),  # placeholder, replaced below
+        ])
+        interpreter = Interpreter(small_db)
+        interpreter.env["$R"] = [{"A": 1}, {"A": 2}]
+        interpreter._exec(ast.BindFirstRow("ROW", "$R"))
+        assert interpreter.env["ROW.A"] == 1
+        assert interpreter.env["DB-STATUS"] == "0000"
+        interpreter.env["$R"] = []
+        interpreter._exec(ast.BindFirstRow("ROW", "$R"))
+        assert interpreter.env["DB-STATUS"] == "0326"
+        del program
+
+
+class TestNetworkStatements:
+    def test_scan_template(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.find_any("OWNER", **{"KEY": "K1"}),
+            *b.scan_set("ITEM", "OWNS", [
+                b.display(b.field("ITEM", "LABEL")),
+            ]),
+        ])
+        trace = run_program(program, small_db, consistent=False)
+        assert trace.terminal_lines() == ["K1-1", "K1-2", "K1-3"]
+
+    def test_process_first_template(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.find_any("OWNER", **{"KEY": "K1"}),
+            *b.process_first("ITEM", "OWNS", [
+                b.display(b.field("ITEM", "LABEL")),
+            ]),
+        ])
+        trace = run_program(program, small_db, consistent=False)
+        assert trace.terminal_lines() == ["K1-1"]
+
+    def test_get_wrong_record_sets_status(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.find_any("OWNER", **{"KEY": "K1"}),
+            b.get("ITEM"),
+            b.display(b.v("DB-STATUS")),
+        ])
+        trace = run_program(program, small_db, consistent=False)
+        assert trace.terminal_lines() == ["0306"]
+
+    def test_generic_call_dispatch(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.assign("VERB", "FIND-ANY"),
+            b.generic_call(b.v("VERB"), "OWNER", **{"KEY": "K2"}),
+            b.get("OWNER"),
+            b.display(b.field("OWNER", "NAME")),
+        ])
+        trace = run_program(program, small_db, consistent=False)
+        assert trace.terminal_lines() == ["OWNER-K2"]
+
+    def test_store_modify_erase_via_program(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.find_any("OWNER", **{"KEY": "K1"}),
+            b.store("ITEM", **{"SEQ": 77, "LABEL": "NEW"}),
+            b.modify("ITEM", **{"LABEL": "CHANGED"}),
+            b.erase("ITEM"),
+            b.display("OK"),
+        ])
+        before = small_db.count("ITEM")
+        run_program(program, small_db, consistent=False)
+        assert small_db.count("ITEM") == before
+
+
+class TestTraces:
+    def test_equality_and_diff(self):
+        left = IOTrace()
+        left.terminal_write("A")
+        right = IOTrace()
+        right.terminal_write("A")
+        assert left == right
+        assert left.diff(right) is None
+        right.terminal_write("B")
+        assert left != right
+        assert "extra" in left.diff(right)
+
+    def test_diff_reports_first_divergence(self):
+        left = IOTrace()
+        left.terminal_write("A")
+        left.terminal_write("B")
+        right = IOTrace()
+        right.terminal_write("A")
+        right.terminal_write("C")
+        assert "event 1" in left.diff(right)
+
+    def test_render(self):
+        trace = IOTrace()
+        trace.terminal_write("X")
+        trace.file_read("F", "line")
+        assert "terminal -> X" in trace.render()
+        assert "F <- line" in trace.render()
+
+
+class TestTreeTools:
+    def test_walk_covers_nested_blocks(self):
+        program = b.program("T", "network", "S", [
+            b.if_(b.eq(1, 1), [
+                b.while_(b.eq(1, 1), [b.display("X")]),
+            ], [b.display("Y")]),
+        ])
+        kinds = [type(s).__name__ for s in walk_program(program)]
+        assert kinds == ["If", "While", "WriteTerminal", "WriteTerminal"]
+
+    def test_transform_splice_and_drop(self):
+        program = b.program("T", "network", "S", [
+            b.display("KEEP"),
+            b.display("DROP"),
+            b.display("DOUBLE"),
+        ])
+
+        def fn(stmt):
+            if isinstance(stmt, ast.WriteTerminal):
+                text = stmt.exprs[0].value
+                if text == "DROP":
+                    return None
+                if text == "DOUBLE":
+                    return [stmt, stmt]
+            return stmt
+
+        result = transform_program(program, fn)
+        texts = [s.exprs[0].value for s in result.statements]
+        assert texts == ["KEEP", "DOUBLE", "DOUBLE"]
+
+    def test_render_program_is_text(self, small_db):
+        program = b.program("T", "network", "SMALL", [
+            b.find_any("OWNER", **{"KEY": "K1"}),
+            *b.scan_set("ITEM", "OWNS", [b.display("X")]),
+        ])
+        text = render_program(program)
+        assert "FIND FIRST ITEM WITHIN OWNS" in text
+        assert "PERFORM WHILE" in text
+
+
+def test_run_unit_enforces_consistency(small_db):
+    """Section 1.1: programs must leave the database consistent."""
+    from repro.schema import ExistenceConstraint
+
+    small_db.schema.add_constraint(ExistenceConstraint("E", "OWNS"))
+    program = b.program("T", "network", "SMALL", [
+        b.store("ITEM", **{"SEQ": 1, "LABEL": "ORPHAN"}),
+    ])
+    from repro.errors import IntegrityError
+
+    with pytest.raises(IntegrityError):
+        run_program(program, small_db, consistent=True)

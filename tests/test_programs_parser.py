@@ -1,0 +1,200 @@
+"""Tests for the pseudo-COBOL program text parser."""
+
+import pytest
+
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.ast import render_program
+from repro.programs.parser import (
+    ProgramSyntaxError,
+    parse_expression,
+    parse_program,
+    roundtrips,
+)
+from repro.workloads.corpus import CorpusSpec, generate_corpus
+
+
+class TestExpressionParsing:
+    @pytest.mark.parametrize("expr", [
+        b.c(5),
+        b.c("HELLO WORLD"),
+        b.c(""),
+        b.v("DB-STATUS"),
+        b.v("EMP.EMP-NAME"),
+        b.eq(b.v("A"), 1),
+        b.and_(b.gt(b.v("A"), 1), b.ne(b.v("B"), "x")),
+        b.add(b.add(1, 2), b.v("N")),
+        ast.Const(True),
+        ast.Const(None),
+    ])
+    def test_round_trip(self, expr):
+        assert parse_expression(expr.render()) == expr
+
+    def test_nested_parens(self):
+        expr = parse_expression("((A + 1) * (B - 2))")
+        assert expr == ast.Bin("*", ast.Bin("+", ast.Var("A"),
+                                            ast.Const(1)),
+                               ast.Bin("-", ast.Var("B"), ast.Const(2)))
+
+    def test_string_with_comma_and_paren(self):
+        expr = parse_expression("'a, (b)'")
+        assert expr == ast.Const("a, (b)")
+
+    @pytest.mark.parametrize("bad", ["(A >", "(A ?? B)", "(A > 1) extra"])
+    def test_errors(self, bad):
+        with pytest.raises(ProgramSyntaxError):
+            parse_expression(bad)
+
+
+class TestStatementParsing:
+    def parse_single(self, text: str) -> ast.Stmt:
+        program = parse_program(
+            f"PROGRAM T (network / S).\n  {text}\n"
+        )
+        assert len(program.statements) == 1
+        return program.statements[0]
+
+    def test_header_fields(self):
+        program = parse_program("PROGRAM MY-PROG (relational / SCH-1).\n")
+        assert program.name == "MY-PROG"
+        assert program.model == "relational"
+        assert program.schema_name == "SCH-1"
+
+    def test_bad_header(self):
+        with pytest.raises(ProgramSyntaxError):
+            parse_program("PROGRAMME X.\n")
+
+    @pytest.mark.parametrize("stmt", [
+        b.assign("X", 5),
+        b.display("A", b.v("X")),
+        b.accept("X"),
+        b.accept("X", prompt="WHO?"),
+        b.read_file("F", "LINE"),
+        b.write_file("OUT", b.v("A"), "literal"),
+        ast.BindFirstRow("ROW", "$ROWS-1"),
+        b.find_any("EMP", **{"EMP-NAME": "X", "AGE": 3}),
+        b.find_any("EMP"),
+        b.find_first("EMP", "DIV-EMP"),
+        b.find_next("EMP", "DIV-EMP"),
+        b.find_next_using("EMP", "DIV-EMP", **{"AGE": 30}),
+        b.find_owner("DIV-EMP"),
+        b.get("EMP"),
+        b.store("EMP", **{"EMP-NAME": "A"}),
+        b.modify("EMP", **{"AGE": b.add(b.field("EMP", "AGE"), 1)}),
+        b.erase("EMP"),
+        b.erase("EMP", all_members=True),
+        b.connect("EMP", "DIV-EMP"),
+        b.disconnect("EMP", "DIV-EMP"),
+        ast.NetReconnect("EMP", "DEPT-EMP", "DEPT-NAME",
+                         ast.Const("SALES"), ensure_owner=True),
+        b.generic_call(b.v("VERB"), "EMP", **{"AGE": 1}),
+        b.generic_call("STORE", "EMP"),
+        b.query("SELECT A FROM T WHERE B = ?X", "$R", ["X"]),
+        b.query("SELECT A FROM T", "$R"),
+        b.rel_insert("EMP", **{"E#": "E1"}),
+        b.rel_delete("EMP", **{"E#": "E1", "AGE": 2}),
+        b.rel_update("EMP", {"E#": "E1"}, {"AGE": 3}),
+        b.gu(b.ssa("COURSE", "CNO", "=", "C1")),
+        b.gn(),
+        b.gnp(b.ssa("OFFERING")),
+        b.isrt("OFFERING", {"S": "F78"}, b.ssa("COURSE", "CNO", "=", "C1")),
+        b.isrt("COURSE", {"CNO": "C9"}),
+        b.dlet(),
+        b.repl(**{"S": "S79"}),
+        ast.HierPositionParent(),
+    ])
+    def test_leaf_round_trip(self, stmt):
+        assert self.parse_single(stmt.render() + ".") == stmt
+
+    def test_if_else_round_trip(self):
+        program = b.program("T", "network", "S", [
+            b.if_(b.gt(b.v("A"), 1), [b.display("BIG")],
+                  [b.display("SMALL")]),
+        ])
+        assert roundtrips(program)
+
+    def test_nested_compound_round_trip(self):
+        program = b.program("T", "network", "S", [
+            b.while_(b.lt(b.v("I"), 3), [
+                b.if_(b.eq(b.v("I"), 1), [
+                    b.for_each_row("R", "$ROWS", [
+                        b.display(b.v("R.A")),
+                    ]),
+                ]),
+                b.assign("I", b.add(b.v("I"), 1)),
+            ]),
+        ])
+        assert roundtrips(program)
+
+    def test_procedures_round_trip(self):
+        program = b.program("T", "network", "S", [
+            b.call("SHOW", "K1", 2),
+        ], procedures=[
+            b.procedure("SHOW", ("KEY", "N"), [
+                b.display(b.v("KEY"), b.v("N")),
+            ]),
+        ])
+        assert roundtrips(program)
+
+    def test_unrecognized_statement(self):
+        with pytest.raises(ProgramSyntaxError):
+            parse_program("PROGRAM T (network / S).\n  FROBNICATE X.\n")
+
+    def test_missing_period(self):
+        with pytest.raises(ProgramSyntaxError):
+            parse_program("PROGRAM T (network / S).\n  GET EMP\n")
+
+    def test_unterminated_if(self):
+        with pytest.raises(ProgramSyntaxError):
+            parse_program(
+                "PROGRAM T (network / S).\n  IF (A = 1)\n    GET EMP.\n"
+            )
+
+
+class TestCorpusRoundTrip:
+    def test_entire_corpus_round_trips(self):
+        corpus = generate_corpus(CorpusSpec(seed=23, size=60,
+                                            pathology_rate=0.4))
+        for item in corpus:
+            assert roundtrips(item.program), item.program.name
+
+    def test_parsed_program_runs_identically(self, company_db):
+        from repro.programs.interpreter import run_program
+        from repro.workloads import company
+
+        corpus = generate_corpus(CorpusSpec(seed=29, size=10,
+                                            pathology_rate=0.0))
+        for item in corpus:
+            parsed = parse_program(render_program(item.program))
+            trace_original = run_program(
+                item.program, company.company_db(seed=5),
+                consistent=False)
+            trace_parsed = run_program(
+                parsed, company.company_db(seed=5), consistent=False)
+            assert trace_original == trace_parsed
+
+
+def test_hand_written_source_text(company_db):
+    """The analyzer path the paper describes: read source text, analyze,
+    convert."""
+    from repro.core import ConversionSupervisor
+    from repro.workloads import company
+
+    source_text = """
+PROGRAM HAND-WRITTEN (network / COMPANY-NAME).
+  FIND ANY DIV USING DIV-NAME='MACHINERY'.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  PERFORM WHILE (DB-STATUS = '0000')
+    GET EMP.
+    IF (EMP.AGE > 45)
+      DISPLAY EMP.EMP-NAME.
+    END-IF
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-PERFORM
+  DISPLAY 'DONE'.
+"""
+    program = parse_program(source_text)
+    supervisor = ConversionSupervisor(company.figure_42_schema(),
+                                      company.figure_44_operator())
+    report = supervisor.convert_program(program)
+    assert report.target_program is not None

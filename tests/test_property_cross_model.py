@@ -1,0 +1,165 @@
+"""Property tests: any forest schema instance survives translation
+through all three data models.
+
+The paper's premise (§3.1) is that the structure specifications are
+"representation free"; these tests check it mechanically: a random
+forest schema with random data, materialized as a network database,
+extracts to a snapshot that loads into the relational and hierarchical
+engines and extracts back identically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.restructure import (
+    extract_snapshot,
+    load_hierarchical,
+    load_network,
+    load_relational,
+)
+from repro.restructure.translator import DataSnapshot
+from repro.schema.model import Schema
+
+
+@st.composite
+def forest_instances(draw):
+    """A random forest schema plus a consistent instance snapshot."""
+    record_count = draw(st.integers(min_value=2, max_value=4))
+    schema = Schema("RANDOM")
+    parents: dict[int, int] = {}
+    for index in range(record_count):
+        schema.define_record(f"R{index}", {
+            f"K{index}": "X(8)",
+            f"V{index}": "9(3)",
+        }, calc_keys=[f"K{index}"])
+        if index == 0:
+            schema.define_set("ROOT-SET", "SYSTEM", "R0",
+                              order_keys=["K0"], allow_duplicates=False)
+        else:
+            parent = draw(st.integers(min_value=0, max_value=index - 1))
+            parents[index] = parent
+            schema.define_set(f"S{index}", f"R{parent}", f"R{index}",
+                              order_keys=[f"K{index}"],
+                              allow_duplicates=False)
+    schema.validate()
+    assert schema.is_hierarchical()
+
+    snapshot = DataSnapshot()
+    counts: dict[int, int] = {}
+    serial = 0
+    for index in range(record_count):
+        if index == 0:
+            count = draw(st.integers(min_value=1, max_value=4))
+        else:
+            count = draw(st.integers(min_value=0, max_value=5))
+        counts[index] = count
+        rows = []
+        for row_index in range(count):
+            serial += 1
+            rows.append({
+                f"K{index}": f"K-{serial:04d}",
+                f"V{index}": draw(st.integers(min_value=0,
+                                              max_value=999)),
+            })
+            del row_index
+        snapshot.rows[f"R{index}"] = rows
+    snapshot.links["ROOT-SET"] = [
+        (None, ("R0", i)) for i in range(counts[0])
+    ]
+    for index in range(1, record_count):
+        parent = parents[index]
+        pairs = []
+        for row_index in range(counts[index]):
+            if counts[parent] == 0:
+                # no possible owner: drop the row to stay loadable
+                continue
+            owner = draw(st.integers(min_value=0,
+                                     max_value=counts[parent] - 1))
+            pairs.append(((f"R{parent}", owner), (f"R{index}", row_index)))
+        snapshot.links[f"S{index}"] = pairs
+        # remove rows that could not be connected
+        connected = {member[1] for _o, member in pairs}
+        snapshot.rows[f"R{index}"] = [
+            row for row_index, row in enumerate(snapshot.rows[f"R{index}"])
+            if row_index in connected
+        ]
+        # reindex links after the removal
+        mapping = {
+            old: new for new, old in enumerate(sorted(connected))
+        }
+        snapshot.links[f"S{index}"] = [
+            (owner, (f"R{index}", mapping[member[1]]))
+            for owner, member in pairs
+        ]
+        counts[index] = len(snapshot.rows[f"R{index}"])
+    return schema, snapshot
+
+
+def canonical(snapshot: DataSnapshot):
+    """Key-based canonical form (row ids differ between loads)."""
+    rows = {
+        name: sorted(tuple(sorted(r.items())) for r in record_rows)
+        for name, record_rows in snapshot.rows.items()
+    }
+
+    def key_of(row_id):
+        if row_id is None:
+            return None
+        name, index = row_id
+        row = snapshot.rows[name][index]
+        return tuple(sorted(row.items()))
+
+    links = {
+        set_name: sorted(
+            (key_of(owner), key_of(member)) for owner, member in pairs
+        )
+        for set_name, pairs in snapshot.links.items()
+    }
+    return rows, links
+
+
+@given(forest_instances())
+@settings(max_examples=40, deadline=None)
+def test_network_round_trip(case):
+    schema, snapshot = case
+    db = load_network(schema, snapshot)
+    assert canonical(extract_snapshot(db)) == canonical(snapshot)
+
+
+@given(forest_instances())
+@settings(max_examples=40, deadline=None)
+def test_relational_round_trip(case):
+    schema, snapshot = case
+    network = load_network(schema, snapshot)
+    relational = load_relational(schema, extract_snapshot(network))
+    assert canonical(extract_snapshot(relational)) == canonical(snapshot)
+
+
+@given(forest_instances())
+@settings(max_examples=40, deadline=None)
+def test_hierarchical_round_trip(case):
+    schema, snapshot = case
+    network = load_network(schema, snapshot)
+    hierarchical = load_hierarchical(schema, extract_snapshot(network))
+    assert canonical(extract_snapshot(hierarchical)) == canonical(snapshot)
+
+
+@given(forest_instances())
+@settings(max_examples=25, deadline=None)
+def test_constraints_hold_in_all_models(case):
+    """Declared existence constraints validate identically in every
+    engine (the DatabaseView protocol's point)."""
+    from repro.schema.constraints import ExistenceConstraint
+
+    schema, snapshot = case
+    for set_type in list(schema.sets.values()):
+        if not set_type.system_owned:
+            schema.add_constraint(ExistenceConstraint(
+                f"E-{set_type.name}", set_type.name))
+    network = load_network(schema, snapshot)
+    relational = load_relational(schema, extract_snapshot(network))
+    hierarchical = load_hierarchical(schema, extract_snapshot(network))
+    assert network.check_constraints() == []
+    assert relational.check_constraints() == []
+    assert hierarchical.check_constraints() == []

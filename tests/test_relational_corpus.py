@@ -1,0 +1,162 @@
+"""The relational application system: conversion sensitivity contrast.
+
+Under the Figure 4.4 restructuring the relational EMP relation keeps a
+DEPT-NAME column (as a foreign key into the new DEPT relation), so
+set-at-a-time programs are largely insensitive to the change -- the
+data-independence contrast that Section 1.2 notes 1979 systems lacked
+("nor do systems provide data independence at a level which allows
+wide flexibility").
+"""
+
+import pytest
+
+from repro.core import ConversionSupervisor, RefusingAnalyst
+from repro.core.report import STATUS_AUTOMATIC
+from repro.programs.interpreter import run_program
+from repro.restructure import (
+    extract_snapshot,
+    load_relational,
+    restructure_database,
+)
+from repro.workloads import company
+from repro.workloads.corpus import (
+    CorpusSpec,
+    RELATIONAL_KINDS,
+    generate_corpus,
+    generate_relational_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def relational_corpus():
+    return generate_relational_corpus(CorpusSpec(seed=1979, size=40))
+
+
+def make_relational_pair(seed=1979):
+    operator = company.figure_44_operator()
+    source_network = company.company_db(seed=seed)
+    source = load_relational(source_network.schema,
+                             extract_snapshot(source_network))
+    target_schema, target_network = restructure_database(
+        company.company_db(seed=seed), operator)
+    target = load_relational(target_schema,
+                             extract_snapshot(target_network))
+    return source, target
+
+
+def test_corpus_shape(relational_corpus):
+    assert len(relational_corpus) == 40
+    kinds = {item.kind for item in relational_corpus}
+    assert kinds <= set(RELATIONAL_KINDS)
+    for item in relational_corpus:
+        assert item.program.model == "relational"
+
+
+def test_every_relational_program_runs(relational_corpus):
+    source, _target = make_relational_pair()
+    for item in relational_corpus:
+        trace = run_program(item.program, source, consistent=False)
+        assert trace is not None
+
+
+def test_all_convert_automatically(relational_corpus):
+    """The data-independence headline: 100% mechanical automation for
+    the relational inventory under the same restructuring."""
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator,
+                                      analyst=RefusingAnalyst())
+    batch = supervisor.convert_system(
+        [item.program for item in relational_corpus],
+        target_model="relational")
+    assert batch.automation_rate() == 1.0
+    counts = batch.counts()
+    # only the hire programs (which touch the moved DEPT-NAME on a
+    # STORE) carry conversion notes; everything else is untouched
+    assert counts.get(STATUS_AUTOMATIC, 0) >= len(relational_corpus) // 2
+
+
+def test_converted_relational_programs_equivalent(relational_corpus):
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+    diverged = []
+    for item in relational_corpus[:20]:
+        report = supervisor.convert_program(item.program,
+                                            target_model="relational")
+        assert report.target_program is not None, report.failure
+        source, target = make_relational_pair()
+        source_trace = run_program(item.program, source,
+                                   consistent=False)
+        target_trace = run_program(report.target_program, target,
+                                   consistent=False)
+        if source_trace != target_trace:
+            diverged.append(item.program.name)
+    assert diverged == []
+
+
+def test_hire_creates_group_row(relational_corpus):
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+    hire = next(item for item in relational_corpus
+                if item.kind == "rel-hire")
+    report = supervisor.convert_program(hire.program,
+                                        target_model="relational")
+    _source, target = make_relational_pair()
+    departments_before = target.count("DEPT")
+    run_program(report.target_program, target, consistent=False)
+    # the department existed already (populate seeds SALES/ENG/...), so
+    # no new group; force a novel department to check creation:
+    from repro.programs import builder as b
+
+    novel = b.program("NOVEL-HIRE", "relational", "COMPANY-NAME", [
+        b.rel_insert("EMP", **{
+            "EMP-NAME": "RNOVEL", "DEPT-NAME": "ROBOTICS",
+            "AGE": 30, "DIV-NAME": "MACHINERY",
+        }),
+        b.display("OK"),
+    ])
+    report = supervisor.convert_program(novel, target_model="relational")
+    run_program(report.target_program, target, consistent=False)
+    robotics = [r for r in target.relation("DEPT").rows()
+                if r["DEPT-NAME"] == "ROBOTICS"]
+    assert robotics
+    assert robotics[0]["DIV-NAME"] == "MACHINERY"
+    del departments_before
+
+
+def test_network_twin_needs_more_conversion():
+    """Contrast: the navigational inventory converts with warnings and
+    nested rewrites, the relational one passes through untouched."""
+    from repro.programs import ast as ast_mod
+
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    supervisor = ConversionSupervisor(schema, operator)
+
+    network_corpus = generate_corpus(CorpusSpec(seed=1979, size=40,
+                                                pathology_rate=0.0))
+    relational_corpus = generate_relational_corpus(
+        CorpusSpec(seed=1979, size=40))
+
+    def rewrite_fraction(corpus, target_model):
+        changed = 0
+        converted = 0
+        for item in corpus:
+            report = supervisor.convert_program(item.program,
+                                                target_model=target_model)
+            if report.target_program is None:
+                continue
+            converted += 1
+            before = sum(1 for _ in ast_mod.walk_program(item.program))
+            after = sum(1 for _ in
+                        ast_mod.walk_program(report.target_program))
+            if after != before or report.notes or report.warnings:
+                changed += 1
+        return changed / converted
+
+    network_changed = rewrite_fraction(network_corpus, "network")
+    relational_changed = rewrite_fraction(relational_corpus,
+                                          "relational")
+    assert relational_changed < network_changed

@@ -1,0 +1,116 @@
+"""Conversion of *relational* programs (AQuery rewrite rules executed
+end to end, not just at text level)."""
+
+import pytest
+
+from repro.core import ConversionSupervisor, check_equivalence
+from repro.programs import builder as b
+from repro.restructure import (
+    Composite,
+    RenameField,
+    RenameRecord,
+    restructure_database,
+)
+from repro.workloads import florida
+
+
+def d2_program():
+    return b.program("D2-REPORT", "relational", "FLORIDA", [
+        b.query(
+            "SELECT ENAME FROM EMP WHERE E# IN "
+            "SELECT E# FROM EMP-DEPT WHERE D# = 'D2' "
+            "AND YEAR-OF-SERVICE > ?THRESHOLD",
+            "$ROWS", ["THRESHOLD"],
+        ),
+        b.for_each_row("ROW", "$ROWS", [
+            b.display(b.v("ROW.ENAME")),
+        ]),
+        b.display("DONE"),
+    ])
+
+
+def crud_program():
+    return b.program("CRUD", "relational", "FLORIDA", [
+        b.rel_insert("EMP", **{"E#": "E999", "ENAME": "TEMP", "AGE": 30}),
+        b.rel_update("EMP", {"E#": "E999"}, {"AGE": 31}),
+        b.query("SELECT AGE FROM EMP WHERE E# = 'E999'", "$R"),
+        b.for_each_row("ROW", "$R", [b.display(b.v("ROW.AGE"))]),
+        b.rel_delete("EMP", **{"E#": "E999"}),
+        b.display(b.v("DB-STATUS")),
+    ])
+
+
+def make_dbs(operator, seed=11):
+    source_network = florida.florida_network_db(seed=seed)
+    from repro.restructure import extract_snapshot, load_relational
+
+    source = load_relational(source_network.schema,
+                             extract_snapshot(source_network))
+    target_network = florida.florida_network_db(seed=seed)
+    target_schema, translated = restructure_database(target_network,
+                                                     operator)
+    target = load_relational(target_schema,
+                             extract_snapshot(translated))
+    return source, target
+
+
+@pytest.mark.parametrize("factory", [d2_program, crud_program])
+def test_rename_record_conversion(factory):
+    schema = florida.florida_schema()
+    operator = RenameRecord("EMP", "WORKER")
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(factory(),
+                                        target_model="relational")
+    assert report.target_program is not None, report.failure
+    source, target = make_dbs(operator)
+    from repro.programs.interpreter import ProgramInputs
+
+    inputs = ProgramInputs(terminal=[])
+    interpreter_env = {"THRESHOLD": 10}
+    # bind the ?THRESHOLD parameter by prepending an assignment
+    source_program = factory().with_statements(
+        (b.assign("THRESHOLD", 10),) + factory().statements)
+    target_program = report.target_program.with_statements(
+        (b.assign("THRESHOLD", 10),) + report.target_program.statements)
+    result = check_equivalence(source_program, source, target_program,
+                               target, inputs=inputs, consistent=False)
+    assert result.equivalent, result.divergence
+    del interpreter_env
+
+
+def test_rename_field_rewrites_query_text():
+    schema = florida.florida_schema()
+    operator = Composite((
+        RenameField("EMP", "ENAME", "FULL-NAME"),
+        RenameField("EMP-DEPT", "YEAR-OF-SERVICE", "TENURE"),
+    ))
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(d2_program(),
+                                        target_model="relational")
+    assert report.target_program is not None, report.failure
+    from repro.programs import ast
+
+    queries = [s for s in ast.walk_program(report.target_program)
+               if isinstance(s, ast.RelQuery)]
+    assert "FULL-NAME" in queries[0].sequel
+    assert "TENURE" in queries[0].sequel
+    assert "ENAME" not in queries[0].sequel
+
+
+def test_rename_field_conversion_runs():
+    schema = florida.florida_schema()
+    operator = RenameField("EMP", "ENAME", "FULL-NAME")
+    supervisor = ConversionSupervisor(schema, operator)
+    report = supervisor.convert_program(d2_program(),
+                                        target_model="relational")
+    source, target = make_dbs(operator)
+    source_program = d2_program().with_statements(
+        (b.assign("THRESHOLD", 5),) + d2_program().statements)
+    target_program = report.target_program.with_statements(
+        (b.assign("THRESHOLD", 5),) + report.target_program.statements)
+    from repro.programs.interpreter import run_program
+
+    source_trace = run_program(source_program, source, consistent=False)
+    target_trace = run_program(target_program, target, consistent=False)
+    # ROW.ENAME becomes ROW.FULL-NAME in the converted loop body
+    assert source_trace == target_trace

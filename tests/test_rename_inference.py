@@ -1,0 +1,63 @@
+"""Tests for rename-hypothesis inference (Section 5.1)."""
+
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.restructure import RenameField, RenameRecord
+from repro.workloads import company
+
+
+def test_record_rename_suggested(company_schema):
+    operator = RenameRecord("EMP", "WORKER")
+    target = operator.apply_schema(company_schema)
+    suggestions = ConversionAnalyzer().suggest_renames(company_schema,
+                                                       target)
+    records = [s for s in suggestions if s.kind == "record"]
+    assert len(records) == 1
+    assert (records[0].old_name, records[0].new_name) == ("EMP", "WORKER")
+
+
+def test_field_rename_suggested(company_schema):
+    operator = RenameField("EMP", "AGE", "YEARS")
+    target = operator.apply_schema(company_schema)
+    suggestions = ConversionAnalyzer().suggest_renames(company_schema,
+                                                       target)
+    fields = [s for s in suggestions if s.kind == "field"]
+    assert len(fields) == 1
+    assert fields[0].old_name == "EMP.AGE"
+    assert fields[0].new_name == "EMP.YEARS"
+
+
+def test_no_suggestion_when_signatures_differ(company_schema):
+    target = company_schema.copy()
+    del target.records["EMP"]
+    del target.sets["DIV-EMP"]
+    target.define_record("TOTALLY-NEW", {"X": "X(1)"})
+    suggestions = ConversionAnalyzer().suggest_renames(company_schema,
+                                                       target)
+    assert [s for s in suggestions if s.kind == "record"] == []
+
+
+def test_ambiguous_candidates_not_suggested(company_schema):
+    """Two added records with the same signature: no safe hypothesis."""
+    operator = RenameRecord("EMP", "WORKER")
+    target = operator.apply_schema(company_schema)
+    # add a twin with the identical signature
+    twin = target.records["WORKER"]
+    from dataclasses import replace
+
+    target.records["STAFFER"] = replace(twin, name="STAFFER")
+    suggestions = ConversionAnalyzer().suggest_renames(company_schema,
+                                                       target)
+    assert [s for s in suggestions if s.kind == "record"] == []
+
+
+def test_suggestion_renders(company_schema):
+    operator = RenameRecord("EMP", "WORKER")
+    target = operator.apply_schema(company_schema)
+    suggestion = ConversionAnalyzer().suggest_renames(
+        company_schema, target)[0]
+    assert "EMP -> WORKER" in suggestion.render()
+
+
+def test_identical_schemas_suggest_nothing(company_schema):
+    assert ConversionAnalyzer().suggest_renames(
+        company_schema, company.figure_42_schema()) == []

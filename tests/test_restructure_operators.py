@@ -1,0 +1,420 @@
+"""Unit tests for restructuring operators: schema mapping, data
+translation, change declaration, and Housel inverses."""
+
+import pytest
+
+from repro.errors import (
+    InformationLoss,
+    NotInvertible,
+    RestructureError,
+)
+from repro.network import DMLSession, NetworkDatabase
+from repro.restructure import (
+    AddConstraint,
+    AddField,
+    ChangeMembership,
+    ChangeSetOrder,
+    Composite,
+    DropConstraint,
+    DropField,
+    InterposeRecord,
+    MaterializeField,
+    MergeRecords,
+    RenameField,
+    RenameRecord,
+    RenameSet,
+    SwapSiblingOrder,
+    VirtualizeField,
+    extract_snapshot,
+    restructure_database,
+)
+from repro.schema import (
+    Insertion,
+    NotNull,
+    Retention,
+    Schema,
+)
+
+
+def emp_names(db):
+    return sorted(r["EMP-NAME"] for r in db.store("EMP").all_records())
+
+
+class TestRenames:
+    def test_rename_record(self, company_db, company_schema):
+        op = RenameRecord("EMP", "WORKER")
+        target_schema, target_db = restructure_database(company_db, op)
+        assert "WORKER" in target_schema.records
+        assert "EMP" not in target_schema.records
+        assert target_schema.set_type("DIV-EMP").member == "WORKER"
+        assert target_db.count("WORKER") == company_db.count("EMP")
+
+    def test_rename_record_collision(self, company_schema):
+        with pytest.raises(RestructureError):
+            RenameRecord("EMP", "DIV").apply_schema(company_schema)
+
+    def test_rename_field_updates_everything(self, company_schema):
+        op = RenameField("EMP", "EMP-NAME", "WORKER-NAME")
+        target = op.apply_schema(company_schema)
+        assert target.record("EMP").has_field("WORKER-NAME")
+        assert target.set_type("DIV-EMP").order_keys == ("WORKER-NAME",)
+        assert target.record("EMP").calc_keys == ("WORKER-NAME",)
+
+    def test_rename_owner_field_updates_virtual_using(self, company_schema):
+        op = RenameField("DIV", "DIV-NAME", "DIVISION")
+        target = op.apply_schema(company_schema)
+        virtual = target.record("EMP").field("DIV-NAME")
+        assert virtual.virtual_using == "DIVISION"
+
+    def test_rename_set_updates_virtual_via(self, company_schema):
+        op = RenameSet("DIV-EMP", "STAFF")
+        target = op.apply_schema(company_schema)
+        assert target.record("EMP").field("DIV-NAME").virtual_via == "STAFF"
+
+    def test_rename_data_translation(self, company_db):
+        op = RenameField("EMP", "AGE", "YEARS-OLD")
+        _schema, target_db = restructure_database(company_db, op)
+        record = target_db.store("EMP").all_records()[0]
+        assert "YEARS-OLD" in record.values
+        assert "AGE" not in record.values
+
+    def test_rename_inverses(self, company_schema):
+        for op in (RenameRecord("EMP", "X"),
+                   RenameField("EMP", "AGE", "A"),
+                   RenameSet("DIV-EMP", "S")):
+            inverse = op.inverse(company_schema)
+            round_trip = inverse.apply_schema(op.apply_schema(company_schema))
+            assert list(round_trip.records) == list(company_schema.records)
+            assert list(round_trip.sets) == list(company_schema.sets)
+
+
+class TestFieldOps:
+    def test_add_field_with_default(self, company_db):
+        op = AddField("EMP", "GRADE", "9(1)", default=1)
+        target_schema, target_db = restructure_database(company_db, op)
+        assert target_schema.record("EMP").has_field("GRADE")
+        assert all(r["GRADE"] == 1
+                   for r in target_db.store("EMP").all_records())
+
+    def test_drop_field_requires_force(self, company_schema):
+        with pytest.raises(InformationLoss):
+            DropField("EMP", "AGE").apply_schema(company_schema)
+
+    def test_drop_field_forced(self, company_db):
+        op = DropField("EMP", "AGE", force=True)
+        _schema, target_db = restructure_database(company_db, op)
+        assert "AGE" not in target_db.store("EMP").all_records()[0].values
+
+    def test_drop_calc_key_refused(self, company_schema):
+        with pytest.raises(RestructureError):
+            DropField("EMP", "EMP-NAME", force=True).apply_schema(
+                company_schema)
+
+    def test_drop_order_key_refused(self, small_schema):
+        with pytest.raises(RestructureError):
+            DropField("ITEM", "SEQ", force=True).apply_schema(small_schema)
+
+    def test_drop_has_no_inverse(self, company_schema):
+        with pytest.raises(NotInvertible):
+            DropField("EMP", "AGE", force=True).inverse(company_schema)
+
+    def test_add_then_inverse_drops(self, company_schema):
+        op = AddField("EMP", "GRADE", "9(1)")
+        inverse = op.inverse(company_schema)
+        assert isinstance(inverse, DropField)
+        round_trip = inverse.apply_schema(op.apply_schema(company_schema))
+        assert not round_trip.record("EMP").has_field("GRADE")
+
+
+class TestSetBehaviour:
+    def test_change_order(self, company_db):
+        op = ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=True)
+        _schema, target_db = restructure_database(company_db, op)
+        session = DMLSession(target_db)
+        session.find_any("DIV", **{"DIV-NAME": "MACHINERY"})
+        ages = []
+        record = session.find_first("EMP", "DIV-EMP")
+        while record is not None:
+            ages.append(record["AGE"])
+            record = session.find_next("EMP", "DIV-EMP")
+        assert ages == sorted(ages)
+
+    def test_change_order_inverse(self, company_schema):
+        op = ChangeSetOrder("DIV-EMP", ("AGE",))
+        inverse = op.inverse(company_schema)
+        assert inverse.new_keys == ("EMP-NAME",)
+
+    def test_change_membership(self, company_schema):
+        op = ChangeMembership("DIV-EMP", Insertion.MANUAL,
+                              Retention.MANDATORY)
+        target = op.apply_schema(company_schema)
+        assert target.set_type("DIV-EMP").insertion is Insertion.MANUAL
+        inverse = op.inverse(company_schema)
+        back = inverse.apply_schema(target)
+        assert back.set_type("DIV-EMP") == company_schema.set_type("DIV-EMP")
+
+    def test_swap_sibling_order(self, school_db):
+        schema = school_db.schema
+        owned = [s.name for s in schema.sets_owned_by("COURSE")]
+        assert owned == ["COURSE-OFF"]
+        # COURSE owns one set; exercise via the hierarchy fixture instead
+        op = SwapSiblingOrder("COURSE", tuple(owned))
+        assert op.apply_schema(schema).sets.keys() == schema.sets.keys()
+
+    def test_swap_rejects_non_permutation(self, school_db):
+        with pytest.raises(RestructureError):
+            SwapSiblingOrder("COURSE", ("NOPE",)).apply_schema(
+                school_db.schema)
+
+
+class TestVirtualization:
+    @pytest.fixture
+    def schema(self):
+        schema = Schema("V")
+        schema.define_record("O", {"K": "X(2)", "CITY": "X(8)"},
+                             calc_keys=["K"])
+        schema.define_record("M", {"N": "X(4)", "CITY": "X(8)"})
+        schema.define_set("ALL-O", "SYSTEM", "O")
+        schema.define_set("OM", "O", "M", order_keys=["N"])
+        return schema
+
+    @pytest.fixture
+    def db(self, schema):
+        db = NetworkDatabase(schema)
+        session = DMLSession(db)
+        session.store("O", {"K": "A", "CITY": "DETROIT"})
+        session.store("M", {"N": "M1", "CITY": "DETROIT"})
+        session.store("M", {"N": "M2", "CITY": "DETROIT"})
+        return db
+
+    def test_virtualize_redundant_field(self, db):
+        op = VirtualizeField("M", "CITY", "OM")
+        target_schema, target_db = restructure_database(db, op)
+        assert target_schema.record("M").field("CITY").is_virtual
+        record = target_db.store("M").all_records()[0]
+        assert "CITY" not in record.values
+        assert target_db.read_field(record, "CITY") == "DETROIT"
+
+    def test_virtualize_refuses_mismatch(self, db):
+        session = DMLSession(db)
+        session.find_any("O", **{"K": "A"})
+        session.find_first("M", "OM")
+        session.modify({"CITY": "OTHER"})
+        op = VirtualizeField("M", "CITY", "OM")
+        with pytest.raises(InformationLoss):
+            restructure_database(db, op)
+
+    def test_virtualize_forced_drops_mismatch(self, db):
+        session = DMLSession(db)
+        session.find_any("O", **{"K": "A"})
+        session.find_first("M", "OM")
+        session.modify({"CITY": "OTHER"})
+        op = VirtualizeField("M", "CITY", "OM", force=True)
+        _schema, target_db = restructure_database(db, op)
+        record = target_db.store("M").all_records()[0]
+        assert target_db.read_field(record, "CITY") == "DETROIT"
+
+    def test_materialize_round_trip(self, db):
+        op = VirtualizeField("M", "CITY", "OM")
+        target_schema, target_db = restructure_database(db, op)
+        back_op = op.inverse(db.schema)
+        assert isinstance(back_op, MaterializeField)
+        back_schema, back_db = restructure_database(target_db, back_op)
+        record = back_db.store("M").all_records()[0]
+        assert record["CITY"] == "DETROIT"
+        assert not back_schema.record("M").field("CITY").is_virtual
+
+
+class TestInterposeAndMerge:
+    def test_schema_matches_figure_44(self, company_schema,
+                                      interpose_operator):
+        target = interpose_operator.apply_schema(company_schema)
+        assert list(target.sets) == ["ALL-DIV", "DIV-DEPT", "DEPT-EMP"]
+        assert target.set_type("DIV-DEPT").owner == "DIV"
+        assert target.set_type("DIV-DEPT").member == "DEPT"
+        assert target.set_type("DEPT-EMP").owner == "DEPT"
+        assert target.record("DEPT").calc_keys == ("DEPT-NAME",)
+        assert target.record("EMP").field("DEPT-NAME").is_virtual
+
+    def test_virtual_chain_rewired(self, company_schema,
+                                   interpose_operator):
+        target = interpose_operator.apply_schema(company_schema)
+        # EMP.DIV-NAME now chains: EMP -> DEPT -> DIV
+        emp_virtual = target.record("EMP").field("DIV-NAME")
+        assert emp_virtual.virtual_via == "DEPT-EMP"
+        dept_virtual = target.record("DEPT").field("DIV-NAME")
+        assert dept_virtual.virtual_via == "DIV-DEPT"
+
+    def test_group_count(self, company_db, interpose_operator):
+        _schema, target_db = restructure_database(company_db,
+                                                  interpose_operator)
+        # one DEPT per (division, department name) pair
+        expected = {
+            (target_db.read_field(r, "DIV-NAME"), r["DEPT-NAME"])
+            for r in target_db.store("DEPT").all_records()
+        }
+        assert len(expected) == target_db.count("DEPT")
+        target_db.verify_consistent()
+
+    def test_data_preserved(self, company_db, interpose_operator):
+        _schema, target_db = restructure_database(company_db,
+                                                  interpose_operator)
+        assert emp_names(target_db) == emp_names(company_db)
+        for record in target_db.store("EMP").all_records():
+            assert target_db.read_field(record, "DEPT-NAME") is not None
+
+    def test_inverse_round_trip(self, company_db, company_schema,
+                                interpose_operator):
+        target_schema, target_db = restructure_database(company_db,
+                                                        interpose_operator)
+        back = interpose_operator.inverse(company_schema)
+        assert isinstance(back, MergeRecords)
+        back_schema, back_db = restructure_database(target_db, back)
+        source_rows = sorted(
+            (r["EMP-NAME"], r["DEPT-NAME"], r["AGE"])
+            for r in company_db.store("EMP").all_records()
+        )
+        back_rows = sorted(
+            (r["EMP-NAME"], r["DEPT-NAME"], r["AGE"])
+            for r in back_db.store("EMP").all_records()
+        )
+        assert back_rows == source_rows
+        assert list(back_schema.sets) == list(company_schema.sets)
+
+    def test_interpose_on_system_set_refused(self, company_schema):
+        op = InterposeRecord("ALL-DIV", "X", ("DIV-NAME",), "A", "B")
+        with pytest.raises(RestructureError):
+            op.apply_schema(company_schema)
+
+    def test_interpose_virtual_key_refused(self, company_schema):
+        op = InterposeRecord("DIV-EMP", "X", ("DIV-NAME",), "A", "B")
+        with pytest.raises(RestructureError):
+            op.apply_schema(company_schema)
+
+    def test_merge_refuses_dropping_stored_fields(self, company_schema,
+                                                  interpose_operator):
+        target = interpose_operator.apply_schema(company_schema)
+        bad = MergeRecords("DEPT", "DIV-DEPT", "DEPT-EMP", "DIV-EMP", ())
+        with pytest.raises(InformationLoss):
+            bad.apply_schema(target)
+
+
+class TestConstraintOps:
+    def test_add_and_drop(self, company_schema):
+        constraint = NotNull("EMP-AGE", "EMP", "AGE")
+        add = AddConstraint(constraint)
+        target = add.apply_schema(company_schema)
+        assert constraint in target.constraints
+        drop = add.inverse(company_schema)
+        assert isinstance(drop, DropConstraint)
+        back = drop.apply_schema(target)
+        assert constraint not in back.constraints
+
+    def test_drop_unknown_refused(self, company_schema):
+        with pytest.raises(RestructureError):
+            DropConstraint("NOPE").apply_schema(company_schema)
+
+
+class TestComposite:
+    def test_sequence_applies_in_order(self, company_db, company_schema):
+        op = Composite((
+            RenameField("EMP", "AGE", "YEARS"),
+            AddField("EMP", "GRADE", "9(1)", default=2),
+        ))
+        target_schema, target_db = restructure_database(company_db, op)
+        record = target_db.store("EMP").all_records()[0]
+        assert "YEARS" in record.values
+        assert record["GRADE"] == 2
+        assert len(op.changes(company_schema)) == 2
+
+    def test_composite_inverse_reverses(self, company_db, company_schema):
+        op = Composite((
+            RenameField("EMP", "AGE", "YEARS"),
+            RenameRecord("EMP", "WORKER"),
+        ))
+        target_schema, target_db = restructure_database(company_db, op)
+        inverse = op.inverse(company_schema)
+        back_schema, back_db = restructure_database(target_db, inverse)
+        assert "EMP" in back_schema.records
+        assert back_schema.record("EMP").has_field("AGE")
+        assert back_db.count("EMP") == company_db.count("EMP")
+
+
+def test_snapshot_round_trip_preserves_links(company_db):
+    snapshot = extract_snapshot(company_db)
+    from repro.restructure import load_network
+
+    clone = load_network(company_db.schema, snapshot)
+    for record in clone.store("EMP").all_records():
+        assert clone.owner_record("DIV-EMP", record.rid) is not None
+    assert clone.count("EMP") == company_db.count("EMP")
+
+
+class TestConstraintRemapping:
+    """Constraints naming a restructured set are restated or refused
+    (the Section 3.1 'open problem', handled explicitly)."""
+
+    def test_existence_decomposes_under_interpose(self, company_schema,
+                                                  interpose_operator):
+        from repro.schema import ExistenceConstraint
+
+        schema = company_schema.copy()
+        schema.add_constraint(ExistenceConstraint("EMP-IN-DIV",
+                                                  "DIV-EMP"))
+        target = interpose_operator.apply_schema(schema)
+        target.validate()
+        names = {(c.name, c.set_name) for c in target.constraints
+                 if isinstance(c, ExistenceConstraint)}
+        assert ("EMP-IN-DIV", "DEPT-EMP") in names
+        assert ("EMP-IN-DIV-GROUP", "DIV-DEPT") in names
+
+    def test_remapped_existence_enforced_on_data(self, company_schema,
+                                                 interpose_operator):
+        from repro.schema import ExistenceConstraint
+        from repro.workloads import company
+
+        schema = company_schema.copy()
+        schema.add_constraint(ExistenceConstraint("EMP-IN-DIV",
+                                                  "DIV-EMP"))
+        db = company.populate(NetworkDatabase(schema), seed=5)
+        _ts, target_db = restructure_database(db, interpose_operator)
+        target_db.verify_consistent()
+
+    def test_cardinality_on_interposed_set_refused(self, company_schema,
+                                                   interpose_operator):
+        from repro.errors import RestructureError
+        from repro.schema import CardinalityLimit
+
+        schema = company_schema.copy()
+        schema.add_constraint(CardinalityLimit("MAX-STAFF", "DIV-EMP",
+                                               50))
+        with pytest.raises(RestructureError):
+            interpose_operator.apply_schema(schema)
+
+    def test_merge_restores_existence(self, company_schema,
+                                      interpose_operator):
+        from repro.schema import ExistenceConstraint
+
+        schema = company_schema.copy()
+        schema.add_constraint(ExistenceConstraint("EMP-IN-DIV",
+                                                  "DIV-EMP"))
+        target = interpose_operator.apply_schema(schema)
+        merge = interpose_operator.inverse(schema)
+        back = merge.apply_schema(target)
+        back.validate()
+        existences = [c for c in back.constraints
+                      if isinstance(c, ExistenceConstraint)]
+        assert [(c.name, c.set_name) for c in existences] == \
+            [("EMP-IN-DIV", "DIV-EMP")]
+
+    def test_inline_drops_link_constraints(self, company_schema):
+        from repro.restructure import ExtractFields
+        from repro.schema import ExistenceConstraint
+
+        extract = ExtractFields("EMP", ("AGE",), "EMP-DETAIL",
+                                "EMP-DATA")
+        target = extract.apply_schema(company_schema)
+        target.add_constraint(ExistenceConstraint("LINKED", "EMP-DATA"))
+        back = extract.inverse(company_schema).apply_schema(target)
+        back.validate()
+        assert all(c.name != "LINKED" for c in back.constraints)

@@ -1,0 +1,145 @@
+"""Tests for the restructuring specification language."""
+
+import pytest
+
+from repro.errors import DDLSyntaxError
+from repro.restructure import (
+    AddField,
+    ChangeMembership,
+    ChangeSetOrder,
+    Composite,
+    DropConstraint,
+    DropField,
+    ExtractFields,
+    InlineFields,
+    InterposeRecord,
+    MaterializeField,
+    MergeRecords,
+    RenameField,
+    RenameRecord,
+    RenameSet,
+    SwapSiblingOrder,
+    VirtualizeField,
+    restructure_database,
+)
+from repro.restructure.spec import format_spec, parse_spec
+from repro.schema.model import Insertion, Retention
+from repro.workloads import company
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("RENAME RECORD EMP TO WORKER.",
+         RenameRecord("EMP", "WORKER")),
+        ("RENAME FIELD EMP.AGE TO YEARS.",
+         RenameField("EMP", "AGE", "YEARS")),
+        ("RENAME SET DIV-EMP TO STAFF.",
+         RenameSet("DIV-EMP", "STAFF")),
+        ("ADD FIELD EMP.GRADE PIC 9(2) DEFAULT 1.",
+         AddField("EMP", "GRADE", "9(2)", 1)),
+        ("ADD FIELD EMP.NOTE PIC X(10) DEFAULT 'NONE'.",
+         AddField("EMP", "NOTE", "X(10)", "NONE")),
+        ("ADD FIELD EMP.NOTE PIC X(10).",
+         AddField("EMP", "NOTE", "X(10)", None)),
+        ("DROP FIELD EMP.AGE FORCE.",
+         DropField("EMP", "AGE", force=True)),
+        ("DROP FIELD EMP.AGE.",
+         DropField("EMP", "AGE", force=False)),
+        ("REORDER SET DIV-EMP BY (AGE) DUPLICATES ALLOWED.",
+         ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=True)),
+        ("REORDER SET DIV-EMP BY (AGE, EMP-NAME).",
+         ChangeSetOrder("DIV-EMP", ("AGE", "EMP-NAME"))),
+        ("MEMBERSHIP DIV-EMP MANUAL OPTIONAL.",
+         ChangeMembership("DIV-EMP", Insertion.MANUAL,
+                          Retention.OPTIONAL)),
+        ("INTERPOSE DEPT (DEPT-NAME) ON DIV-EMP AS DIV-DEPT, DEPT-EMP.",
+         InterposeRecord("DIV-EMP", "DEPT", ("DEPT-NAME",),
+                         "DIV-DEPT", "DEPT-EMP")),
+        ("MERGE DEPT BETWEEN DIV-DEPT, DEPT-EMP AS DIV-EMP "
+         "INHERIT (DEPT-NAME).",
+         MergeRecords("DEPT", "DIV-DEPT", "DEPT-EMP", "DIV-EMP",
+                      ("DEPT-NAME",))),
+        ("VIRTUALIZE M.CITY VIA OM.",
+         VirtualizeField("M", "CITY", "OM")),
+        ("VIRTUALIZE M.CITY VIA OM USING TOWN FORCE.",
+         VirtualizeField("M", "CITY", "OM", using_field="TOWN",
+                         force=True)),
+        ("MATERIALIZE M.CITY.",
+         MaterializeField("M", "CITY")),
+        ("EXTRACT EMP (AGE) INTO EMP-DETAIL VIA EMP-DATA.",
+         ExtractFields("EMP", ("AGE",), "EMP-DETAIL", "EMP-DATA")),
+        ("INLINE EMP-DETAIL INTO EMP (AGE) VIA EMP-DATA.",
+         InlineFields("EMP", ("AGE",), "EMP-DETAIL", "EMP-DATA")),
+        ("SIBLINGS COURSE (C-TXT, C-OFF).",
+         SwapSiblingOrder("COURSE", ("C-TXT", "C-OFF"))),
+        ("DROP CONSTRAINT COURSE-LIMIT.",
+         DropConstraint("COURSE-LIMIT")),
+    ])
+    def test_single_statements(self, text, expected):
+        assert parse_spec(text) == expected
+
+    def test_multiple_statements_compose(self):
+        spec = """
+        RENAME RECORD EMP TO WORKER.  *> first
+        RENAME FIELD WORKER.AGE TO YEARS.
+        """
+        operator = parse_spec(spec)
+        assert isinstance(operator, Composite)
+        assert len(operator.operators) == 2
+
+    @pytest.mark.parametrize("bad", [
+        "RENAME RECORD EMP TO WORKER",   # no period
+        "FROBNICATE EMP.",
+        "",
+        "RENAME RECORD EMP.",
+    ])
+    def test_errors(self, bad):
+        with pytest.raises(DDLSyntaxError):
+            parse_spec(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("operator", [
+        RenameRecord("EMP", "WORKER"),
+        RenameField("EMP", "AGE", "YEARS"),
+        RenameSet("DIV-EMP", "STAFF"),
+        AddField("EMP", "GRADE", "9(2)", 1),
+        AddField("EMP", "NOTE", "X(10)", "NONE"),
+        DropField("EMP", "AGE", force=True),
+        ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=True),
+        ChangeSetOrder("DIV-EMP", ("AGE",), allow_duplicates=False),
+        ChangeMembership("DIV-EMP", Insertion.MANUAL, Retention.OPTIONAL),
+        InterposeRecord("DIV-EMP", "DEPT", ("DEPT-NAME",),
+                        "DIV-DEPT", "DEPT-EMP"),
+        MergeRecords("DEPT", "DIV-DEPT", "DEPT-EMP", "DIV-EMP",
+                     ("DEPT-NAME",)),
+        VirtualizeField("M", "CITY", "OM"),
+        VirtualizeField("M", "CITY", "OM", using_field="TOWN",
+                        force=True),
+        MaterializeField("M", "CITY"),
+        ExtractFields("EMP", ("AGE",), "EMP-DETAIL", "EMP-DATA"),
+        InlineFields("EMP", ("AGE",), "EMP-DETAIL", "EMP-DATA"),
+        SwapSiblingOrder("COURSE", ("C-TXT", "C-OFF")),
+        DropConstraint("X"),
+    ])
+    def test_format_parse_round_trip(self, operator):
+        assert parse_spec(format_spec(operator)) == operator
+
+    def test_composite_round_trip(self):
+        operator = Composite((
+            RenameRecord("EMP", "WORKER"),
+            AddField("WORKER", "GRADE", "9(2)", 1),
+        ))
+        assert parse_spec(format_spec(operator)) == operator
+
+
+def test_figure_44_spec_end_to_end(company_db):
+    """The paper's restructuring, written as a spec file, drives the
+    whole data translation."""
+    operator = parse_spec(
+        "INTERPOSE DEPT (DEPT-NAME) ON DIV-EMP AS DIV-DEPT, DEPT-EMP."
+    )
+    assert operator == company.figure_44_operator()
+    target_schema, target_db = restructure_database(company_db, operator)
+    assert "DEPT" in target_schema.records
+    target_db.verify_consistent()

@@ -1,0 +1,172 @@
+"""Unit tests for declarative constraints against live databases."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.network import DMLSession, NetworkDatabase
+from repro.schema import (
+    CardinalityLimit,
+    DomainConstraint,
+    ExistenceConstraint,
+    NotNull,
+    Schema,
+    UniqueKey,
+)
+from repro.schema.constraints import check_all
+
+
+@pytest.fixture
+def db(small_schema):
+    small_schema = small_schema.copy()
+    return NetworkDatabase(small_schema)
+
+
+def _store(db, record, values):
+    session = DMLSession(db)
+    return session.store(record, values)
+
+
+class TestUniqueKey:
+    def test_no_violation_when_distinct(self, db):
+        db.schema.add_constraint(UniqueKey("U", "OWNER", ("KEY",)))
+        _store(db, "OWNER", {"KEY": "A", "NAME": "X"})
+        _store(db, "OWNER", {"KEY": "B", "NAME": "Y"})
+        assert db.check_constraints() == []
+
+    def test_duplicate_detected(self, db):
+        db.schema.add_constraint(UniqueKey("U", "OWNER", ("NAME",)))
+        _store(db, "OWNER", {"KEY": "A", "NAME": "SAME"})
+        _store(db, "OWNER", {"KEY": "B", "NAME": "SAME"})
+        violations = db.check_constraints()
+        assert len(violations) == 1
+        assert "duplicate key" in violations[0].message
+
+    def test_null_keys_exempt(self, db):
+        db.schema.add_constraint(UniqueKey("U", "OWNER", ("NAME",)))
+        _store(db, "OWNER", {"KEY": "A"})
+        _store(db, "OWNER", {"KEY": "B"})
+        assert db.check_constraints() == []
+
+    def test_validates_against_schema(self, db):
+        bad = UniqueKey("U", "OWNER", ("NOPE",))
+        with pytest.raises(Exception):
+            bad.validate_against(db.schema)
+
+
+class TestNotNull:
+    def test_detects_null(self, db):
+        db.schema.add_constraint(NotNull("N", "OWNER", "NAME"))
+        _store(db, "OWNER", {"KEY": "A"})
+        violations = db.check_constraints()
+        assert len(violations) == 1
+        assert "null" in violations[0].message
+
+    def test_passes_when_set(self, db):
+        db.schema.add_constraint(NotNull("N", "OWNER", "NAME"))
+        _store(db, "OWNER", {"KEY": "A", "NAME": "X"})
+        assert db.check_constraints() == []
+
+
+class TestExistence:
+    def test_unconnected_member_flagged(self, db):
+        db.schema.add_constraint(ExistenceConstraint("E", "OWNS"))
+        # Store an item with no owner currency: stays unconnected
+        # because OWNS is OPTIONAL.
+        session = DMLSession(db)
+        session.store("ITEM", {"SEQ": 1, "LABEL": "ORPHAN"})
+        violations = db.check_constraints()
+        assert any("no owner" in v.message for v in violations)
+
+    def test_connected_member_passes(self, db):
+        db.schema.add_constraint(ExistenceConstraint("E", "OWNS"))
+        session = DMLSession(db)
+        session.store("OWNER", {"KEY": "A"})
+        session.store("ITEM", {"SEQ": 1})
+        assert db.check_constraints() == []
+
+    def test_system_set_rejected(self, db):
+        constraint = ExistenceConstraint("E", "ALL-OWNER")
+        with pytest.raises(SchemaError):
+            constraint.validate_against(db.schema)
+
+
+class TestCardinalityLimit:
+    def test_over_limit_flagged(self, db):
+        db.schema.add_constraint(CardinalityLimit("L", "OWNS", 2))
+        session = DMLSession(db)
+        session.store("OWNER", {"KEY": "A"})
+        for seq in (1, 2, 3):
+            session.store("ITEM", {"SEQ": seq})
+        violations = db.check_constraints()
+        assert len(violations) == 1
+        assert "limit 2" in violations[0].message
+
+    def test_per_group_counting(self, db):
+        db.schema.add_constraint(
+            CardinalityLimit("L", "OWNS", 1, ("LABEL",)))
+        session = DMLSession(db)
+        session.store("OWNER", {"KEY": "A"})
+        session.store("ITEM", {"SEQ": 1, "LABEL": "X"})
+        session.store("ITEM", {"SEQ": 2, "LABEL": "Y"})
+        assert db.check_constraints() == []
+        session.store("ITEM", {"SEQ": 3, "LABEL": "X"})
+        assert len(db.check_constraints()) == 1
+
+    def test_per_owner_occurrence(self, db):
+        db.schema.add_constraint(CardinalityLimit("L", "OWNS", 1))
+        session = DMLSession(db)
+        session.store("OWNER", {"KEY": "A"})
+        session.store("ITEM", {"SEQ": 1})
+        session.store("OWNER", {"KEY": "B"})
+        session.store("ITEM", {"SEQ": 1})
+        # One item per owner: fine even though two items total.
+        assert db.check_constraints() == []
+
+
+class TestDomain:
+    def test_range(self, db):
+        db.schema.add_constraint(
+            DomainConstraint("D", "ITEM", "SEQ", low=1, high=10))
+        session = DMLSession(db)
+        session.store("OWNER", {"KEY": "A"})
+        session.store("ITEM", {"SEQ": 5})
+        assert db.check_constraints() == []
+        session.store("ITEM", {"SEQ": 11})
+        assert len(db.check_constraints()) == 1
+
+    def test_allowed_values(self, db):
+        db.schema.add_constraint(
+            DomainConstraint("D", "OWNER", "NAME", allowed=("X", "Y")))
+        _store(db, "OWNER", {"KEY": "A", "NAME": "Z"})
+        assert len(db.check_constraints()) == 1
+
+    def test_null_passes(self, db):
+        db.schema.add_constraint(
+            DomainConstraint("D", "OWNER", "NAME", allowed=("X",)))
+        _store(db, "OWNER", {"KEY": "A"})
+        assert db.check_constraints() == []
+
+
+def test_check_all_covers_every_declared_constraint(school_db):
+    # the populated school database is consistent by construction
+    assert check_all(school_db) == []
+
+
+def test_school_cardinality_enforced_via_virtual_year(school_db):
+    """The paper's 'twice per school year' rule, caught declaratively."""
+    session = DMLSession(school_db)
+    session.find_any("COURSE", **{"CNO": "C000"})
+    # Offer C000 twice more in the same year: must exceed the limit.
+    semester = next(iter(school_db.instances("SEMESTER")))
+    year_semesters = [
+        r for r in school_db.instances("SEMESTER")
+        if r["YEAR"] == semester["YEAR"]
+    ]
+    for index, sem in enumerate((year_semesters * 3)[:3]):
+        session.find_any("COURSE", **{"CNO": "C000"})
+        session.store("OFFERING", {
+            "SECTION": 90 + index, "ENROLLMENT": 1,
+            "CNO": "C000", "S": sem["S"],
+        })
+    violations = school_db.check_constraints()
+    assert any(v.constraint.name == "TWICE-PER-YEAR" for v in violations)

@@ -1,0 +1,148 @@
+"""Unit tests for the Figure 4.3 DDL parser and formatter."""
+
+import pytest
+
+from repro.errors import DDLSyntaxError
+from repro.schema import (
+    CardinalityLimit,
+    DomainConstraint,
+    ExistenceConstraint,
+    Insertion,
+    NotNull,
+    Retention,
+    UniqueKey,
+    format_ddl,
+    parse_ddl,
+)
+from repro.workloads.company import FIGURE_4_3_DDL
+
+
+def test_parse_figure_43_verbatim():
+    schema = parse_ddl(FIGURE_4_3_DDL)
+    assert schema.name == "COMPANY-NAME"
+    assert list(schema.records) == ["DIV", "EMP"]
+    assert list(schema.sets) == ["ALL-DIV", "DIV-EMP"]
+    emp = schema.record("EMP")
+    virtual = emp.field("DIV-NAME")
+    assert virtual.is_virtual
+    assert virtual.virtual_via == "DIV-EMP"
+    assert virtual.virtual_using == "DIV-NAME"
+    assert emp.calc_keys == ("EMP-NAME",)
+
+
+def test_set_keys_imply_no_duplicates():
+    schema = parse_ddl(FIGURE_4_3_DDL)
+    assert schema.set_type("DIV-EMP").order_keys == ("EMP-NAME",)
+    assert not schema.set_type("DIV-EMP").allow_duplicates
+
+
+def test_membership_clauses():
+    schema = parse_ddl("""
+    SCHEMA NAME IS T.
+    RECORD SECTION.
+      RECORD NAME IS A. FIELDS ARE. K PIC X(2). END RECORD.
+      RECORD NAME IS B. FIELDS ARE. V PIC 9(3). END RECORD.
+    END RECORD SECTION.
+    SET SECTION.
+      SET NAME IS S.
+        OWNER IS A.
+        MEMBER IS B.
+        INSERTION IS MANUAL.
+        RETENTION IS MANDATORY.
+        DUPLICATES ARE NOT ALLOWED.
+      END SET.
+    END SET SECTION.
+    END SCHEMA.
+    """)
+    set_type = schema.set_type("S")
+    assert set_type.insertion is Insertion.MANUAL
+    assert set_type.retention is Retention.MANDATORY
+    assert not set_type.allow_duplicates
+
+
+def test_constraint_section_all_kinds():
+    schema = parse_ddl("""
+    SCHEMA NAME IS T.
+    RECORD SECTION.
+      RECORD NAME IS A. FIELDS ARE. K PIC X(2). N PIC 9(2). END RECORD.
+      RECORD NAME IS B. FIELDS ARE. V PIC 9(3). END RECORD.
+    END RECORD SECTION.
+    SET SECTION.
+      SET NAME IS S. OWNER IS A. MEMBER IS B. END SET.
+    END SET SECTION.
+    CONSTRAINT SECTION.
+      CONSTRAINT NAME IS C1. UNIQUE (K) IN A. END CONSTRAINT.
+      CONSTRAINT NAME IS C2. NOT NULL V IN B. END CONSTRAINT.
+      CONSTRAINT NAME IS C3. EXISTENCE OF MEMBER IN S. END CONSTRAINT.
+      CONSTRAINT NAME IS C4. LIMIT S TO 2 PER (V). END CONSTRAINT.
+      CONSTRAINT NAME IS C5. DOMAIN N IN A FROM 1 TO 99. END CONSTRAINT.
+      CONSTRAINT NAME IS C6. DOMAIN K IN A AMONG ('X1', 'X2'). END CONSTRAINT.
+    END CONSTRAINT SECTION.
+    END SCHEMA.
+    """)
+    kinds = [type(c) for c in schema.constraints]
+    assert kinds == [UniqueKey, NotNull, ExistenceConstraint,
+                     CardinalityLimit, DomainConstraint, DomainConstraint]
+    limit = schema.constraints[3]
+    assert limit.limit == 2
+    assert limit.per_fields == ("V",)
+    domain = schema.constraints[4]
+    assert (domain.low, domain.high) == (1, 99)
+    assert schema.constraints[5].allowed == ("X1", "X2")
+
+
+def test_round_trip_preserves_everything():
+    schema = parse_ddl(FIGURE_4_3_DDL)
+    again = parse_ddl(format_ddl(schema))
+    assert list(again.records) == list(schema.records)
+    assert list(again.sets) == list(schema.sets)
+    for name in schema.records:
+        assert again.record(name).fields == schema.record(name).fields
+        assert again.record(name).calc_keys == schema.record(name).calc_keys
+    for name in schema.sets:
+        assert again.set_type(name) == schema.set_type(name)
+
+
+def test_round_trip_with_constraints(school_db):
+    from repro.schema.ddl import format_ddl as fmt
+
+    schema = school_db.schema
+    again = parse_ddl(fmt(schema))
+    assert [c.describe() for c in again.constraints] == \
+        [c.describe() for c in schema.constraints]
+
+
+@pytest.mark.parametrize("bad,message", [
+    ("SCHEMA NAME T.", "expected IS"),
+    ("SCHEMA NAME IS T. END SCHEMA. EXTRA.", "after END SCHEMA"),
+    ("SCHEMA NAME IS T. BOGUS SECTION. END SCHEMA.", "expected a section"),
+])
+def test_syntax_errors(bad, message):
+    with pytest.raises(DDLSyntaxError) as excinfo:
+        parse_ddl(bad)
+    assert message.split()[0].lower() in str(excinfo.value).lower()
+
+
+def test_unknown_constraint_kind_rejected():
+    with pytest.raises(DDLSyntaxError):
+        parse_ddl("""
+        SCHEMA NAME IS T.
+        RECORD SECTION.
+          RECORD NAME IS A. FIELDS ARE. K PIC X(2). END RECORD.
+        END RECORD SECTION.
+        CONSTRAINT SECTION.
+          CONSTRAINT NAME IS C1. FROBNICATE A. END CONSTRAINT.
+        END CONSTRAINT SECTION.
+        END SCHEMA.
+        """)
+
+
+def test_comments_are_ignored():
+    schema = parse_ddl("""
+    SCHEMA NAME IS T. *> a schema
+    RECORD SECTION. *> records follow
+      RECORD NAME IS A. FIELDS ARE. K PIC X(2). END RECORD.
+    END RECORD SECTION.
+    END SCHEMA.
+    """)
+    assert "A" in schema.records

@@ -1,0 +1,136 @@
+"""Unit tests for schema differencing and change classification."""
+
+from repro.schema import (
+    ConstraintAdded,
+    ConstraintRemoved,
+    FieldAdded,
+    FieldRemoved,
+    MembershipChanged,
+    NotNull,
+    RecordAdded,
+    RecordRemoved,
+    Schema,
+    SetAdded,
+    SetOrderChanged,
+    SetRemoved,
+    VirtualizedField,
+    diff_schemas,
+)
+from repro.schema.model import Insertion, Retention
+
+
+def base_schema() -> Schema:
+    schema = Schema("T")
+    schema.define_record("A", {"K": "X(4)", "N": "X(8)"}, calc_keys=["K"])
+    schema.define_record("B", {"V": "9(3)", "W": "X(2)"})
+    schema.define_set("ALL-A", "SYSTEM", "A", order_keys=["K"])
+    schema.define_set("A-B", "A", "B", order_keys=["V"])
+    return schema
+
+
+def test_identical_schemas_diff_empty():
+    assert diff_schemas(base_schema(), base_schema()) == []
+
+
+def test_record_added_and_removed():
+    source = base_schema()
+    target = base_schema()
+    target.define_record("C", {"X": "X(1)"})
+    del target.records["B"]
+    del target.sets["A-B"]
+    changes = diff_schemas(source, target)
+    assert RecordRemoved("B") in changes
+    assert RecordAdded("C") in changes
+    assert SetRemoved("A-B") in changes
+
+
+def test_field_changes():
+    source = base_schema()
+    target = base_schema()
+    record = target.records["A"]
+    from repro.schema.model import Field
+    from repro.schema.types import parse_pic
+
+    target.records["A"] = record.with_fields(
+        tuple(f for f in record.fields if f.name != "N")
+        + (Field("EXTRA", parse_pic("9(2)")),)
+    )
+    changes = diff_schemas(source, target)
+    assert FieldRemoved("A", "N") in changes
+    assert FieldAdded("A", "EXTRA") in changes
+
+
+def test_set_order_change():
+    source = base_schema()
+    target = base_schema()
+    from dataclasses import replace
+
+    target.sets["A-B"] = replace(target.sets["A-B"], order_keys=("W",))
+    changes = diff_schemas(source, target)
+    assert SetOrderChanged("A-B", ("V",), ("W",)) in changes
+
+
+def test_membership_change():
+    source = base_schema()
+    target = base_schema()
+    from dataclasses import replace
+
+    target.sets["A-B"] = replace(
+        target.sets["A-B"],
+        insertion=Insertion.MANUAL, retention=Retention.MANDATORY,
+    )
+    changes = diff_schemas(source, target)
+    membership = [c for c in changes if isinstance(c, MembershipChanged)]
+    assert len(membership) == 1
+    assert membership[0].new_retention is Retention.MANDATORY
+
+
+def test_set_endpoint_change_is_remove_plus_add():
+    source = base_schema()
+    target = base_schema()
+    target.define_record("C", {"X": "X(1)"})
+    from dataclasses import replace
+
+    target.sets["A-B"] = replace(target.sets["A-B"], owner="C")
+    changes = diff_schemas(source, target)
+    assert SetRemoved("A-B") in changes
+    assert SetAdded("A-B") in changes
+
+
+def test_virtualized_field_detected():
+    source = base_schema()
+    target = base_schema()
+    from dataclasses import replace
+
+    record = target.records["B"]
+    target.records["B"] = record.with_fields(
+        replace(f, virtual_via="A-B", virtual_using="N")
+        if f.name == "W" else f
+        for f in record.fields
+    )
+    changes = diff_schemas(source, target)
+    virtualized = [c for c in changes if isinstance(c, VirtualizedField)]
+    assert virtualized == [VirtualizedField("B", "W", True, "A-B")]
+
+
+def test_constraint_changes():
+    source = base_schema()
+    target = base_schema()
+    constraint = NotNull("NN", "A", "N")
+    target.add_constraint(constraint)
+    changes = diff_schemas(source, target)
+    assert any(isinstance(c, ConstraintAdded) for c in changes)
+    back = diff_schemas(target, source)
+    assert any(isinstance(c, ConstraintRemoved) for c in back)
+
+
+def test_every_change_describes_itself():
+    source = base_schema()
+    target = base_schema()
+    target.define_record("C", {"X": "X(1)"})
+    del target.records["B"]
+    del target.sets["A-B"]
+    target.add_constraint(NotNull("NN", "A", "N"))
+    for change in diff_schemas(source, target):
+        assert isinstance(change.describe(), str)
+        assert change.kind == type(change).__name__

@@ -1,0 +1,139 @@
+"""Unit tests for the common schema model."""
+
+import pytest
+
+from repro.errors import (
+    SchemaError,
+    UnknownField,
+    UnknownRecordType,
+    UnknownSetType,
+)
+from repro.schema import (
+    Field,
+    Insertion,
+    RecordType,
+    Retention,
+    Schema,
+    SetType,
+    parse_pic,
+)
+
+
+def make_schema() -> Schema:
+    schema = Schema("T")
+    schema.define_record("A", {"K": "X(4)", "N": "X(8)"}, calc_keys=["K"])
+    schema.define_record("B", {"V": "9(3)"})
+    schema.define_set("ALL-A", "SYSTEM", "A", order_keys=["K"])
+    schema.define_set("A-B", "A", "B", order_keys=["V"])
+    return schema
+
+
+def test_record_lookup_and_errors():
+    schema = make_schema()
+    assert schema.record("A").name == "A"
+    with pytest.raises(UnknownRecordType):
+        schema.record("Z")
+    with pytest.raises(UnknownSetType):
+        schema.set_type("NOPE")
+    with pytest.raises(UnknownField):
+        schema.record("A").field("MISSING")
+
+
+def test_duplicate_names_rejected():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.define_record("A", {"X": "X(1)"})
+    with pytest.raises(SchemaError):
+        schema.define_set("A-B", "A", "B")
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(SchemaError):
+        RecordType("R", (Field("F", parse_pic("X(1)")),
+                         Field("F", parse_pic("X(2)"))))
+
+
+def test_calc_key_must_be_field():
+    with pytest.raises(SchemaError):
+        RecordType("R", (Field("F", parse_pic("X(1)")),),
+                   calc_keys=("NOPE",))
+
+
+def test_set_owner_member_must_differ():
+    with pytest.raises(SchemaError):
+        SetType("S", "A", "A")
+
+
+def test_set_order_key_must_exist_on_member():
+    schema = make_schema()
+    with pytest.raises(UnknownField):
+        schema.define_set("BAD", "A", "B", order_keys=["NOPE"])
+
+
+def test_virtual_field_requires_both_clauses():
+    with pytest.raises(SchemaError):
+        Field("F", parse_pic("X(1)"), virtual_via="S")
+
+
+def test_virtual_field_validation(small_schema):
+    # virtual field must be on the member of its via set
+    bad = small_schema.copy()
+    owner = bad.records["OWNER"]
+    bad.records["OWNER"] = owner.with_fields(owner.fields + (
+        Field("X", parse_pic("X(4)"), virtual_via="OWNS",
+              virtual_using="SEQ"),
+    ))
+    with pytest.raises(SchemaError):
+        bad.validate()
+
+
+def test_stored_field_names_exclude_virtual():
+    record = RecordType("R", (
+        Field("A", parse_pic("X(1)")),
+        Field("B", parse_pic("X(1)"), virtual_via="S", virtual_using="A"),
+    ))
+    assert record.stored_field_names() == ["A"]
+    assert record.field_names() == ["A", "B"]
+
+
+def test_validate_values_rejects_virtual_and_unknown():
+    record = RecordType("R", (
+        Field("A", parse_pic("X(1)")),
+        Field("B", parse_pic("X(1)"), virtual_via="S", virtual_using="A"),
+    ))
+    with pytest.raises(SchemaError):
+        record.validate_values({"B": "x"})
+    with pytest.raises(UnknownField):
+        record.validate_values({"C": "x"})
+    assert record.validate_values({"A": "x"}) == {"A": "x"}
+
+
+def test_sets_queries():
+    schema = make_schema()
+    assert [s.name for s in schema.sets_owned_by("A")] == ["A-B"]
+    assert [s.name for s in schema.sets_with_member("B")] == ["A-B"]
+    assert [s.name for s in schema.system_sets()] == ["ALL-A"]
+    assert [s.name for s in schema.sets_between("A", "B")] == ["A-B"]
+
+
+def test_is_hierarchical():
+    schema = make_schema()
+    assert schema.is_hierarchical()
+    schema.define_record("C", {"X": "X(1)"})
+    schema.define_set("A-B2", "C", "B")  # B now has two parents
+    assert not schema.is_hierarchical()
+
+
+def test_copy_is_independent():
+    schema = make_schema()
+    clone = schema.copy("CLONE")
+    clone.define_record("NEW", {"X": "X(1)"})
+    assert "NEW" not in schema.records
+    assert clone.name == "CLONE"
+
+
+def test_membership_defaults():
+    schema = make_schema()
+    set_type = schema.set_type("A-B")
+    assert set_type.insertion is Insertion.AUTOMATIC
+    assert set_type.retention is Retention.OPTIONAL

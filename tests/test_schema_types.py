@@ -1,0 +1,59 @@
+"""Unit tests for PIC field types."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import parse_pic
+
+
+def test_parse_alphanumeric():
+    field_type = parse_pic("X(20)")
+    assert field_type.kind == "X"
+    assert field_type.width == 20
+    assert field_type.pic == "X(20)"
+    assert not field_type.is_numeric
+
+
+def test_parse_numeric():
+    field_type = parse_pic("9(4)")
+    assert field_type.is_numeric
+    assert field_type.width == 4
+
+
+def test_parse_is_case_insensitive_and_trims():
+    assert parse_pic(" x(3) ").pic == "X(3)"
+
+
+@pytest.mark.parametrize("bad", ["X", "9", "X()", "A(3)", "X(0)", "", "X(3"])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(SchemaError):
+        parse_pic(bad)
+
+
+def test_alpha_validate_accepts_and_bounds():
+    field_type = parse_pic("X(5)")
+    assert field_type.validate("ABC") == "ABC"
+    assert field_type.validate(123) == "123"
+    with pytest.raises(SchemaError):
+        field_type.validate("TOOLONG")
+
+
+def test_numeric_validate():
+    field_type = parse_pic("9(2)")
+    assert field_type.validate(7) == 7
+    assert field_type.validate("42") == 42
+    with pytest.raises(SchemaError):
+        field_type.validate(100)
+    with pytest.raises(SchemaError):
+        field_type.validate(-1)
+    with pytest.raises(SchemaError):
+        field_type.validate("ABC")
+    with pytest.raises(SchemaError):
+        field_type.validate(3.5)
+    with pytest.raises(SchemaError):
+        field_type.validate(True)
+
+
+def test_none_always_valid():
+    assert parse_pic("X(1)").validate(None) is None
+    assert parse_pic("9(1)").validate(None) is None

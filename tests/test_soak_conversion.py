@@ -1,0 +1,119 @@
+"""Soak test: corpus x operators x instances, no undeclared divergence.
+
+Every converted program must be strictly I/O-equivalent, or diverge
+only in presentation order while carrying a conversion warning that
+says so -- the discipline behind the Section 5.2 levels.
+"""
+
+import pytest
+
+from repro.core import ConversionSupervisor
+from repro.core.equivalence import check_equivalence
+from repro.programs.interpreter import ProgramInputs
+from repro.restructure import Composite, RenameField, restructure_database
+from repro.workloads import company
+from repro.workloads.corpus import CorpusSpec, generate_corpus
+
+
+@pytest.mark.parametrize("operator_name,operator", [
+    ("interpose", company.figure_44_operator()),
+    ("interpose+rename", Composite((
+        company.figure_44_operator(),
+        RenameField("EMP", "AGE", "YEARS"),
+    ))),
+])
+def test_no_undeclared_divergence(operator_name, operator):
+    schema = company.figure_42_schema()
+    corpus = generate_corpus(CorpusSpec(seed=11, size=30,
+                                        pathology_rate=0.3))
+    pins = {item.program.name: {0: "STORE"} for item in corpus
+            if "verb-variability" in item.pathologies}
+    supervisor = ConversionSupervisor(schema, operator, verb_pins=pins)
+    undeclared = []
+    for item in corpus:
+        report = supervisor.convert_program(item.program)
+        if report.target_program is None:
+            continue
+        source_db = company.company_db(seed=1)
+        _ts, target_db = restructure_database(
+            company.company_db(seed=1), operator)
+        inputs = ProgramInputs(terminal=list(item.terminal_inputs))
+        result = check_equivalence(item.program, source_db,
+                                   report.target_program, target_db,
+                                   inputs=inputs, consistent=False)
+        if result.equivalent:
+            continue
+        order_only = sorted(result.source_trace.terminal_lines()) == \
+            sorted(result.target_trace.terminal_lines())
+        if not (order_only and report.warnings):
+            undeclared.append((item.program.name, result.divergence))
+    assert undeclared == []
+
+
+class TestProcessFirstStrict:
+    """The min-tracking rewrite preserves 'process first' exactly when
+    the old set's order key is the member's CALC key."""
+
+    def make_program(self):
+        from repro.programs import builder as b
+
+        return b.program("SENIOR", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.process_first("EMP", "DIV-EMP", [
+                b.display("SENIOR:", b.field("EMP", "EMP-NAME")),
+            ]),
+        ])
+
+    def test_strictly_equivalent(self):
+        schema = company.figure_42_schema()
+        operator = company.figure_44_operator()
+        supervisor = ConversionSupervisor(schema, operator)
+        report = supervisor.convert_program(self.make_program())
+        assert report.target_program is not None
+        assert any("preserved exactly" in note for note in report.notes)
+        assert not report.warnings
+        for seed in (1, 42, 99):
+            source_db = company.company_db(seed=seed)
+            _ts, target_db = restructure_database(
+                company.company_db(seed=seed), operator)
+            result = check_equivalence(self.make_program(), source_db,
+                                       report.target_program, target_db,
+                                       consistent=False)
+            assert result.equivalent, (seed, result.divergence)
+
+    def test_falls_back_when_not_locatable(self):
+        """Multi-key ordering: the warned first-of-first-group form."""
+        from repro.restructure import ChangeSetOrder, Composite as Comp
+
+        schema = company.figure_42_schema()
+        operator = Comp((
+            ChangeSetOrder("DIV-EMP", ("AGE", "EMP-NAME"),
+                           allow_duplicates=True),
+            company.figure_44_operator(),
+        ))
+        supervisor = ConversionSupervisor(schema, operator)
+        report = supervisor.convert_program(self.make_program())
+        assert report.target_program is not None
+        assert any("may be a different record" in warning
+                   for warning in report.warnings)
+
+    def test_empty_occurrence_handled(self):
+        from repro.network import DMLSession, NetworkDatabase
+        from repro.programs.interpreter import run_program
+
+        schema = company.figure_42_schema()
+        operator = company.figure_44_operator()
+        supervisor = ConversionSupervisor(schema, operator)
+        report = supervisor.convert_program(self.make_program())
+        source_db = NetworkDatabase(schema)
+        DMLSession(source_db).store("DIV", {"DIV-NAME": "MACHINERY"})
+        _ts, target_db = restructure_database(
+            NetworkDatabase(schema), operator)
+        DMLSession(target_db).store("DIV", {"DIV-NAME": "MACHINERY"})
+        source_trace = run_program(self.make_program(), source_db,
+                                   consistent=False)
+        target_trace = run_program(report.target_program, target_db,
+                                   consistent=False)
+        assert source_trace == target_trace == \
+            run_program(self.make_program(), source_db,
+                        consistent=False)

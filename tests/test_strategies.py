@@ -1,0 +1,266 @@
+"""Tests for the three conversion strategies (Section 2.1.2) and the
+paper's efficiency claims (E5 in miniature)."""
+
+import pytest
+
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.programs.interpreter import run_program
+from repro.restructure import restructure_database
+from repro.strategies import (
+    BridgeStrategy,
+    DifferentialFile,
+    EmulationStrategy,
+    RewriteStrategy,
+)
+from repro.workloads import company
+
+
+def report_program():
+    return b.program("REPORT", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.gt(b.field("EMP", "AGE"), 40), [
+                b.display(b.field("EMP", "EMP-NAME"),
+                          b.field("EMP", "DEPT-NAME"),
+                          b.field("EMP", "DIV-NAME")),
+            ]),
+        ]),
+        b.display("END"),
+    ])
+
+
+def hire_program():
+    return b.program("HIRE", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.store("EMP", **{"EMP-NAME": "ZZ-HIRE", "DEPT-NAME": "SALES",
+                          "AGE": 25, "DIV-NAME": "MACHINERY"}),
+        b.display("HIRED"),
+    ])
+
+
+def transfer_program():
+    return b.program("TRANSFER", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.find_first("EMP", "DIV-EMP"),
+        b.if_(ast.status_ok(), [
+            b.modify("EMP", **{"DEPT-NAME": "ADMIN"}),
+            b.display("MOVED"),
+        ]),
+    ])
+
+
+@pytest.fixture
+def setup(company_schema, interpose_operator):
+    catalog = ConversionAnalyzer().analyze_operator(company_schema,
+                                                    interpose_operator)
+
+    def make_target(seed=42):
+        source_db = company.company_db(seed=seed)
+        _schema, target_db = restructure_database(source_db,
+                                                  interpose_operator)
+        return source_db, target_db
+
+    return catalog, make_target
+
+
+def source_trace(program, seed=42):
+    return run_program(program, company.company_db(seed=seed),
+                       consistent=False)
+
+
+class TestEmulation:
+    def test_retrieval_preserves_trace_exactly(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = EmulationStrategy(target_db, catalog)
+        run = strategy.run(report_program())
+        assert run.trace == source_trace(report_program())
+
+    def test_emulation_counts_mapping_work(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = EmulationStrategy(target_db, catalog)
+        run = strategy.run(report_program())
+        assert run.metrics.emulation_mappings > 0
+        assert run.metrics.sort_operations > 0  # occurrence re-sort
+
+    def test_store_maintains_target_structure(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = EmulationStrategy(target_db, catalog)
+        before = target_db.count("EMP")
+        strategy.run(hire_program())
+        assert target_db.count("EMP") == before + 1
+        target_db.verify_consistent()
+
+    def test_modify_virtualized_field_reconnects(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = EmulationStrategy(target_db, catalog)
+        run = strategy.run(transfer_program())
+        assert run.trace.terminal_lines() == ["MOVED"]
+        target_db.verify_consistent()
+        # the moved employee now sits under an ADMIN group
+        admin_groups = [
+            r for r in target_db.store("DEPT").all_records()
+            if r["DEPT-NAME"] == "ADMIN"
+        ]
+        assert admin_groups
+
+    def test_find_owner_two_hops(self, setup, company_schema):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = EmulationStrategy(target_db, catalog)
+        program = b.program("OWNERQ", "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": "TAYLOR-0000"}),
+            b.if_(ast.status_ok(), [
+                b.find_owner("DIV-EMP"),
+                b.get("DIV"),
+                b.display(b.field("DIV", "DIV-NAME")),
+            ], [b.display("NO EMP")]),
+        ])
+        run = strategy.run(program)
+        assert run.trace == source_trace(program)
+
+
+class TestBridge:
+    def test_retrieval_preserves_trace_exactly(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = BridgeStrategy(
+            target_db, company.figure_44_operator(), catalog)
+        run = strategy.run(report_program())
+        assert run.trace == source_trace(report_program())
+        assert run.metrics.bridge_materializations > 0
+
+    def test_clean_run_skips_retranslation(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = BridgeStrategy(
+            target_db, company.figure_44_operator(), catalog)
+        strategy.run(report_program())
+        assert strategy.retranslations == 0
+
+    def test_update_run_retranslates(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = BridgeStrategy(
+            target_db, company.figure_44_operator(), catalog)
+        before = target_db.count("EMP")
+        run = strategy.run(hire_program())
+        assert run.trace.terminal_lines() == ["HIRED"]
+        assert strategy.retranslations == 1
+        assert strategy.target_db.count("EMP") == before + 1
+        strategy.target_db.verify_consistent()
+
+    def test_sequential_runs_see_updates(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = BridgeStrategy(
+            target_db, company.figure_44_operator(), catalog)
+        strategy.run(hire_program())
+        lookup = b.program("CHECK", "network", "COMPANY-NAME", [
+            b.find_any("EMP", **{"EMP-NAME": "ZZ-HIRE"}),
+            b.display(b.v("DB-STATUS")),
+        ])
+        run = strategy.run(lookup)
+        assert run.trace.terminal_lines() == ["0000"]
+
+
+class TestRewrite:
+    def test_retrieval_multiset_equivalent(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = RewriteStrategy(target_db, catalog.source_schema,
+                                   company.figure_44_operator())
+        run = strategy.run(report_program())
+        assert sorted(run.trace.terminal_lines()) == \
+            sorted(source_trace(report_program()).terminal_lines())
+
+    def test_conversion_is_memoized(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = RewriteStrategy(target_db, catalog.source_schema,
+                                   company.figure_44_operator())
+        first = strategy.conversion_report(report_program())
+        second = strategy.conversion_report(report_program())
+        assert first is second
+
+    def test_update_program_strict(self, setup):
+        catalog, make_target = setup
+        _source, target_db = make_target()
+        strategy = RewriteStrategy(target_db, catalog.source_schema,
+                                   company.figure_44_operator())
+        run = strategy.run(hire_program())
+        assert run.trace == source_trace(hire_program())
+        target_db.verify_consistent()
+
+
+class TestStrategyComparison:
+    def test_paper_cost_ordering(self, setup):
+        """Section 2.1.2's shape: rewrite cheapest, bridge most
+        expensive, emulation in between."""
+        catalog, make_target = setup
+        costs = {}
+
+        _s, target1 = make_target()
+        costs["emulation"] = EmulationStrategy(target1, catalog).run(
+            report_program()).cost()
+        _s, target2 = make_target()
+        costs["bridge"] = BridgeStrategy(
+            target2, company.figure_44_operator(), catalog).run(
+            report_program()).cost()
+        _s, target3 = make_target()
+        costs["rewrite"] = RewriteStrategy(
+            target3, catalog.source_schema,
+            company.figure_44_operator()).run(report_program()).cost()
+
+        assert costs["rewrite"] < costs["emulation"] < costs["bridge"], \
+            costs
+
+
+class TestDifferentialFile:
+    def test_logging(self):
+        diff = DifferentialFile()
+        assert not diff.dirty
+        diff.log_store("EMP", 3, {"A": 1})
+        diff.log_modify("EMP", 3, {"A": 2})
+        diff.log_erase("EMP", 3, cascade=False)
+        assert len(diff) == 3
+        assert diff.dirty
+        ops = [e.op for e in diff.entries]
+        assert ops == ["store", "modify", "erase"]
+
+
+class TestEmulationReorderedSet:
+    def test_old_order_preserved_under_reordering(self):
+        """A SetOrderChanged restructuring: the emulated program still
+        sees the OLD member order."""
+        from repro.restructure import ChangeSetOrder
+
+        schema = company.figure_42_schema()
+        operator = ChangeSetOrder("DIV-EMP", ("AGE",),
+                                  allow_duplicates=True)
+        catalog = ConversionAnalyzer().analyze_operator(schema, operator)
+        program = b.program("ORDERED", "network", "COMPANY-NAME", [
+            b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+            *b.scan_set("EMP", "DIV-EMP", [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ])
+        source_trace = run_program(program, company.company_db(seed=42),
+                                   consistent=False)
+        _ts, target_db = restructure_database(company.company_db(seed=42),
+                                              operator)
+        # sanity: the raw target order differs (sorted by AGE now)
+        raw_trace = run_program(program, target_db, consistent=False)
+        assert raw_trace != source_trace
+        # but the emulated run restores the old EMP-NAME order
+        _ts, fresh_target = restructure_database(
+            company.company_db(seed=42), operator)
+        strategy = EmulationStrategy(fresh_target, catalog)
+        run = strategy.run(program)
+        assert run.trace == source_trace
+        assert run.metrics.sort_operations > 0

@@ -1,0 +1,199 @@
+"""Tests for the workload builders and the corpus generator."""
+
+from repro.analysis import detect_pathologies
+from repro.network import DMLSession
+from repro.programs.interpreter import ProgramInputs, run_program
+from repro.workloads import DataGen, company, corpus, florida, school
+from repro.workloads.corpus import CorpusSpec, generate_corpus
+
+
+class TestDataGen:
+    def test_deterministic(self):
+        a, b = DataGen(5), DataGen(5)
+        assert [a.surname(i) for i in range(10)] == \
+            [b.surname(i) for i in range(10)]
+        assert a.age() == b.age()
+
+    def test_different_seeds_differ(self):
+        a, b = DataGen(1), DataGen(2)
+        assert [a.surname(i) for i in range(20)] != \
+            [b.surname(i) for i in range(20)]
+
+    def test_indexed_surnames_unique(self):
+        gen = DataGen(3)
+        names = [gen.surname(i) for i in range(100)]
+        assert len(set(names)) == 100
+
+
+class TestSchool:
+    def test_network_instance_consistent(self, school_db):
+        school_db.verify_consistent()
+        assert school_db.count("COURSE") == 12
+        assert school_db.count("OFFERING") == 24
+
+    def test_offering_virtual_fields_resolve(self, school_db):
+        offering = school_db.store("OFFERING").all_records()[0]
+        assert school_db.read_field(offering, "CNO") is not None
+        assert school_db.read_field(offering, "YEAR") is not None
+
+    def test_relational_form_has_fk_columns(self):
+        rdb = school.school_relational_db(seed=7)
+        row = rdb.relation("OFFERING").rows()[0]
+        assert row["CNO"] is not None
+        assert row["S"] is not None
+
+    def test_instructor_set_is_optional(self, school_db):
+        # no offering is connected to an instructor initially
+        for record in school_db.store("OFFERING").all_records():
+            assert school_db.owner_record(
+                school.INSTRUCTOR_OFF, record.rid) is None
+        school_db.verify_consistent()  # OPTIONAL: still consistent
+
+
+class TestCompany:
+    def test_instance_shape(self, company_db):
+        assert company_db.count("DIV") == 2
+        assert company_db.count("EMP") == 40
+        company_db.verify_consistent()
+
+    def test_machinery_and_sales_present(self, company_db):
+        divisions = {r["DIV-NAME"]
+                     for r in company_db.store("DIV").all_records()}
+        assert "MACHINERY" in divisions
+        departments = {r["DEPT-NAME"]
+                       for r in company_db.store("EMP").all_records()}
+        assert "SALES" in departments
+
+    def test_figure_44_operator_round(self, company_schema):
+        operator = company.figure_44_operator()
+        target = operator.apply_schema(company_schema)
+        assert "DEPT" in target.records
+
+
+class TestFlorida:
+    def test_smith_manages_d2(self, florida_db):
+        dept = [r for r in florida_db.store("DEPT").all_records()
+                if r["D#"] == "D2"][0]
+        assert dept["MGR"] == "SMITH"
+
+    def test_association_virtuals(self, florida_db):
+        link = florida_db.store("EMP-DEPT").all_records()[0]
+        assert florida_db.read_field(link, "E#") is not None
+        assert florida_db.read_field(link, "D#") is not None
+
+    def test_query_answers_exist(self, florida_db):
+        smith_links = [
+            r for r in florida_db.store("EMP-DEPT").all_records()
+            if florida_db.read_field(r, "D#") == "D2"
+            and r["YEAR-OF-SERVICE"] > 10
+        ]
+        assert smith_links
+        three_year = [
+            r for r in florida_db.store("EMP-DEPT").all_records()
+            if florida_db.read_field(r, "D#") == "D2"
+            and r["YEAR-OF-SERVICE"] == 3
+        ]
+        assert three_year
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        spec = CorpusSpec(seed=9, size=25)
+        first = generate_corpus(spec)
+        second = generate_corpus(spec)
+        assert [p.program.name for p in first] == \
+            [p.program.name for p in second]
+
+    def test_pathology_rate_zero_is_clean(self):
+        for item in generate_corpus(CorpusSpec(seed=1, size=30,
+                                               pathology_rate=0.0)):
+            assert item.kind in corpus.CLEAN_KINDS
+
+    def test_pathology_rate_one_is_all_pathological(self):
+        for item in generate_corpus(CorpusSpec(seed=1, size=30,
+                                               pathology_rate=1.0)):
+            assert item.kind in corpus.PATHOLOGY_KINDS
+            assert item.pathologies
+
+    def test_every_program_runs_on_company_db(self):
+        """Corpus programs are executable, not just analyzable."""
+        for item in generate_corpus(CorpusSpec(seed=13, size=30)):
+            db = company.company_db(seed=13)
+            inputs = ProgramInputs(terminal=list(item.terminal_inputs))
+            trace = run_program(item.program, db, inputs,
+                                consistent=False)
+            assert trace is not None
+
+    def test_labels_are_sound(self):
+        """Every labelled pathology is actually detectable."""
+        for item in generate_corpus(CorpusSpec(seed=17, size=40,
+                                               pathology_rate=0.5)):
+            detected = {f.kind for f in detect_pathologies(item.program)}
+            assert item.pathologies <= detected
+
+    def test_counts_reporting(self):
+        items = generate_corpus(CorpusSpec(seed=2, size=20))
+        counts = corpus.corpus_counts(items)
+        assert sum(counts.values()) == 20
+
+
+def test_company_populate_multiple_divisions():
+    db = company.company_db(seed=3, divisions=4,
+                            employees_per_division=5)
+    assert db.count("DIV") == 4
+    assert db.count("EMP") == 20
+    db.verify_consistent()
+
+
+def test_school_offering_insert_through_dml(school_db):
+    """Storing an offering by virtual CNO/S routes both memberships."""
+    session = DMLSession(school_db)
+    record = session.store("OFFERING", {
+        "SECTION": 77, "ENROLLMENT": 3, "CNO": "C003", "S": "F76",
+    })
+    course = school_db.owner_record(school.COURSE_OFF, record.rid)
+    semester = school_db.owner_record(school.SEMESTER_OFF, record.rid)
+    assert course["CNO"] == "C003"
+    assert semester["S"] == "F76"
+
+
+class TestHierarchicalCorpus:
+    def test_deterministic_and_shaped(self):
+        from repro.workloads.corpus import (
+            HIERARCHICAL_KINDS,
+            generate_hierarchical_corpus,
+        )
+
+        first = generate_hierarchical_corpus(CorpusSpec(seed=4, size=20))
+        second = generate_hierarchical_corpus(CorpusSpec(seed=4, size=20))
+        assert [p.program.name for p in first] == \
+            [p.program.name for p in second]
+        assert {p.kind for p in first} <= set(HIERARCHICAL_KINDS)
+        for item in first:
+            assert item.program.model == "hierarchical"
+
+    def test_programs_run_on_ims_db(self):
+        from repro.hierarchical import HierarchicalDatabase
+        from repro.schema import Schema
+        from repro.workloads.corpus import generate_hierarchical_corpus
+
+        schema = Schema("IMS")
+        schema.define_record("COURSE", {"CNO": "X(6)"}, calc_keys=["CNO"])
+        schema.define_record("OFFERING", {"S": "X(4)"})
+        schema.define_record("TEXTBOOK", {"TITLE": "X(12)"})
+        schema.define_set("ALL-COURSE", "SYSTEM", "COURSE",
+                          order_keys=["CNO"])
+        schema.define_set("C-OFF", "COURSE", "OFFERING", order_keys=["S"])
+        schema.define_set("C-TXT", "COURSE", "TEXTBOOK",
+                          order_keys=["TITLE"])
+        db = HierarchicalDatabase(schema)
+        for index in range(4):
+            course = db.insert_segment("COURSE", {"CNO": f"C{index:03d}"})
+            db.insert_segment("OFFERING", {"S": "F78"},
+                              ("COURSE", course.rid))
+            db.insert_segment("TEXTBOOK", {"TITLE": f"B{index}"},
+                              ("COURSE", course.rid))
+        for item in generate_hierarchical_corpus(
+                CorpusSpec(seed=8, size=12)):
+            trace = run_program(item.program, db, consistent=False)
+            assert trace is not None
