@@ -1,0 +1,59 @@
+"""Perf harness entry points (see src/repro/perf/harness.py).
+
+The smoke test runs a tiny size and checks the report's shape.  The
+full run -- marked ``perf`` and excluded from tier-1 -- measures 1k and
+10k rows, asserts the indexed hierarchical load beats the seed's
+linear-scan path by >= 10x at 10k, and (re)writes the repo baseline
+``BENCH_translate.json``::
+
+    pytest benchmarks/perf -m perf -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.harness import run_benchmark, summarize, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BENCH_translate.json"
+
+
+def _check_report_shape(report: dict) -> None:
+    for entry in report["sizes"]:
+        assert entry["extract_seconds"] >= 0
+        assert entry["translate_seconds"] >= 0
+        assert set(entry["targets"]) == {
+            "network", "relational", "hierarchical",
+        }
+        for target in entry["targets"].values():
+            assert target["load_seconds"] >= 0
+            assert target["metrics"]["records_written"] > 0
+        # The indexed fast path never falls back to a linear scan.
+        assert entry["snapshot_stats"]["link_scans"] == 0
+
+
+def test_bench_smoke(tmp_path):
+    report = run_benchmark([200], compare_linear=False)
+    _check_report_shape(report)
+    out = write_report(report, tmp_path / "BENCH_translate.json")
+    assert out.exists()
+
+
+@pytest.mark.perf
+def test_bench_full_writes_baseline():
+    report = run_benchmark([1000, 10000])
+    _check_report_shape(report)
+    at_10k = report["sizes"][1]
+    comparison = at_10k["hierarchical_scan_comparison"]
+    assert comparison["linear_stats"]["link_scans"] > 0
+    assert comparison["indexed_stats"]["link_scans"] == 0
+    assert comparison["speedup"] >= 10, (
+        f"indexed hierarchical load only {comparison['speedup']:.1f}x "
+        "faster than the seed linear-scan path"
+    )
+    write_report(report, BASELINE)
+    print()
+    print(summarize(report))

@@ -185,6 +185,28 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the translation-pipeline perf harness and write the
+    machine-readable report (BENCH_translate.json)."""
+    from repro.perf.harness import run_benchmark, summarize, write_report
+
+    try:
+        sizes = [int(part) for part in args.sizes.split(",") if part]
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, "
+              f"got {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes:
+        print("error: --sizes is empty", file=sys.stderr)
+        return 2
+    report = run_benchmark(sizes, seed=args.seed,
+                           compare_linear=not args.no_compare)
+    path = write_report(report, args.out)
+    print(summarize(report))
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_suggest_renames(args) -> int:
     """Propose rename hypotheses between two schemas."""
     source_schema = _load_schema(args)
@@ -263,6 +285,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--data", help="loader program (STOREs)")
     sub.add_argument("--inputs", help="terminal input lines, one per line")
     sub.set_defaults(handler=cmd_check)
+
+    sub = subparsers.add_parser(
+        "bench",
+        help="time extract/translate/load at scaled sizes and write "
+             "BENCH_translate.json")
+    sub.add_argument("--sizes", default="1000",
+                     help="comma-separated total row counts "
+                          "(default: 1000; the full baseline uses "
+                          "1000,10000)")
+    sub.add_argument("--out", default="BENCH_translate.json")
+    sub.add_argument("--seed", type=int, default=1979)
+    sub.add_argument("--no-compare", action="store_true",
+                     help="skip the linear-scan hierarchical load "
+                          "comparison (it is quadratic by design)")
+    sub.set_defaults(handler=cmd_bench)
 
     sub = subparsers.add_parser(
         "suggest-renames",

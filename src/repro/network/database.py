@@ -82,6 +82,29 @@ class NetworkDatabase:
             index.insert(self._calc_key(record_name, checked), record.rid)
         return record
 
+    def insert_records(self, record_name: str,
+                       rows: list[dict[str, Any]]) -> list[Record]:
+        """Bulk :meth:`insert_record`: validation per row, store and
+        CALC-index maintenance amortized over the batch."""
+        record_type = self.schema.record(record_name)
+        stored_fields = record_type.stored_field_names()
+        checked_rows = []
+        for values in rows:
+            checked = record_type.validate_values(values)
+            for field_name in stored_fields:
+                checked.setdefault(field_name, None)
+            checked_rows.append(checked)
+        records = self._stores[record_name].insert_many(checked_rows)
+        index = self._calc.get(record_name)
+        if index is not None:
+            calc_keys = record_type.calc_keys
+            for record in records:
+                index.insert(
+                    tuple(record.values.get(key) for key in calc_keys),
+                    record.rid,
+                )
+        return records
+
     def update_record(self, record_name: str, rid: int,
                       updates: dict[str, Any]) -> Record:
         record_type = self.schema.record(record_name)
@@ -153,6 +176,13 @@ class NetworkDatabase:
     def connect(self, set_name: str, owner_rid: int, member_rid: int) -> None:
         self.metrics.set_traversals += 1
         self._sets[set_name].connect(owner_rid, member_rid)
+
+    def connect_many(self, set_name: str, owner_rid: int,
+                     member_rids: list[int]) -> None:
+        """Bulk :meth:`connect` into one occurrence: the occurrence is
+        ordered once for the whole batch instead of per member."""
+        self.metrics.set_traversals += len(member_rids)
+        self._sets[set_name].connect_many(owner_rid, member_rids)
 
     def disconnect(self, set_name: str, member_rid: int) -> int | None:
         return self._sets[set_name].disconnect(member_rid)

@@ -83,6 +83,44 @@ class SetStore:
         else:
             occurrence.append(member_rid)
 
+    def connect_many(self, owner_rid: int, member_rids: list[int]) -> None:
+        """Bulk :meth:`connect` into one owner's occurrence.
+
+        Equivalent to connecting each member in order (same final set
+        order: order-key values, then arrival sequence) but the
+        occurrence is sorted once and the duplicate-key check uses a
+        hash set instead of a per-member scan.
+        """
+        if not member_rids:
+            return
+        for member_rid in member_rids:
+            if member_rid in self._owner_of:
+                raise IntegrityError(
+                    f"set {self.set_type.name}: member rid {member_rid} "
+                    "is already connected"
+                )
+        occurrence = self._members.setdefault(owner_rid, [])
+        if self.set_type.order_keys and not self.set_type.allow_duplicates:
+            seen = {self._key_values(existing) for existing in occurrence}
+            for member_rid in member_rids:
+                new_key = self._key_values(member_rid)
+                if new_key in seen:
+                    raise UniquenessViolation(
+                        f"set {self.set_type.name}: duplicate set key "
+                        f"{new_key!r} within occurrence of owner "
+                        f"{owner_rid}"
+                    )
+                seen.add(new_key)
+        for member_rid in member_rids:
+            self._next_seq += 1
+            self._seq[member_rid] = self._next_seq
+            self._owner_of[member_rid] = owner_rid
+        occurrence.extend(member_rids)
+        if self.set_type.order_keys:
+            # _order_key ends in the arrival sequence, so one sort
+            # reproduces the incremental insert-after-equals order.
+            occurrence.sort(key=self._order_key)
+
     def disconnect(self, member_rid: int) -> int | None:
         """Remove a member from its occurrence; return its old owner."""
         owner_rid = self._owner_of.pop(member_rid, None)

@@ -1,0 +1,21 @@
+"""Performance benchmark harness for the translation pipeline."""
+
+from repro.perf.harness import (
+    PERF_OPERATOR,
+    build_snapshot,
+    build_source_db,
+    compare_hierarchical_load,
+    perf_schema,
+    run_benchmark,
+    size_split,
+)
+
+__all__ = [
+    "PERF_OPERATOR",
+    "build_snapshot",
+    "build_source_db",
+    "compare_hierarchical_load",
+    "perf_schema",
+    "run_benchmark",
+    "size_split",
+]

@@ -1,0 +1,244 @@
+"""Scalable extract -> translate -> load benchmark.
+
+The ROADMAP's north star is a system that "runs as fast as the
+hardware allows"; this harness is the measuring stick.  It scales a
+3-level workload (DIV -> DEPT -> EMP, generated deterministically via
+:mod:`repro.workloads.datagen`) to arbitrary row counts, times every
+stage of the Figure 4.1 data-translation pipeline into all three data
+models, and emits a machine-readable report (``BENCH_translate.json``)
+with wall-clock seconds plus the engine metrics counters, so future
+changes can be judged against a recorded baseline.
+
+Alongside the timings the harness measures the indexed
+:meth:`~repro.restructure.translator.DataSnapshot.owner_of` fast path
+against the seed's linear link scan (``use_indexes=False``), reporting
+the speedup of the hierarchical load that depends on it.
+
+Run it via ``repro bench`` (CLI smoke) or
+``pytest benchmarks/perf -m perf`` (full sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.engine.metrics import Metrics
+from repro.restructure.operators import AddField, Composite, RenameField
+from repro.restructure.translator import (
+    DataSnapshot,
+    extract_snapshot,
+    load_hierarchical,
+    load_network,
+    load_relational,
+)
+from repro.schema.model import Schema
+from repro.workloads.datagen import DataGen
+
+#: Target models measured per size, with their loaders.
+TARGET_LOADERS = {
+    "network": load_network,
+    "relational": load_relational,
+    "hierarchical": load_hierarchical,
+}
+
+#: The restructuring applied in the translate stage: one field rename
+#: plus one field addition on the biggest record type, so the operator
+#: chain's copy-on-write path is exercised without changing the
+#: snapshot's link structure.
+PERF_OPERATOR = Composite((
+    RenameField("EMP", "AGE", "EMP-AGE"),
+    AddField("EMP", "PERF-TAG", "X(1)", default="Y"),
+))
+
+
+def perf_schema() -> Schema:
+    """A 3-level chain schema loadable by all three engines.
+
+    DIV owns DEPT owns EMP; every record type has a CALC key (the
+    relational loader derives foreign keys from them) and each
+    non-root type has exactly one parent set (the hierarchical loader
+    requires a forest).
+    """
+    schema = Schema("PERF")
+    schema.define_record("DIV", {
+        "DIV-NAME": "X(20)", "DIV-LOC": "X(10)",
+    }, calc_keys=["DIV-NAME"])
+    schema.define_record("DEPT", {
+        "DEPT-NAME": "X(20)", "BUDGET": "9(6)",
+    }, calc_keys=["DEPT-NAME"])
+    schema.define_record("EMP", {
+        "EMP-NAME": "X(25)", "AGE": "9(2)",
+    }, calc_keys=["EMP-NAME"])
+    schema.define_set("ALL-DIV", "SYSTEM", "DIV", order_keys=["DIV-NAME"],
+                      allow_duplicates=False)
+    schema.define_set("DIV-DEPT", "DIV", "DEPT")
+    schema.define_set("DEPT-EMP", "DEPT", "EMP")
+    schema.validate()
+    return schema
+
+
+def size_split(total_rows: int) -> dict[str, int]:
+    """Row counts per record type for a target total (3 levels)."""
+    divisions = max(1, total_rows // 100)
+    departments = max(1, total_rows // 10)
+    employees = max(1, total_rows - divisions - departments)
+    return {"DIV": divisions, "DEPT": departments, "EMP": employees}
+
+
+def build_snapshot(total_rows: int, seed: int = 1979) -> DataSnapshot:
+    """A deterministic 3-level snapshot with ~``total_rows`` rows.
+
+    Built directly (no source engine) so tests can assert on snapshot
+    behaviour -- e.g. index-probe counts during loading -- without
+    paying for a database build.
+    """
+    gen = DataGen(seed)
+    split = size_split(total_rows)
+    snapshot = DataSnapshot()
+    snapshot.rows["DIV"] = [
+        {"DIV-NAME": f"DIV-{index:05d}", "DIV-LOC": gen.city()}
+        for index in range(split["DIV"])
+    ]
+    snapshot.rows["DEPT"] = [
+        {"DEPT-NAME": f"{gen.dept_name()}-{index:06d}",
+         "BUDGET": gen.int_between(0, 999999)}
+        for index in range(split["DEPT"])
+    ]
+    snapshot.rows["EMP"] = [
+        {"EMP-NAME": gen.surname(index), "AGE": gen.age()}
+        for index in range(split["EMP"])
+    ]
+    snapshot.links["ALL-DIV"] = [
+        (None, ("DIV", index)) for index in range(split["DIV"])
+    ]
+    snapshot.links["DIV-DEPT"] = [
+        (("DIV", index % split["DIV"]), ("DEPT", index))
+        for index in range(split["DEPT"])
+    ]
+    snapshot.links["DEPT-EMP"] = [
+        (("DEPT", index % split["DEPT"]), ("EMP", index))
+        for index in range(split["EMP"])
+    ]
+    return snapshot
+
+
+def build_source_db(total_rows: int, seed: int = 1979):
+    """A populated network database (the pipeline's source engine)."""
+    return load_network(perf_schema(), build_snapshot(total_rows, seed))
+
+
+def compare_hierarchical_load(snapshot: DataSnapshot,
+                              schema: Schema) -> dict[str, float]:
+    """Time the hierarchical load with and without snapshot indexes.
+
+    The linear variant is the seed's O(links) scan per ``owner_of``
+    call -- quadratic over the whole load -- re-enabled via
+    ``use_indexes=False`` on an independent copy.
+    """
+    indexed = snapshot.copy()
+    started = time.perf_counter()
+    load_hierarchical(schema, indexed, Metrics())
+    indexed_seconds = time.perf_counter() - started
+
+    linear = snapshot.copy()
+    linear.use_indexes = False
+    started = time.perf_counter()
+    load_hierarchical(schema, linear, Metrics())
+    linear_seconds = time.perf_counter() - started
+    return {
+        "indexed_seconds": indexed_seconds,
+        "linear_seconds": linear_seconds,
+        "speedup": (linear_seconds / indexed_seconds
+                    if indexed_seconds > 0 else float("inf")),
+        "indexed_stats": indexed.stats.snapshot(),
+        "linear_stats": linear.stats.snapshot(),
+    }
+
+
+def measure_size(total_rows: int, seed: int = 1979,
+                 compare_linear: bool = True) -> dict[str, Any]:
+    """One benchmark row: pipeline timings at a single size."""
+    schema = perf_schema()
+    source_db = build_source_db(total_rows, seed)
+
+    started = time.perf_counter()
+    snapshot = extract_snapshot(source_db)
+    extract_seconds = time.perf_counter() - started
+
+    target_schema = PERF_OPERATOR.apply_schema(schema)
+    started = time.perf_counter()
+    translated = PERF_OPERATOR.translate(snapshot, schema, target_schema)
+    translate_seconds = time.perf_counter() - started
+
+    targets: dict[str, Any] = {}
+    for model, loader in TARGET_LOADERS.items():
+        metrics = Metrics()
+        started = time.perf_counter()
+        loader(target_schema, translated, metrics)
+        targets[model] = {
+            "load_seconds": time.perf_counter() - started,
+            "metrics": metrics.snapshot(),
+        }
+
+    result: dict[str, Any] = {
+        "rows": total_rows,
+        "row_counts": size_split(total_rows),
+        "extract_seconds": extract_seconds,
+        "translate_seconds": translate_seconds,
+        "targets": targets,
+        "snapshot_stats": translated.stats.snapshot(),
+    }
+    if compare_linear:
+        result["hierarchical_scan_comparison"] = compare_hierarchical_load(
+            translated, target_schema)
+    return result
+
+
+def run_benchmark(sizes: list[int], seed: int = 1979,
+                  compare_linear: bool = True) -> dict[str, Any]:
+    """The full report dict (see EXPERIMENTS.md for the structure)."""
+    return {
+        "suite": "translate",
+        "schema": "PERF (DIV -> DEPT -> EMP, 3 levels)",
+        "operator": PERF_OPERATOR.describe(),
+        "seed": seed,
+        "sizes": [
+            measure_size(total_rows, seed, compare_linear=compare_linear)
+            for total_rows in sizes
+        ],
+    }
+
+
+def write_report(report: dict[str, Any], out_path: str | Path) -> Path:
+    """Serialize a report to ``out_path`` (canonical name:
+    ``BENCH_translate.json``)."""
+    path = Path(out_path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def summarize(report: dict[str, Any]) -> str:
+    """A small human-readable table of the report."""
+    lines = [
+        f"translate benchmark -- operator: {report['operator']}",
+        f"{'rows':>8}  {'extract':>9}  {'translate':>9}  "
+        f"{'network':>9}  {'relational':>10}  {'hierarchical':>12}"
+        f"  {'hier speedup':>12}",
+    ]
+    for entry in report["sizes"]:
+        targets = entry["targets"]
+        comparison = entry.get("hierarchical_scan_comparison")
+        speedup = (f"{comparison['speedup']:.1f}x"
+                   if comparison else "-")
+        lines.append(
+            f"{entry['rows']:>8}  {entry['extract_seconds']:>8.3f}s"
+            f"  {entry['translate_seconds']:>8.3f}s"
+            f"  {targets['network']['load_seconds']:>8.3f}s"
+            f"  {targets['relational']['load_seconds']:>9.3f}s"
+            f"  {targets['hierarchical']['load_seconds']:>11.3f}s"
+            f"  {speedup:>12}"
+        )
+    return "\n".join(lines)

@@ -112,6 +112,36 @@ class RelationalDatabase:
                         )
         return relation.append(row)
 
+    def insert_many(self, relation_name: str, rows: list[dict[str, Any]],
+                    enforce_keys: bool = True) -> list[dict[str, Any]]:
+        """Bulk :meth:`insert`: the UniqueKey check scans the existing
+        relation once per constraint (building a key set) instead of
+        once per inserted row."""
+        self.metrics.dml_calls += 1
+        relation = self.relation(relation_name)
+        if enforce_keys:
+            constraints = [
+                c for c in self.schema.constraints
+                if isinstance(c, UniqueKey) and c.record == relation_name
+            ]
+            for constraint in constraints:
+                seen = set()
+                for existing in relation:
+                    key = tuple(existing.get(f) for f in constraint.fields)
+                    if not any(part is None for part in key):
+                        seen.add(key)
+                for row in rows:
+                    key = tuple(row.get(f) for f in constraint.fields)
+                    if any(part is None for part in key):
+                        continue
+                    if key in seen:
+                        raise UniquenessViolation(
+                            f"{relation_name}: duplicate key {key!r} "
+                            f"({constraint.name})"
+                        )
+                    seen.add(key)
+        return relation.extend(rows)
+
     def delete_where(self, relation_name: str, predicate) -> int:
         self.metrics.dml_calls += 1
         return self.relation(relation_name).remove_where(predicate)

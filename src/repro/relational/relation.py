@@ -47,6 +47,23 @@ class Relation:
         self.metrics.records_written += 1
         return complete
 
+    def extend(self, rows: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Bulk :meth:`append`: same validation per row, one metrics
+        update for the whole batch."""
+        known = set(self.columns)
+        completed = []
+        for row in rows:
+            unknown = set(row) - known
+            if unknown:
+                raise QueryError(
+                    f"relation {self.name}: unknown columns "
+                    f"{sorted(unknown)}"
+                )
+            completed.append({col: row.get(col) for col in self.columns})
+        self._rows.extend(completed)
+        self.metrics.records_written += len(completed)
+        return completed
+
     def rows(self) -> list[dict[str, Any]]:
         """All rows (uncounted bulk access for assertions/translation)."""
         return [dict(row) for row in self._rows]

@@ -76,8 +76,8 @@ class RestructuringOperator:
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        """Default data mapping: identity."""
-        return snapshot.copy()
+        """Default data mapping: identity (structurally shared)."""
+        return snapshot.share()
 
     def inverse(self, schema: Schema) -> "RestructuringOperator":
         raise NotInvertible(
@@ -100,13 +100,16 @@ def _rename_row_ids(snapshot: DataSnapshot, old: str,
             return None
         return (new, row_id[1]) if row_id[0] == old else row_id
 
-    out = DataSnapshot()
-    for name, rows in snapshot.rows.items():
-        out.rows[new if name == old else name] = [dict(r) for r in rows]
-    for set_name, pairs in snapshot.links.items():
-        out.links[set_name] = [
-            (fix(owner_id), fix(member_id)) for owner_id, member_id in pairs
-        ]
+    out = snapshot.share()
+    out.rename_rows_key(old, new)
+    for set_name, pairs in list(out.links.items()):
+        if any((owner_id is not None and owner_id[0] == old)
+               or member_id[0] == old
+               for owner_id, member_id in pairs):
+            out.links[set_name] = [
+                (fix(owner_id), fix(member_id))
+                for owner_id, member_id in pairs
+            ]
     return out
 
 
@@ -234,10 +237,10 @@ class RenameField(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
+        out = snapshot.share()
         if source_schema.record(self.record).field(self.old_name).is_virtual:
             return out
-        for row in out.rows.get(self.record, []):
+        for row in out.rows_for_write(self.record):
             if self.old_name in row:
                 row[self.new_name] = row.pop(self.old_name)
         return out
@@ -305,9 +308,8 @@ class RenameSet(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
-        if self.old_name in out.links:
-            out.links[self.new_name] = out.links.pop(self.old_name)
+        out = snapshot.share()
+        out.rename_links_key(self.old_name, self.new_name)
         return out
 
     def inverse(self, schema: Schema) -> "RenameSet":
@@ -347,8 +349,8 @@ class AddField(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
-        for row in out.rows.get(self.record, []):
+        out = snapshot.share()
+        for row in out.rows_for_write(self.record):
             row[self.field_name] = self.default
         return out
 
@@ -398,8 +400,8 @@ class DropField(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
-        for row in out.rows.get(self.record, []):
+        out = snapshot.share()
+        for row in out.rows_for_write(self.record):
             row.pop(self.field_name, None)
         return out
 
@@ -582,8 +584,8 @@ class VirtualizeField(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
-        for index, row in enumerate(out.rows.get(self.record, [])):
+        out = snapshot.share()
+        for index, row in enumerate(out.rows_for_write(self.record)):
             stored = row.pop(self.field_name, None)
             if stored is None:
                 continue
@@ -636,8 +638,8 @@ class MaterializeField(RestructuringOperator):
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
         fld = source_schema.record(self.record).field(self.field_name)
-        out = snapshot.copy()
-        for index, row in enumerate(out.rows.get(self.record, [])):
+        out = snapshot.share()
+        for index, row in enumerate(out.rows_for_write(self.record)):
             owner_id = out.owner_of(fld.virtual_via, (self.record, index))
             row[self.field_name] = (
                 out.row(owner_id).get(fld.virtual_using)
@@ -800,7 +802,7 @@ class InterposeRecord(RestructuringOperator):
                   target_schema: Schema) -> DataSnapshot:
         set_type = source_schema.set_type(self.old_set)
         member_name = set_type.member
-        out = snapshot.copy()
+        out = snapshot.share()
         pairs = out.links.pop(self.old_set, [])
         owner_by_member: dict[RowId, RowId | None] = {
             member_id: owner_id for owner_id, member_id in pairs
@@ -809,7 +811,7 @@ class InterposeRecord(RestructuringOperator):
         new_rows: list[dict[str, Any]] = []
         upper_links: list[tuple[RowId | None, RowId]] = []
         lower_links: list[tuple[RowId | None, RowId]] = []
-        for index, row in enumerate(out.rows.get(member_name, [])):
+        for index, row in enumerate(out.rows_for_write(member_name)):
             member_id: RowId = (member_name, index)
             owner_id = owner_by_member.get(member_id)
             key_values = tuple(row.get(key) for key in self.key_fields)
@@ -971,7 +973,7 @@ class MergeRecords(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
+        out = snapshot.share()
         middle_rows = out.rows.pop(self.record, [])
         upper_pairs = out.links.pop(self.upper_set, [])
         lower_pairs = out.links.pop(self.lower_set, [])
@@ -983,7 +985,7 @@ class MergeRecords(RestructuringOperator):
             if middle_id is None:
                 continue
             middle_row = middle_rows[middle_id[1]]
-            member_row = out.row(member_id)
+            member_row = out.row_for_write(member_id)
             for field_name in self.inherited_fields:
                 member_row[field_name] = middle_row.get(field_name)
             owner_id = owner_of_middle.get(middle_id)
@@ -1079,10 +1081,10 @@ class ExtractFields(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
+        out = snapshot.share()
         new_rows: list[dict[str, Any]] = []
         links: list[tuple[RowId | None, RowId]] = []
-        for index, row in enumerate(out.rows.get(self.record, [])):
+        for index, row in enumerate(out.rows_for_write(self.record)):
             new_rows.append({
                 name: row.pop(name, None) for name in self.fields
             })
@@ -1162,14 +1164,14 @@ class InlineFields(RestructuringOperator):
 
     def translate(self, snapshot: DataSnapshot, source_schema: Schema,
                   target_schema: Schema) -> DataSnapshot:
-        out = snapshot.copy()
+        out = snapshot.share()
         removed_rows = out.rows.pop(self.removed_record, [])
         pairs = out.links.pop(self.link_set, [])
         for owner_id, member_id in pairs:
             if owner_id is None:
                 continue
             source_row = removed_rows[owner_id[1]]
-            member_row = out.row(member_id)
+            member_row = out.row_for_write(member_id)
             for name in self.fields:
                 member_row[name] = source_row.get(name)
         return out

@@ -1,0 +1,188 @@
+"""Bulk loading APIs (RecordStore.insert_many and friends).
+
+Every bulk path must be observably equivalent to its incremental
+counterpart -- same rids, same set/twin ordering, same constraint
+errors -- with only the bookkeeping amortized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.metrics import Metrics
+from repro.engine.storage import RecordStore
+from repro.errors import (
+    IntegrityError,
+    RecordNotFound,
+    SchemaError,
+    UniquenessViolation,
+)
+from repro.hierarchical.database import HierarchicalDatabase
+from repro.network.database import NetworkDatabase
+from repro.relational.database import RelationalDatabase
+from repro.schema import Schema, UniqueKey
+
+
+def chain_schema(*, order_keys=(), allow_duplicates=True) -> Schema:
+    schema = Schema("BULK")
+    schema.define_record("DEPT", {"DEPT-NAME": "X(10)"},
+                         calc_keys=["DEPT-NAME"])
+    schema.define_record("EMP", {"EMP-NAME": "X(10)", "AGE": "9(2)"},
+                         calc_keys=["EMP-NAME"])
+    schema.define_set("DEPT-EMP", "DEPT", "EMP",
+                      order_keys=list(order_keys),
+                      allow_duplicates=allow_duplicates)
+    schema.validate()
+    return schema
+
+
+EMPLOYEES = [
+    {"EMP-NAME": f"E{index}", "AGE": age}
+    for index, age in enumerate([40, 25, 40, 31, 25, 58])
+]
+
+
+# ---------------------------------------------------------------------------
+# RecordStore
+# ---------------------------------------------------------------------------
+
+
+def test_record_store_insert_many_matches_sequential():
+    sequential = RecordStore("EMP", Metrics())
+    bulk = RecordStore("EMP", Metrics())
+    expected = [sequential.insert(row) for row in EMPLOYEES]
+    actual = bulk.insert_many(EMPLOYEES)
+    assert [r.rid for r in actual] == [r.rid for r in expected]
+    assert [r.values for r in actual] == [r.values for r in expected]
+    assert bulk.metrics.records_written == len(EMPLOYEES)
+    # Later singleton inserts continue the same rid sequence.
+    assert bulk.insert({"EMP-NAME": "LAST"}).rid == \
+        sequential.insert({"EMP-NAME": "LAST"}).rid
+
+
+# ---------------------------------------------------------------------------
+# Network engine
+# ---------------------------------------------------------------------------
+
+
+def test_network_insert_records_matches_sequential_and_feeds_calc():
+    schema = chain_schema()
+    sequential = NetworkDatabase(schema)
+    bulk = NetworkDatabase(schema)
+    for row in EMPLOYEES:
+        sequential.insert_record("EMP", row)
+    records = bulk.insert_records("EMP", EMPLOYEES)
+    assert [(r.rid, r.values) for r in records] == \
+        [(r.rid, r.values) for r in sequential.instances("EMP")]
+    # CALC index is maintained for the whole batch.
+    index = bulk.calc_index("EMP")
+    assert index.lookup(("E3",)) == [records[3].rid]
+
+
+def test_network_connect_many_reproduces_incremental_set_order():
+    schema = chain_schema(order_keys=["AGE"])
+    sequential = NetworkDatabase(schema)
+    bulk = NetworkDatabase(schema)
+    rids = {}
+    for key, db in (("seq", sequential), ("bulk", bulk)):
+        owner = db.insert_record("DEPT", {"DEPT-NAME": "D1"})
+        members = db.insert_records("EMP", EMPLOYEES)
+        rids[key] = (owner.rid, [r.rid for r in members])
+    owner_rid, member_rids = rids["seq"]
+    for rid in member_rids:
+        sequential.connect("DEPT-EMP", owner_rid, rid)
+    bulk.connect_many("DEPT-EMP", *rids["bulk"])
+    # Sorted by AGE; equal ages keep arrival order (insert-after-equals).
+    expected = sequential.set_store("DEPT-EMP").members(owner_rid)
+    assert expected == [member_rids[i] for i in (1, 4, 3, 0, 2, 5)]
+    assert bulk.set_store("DEPT-EMP").members(rids["bulk"][0]) == expected
+
+
+def test_network_connect_many_rejects_duplicate_keys_and_reconnect():
+    schema = chain_schema(order_keys=["AGE"], allow_duplicates=False)
+    db = NetworkDatabase(schema)
+    owner = db.insert_record("DEPT", {"DEPT-NAME": "D1"})
+    rids = [r.rid for r in db.insert_records("EMP", EMPLOYEES)]
+    with pytest.raises(UniquenessViolation):
+        db.connect_many("DEPT-EMP", owner.rid, [rids[0], rids[2]])  # AGE=40 twice
+    db.connect_many("DEPT-EMP", owner.rid, [rids[0], rids[1]])
+    with pytest.raises(IntegrityError):
+        db.connect_many("DEPT-EMP", owner.rid, [rids[1]])  # already connected
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+
+def test_relational_insert_many_matches_sequential():
+    schema = chain_schema()
+    sequential = RelationalDatabase(schema)
+    bulk = RelationalDatabase(schema)
+    for row in EMPLOYEES:
+        sequential.insert("EMP", row)
+    bulk.insert_many("EMP", EMPLOYEES)
+    assert bulk.relation("EMP").rows() == sequential.relation("EMP").rows()
+
+
+def test_relational_insert_many_enforces_unique_keys():
+    schema = chain_schema()
+    schema.add_constraint(UniqueKey("U-EMP", "EMP", ("EMP-NAME",)))
+    db = RelationalDatabase(schema)
+    db.insert("EMP", {"EMP-NAME": "E0", "AGE": 40})
+    # Conflict against an existing row...
+    with pytest.raises(UniquenessViolation):
+        db.insert_many("EMP", [{"EMP-NAME": "E0", "AGE": 9}])
+    # ...and within the batch itself.
+    with pytest.raises(UniquenessViolation):
+        db.insert_many("EMP", [
+            {"EMP-NAME": "E1", "AGE": 1},
+            {"EMP-NAME": "E1", "AGE": 2},
+        ])
+    db.insert_many("EMP", [{"EMP-NAME": "E1", "AGE": 1}],
+                   enforce_keys=False)
+    assert len(db.relation("EMP")) == 2
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical engine
+# ---------------------------------------------------------------------------
+
+
+def test_hierarchical_insert_segments_matches_sequential_twin_order():
+    schema = chain_schema(order_keys=["AGE"])
+    sequential = HierarchicalDatabase(schema)
+    bulk = HierarchicalDatabase(schema)
+    roots = {}
+    for key, db in (("seq", sequential), ("bulk", bulk)):
+        roots[key] = db.insert_segment("DEPT", {"DEPT-NAME": "D1"}).rid
+    seq_rids = [
+        sequential.insert_segment("EMP", row,
+                                  parent=("DEPT", roots["seq"])).rid
+        for row in EMPLOYEES
+    ]
+    bulk.insert_segments(
+        "EMP", [(row, ("DEPT", roots["bulk"])) for row in EMPLOYEES])
+    expected = sequential.children("DEPT", roots["seq"], "EMP")
+    assert expected == [seq_rids[i] for i in (1, 4, 3, 0, 2, 5)]
+    assert bulk.children("DEPT", roots["bulk"], "EMP") == expected
+    assert bulk.preorder() == sequential.preorder()
+
+
+def test_hierarchical_insert_segments_validates_before_storing():
+    schema = chain_schema()
+    db = HierarchicalDatabase(schema)
+    root = db.insert_segment("DEPT", {"DEPT-NAME": "D1"}).rid
+    with pytest.raises(SchemaError):
+        db.insert_segments("EMP", [
+            ({"EMP-NAME": "OK", "AGE": 1}, ("DEPT", root)),
+            ({"EMP-NAME": "BAD", "AGE": 2}, None),  # missing parent
+        ])
+    with pytest.raises(RecordNotFound):
+        db.insert_segments("EMP", [
+            ({"EMP-NAME": "ORPHAN", "AGE": 3}, ("DEPT", 99)),
+        ])
+    with pytest.raises(SchemaError):
+        db.insert_segments("DEPT", [({"DEPT-NAME": "D2"}, ("DEPT", root))])
+    # All-or-nothing: the failing batches stored no segments.
+    assert db.count("EMP") == 0
