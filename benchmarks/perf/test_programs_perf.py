@@ -1,0 +1,90 @@
+"""Programs perf suite entry points (see src/repro/perf/programs.py).
+
+The smoke test runs one small scale and checks the report's shape and
+invariants.  The full run -- marked ``perf`` and excluded from tier-1
+-- sweeps three database scales plus the 10k-row relational corpus,
+asserts the paper's qualitative overhead ordering (emulation and
+bridge cost more than native, rewrite stays within a constant factor)
+and a >= 5x indexed-over-linear execution speedup, and (re)writes the
+repo baseline ``BENCH_programs.json``::
+
+    pytest benchmarks/perf -m perf -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.programs import (
+    SMOKE_PROGRAMS,
+    SMOKE_RELATIONAL_ROWS,
+    SMOKE_RELATIONAL_STATEMENTS,
+    SMOKE_SCALES,
+    run_programs_benchmark,
+    summarize_programs,
+    write_programs_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BENCH_programs.json"
+
+# Rewrite executes the converted program natively on the target; its
+# access-path length stays within a small constant factor of the
+# source program's while emulation pays mapping overhead on every call
+# and bridge pays reconstruction.  4x leaves headroom over the ~1.8x
+# observed without tracking it exactly.
+REWRITE_FACTOR = 4.0
+
+
+def _check_report_shape(report: dict) -> None:
+    assert report["suite"] == "programs"
+    for entry in report["scales"]:
+        native_cost = entry["native"]["cost"]
+        assert native_cost > 0
+        strategies = entry["strategies"]
+        assert set(strategies) == {"rewrite", "emulation", "bridge"}
+        # The paper's qualitative claim: converted execution is never
+        # free -- emulation and bridge pay an overhead ratio above 1 --
+        # while rewrite stays within a constant factor of native.
+        assert strategies["emulation"]["cost"] > native_cost
+        assert strategies["bridge"]["cost"] > native_cost
+        assert strategies["rewrite"]["cost"] <= REWRITE_FACTOR * native_cost
+        # Behaviour preservation across the conversion.
+        assert entry["traces_match"] == {
+            "rewrite": True, "emulation": True, "bridge": True,
+        }
+    comparison = report["relational_index_comparison"]
+    assert comparison["traces_identical"], (
+        "indexed and linear execution produced different IO traces"
+    )
+    assert comparison["indexed_stats"]["index_hits"] > 0
+    assert comparison["linear_stats"]["index_hits"] == 0
+
+
+def test_programs_smoke(tmp_path):
+    report = run_programs_benchmark(
+        scales=SMOKE_SCALES,
+        corpus_size=SMOKE_PROGRAMS,
+        relational_rows=SMOKE_RELATIONAL_ROWS,
+        relational_statements=SMOKE_RELATIONAL_STATEMENTS,
+    )
+    _check_report_shape(report)
+    out = write_programs_report(report, tmp_path / "BENCH_programs.json")
+    assert out.exists()
+
+
+@pytest.mark.perf
+def test_programs_full_writes_baseline():
+    report = run_programs_benchmark()
+    _check_report_shape(report)
+    comparison = report["relational_index_comparison"]
+    assert comparison["rows"] == 10_000
+    assert comparison["speedup"] >= 5, (
+        f"indexed execution only {comparison['speedup']:.1f}x faster "
+        "than use_indexes=False on the 10k-row corpus"
+    )
+    write_programs_report(report, BASELINE)
+    print()
+    print(summarize_programs(report))

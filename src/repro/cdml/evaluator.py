@@ -24,7 +24,7 @@ from repro.cdml.ast import (
     Statement,
     StoreStmt,
 )
-from repro.engine.index import _orderable
+from repro.engine.ordering import orderable
 from repro.engine.storage import Record
 from repro.errors import QueryError
 from repro.network.database import NetworkDatabase
@@ -52,21 +52,40 @@ class CdmlEngine:
     def __init__(self, db: NetworkDatabase):
         self.db = db
         self.collections: dict[str, list[Record]] = {}
+        # Per-statement compiled-qualification cache, keyed by id()
+        # with the node kept alive in the value (Qual trees are frozen
+        # dataclasses; literal values may be unhashable).
+        self._compiled: dict[int, tuple[Qual, Any]] = {}
 
     # -- qualification -------------------------------------------------
 
     def _matches(self, record: Record, qual: Qual | None) -> bool:
         if qual is None:
             return True
+        cached = self._compiled.get(id(qual))
+        if cached is not None and cached[0] is qual:
+            return cached[1](record)
+        compiled = self._compile_qual(qual)
+        self._compiled[id(qual)] = (qual, compiled)
+        return compiled(record)
+
+    def _compile_qual(self, qual: Qual):
+        """One qualification tree -> one closure over a record, so a
+        FIND applied to thousands of candidates walks the tree once."""
         if isinstance(qual, Cmp):
-            value = self.db.read_field(record, qual.field)
-            return _OPS[qual.op](value, qual.value)
+            op = _OPS[qual.op]
+            field_name = qual.field
+            value = qual.value
+            read_field = self.db.read_field
+            return lambda record: op(read_field(record, field_name), value)
         if isinstance(qual, QualAnd):
-            return (self._matches(record, qual.left)
-                    and self._matches(record, qual.right))
+            left = self._compile_qual(qual.left)
+            right = self._compile_qual(qual.right)
+            return lambda record: left(record) and right(record)
         if isinstance(qual, QualOr):
-            return (self._matches(record, qual.left)
-                    or self._matches(record, qual.right))
+            left = self._compile_qual(qual.left)
+            right = self._compile_qual(qual.right)
+            return lambda record: left(record) or right(record)
         raise QueryError(f"unknown qualification {qual!r}")
 
     # -- FIND ----------------------------------------------------------
@@ -181,7 +200,7 @@ class CdmlEngine:
         return sorted(
             records,
             key=lambda r: tuple(
-                _orderable(self.db.read_field(r, key)) for key in stmt.keys
+                orderable(self.db.read_field(r, key)) for key in stmt.keys
             ),
         )
 

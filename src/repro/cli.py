@@ -186,8 +186,12 @@ def cmd_check(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Run the translation-pipeline perf harness and write the
-    machine-readable report (BENCH_translate.json)."""
+    """Run a perf suite and write its machine-readable report:
+    ``translate`` times the pipeline (BENCH_translate.json),
+    ``programs`` runs the workload corpus under the three strategies
+    and the indexed-vs-linear comparison (BENCH_programs.json)."""
+    if args.suite == "programs":
+        return _bench_programs(args)
     from repro.perf.harness import run_benchmark, summarize, write_report
 
     try:
@@ -199,10 +203,34 @@ def cmd_bench(args) -> int:
     if not sizes:
         print("error: --sizes is empty", file=sys.stderr)
         return 2
+    if args.smoke:
+        sizes = [min(sizes)]
     report = run_benchmark(sizes, seed=args.seed,
                            compare_linear=not args.no_compare)
     path = write_report(report, args.out)
     print(summarize(report))
+    print(f"wrote {path}")
+    return 0
+
+
+def _bench_programs(args) -> int:
+    from repro.perf import programs as perf_programs
+
+    if args.smoke:
+        kwargs = dict(
+            scales=perf_programs.SMOKE_SCALES,
+            corpus_size=perf_programs.SMOKE_PROGRAMS,
+            relational_rows=perf_programs.SMOKE_RELATIONAL_ROWS,
+            relational_statements=perf_programs.SMOKE_RELATIONAL_STATEMENTS,
+        )
+    else:
+        kwargs = {}
+    report = perf_programs.run_programs_benchmark(seed=args.seed, **kwargs)
+    out = args.out
+    if out == "BENCH_translate.json":  # the translate-suite default
+        out = "BENCH_programs.json"
+    path = perf_programs.write_programs_report(report, out)
+    print(perf_programs.summarize_programs(report))
     print(f"wrote {path}")
     return 0
 
@@ -288,17 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser(
         "bench",
-        help="time extract/translate/load at scaled sizes and write "
-             "BENCH_translate.json")
+        help="run a perf suite (translate: BENCH_translate.json; "
+             "programs: BENCH_programs.json)")
+    sub.add_argument("--suite", choices=("translate", "programs"),
+                     default="translate",
+                     help="which suite to run (default: translate)")
     sub.add_argument("--sizes", default="1000",
-                     help="comma-separated total row counts "
-                          "(default: 1000; the full baseline uses "
-                          "1000,10000)")
-    sub.add_argument("--out", default="BENCH_translate.json")
+                     help="translate suite: comma-separated total row "
+                          "counts (default: 1000; the full baseline "
+                          "uses 1000,10000)")
+    sub.add_argument("--out", default="BENCH_translate.json",
+                     help="report path (programs suite defaults to "
+                          "BENCH_programs.json)")
     sub.add_argument("--seed", type=int, default=1979)
     sub.add_argument("--no-compare", action="store_true",
-                     help="skip the linear-scan hierarchical load "
-                          "comparison (it is quadratic by design)")
+                     help="translate suite: skip the linear-scan "
+                          "hierarchical load comparison (it is "
+                          "quadratic by design)")
+    sub.add_argument("--smoke", action="store_true",
+                     help="smallest scales only, for CI smoke runs")
     sub.set_defaults(handler=cmd_bench)
 
     sub = subparsers.add_parser(

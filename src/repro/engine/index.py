@@ -19,26 +19,11 @@ from typing import Any, Hashable, Iterator
 
 from repro.errors import DuplicateKey
 from repro.engine.metrics import Metrics
+from repro.engine.ordering import orderable
 
-
-def _orderable(key: Any) -> tuple:
-    """Map an index key to a tuple that sorts across mixed types.
-
-    Values are grouped by type name so ints compare with ints and
-    strings with strings; None sorts first.
-    """
-    parts = key if isinstance(key, tuple) else (key,)
-    out = []
-    for part in parts:
-        if part is None:
-            out.append((0, "", ""))
-        elif isinstance(part, bool):
-            out.append((1, "bool", part))
-        elif isinstance(part, (int, float)):
-            out.append((1, "number", part))
-        else:
-            out.append((1, type(part).__name__, str(part)))
-    return tuple(out)
+#: Backwards-compatible private name; the public home of the function
+#: is :func:`repro.engine.ordering.orderable`.
+_orderable = orderable
 
 
 class HashIndex:
@@ -90,7 +75,7 @@ class SortedIndex:
         self.name = name
         self.unique = unique
         self.metrics = metrics if metrics is not None else Metrics()
-        # Parallel arrays: _order holds (_orderable(key), seq) sort keys.
+        # Parallel arrays: _order holds (orderable(key), seq) sort keys.
         self._order: list[tuple] = []
         self._items: list[tuple[Any, int]] = []  # (key, rid)
         self._seq = 0
@@ -102,18 +87,18 @@ class SortedIndex:
         if self.unique and self._key_present(key):
             raise DuplicateKey(f"index {self.name}: duplicate key {key!r}")
         self._seq += 1
-        sort_key = (_orderable(key), self._seq)
+        sort_key = (orderable(key), self._seq)
         pos = bisect.bisect_left(self._order, sort_key)
         self._order.insert(pos, sort_key)
         self._items.insert(pos, (key, rid))
 
     def _key_present(self, key: Any) -> bool:
-        target = _orderable(key)
+        target = orderable(key)
         pos = bisect.bisect_left(self._order, (target,))
         return pos < len(self._order) and self._order[pos][0] == target
 
     def remove(self, key: Any, rid: int) -> None:
-        target = _orderable(key)
+        target = orderable(key)
         pos = bisect.bisect_left(self._order, (target,))
         while pos < len(self._order) and self._order[pos][0] == target:
             if self._items[pos][1] == rid:
@@ -136,7 +121,7 @@ class SortedIndex:
     def lookup(self, key: Any) -> list[int]:
         """Rids whose key equals ``key``, in key order."""
         self.metrics.index_probes += 1
-        target = _orderable(key)
+        target = orderable(key)
         pos = bisect.bisect_left(self._order, (target,))
         out = []
         while pos < len(self._order) and self._order[pos][0] == target:
@@ -147,10 +132,10 @@ class SortedIndex:
     def range(self, low: Any = None, high: Any = None) -> Iterator[int]:
         """Yield rids with low <= key <= high (either bound optional)."""
         self.metrics.index_scans += 1
-        low_key = _orderable(low) if low is not None else None
-        high_key = _orderable(high) if high is not None else None
+        low_key = orderable(low) if low is not None else None
+        high_key = orderable(high) if high is not None else None
         for key, rid in list(self._items):
-            ordered = _orderable(key)
+            ordered = orderable(key)
             if low_key is not None and ordered < low_key:
                 continue
             if high_key is not None and ordered > high_key:

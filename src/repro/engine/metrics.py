@@ -23,6 +23,8 @@ _COUNTERS = (
     "records_deleted",
     "index_probes",
     "index_scans",
+    "index_hits",
+    "full_scans",
     "set_traversals",
     "dml_calls",
     "emulation_mappings",
@@ -40,6 +42,10 @@ class Metrics:
     records_deleted: int = 0
     index_probes: int = 0
     index_scans: int = 0
+    #: Queries answered through a maintained secondary index ...
+    index_hits: int = 0
+    #: ... versus queries that had to fall back to a full scan.
+    full_scans: int = 0
     set_traversals: int = 0
     dml_calls: int = 0
     emulation_mappings: int = 0

@@ -1,0 +1,34 @@
+"""Cross-type total ordering for index and sort keys.
+
+Every layer that sorts values -- index key order, set occurrence
+order, relational sort/dedup keys, emulated occurrence re-sorting --
+needs one shared definition of "key order" so converted programs see
+identical orderings regardless of which engine produced them.  This
+module is that single definition; :func:`orderable` used to live as a
+private helper inside :mod:`repro.engine.index` and was re-imported
+under its private name everywhere it was needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def orderable(key: Any) -> tuple:
+    """Map an index key to a tuple that sorts across mixed types.
+
+    Values are grouped by type name so ints compare with ints and
+    strings with strings; None sorts first.
+    """
+    parts = key if isinstance(key, tuple) else (key,)
+    out = []
+    for part in parts:
+        if part is None:
+            out.append((0, "", ""))
+        elif isinstance(part, bool):
+            out.append((1, "bool", part))
+        elif isinstance(part, (int, float)):
+            out.append((1, "number", part))
+        else:
+            out.append((1, type(part).__name__, str(part)))
+    return tuple(out)

@@ -51,6 +51,9 @@ class RecordStore:
         self.metrics = metrics if metrics is not None else Metrics()
         self._records: dict[int, Record] = {}
         self._next_rid = 1
+        # Bumped on structural change (insert/delete/clear); scans check
+        # it so they can iterate the live dict without a defensive copy.
+        self._generation = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -64,6 +67,7 @@ class RecordStore:
         self._next_rid += 1
         record = Record(rid, self.type_name, dict(values))
         self._records[rid] = record
+        self._generation += 1
         self.metrics.records_written += 1
         return record
 
@@ -81,6 +85,7 @@ class RecordStore:
             records.append(record)
             rid += 1
         self._next_rid = rid
+        self._generation += 1
         self.metrics.records_written += len(records)
         return records
 
@@ -121,13 +126,27 @@ class RecordStore:
             raise RecordNotFound(
                 f"{self.type_name}: no record with rid {rid}"
             ) from None
+        self._generation += 1
         self.metrics.records_deleted += 1
         return record
 
     def scan(self) -> Iterator[Record]:
-        """Yield every record in insertion order (counted as reads)."""
+        """Yield every record in insertion order (counted as reads).
+
+        Iterates a generation-checked view of the live dict rather than
+        copying every record reference into a list up front: the common
+        consumers (FIND ANY, constraint checks) either consume the scan
+        immediately or abandon the generator before mutating.  A store
+        that *is* structurally mutated while a scan is being resumed
+        fails loudly instead of serving a stale copy.
+        """
         self.metrics.index_scans += 1
-        for record in list(self._records.values()):
+        generation = self._generation
+        for record in self._records.values():
+            if self._generation != generation:
+                raise RuntimeError(
+                    f"{self.type_name}: store mutated during scan"
+                )
             self.metrics.records_read += 1
             yield record
 
@@ -146,6 +165,7 @@ class RecordStore:
     def clear(self) -> None:
         """Drop every record (rids are still not reused afterwards)."""
         self._records.clear()
+        self._generation += 1
 
     def load(self, rows: Iterable[dict[str, Any]]) -> list[Record]:
         """Bulk-insert rows, returning the created records."""

@@ -12,7 +12,7 @@ from repro.errors import (
     RecordNotFound,
     SchemaError,
 )
-from repro.engine.index import _orderable
+from repro.engine.ordering import orderable
 from repro.schema.constraints import Violation, check_all
 from repro.schema.model import Schema, SetType
 
@@ -99,7 +99,7 @@ class HierarchicalDatabase:
         values = tuple(
             record.get(key) if record is not None else None for key in keys
         )
-        return _orderable(values)
+        return orderable(values)
 
     def _insert_ordered(self, siblings: list[int], segment_name: str,
                         rid: int) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.engine.index import _orderable
+from repro.engine.ordering import orderable
 from repro.errors import IntegrityError, UniquenessViolation
 from repro.schema.model import SetType
 
@@ -42,7 +42,7 @@ class SetStore:
             record.get(key) if record is not None else None
             for key in self.set_type.order_keys
         )
-        return (_orderable(values), self._seq.get(member_rid, 0))
+        return (orderable(values), self._seq.get(member_rid, 0))
 
     def _key_values(self, member_rid: int) -> tuple:
         record = self._db.store(self.set_type.member).peek(member_rid)

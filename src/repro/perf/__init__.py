@@ -9,13 +9,23 @@ from repro.perf.harness import (
     run_benchmark,
     size_split,
 )
+from repro.perf.programs import (
+    compare_relational_execution,
+    run_programs_benchmark,
+    summarize_programs,
+    write_programs_report,
+)
 
 __all__ = [
     "PERF_OPERATOR",
     "build_snapshot",
     "build_source_db",
     "compare_hierarchical_load",
+    "compare_relational_execution",
     "perf_schema",
     "run_benchmark",
+    "run_programs_benchmark",
     "size_split",
+    "summarize_programs",
+    "write_programs_report",
 ]

@@ -10,7 +10,7 @@ and guards against runaway loops with a step budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ReproError
 from repro.hierarchical.database import HierarchicalDatabase
@@ -78,6 +78,14 @@ class Interpreter:
         self.env: dict[str, Any] = {"DB-STATUS": "0000", "FILE-STATUS": "00"}
         self._steps = 0
         self._program: ast.Program | None = None
+        # Per-statement compiled-expression cache.  Keyed by id() (AST
+        # nodes are frozen dataclasses whose values may be unhashable);
+        # the node itself is kept in the value so the id cannot be
+        # recycled while the entry lives.
+        self._compiled: dict[int, tuple[ast.Expr, Callable[[], Any]]] = {}
+        # Substituted SEQUEL text -> parsed query, so a RelQuery inside
+        # a loop parses once per distinct parameter binding.
+        self._sequel_cache: dict[str, Any] = {}
         if session is not None:
             # A custom session (e.g. a DML emulation layer) that speaks
             # the DMLSession surface.
@@ -103,28 +111,51 @@ class Interpreter:
     # -- expressions ---------------------------------------------------------
 
     def eval(self, expr: ast.Expr) -> Any:
+        """Evaluate an expression (compiling it to a closure on first
+        use; loops re-run the closure, not the AST walk)."""
+        cached = self._compiled.get(id(expr))
+        if cached is not None and cached[0] is expr:
+            return cached[1]()
+        compiled = self._compile_expr(expr)
+        self._compiled[id(expr)] = (expr, compiled)
+        return compiled()
+
+    def _compile_expr(self, expr: ast.Expr) -> Callable[[], Any]:
+        """One AST node -> one closure over the interpreter's (stable)
+        environment dict.  Error semantics match the walking evaluator:
+        unbound variables raise at evaluation, not compilation."""
+        env = self.env
         if isinstance(expr, ast.Const):
-            return expr.value
+            value = expr.value
+            return lambda: value
         if isinstance(expr, ast.Var):
-            if expr.name not in self.env:
-                raise InterpreterError(f"unbound variable {expr.name}")
-            return self.env[expr.name]
+            name = expr.name
+
+            def read_var() -> Any:
+                try:
+                    return env[name]
+                except KeyError:
+                    raise InterpreterError(
+                        f"unbound variable {name}"
+                    ) from None
+            return read_var
         if isinstance(expr, ast.Bin):
-            if expr.op == "AND":
-                return bool(self.eval(expr.left)) and bool(self.eval(expr.right))
-            if expr.op == "OR":
-                return bool(self.eval(expr.left)) or bool(self.eval(expr.right))
-            left = self.eval(expr.left)
-            right = self.eval(expr.right)
-            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
-                return _compare(expr.op, left, right)
-            if expr.op == "+":
-                return left + right
-            if expr.op == "-":
-                return left - right
-            if expr.op == "*":
-                return left * right
-            raise InterpreterError(f"unknown operator {expr.op!r}")
+            left = self._compile_expr(expr.left)
+            right = self._compile_expr(expr.right)
+            op = expr.op
+            if op == "AND":
+                return lambda: bool(left()) and bool(right())
+            if op == "OR":
+                return lambda: bool(left()) or bool(right())
+            if op in ("=", "<>", "<", "<=", ">", ">="):
+                return lambda: _compare(op, left(), right())
+            if op == "+":
+                return lambda: left() + right()
+            if op == "-":
+                return lambda: left() - right()
+            if op == "*":
+                return lambda: left() * right()
+            raise InterpreterError(f"unknown operator {op!r}")
         raise InterpreterError(f"unknown expression {expr!r}")
 
     def _pairs(self, pairs: tuple[tuple[str, ast.Expr], ...]) -> dict[str, Any]:
@@ -353,7 +384,11 @@ class Interpreter:
             value = self.env.get(name)
             literal = f"'{value}'" if isinstance(value, str) else str(value)
             text = text.replace(f"?{name}", literal)
-        result = evaluate_sequel(parse_sequel(text), self._rel())
+        query = self._sequel_cache.get(text)
+        if query is None:
+            query = parse_sequel(text)
+            self._sequel_cache[text] = query
+        result = evaluate_sequel(query, self._rel())
         self.env[stmt.into_var] = result.rows()
         self.env["DB-STATUS"] = "0000"
 
@@ -366,6 +401,7 @@ class Interpreter:
         count = self._rel().delete_where(
             stmt.relation,
             lambda row: all(row.get(k) == v for k, v in wanted.items()),
+            equal=wanted,
         )
         self.env["DB-STATUS"] = "0000" if count else "0326"
 
@@ -376,6 +412,7 @@ class Interpreter:
             stmt.relation,
             lambda row: all(row.get(k) == v for k, v in wanted.items()),
             updates,
+            equal=wanted,
         )
         self.env["DB-STATUS"] = "0000" if count else "0326"
 

@@ -19,6 +19,8 @@ from repro.relational.algebra import (
     project,
     rename,
     select,
+    select_eq,
+    select_join,
     sort,
     union,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "Relation",
     "RelationalDatabase",
     "select",
+    "select_eq",
+    "select_join",
     "project",
     "join",
     "union",

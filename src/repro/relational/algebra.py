@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
-from repro.engine.index import _orderable
+from repro.engine.ordering import orderable
 from repro.errors import QueryError
 from repro.relational.relation import Relation
 
@@ -30,6 +30,38 @@ def select(relation: Relation, predicate: Predicate,
                            relation.columns)
     for row in relation:
         if predicate(row):
+            out.append(row)
+    return out
+
+
+def select_eq(relation: Relation, equal: dict[str, Any],
+              predicate: Predicate | None = None,
+              name: str | None = None) -> Relation:
+    """sigma over equality conjuncts plus an optional residual predicate.
+
+    The equality part is answered through the relation's best covering
+    index when one is maintained; otherwise (derived relations, disabled
+    indexes) this degenerates to a counted full scan with identical
+    results and row order.
+    """
+    for column in equal:
+        if column not in relation.columns:
+            raise QueryError(
+                f"select: {relation.name} has no column {column}"
+            )
+    out = relation.derived(name or f"select({relation.name})",
+                           relation.columns)
+    rows = relation.lookup_rows(equal) if equal else None
+    if rows is not None:
+        for row in rows:
+            if predicate is None or predicate(row):
+                out.append(row)
+        return out
+    if equal:
+        relation.metrics.full_scans += 1
+    for row in relation:
+        if all(row.get(c) == v for c, v in equal.items()) and \
+                (predicate is None or predicate(row)):
             out.append(row)
     return out
 
@@ -50,7 +82,7 @@ def project(relation: Relation, columns: Iterable[str],
     for row in relation:
         projected = {c: row[c] for c in columns}
         if dedup:
-            key = tuple(_orderable(projected[c]) for c in columns)
+            key = tuple(orderable(projected[c]) for c in columns)
             if key in seen:
                 continue
             seen.add(key)
@@ -78,19 +110,66 @@ def join(left: Relation, right: Relation,
     }
     out_columns = left.columns + [rename_map[c] for c in right.columns]
     out = left.derived(name or f"join({left.name},{right.name})", out_columns)
-    # Hash join on the right side.
-    buckets: dict[tuple, list[dict[str, Any]]] = {}
-    for row in right:
-        key = tuple(_orderable(row[rc]) for _lc, rc in on)
-        buckets.setdefault(key, []).append(row)
-    for row in left:
-        key = tuple(_orderable(row[lc]) for lc, _rc in on)
-        left.metrics.index_probes += 1
-        for match in buckets.get(key, []):
-            combined = dict(row)
-            combined.update({rename_map[c]: match[c] for c in right.columns})
-            out.append(combined)
+
+    def combine(row: dict[str, Any], match: dict[str, Any]) -> None:
+        combined = dict(row)
+        combined.update({rename_map[c]: match[c] for c in right.columns})
+        out.append(combined)
+
+    # Hash join, building the table over the smaller (cardinality-
+    # ordered) input.  Output order is left-major either way: for each
+    # left row in order, its matches in right-scan order.
+    if len(right) <= len(left):
+        buckets: dict[tuple, list[dict[str, Any]]] = {}
+        for row in right:
+            key = tuple(orderable(row[rc]) for _lc, rc in on)
+            buckets.setdefault(key, []).append(row)
+        for row in left:
+            key = tuple(orderable(row[lc]) for lc, _rc in on)
+            left.metrics.index_probes += 1
+            for match in buckets.get(key, []):
+                combine(row, match)
+    else:
+        left_buckets: dict[tuple, list[int]] = {}
+        left_rows: list[dict[str, Any]] = []
+        for position, row in enumerate(left):
+            key = tuple(orderable(row[lc]) for lc, _rc in on)
+            left_buckets.setdefault(key, []).append(position)
+            left_rows.append(row)
+        matches: dict[int, list[dict[str, Any]]] = {}
+        for row in right:
+            key = tuple(orderable(row[rc]) for _lc, rc in on)
+            right.metrics.index_probes += 1
+            for position in left_buckets.get(key, []):
+                matches.setdefault(position, []).append(row)
+        for position, row in enumerate(left_rows):
+            for match in matches.get(position, []):
+                combine(row, match)
     return out
+
+
+def select_join(left: Relation, right: Relation,
+                on: Iterable[tuple[str, str]],
+                left_equal: dict[str, Any] | None = None,
+                right_equal: dict[str, Any] | None = None,
+                left_predicate: Predicate | None = None,
+                right_predicate: Predicate | None = None,
+                name: str | None = None) -> Relation:
+    """Plan ``sigma(join(L, R))`` as ``join(sigma(L), sigma(R))``.
+
+    Per-side selections are pushed below the join -- served by each base
+    relation's covering index where one exists -- and the filtered
+    inputs then feed :func:`join`, which hashes whichever side came out
+    smaller.  Equivalent to joining first and selecting after, but the
+    access-path length scales with the filtered cardinalities.
+    """
+    if left_equal or left_predicate is not None:
+        left = select_eq(left, left_equal or {}, left_predicate,
+                         name=f"select({left.name})")
+    if right_equal or right_predicate is not None:
+        right = select_eq(right, right_equal or {}, right_predicate,
+                          name=f"select({right.name})")
+    return join(left, right, on, name=name)
 
 
 def union(left: Relation, right: Relation,
@@ -105,7 +184,7 @@ def union(left: Relation, right: Relation,
     seen: set[tuple] = set()
     for source in (left, right):
         for row in source:
-            key = tuple(_orderable(row[c]) for c in left.columns)
+            key = tuple(orderable(row[c]) for c in left.columns)
             if key in seen:
                 continue
             seen.add(key)
@@ -121,13 +200,13 @@ def difference(left: Relation, right: Relation,
             f"difference: column mismatch {left.columns} vs {right.columns}"
         )
     exclude = {
-        tuple(_orderable(row[c]) for c in left.columns)
+        tuple(orderable(row[c]) for c in left.columns)
         for row in right
     }
     out = left.derived(name or f"difference({left.name},{right.name})",
                        left.columns)
     for row in left:
-        key = tuple(_orderable(row[c]) for c in left.columns)
+        key = tuple(orderable(row[c]) for c in left.columns)
         if key not in exclude:
             out.append(row)
     return out
@@ -157,7 +236,7 @@ def sort(relation: Relation, keys: Iterable[str],
     relation.metrics.sort_operations += 1
     ordered = sorted(
         relation,
-        key=lambda row: tuple(_orderable(row[k]) for k in keys),
+        key=lambda row: tuple(orderable(row[k]) for k in keys),
     )
     out = relation.derived(name or f"sort({relation.name})",
                            relation.columns)

@@ -68,18 +68,58 @@ def relation_columns(schema: Schema, record_name: str) -> list[str]:
     return columns
 
 
-class RelationalDatabase:
-    """Base relations for every record type of a schema."""
+def index_columns(schema: Schema, record_name: str) -> list[tuple[str, ...]]:
+    """The column tuples worth indexing on a base relation: the CALC
+    (primary) key, each set membership's foreign-key columns, the same
+    columns on the owner side (so owner lookups are keyed), and every
+    declared UniqueKey."""
+    record_type = schema.record(record_name)
+    relation_cols = set(relation_columns(schema, record_name))
+    out: list[tuple[str, ...]] = []
 
-    def __init__(self, schema: Schema, metrics: Metrics | None = None):
+    def add(columns: tuple[str, ...]) -> None:
+        if not columns or columns in out:
+            return
+        if all(column in relation_cols for column in columns):
+            out.append(columns)
+
+    add(tuple(record_type.calc_keys))
+    for set_type in schema.sets_with_member(record_name):
+        add(tuple(fk_columns(schema, set_type)))
+    for set_type in schema.sets_owned_by(record_name):
+        if not set_type.system_owned:
+            add(tuple(fk_columns(schema, set_type)))
+    for constraint in schema.constraints:
+        if isinstance(constraint, UniqueKey) and \
+                constraint.record == record_name:
+            add(tuple(constraint.fields))
+    return out
+
+
+class RelationalDatabase:
+    """Base relations for every record type of a schema.
+
+    ``use_indexes=False`` restores the seed's index-free linear-scan
+    execution (the escape hatch mirroring the snapshot pattern); the
+    default builds maintained HashIndexes on primary-key, foreign-key,
+    and unique-key columns of every base relation.
+    """
+
+    def __init__(self, schema: Schema, metrics: Metrics | None = None,
+                 use_indexes: bool = True):
         schema.validate()
         self.schema = schema
         self.metrics = metrics if metrics is not None else Metrics()
+        self.use_indexes = use_indexes
         self.relations: dict[str, Relation] = {
             name: Relation(name, relation_columns(schema, name),
-                           metrics=self.metrics)
+                           metrics=self.metrics, use_indexes=use_indexes)
             for name in schema.records
         }
+        if use_indexes:
+            for name, relation in self.relations.items():
+                for columns in index_columns(schema, name):
+                    relation.add_index(columns)
 
     # -- access -------------------------------------------------------------
 
@@ -104,12 +144,19 @@ class RelationalDatabase:
                 key = tuple(row.get(f) for f in constraint.fields)
                 if any(part is None for part in key):
                     continue
-                for existing in relation:
-                    if tuple(existing.get(f) for f in constraint.fields) == key:
-                        raise UniquenessViolation(
-                            f"{relation_name}: duplicate key {key!r} "
-                            f"({constraint.name})"
-                        )
+                equal = dict(zip(constraint.fields, key))
+                clashes = relation.lookup_rows(equal)
+                if clashes is None:
+                    clashes = [
+                        existing for existing in relation
+                        if tuple(existing.get(f)
+                                 for f in constraint.fields) == key
+                    ]
+                if clashes:
+                    raise UniquenessViolation(
+                        f"{relation_name}: duplicate key {key!r} "
+                        f"({constraint.name})"
+                    )
         return relation.append(row)
 
     def insert_many(self, relation_name: str, rows: list[dict[str, Any]],
@@ -142,14 +189,18 @@ class RelationalDatabase:
                     seen.add(key)
         return relation.extend(rows)
 
-    def delete_where(self, relation_name: str, predicate) -> int:
+    def delete_where(self, relation_name: str, predicate,
+                     equal: dict[str, Any] | None = None) -> int:
         self.metrics.dml_calls += 1
-        return self.relation(relation_name).remove_where(predicate)
+        return self.relation(relation_name).remove_where(predicate,
+                                                         equal=equal)
 
     def update_where(self, relation_name: str, predicate,
-                     updates: dict[str, Any]) -> int:
+                     updates: dict[str, Any],
+                     equal: dict[str, Any] | None = None) -> int:
         self.metrics.dml_calls += 1
-        return self.relation(relation_name).update_where(predicate, updates)
+        return self.relation(relation_name).update_where(predicate, updates,
+                                                         equal=equal)
 
     # -- DatabaseView protocol -------------------------------------------------
 
@@ -172,6 +223,11 @@ class RelationalDatabase:
         if any(part is None for part in key):
             return None
         owner_relation = self.relation(set_type.owner)
+        hits = owner_relation.lookup_positions(dict(zip(columns, key)))
+        if hits is not None:
+            for position, row in hits:
+                return Record(position, set_type.owner, dict(row))
+            return None
         for position, row in enumerate(owner_relation, start=1):
             if tuple(row.get(c) for c in columns) == key:
                 return Record(position, set_type.owner, dict(row))
@@ -187,7 +243,13 @@ class RelationalDatabase:
         if not 1 <= owner_rid <= len(owner_rows):
             return
         key = tuple(owner_rows[owner_rid - 1].get(c) for c in columns)
-        for position, row in enumerate(self.relation(set_type.member), start=1):
+        member_relation = self.relation(set_type.member)
+        hits = member_relation.lookup_positions(dict(zip(columns, key)))
+        if hits is not None:
+            for position, row in hits:
+                yield Record(position, set_type.member, dict(row))
+            return
+        for position, row in enumerate(member_relation, start=1):
             if tuple(row.get(c) for c in columns) == key:
                 yield Record(position, set_type.member, dict(row))
 

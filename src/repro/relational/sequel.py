@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import Any, Callable, Union
 
 from repro.errors import QueryError
-from repro.relational.algebra import project, select as alg_select, sort
+from repro.relational.algebra import project, select_eq, sort
 from repro.relational.database import RelationalDatabase
 from repro.relational.relation import Relation
 
@@ -247,16 +247,84 @@ _OPS = {
 }
 
 
+RowCheck = Callable[[dict[str, Any]], bool]
+
+#: Per-statement plan cache: (query, base columns) -> (equality
+#: conjuncts answerable by an index, compiled residual checks).  Frozen
+#: dataclass queries hash by value, so re-parsing the same statement
+#: text still hits.
+_PLAN_CACHE: dict[tuple[SequelQuery, tuple[str, ...]],
+                  tuple[dict[str, Any], tuple[RowCheck, ...]]] = {}
+
+
+def _compile_comparison(comparison: Comparison, table: str) -> RowCheck:
+    """One comparison AST node -> one reusable closure over a row.
+
+    The per-row error semantics of the interpreted path are preserved:
+    unbound parameters and unknown columns only raise when a row is
+    actually tested.
+    """
+    value = comparison.value
+    if isinstance(value, Param):
+        def check(row: dict[str, Any], name: str = value.name) -> bool:
+            raise QueryError(
+                f"SEQUEL: unbound parameter ?{name} "
+                "(substitute program variables before evaluation)"
+            )
+        return check
+    op = _OPS[comparison.op]
+    column = comparison.column
+
+    def check(row: dict[str, Any]) -> bool:
+        if column not in row:
+            raise QueryError(
+                f"SEQUEL: {table} has no column {column}"
+            )
+        return op(row[column], value)
+    return check
+
+
+def _plan(query: SequelQuery, columns: list[str]
+          ) -> tuple[dict[str, Any], tuple[RowCheck, ...]]:
+    """Split the WHERE comparisons into index-routable equality
+    conjuncts and compiled residual checks, caching per statement."""
+    cache_key = (query, tuple(columns))
+    cached = _PLAN_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    equal: dict[str, Any] = {}
+    checks: list[RowCheck] = []
+    known = set(columns)
+    for condition in query.where:
+        if not isinstance(condition, Comparison):
+            continue
+        routable = (
+            condition.op == "="
+            and not isinstance(condition.value, Param)
+            and condition.column in known
+            and condition.column not in equal
+        )
+        if routable:
+            equal[condition.column] = condition.value
+        else:
+            checks.append(_compile_comparison(condition, query.table))
+    plan = (equal, tuple(checks))
+    _PLAN_CACHE[cache_key] = plan
+    return plan
+
+
 def evaluate(query: SequelQuery, db: RelationalDatabase) -> Relation:
     """Run a query, returning a materialized result relation.
 
     Subqueries are uncorrelated, so each is materialized once and
-    turned into a membership set.
+    turned into a membership set.  Equality conjuncts over base columns
+    route through the relation's covering index when one is maintained;
+    the remaining conditions run as compiled residual checks (cached per
+    statement, not rebuilt per row).
     """
     db.metrics.dml_calls += 1
     base = db.relation(query.table)
     memberships: list[tuple[str, set]] = []
-    comparisons: list[Comparison] = []
     for condition in query.where:
         if isinstance(condition, InSubquery):
             inner = evaluate(condition.query, db)
@@ -265,28 +333,19 @@ def evaluate(query: SequelQuery, db: RelationalDatabase) -> Relation:
             else:
                 values = set(inner.column_values(inner.columns[0]))
             memberships.append((condition.column, values))
-        else:
-            comparisons.append(condition)
+    equal, checks = _plan(query, base.columns)
 
     def predicate(row: dict[str, Any]) -> bool:
-        for comparison in comparisons:
-            if isinstance(comparison.value, Param):
-                raise QueryError(
-                    f"SEQUEL: unbound parameter ?{comparison.value.name} "
-                    "(substitute program variables before evaluation)"
-                )
-            if comparison.column not in row:
-                raise QueryError(
-                    f"SEQUEL: {query.table} has no column {comparison.column}"
-                )
-            if not _OPS[comparison.op](row[comparison.column], comparison.value):
+        for check in checks:
+            if not check(row):
                 return False
         for column, values in memberships:
             if row.get(column) not in values:
                 return False
         return True
 
-    result = alg_select(base, predicate, name=f"result({query.table})")
+    residual = predicate if (checks or memberships) else None
+    result = select_eq(base, equal, residual, name=f"result({query.table})")
     if query.order_by:
         result = sort(result, query.order_by)
     if query.columns:

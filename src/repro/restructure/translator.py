@@ -415,16 +415,18 @@ def load_network(schema: Schema, snapshot: DataSnapshot,
 
 
 def load_relational(schema: Schema, snapshot: DataSnapshot,
-                    metrics: Metrics | None = None) -> RelationalDatabase:
+                    metrics: Metrics | None = None,
+                    use_indexes: bool = True) -> RelationalDatabase:
     """Materialize a snapshot as a relational database.
 
     Foreign-key columns are filled from the snapshot's links (owner
     CALC-key values copied into the member row, Figure 3.1a style).
     Weak-entity owners (composite foreign keys) require the owner's own
     FK columns to be filled first, so rows are completed in ownership
-    order (owners before members).
+    order (owners before members).  ``use_indexes=False`` builds the
+    database with secondary indexes disabled (the linear-scan baseline).
     """
-    db = RelationalDatabase(schema, metrics)
+    db = RelationalDatabase(schema, metrics, use_indexes=use_indexes)
     # Complete rows (stored fields + FK columns) per record type.
     complete: dict[str, list[dict[str, Any]]] = {
         name: [dict(row) for row in snapshot.rows.get(name, [])]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.analyzer_db import ChangeCatalog
-from repro.engine.index import _orderable
+from repro.engine.ordering import orderable
 from repro.engine.storage import Record
 from repro.errors import DMLError
 from repro.network.database import NetworkDatabase
@@ -147,7 +147,7 @@ class EmulatedDMLSession(DMLSession):
         def order_key(rid: int) -> tuple:
             record = member_store.fetch(rid)
             return tuple(
-                _orderable(self.db.read_field(record, key))
+                orderable(self.db.read_field(record, key))
                 for key in mapping.old_order_keys
             )
 
@@ -170,7 +170,7 @@ class EmulatedDMLSession(DMLSession):
         def order_key(rid: int) -> tuple:
             record = member_store.fetch(rid)
             return tuple(
-                _orderable(self.db.read_field(record, key))
+                orderable(self.db.read_field(record, key))
                 for key in old_keys
             )
 
@@ -178,16 +178,93 @@ class EmulatedDMLSession(DMLSession):
         members.sort(key=order_key)
         return owner_rid, members
 
+    # -- cache invalidation -------------------------------------------------
+
     def _invalidate(self) -> None:
+        """Conservative fallback: drop every cached occurrence."""
         self._occurrences.clear()
+
+    def _member_target_type(self, set_name: str) -> str:
+        mapping = self._interposed.get(set_name)
+        if mapping is not None:
+            return self._rec(mapping.member)
+        return self.db.schema.set_type(self._set(set_name)).member
+
+    def _owner_target_type(self, set_name: str) -> str:
+        mapping = self._interposed.get(set_name)
+        if mapping is not None:
+            return self.db.schema.set_type(mapping.upper_set).owner
+        return self.db.schema.set_type(self._set(set_name)).owner
+
+    def _affected_types(self, set_name: str) -> set[str]:
+        """Target record types whose creation can change a cached
+        occurrence of this source set: its members, plus the interposed
+        group record whose arrival splices new lower-set runs in."""
+        types = {self._member_target_type(set_name)}
+        mapping = self._interposed.get(set_name)
+        if mapping is not None:
+            types.add(mapping.new_record)
+        return types
+
+    def _order_keys(self, set_name: str) -> tuple[str, ...]:
+        mapping = self._interposed.get(set_name)
+        if mapping is not None:
+            return mapping.old_order_keys
+        return self._reordered.get(set_name, ())
+
+    def _invalidate_for_store(self, target_name: str) -> None:
+        """STORE of one record only disturbs cached occurrences whose
+        member (or interposed group) type matches it."""
+        for set_name in list(self._occurrences):
+            if target_name in self._affected_types(set_name):
+                del self._occurrences[set_name]
+
+    def _invalidate_for_modify(self, target_name: str,
+                               touched: set[str],
+                               reconnected: bool) -> None:
+        """MODIFY invalidates a cached occurrence only when the current
+        record can appear in it AND the update can change membership (a
+        virtual-field reconnection) or the emulated sort order (an old
+        order key).  Updates to unrelated fields or unrelated record
+        types leave FIND NEXT chains undisturbed."""
+        for set_name in list(self._occurrences):
+            if target_name not in self._affected_types(set_name):
+                continue
+            order_keys = self._order_keys(set_name)
+            if reconnected or any(key in touched for key in order_keys):
+                del self._occurrences[set_name]
+
+    def _invalidate_for_erase(self, target_name: str, rid: int,
+                              cascade: bool) -> None:
+        """ERASE drops caches holding the erased record -- as a member,
+        its owner, or (conservatively) an interposed group; a cascading
+        erase clears everything."""
+        if cascade:
+            self._invalidate()
+            return
+        for set_name in list(self._occurrences):
+            owner_rid, members, _position = self._occurrences[set_name]
+            mapping = self._interposed.get(set_name)
+            if target_name == self._member_target_type(set_name):
+                if rid in members:
+                    del self._occurrences[set_name]
+            elif mapping is not None and target_name == mapping.new_record:
+                del self._occurrences[set_name]
+            elif target_name == self._owner_target_type(set_name) and \
+                    rid == owner_rid:
+                del self._occurrences[set_name]
 
     # -- intercepted verbs --------------------------------------------------------
 
     def find_any(self, record_name: str, **field_values: Any) -> Record | None:
-        self.db.metrics.emulation_mappings += 1
-        mapped = self._map_values(record_name, dict(field_values) or
-                                  dict(self.uwa.get(record_name, {})))
-        return super().find_any(self._rec(record_name), **mapped)
+        raw = dict(field_values) or dict(self.uwa.get(record_name, {}))
+        mapped = self._map_values(record_name, raw)
+        target_name = self._rec(record_name)
+        if target_name != record_name or mapped != raw:
+            # Only count mapping work actually performed; an unmapped
+            # record delegates straight to the native FIND ANY.
+            self.db.metrics.emulation_mappings += 1
+        return super().find_any(target_name, **mapped)
 
     def _emulated_set(self, set_name: str) -> bool:
         return set_name in self._interposed or set_name in self._reordered
@@ -315,11 +392,11 @@ class EmulatedDMLSession(DMLSession):
 
     def store(self, record_name: str,
               values: dict[str, Any] | None = None) -> Record:
-        self._invalidate()
         self.db.metrics.emulation_mappings += 1
         raw = dict(self.uwa[record_name]) if values is None else dict(values)
         mapped = self._map_values(record_name, raw)
         target_name = self._rec(record_name)
+        self._invalidate_for_store(target_name)
         # Interposed sets: ensure the group record exists so the
         # virtual-field routing can connect the member.
         record_type = self.db.schema.record(target_name)
@@ -340,7 +417,6 @@ class EmulatedDMLSession(DMLSession):
         return super().store(target_name, mapped)
 
     def modify(self, updates: dict[str, Any]) -> Record | None:
-        self._invalidate()
         self.db.metrics.emulation_mappings += 1
         record = self.current_record()
         if record is None:
@@ -349,21 +425,30 @@ class EmulatedDMLSession(DMLSession):
         mapped = self._map_values(source_name, updates)
         record_type = self.db.schema.record(record.type_name)
         stored: dict[str, Any] = {}
+        reconnections: list[tuple[Any, Any]] = []
         for name, value in mapped.items():
             fld = record_type.field(name)
             if fld.is_virtual:
                 # A virtualized field update is a reconnection.
-                self.reconnect(fld.virtual_via, fld.virtual_using, value,
-                               ensure_owner=True)
+                reconnections.append((fld, value))
             else:
                 stored[name] = value
+        self._invalidate_for_modify(record.type_name,
+                                    set(updates) | set(mapped),
+                                    bool(reconnections))
+        for fld, value in reconnections:
+            self.reconnect(fld.virtual_via, fld.virtual_using, value,
+                           ensure_owner=True)
         if stored:
             return super().modify(stored)
         return record
 
     def erase(self, all_members: bool = False) -> None:
-        self._invalidate()
         self.db.metrics.emulation_mappings += 1
+        record = self.current_record()
+        if record is not None:
+            self._invalidate_for_erase(record.type_name, record.rid,
+                                       all_members)
         super().erase(all_members=all_members)
 
 

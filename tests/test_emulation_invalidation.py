@@ -1,0 +1,118 @@
+"""Targeted emulation-cache invalidation.
+
+The emulator caches materialized occurrences of restructured-away sets
+so FIND NEXT chains stay linear.  Mutations used to clear the whole
+cache; now invalidation is per-(set, owner) and keyed off the verb:
+STORE/ERASE only of affected record types, MODIFY only on a
+reconnection or an old-order-key update.  These tests pin down both
+directions -- chains survive unrelated mutations, and every mutation
+that *can* change an emulated occurrence still drops it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer_db import ConversionAnalyzer
+from repro.restructure import restructure_database
+from repro.strategies.emulation import EmulatedDMLSession
+from repro.workloads import company
+
+
+@pytest.fixture
+def session():
+    schema = company.figure_42_schema()
+    operator = company.figure_44_operator()
+    catalog = ConversionAnalyzer().analyze_operator(schema, operator)
+    source_db = company.company_db(seed=1979, employees_per_division=6)
+    _target_schema, target_db = restructure_database(source_db, operator)
+    return EmulatedDMLSession(target_db, catalog)
+
+
+def _start_chain(session) -> None:
+    """Position on MACHINERY and cache the emulated DIV-EMP occurrence."""
+    assert session.find_any("DIV", **{"DIV-NAME": "MACHINERY"}) is not None
+    assert session.find_first("EMP", "DIV-EMP") is not None
+    assert "DIV-EMP" in session._occurrences
+
+
+def _emp_name_in(session, division: str) -> str:
+    db = session.db
+    for record in db.store("EMP").all_records():
+        if db.read_field(record, "DIV-NAME") == division:
+            return record.values["EMP-NAME"]
+    raise AssertionError(f"no EMP in {division}")
+
+
+def test_chain_survives_unrelated_record_modify(session):
+    _start_chain(session)
+    # Modifying the *owner* (DIV is not a member of any emulated set)
+    # leaves the cached occurrence in place, and the chain continues
+    # without re-materializing.
+    assert session.find_any("DIV", **{"DIV-NAME": "MACHINERY"}) is not None
+    session.modify({"DIV-LOC": "ELSEWHERE"})
+    assert "DIV-EMP" in session._occurrences
+    mappings_before = session.db.metrics.emulation_mappings
+    assert session.find_next("EMP", "DIV-EMP") is not None
+    assert session.db.metrics.emulation_mappings == mappings_before
+
+
+def test_chain_survives_non_key_member_modify(session):
+    _start_chain(session)
+    # AGE is neither virtual nor an old order key of DIV-EMP
+    # (SET KEYS ARE (EMP-NAME)): the membership and the emulated sort
+    # order are both unchanged.
+    session.modify({"AGE": 64})
+    assert "DIV-EMP" in session._occurrences
+
+
+def test_order_key_modify_invalidates(session):
+    _start_chain(session)
+    session.modify({"EMP-NAME": "AARDVARK"})
+    assert "DIV-EMP" not in session._occurrences
+
+
+def test_reconnection_invalidates(session):
+    _start_chain(session)
+    # DEPT-NAME became VIRTUAL under the interposed DEPT: updating it
+    # reconnects the member, which can change the occurrence.
+    session.modify({"DEPT-NAME": "STAFF"})
+    assert "DIV-EMP" not in session._occurrences
+
+
+def test_store_of_member_invalidates_but_owner_store_does_not(session):
+    _start_chain(session)
+    session.store("DIV", {"DIV-NAME": "TEXTILE", "DIV-LOC": "MACON"})
+    assert "DIV-EMP" in session._occurrences
+    assert session.find_any("DIV", **{"DIV-NAME": "MACHINERY"}) is not None
+    session.store("EMP", {"EMP-NAME": "NEWHIRE", "DEPT-NAME": "SALES",
+                          "AGE": 30, "DIV-NAME": "MACHINERY"})
+    assert "DIV-EMP" not in session._occurrences
+
+
+def test_erase_outside_occurrence_keeps_cache(session):
+    other = _emp_name_in(session, "CHEMICAL")
+    _start_chain(session)
+    assert session.find_any("EMP", **{"EMP-NAME": other}) is not None
+    session.erase()
+    # The erased EMP belongs to CHEMICAL's occurrence, not the cached
+    # MACHINERY one.
+    assert "DIV-EMP" in session._occurrences
+
+
+def test_erase_of_cached_member_invalidates(session):
+    doomed = _emp_name_in(session, "MACHINERY")
+    _start_chain(session)
+    assert session.find_any("EMP", **{"EMP-NAME": doomed}) is not None
+    session.erase()
+    assert "DIV-EMP" not in session._occurrences
+
+
+def test_find_any_identity_mapping_is_not_counted(session):
+    # Nothing about EMP is renamed by the interposition: FIND ANY
+    # delegates straight to the native path and must not charge an
+    # emulation mapping (it used to double count here).
+    name = _emp_name_in(session, "MACHINERY")
+    before = session.db.metrics.emulation_mappings
+    assert session.find_any("EMP", **{"EMP-NAME": name}) is not None
+    assert session.db.metrics.emulation_mappings == before
