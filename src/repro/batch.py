@@ -1,0 +1,165 @@
+"""Fault-isolated, checkpointed batch conversion.
+
+Section 1.1: "a database application system is converted when each
+program actually existing in the source system has been converted."
+A real conversion shop runs hundreds of programs in one batch, and the
+batch must survive any single program going wrong: one fault may not
+take down the run, corrupt the databases the probes execute against,
+or lose the work already done.
+
+:func:`convert_batch` provides those three guarantees over a
+:class:`~repro.strategies.cascade.FallbackCascade`:
+
+* **isolation** -- every program converts inside engine savepoints;
+  a fault (even an injected engine fault) is caught, rolled back, and
+  recorded as a failed :class:`~repro.core.report.ConversionReport`
+  with a :class:`~repro.core.report.FaultContext` carrying the chained
+  root cause, while the rest of the batch proceeds;
+* **durability** -- after each program the batch journals its progress
+  to a JSON checkpoint (atomic rename), so a killed run resumes with
+  ``resume=True`` and completes only the unfinished programs;
+* **fidelity** -- a resumed batch reproduces the same final
+  :class:`~repro.core.report.BatchReport` (reports are serialized via
+  the exact render/parse round trip).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.report import (
+    BatchReport,
+    ConversionReport,
+    FaultContext,
+    STATUS_FAILED,
+)
+from repro.errors import ReproError
+from repro.programs.ast import Program
+from repro.programs.interpreter import ProgramInputs
+from repro.strategies.cascade import FallbackCascade
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable or belongs to a different batch."""
+
+
+class BatchCheckpoint:
+    """Journal of a batch run: which programs, which are done, and
+    their report summaries -- one JSON document, rewritten atomically
+    after every program."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has version "
+                f"{data.get('version')!r}, expected {CHECKPOINT_VERSION}"
+            )
+        return data
+
+    def completed_reports(self, programs: list[str]
+                          ) -> dict[str, ConversionReport]:
+        """The already-finished reports, verified against this batch's
+        program list (a checkpoint from a different batch is refused,
+        not silently merged)."""
+        data = self.load()
+        if data.get("programs") != programs:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written for programs "
+                f"{data.get('programs')}, not {programs}"
+            )
+        return {
+            entry["program"]: ConversionReport.from_summary(entry)
+            for entry in data.get("completed", ())
+        }
+
+    def write(self, programs: list[str],
+              completed: list[ConversionReport]) -> None:
+        """Atomic journal update (write-then-rename, so a kill mid-write
+        leaves the previous checkpoint intact)."""
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "programs": programs,
+            "completed": [report.to_summary() for report in completed],
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2))
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+
+
+def convert_batch(cascade: FallbackCascade, programs: list[Program],
+                  checkpoint: str | Path | None = None,
+                  resume: bool = False,
+                  inputs: ProgramInputs | None = None) -> BatchReport:
+    """Convert every program through the fallback cascade, isolating
+    per-program faults and journaling progress.
+
+    With ``resume=True`` and an existing checkpoint, programs already
+    journaled are not re-run; their reports are reconstructed from the
+    checkpoint so the final report matches an uninterrupted run.
+    """
+    names = [program.name for program in programs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate program names in batch: {names}")
+
+    journal = BatchCheckpoint(checkpoint) if checkpoint else None
+    done: dict[str, ConversionReport] = {}
+    if journal is not None and resume and journal.exists():
+        done = journal.completed_reports(names)
+
+    batch = BatchReport()
+    finished: list[ConversionReport] = [
+        done[name] for name in names if name in done
+    ]
+
+    for program in programs:
+        if program.name in done:
+            batch.add(done[program.name])
+            continue
+        report = _convert_isolated(cascade, program, inputs)
+        batch.add(report)
+        finished.append(report)
+        if journal is not None:
+            journal.write(names, finished)
+    return batch
+
+
+def _convert_isolated(cascade: FallbackCascade, program: Program,
+                      inputs: ProgramInputs | None) -> ConversionReport:
+    """One program through the cascade, with belt-and-braces rollback:
+    the cascade already probes inside savepoints, but if a fault
+    escapes anyway both databases are restored here before the failure
+    is recorded."""
+    source_sp = cascade.source_db.savepoint()
+    target_sp = cascade.target_db.savepoint()
+    try:
+        outcome = cascade.convert(program, inputs)
+    except Exception as exc:
+        cascade.source_db.rollback(source_sp)
+        cascade.target_db.rollback(target_sp)
+        fault = FaultContext.from_exception(exc, program=program.name,
+                                            phase="convert-batch")
+        report = ConversionReport(program.name, STATUS_FAILED)
+        report.failure = str(exc)
+        report.fault = fault
+        return report
+    return outcome.report

@@ -88,10 +88,18 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_convert(args) -> int:
-    """Convert a program for a restructuring (Figure 4.1)."""
+    """Convert one program for a restructuring (Figure 4.1), or -- with
+    repeated ``--program`` or a ``--checkpoint`` -- a fault-isolated
+    batch through the strategy fallback cascade."""
     schema = _load_schema(args)
     operator = parse_spec(_read(args.spec))
-    program = parse_program(_read(args.program))
+    programs = [parse_program(_read(path)) for path in args.program]
+    batch_mode = len(programs) > 1 or args.checkpoint or args.resume \
+        or args.out_dir
+    if batch_mode:
+        return _cmd_convert_batch(args, schema, operator, programs)
+
+    program = programs[0]
     passes = () if args.no_optimize else (
         "pushdown", "keyed", "dedup-locate", "owner-elim")
     supervisor = ConversionSupervisor(schema, operator,
@@ -103,6 +111,34 @@ def cmd_convert(args) -> int:
         return 1
     print(render_program(report.target_program), end="")
     return 0
+
+
+def _cmd_convert_batch(args, schema, operator, programs) -> int:
+    """Batch conversion: cascade per program, probe databases built
+    from the optional ``--data`` loader, checkpointed and resumable."""
+    from repro.batch import convert_batch
+    from repro.restructure import restructure_database
+    from repro.strategies.cascade import FallbackCascade
+
+    source_db = _build_database(schema, args.data)
+    _target_schema, target_db = restructure_database(source_db, operator)
+    cascade = FallbackCascade(source_db, target_db, operator)
+    batch = convert_batch(cascade, programs,
+                          checkpoint=args.checkpoint,
+                          resume=args.resume,
+                          inputs=_load_inputs(args))
+    for report in batch.reports:
+        print(report.render(), file=sys.stderr)
+    print(batch.render(), file=sys.stderr)
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for report in batch.reports:
+            if report.target_program is not None:
+                path = out_dir / f"{report.program_name}.cob"
+                path.write_text(render_program(report.target_program))
+    failed = [r for r in batch.reports if not r.converted]
+    return 1 if failed else 0
 
 
 def _load_inputs(args):
@@ -281,13 +317,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser(
         "convert",
-        help="convert a program for a restructuring (Figure 4.1)")
+        help="convert a program (Figure 4.1); repeat --program for a "
+             "fault-isolated, checkpointed batch")
     sub.add_argument("--ddl", required=True)
     sub.add_argument("--spec", required=True)
-    sub.add_argument("--program", required=True)
+    sub.add_argument("--program", required=True, action="append",
+                     help="source program file; repeat for a batch")
     sub.add_argument("--target-model", default=None,
                      choices=["network", "relational", "hierarchical"])
-    sub.add_argument("--no-optimize", action="store_true")
+    sub.add_argument("--no-optimize", action="store_true",
+                     help="single-program mode only")
+    sub.add_argument("--data",
+                     help="batch mode: loader program building the "
+                          "probe databases")
+    sub.add_argument("--inputs",
+                     help="batch mode: terminal input lines for the "
+                          "validation probes")
+    sub.add_argument("--checkpoint",
+                     help="batch mode: JSON journal path, updated "
+                          "after every program")
+    sub.add_argument("--resume", action="store_true",
+                     help="batch mode: skip programs already journaled "
+                          "in --checkpoint")
+    sub.add_argument("--out-dir",
+                     help="batch mode: write converted programs here, "
+                          "one <name>.cob each")
     sub.set_defaults(handler=cmd_convert)
 
     sub = subparsers.add_parser(

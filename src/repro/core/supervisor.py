@@ -33,8 +33,11 @@ from repro.core.report import (
 )
 from repro.errors import (
     AnalysisError,
+    ConversionError,
     GenerationError,
+    PipelineFault,
     UnconvertiblePattern,
+    annotate,
 )
 from repro.programs import ast
 from repro.restructure.operators import RestructuringOperator
@@ -83,14 +86,27 @@ class AutoAnalyst(Analyst):
 
 
 class ScriptedAnalyst(Analyst):
-    """Replays prepared answers keyed by question kind."""
+    """Replays prepared answers keyed by question kind.
 
-    def __init__(self, answers: dict[str, str]):
-        self.answers = dict(answers)
+    A value may be a single string (repeated for every question of
+    that kind) or a list of strings consumed front to first; an
+    exhausted list declines further questions of that kind, modelling
+    an analyst who walks away mid-batch.
+    """
+
+    def __init__(self, answers: dict[str, str | list[str]]):
+        self.answers: dict[str, str | list[str]] = {
+            kind: list(value) if isinstance(value, (list, tuple)) else value
+            for kind, value in answers.items()
+        }
         self.transcript: list[tuple[AnalystQuestion, str | None]] = []
 
     def answer(self, question: AnalystQuestion) -> str | None:
-        answer = self.answers.get(question.kind)
+        value = self.answers.get(question.kind)
+        if isinstance(value, list):
+            answer = value.pop(0) if value else None
+        else:
+            answer = value
         self.transcript.append((question, answer))
         return answer
 
@@ -153,6 +169,21 @@ class ConversionSupervisor:
 
     # -- single program ----------------------------------------------------
 
+    def _phase(self, phase: str, program_name: str, thunk):
+        """Run one Figure 4.1 phase.  Pipeline errors get their
+        ``program=``/``phase=`` context filled in; anything else is
+        wrapped in a chained :class:`PipelineFault` so batch isolation
+        can report the root cause structurally."""
+        try:
+            return thunk()
+        except ConversionError as error:
+            raise annotate(error, program=program_name, phase=phase)
+        except Exception as exc:
+            raise PipelineFault(
+                f"{type(exc).__name__} escaped the {phase} phase: {exc}",
+                program=program_name, phase=phase,
+            ) from exc
+
     def convert_program(self, program: ast.Program,
                         target_model: str | None = None
                         ) -> ConversionReport:
@@ -161,7 +192,9 @@ class ConversionSupervisor:
 
         # 1. Program Analyzer (with analyst-assisted verb pinning).
         try:
-            abstract_source = self.program_analyzer.analyze(program)
+            abstract_source = self._phase(
+                "analyze", program.name,
+                lambda: self.program_analyzer.analyze(program))
         except AnalysisError as error:
             pins = self.verb_pins.get(program.name)
             question = AnalystQuestion("pin-verb", program.name, str(error))
@@ -172,9 +205,10 @@ class ConversionSupervisor:
                 report.failure = str(error)
                 return report
             try:
-                abstract_source = self.program_analyzer.analyze(
-                    program, pinned_verbs=pins
-                )
+                abstract_source = self._phase(
+                    "analyze", program.name,
+                    lambda: self.program_analyzer.analyze(
+                        program, pinned_verbs=pins))
                 report.status = STATUS_ASSISTED
             except AnalysisError as retry_error:
                 report.status = STATUS_FAILED
@@ -200,7 +234,10 @@ class ConversionSupervisor:
 
         # 3. Program Converter.
         try:
-            artifacts = self.converter.convert(abstract_source, self.catalog)
+            artifacts = self._phase(
+                "convert", program.name,
+                lambda: self.converter.convert(abstract_source,
+                                               self.catalog))
         except UnconvertiblePattern as error:
             question = AnalystQuestion("unconvertible", program.name,
                                        str(error))
@@ -213,13 +250,17 @@ class ConversionSupervisor:
         report.warnings.extend(artifacts.warnings)
 
         # 4. Optimizer.
-        abstract_target = self.optimizer.optimize(artifacts.program)
+        abstract_target = self._phase(
+            "optimize", program.name,
+            lambda: self.optimizer.optimize(artifacts.program))
         report.abstract_target = abstract_target
 
         # 5. Program Generator.
         try:
-            target_program = self.generator.generate(abstract_target,
-                                                     target_model)
+            target_program = self._phase(
+                "generate", program.name,
+                lambda: self.generator.generate(abstract_target,
+                                                target_model))
         except GenerationError as error:
             report.status = STATUS_FAILED
             report.failure = str(error)

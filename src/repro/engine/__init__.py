@@ -9,6 +9,7 @@ on identical terms.
 """
 
 from repro.engine.metrics import Metrics, MetricsScope
+from repro.engine.savepoint import Savepoint, fingerprint
 from repro.engine.storage import Record, RecordStore
 from repro.engine.index import HashIndex, SortedIndex
 
@@ -19,4 +20,6 @@ __all__ = [
     "RecordStore",
     "HashIndex",
     "SortedIndex",
+    "Savepoint",
+    "fingerprint",
 ]

@@ -66,6 +66,15 @@ class HashIndex:
     def keys(self) -> list[Hashable]:
         return list(self._entries)
 
+    def snapshot_entries(self) -> dict[Hashable, list[int]]:
+        """Copy of the bucket map, for savepoints (buckets are mutable
+        lists, so each is copied)."""
+        return {key: list(rids) for key, rids in self._entries.items()}
+
+    def restore_entries(self, entries: dict[Hashable, list[int]]) -> None:
+        """Replace the bucket map with a previously snapshot copy."""
+        self._entries = {key: list(rids) for key, rids in entries.items()}
+
 
 class SortedIndex:
     """Key-ordered index supporting ordered iteration and range scans."""

@@ -1,0 +1,88 @@
+"""Savepoints: cheap capture-and-restore of engine state.
+
+The conversion pipeline routinely runs *candidate* work against a live
+database -- a probe execution validating a strategy, an emulated verb
+sequence, a restructuring dry run -- and any of it can fail part-way
+through, leaving the instance half-mutated.  Section 1.1's consistency
+contract ("every database program takes the database from one
+consistent state to another") has nothing to say about a program that
+*crashes*; savepoints supply the missing half: a failed run restores
+the exact pre-call state instead of corrupting the instance.
+
+Design:
+
+* a :class:`Savepoint` is an opaque token tied to the object that
+  created it; handing it to a different instance raises
+  :class:`~repro.errors.SavepointMismatch`;
+* record payloads are captured by *sharing*: :class:`Record` objects
+  are immutable, so a savepoint holds shallow dict copies and the
+  store keeps mutating its live dict (copy-on-write in effect);
+* mutable side structures (set occurrences, sibling buckets, relation
+  rows) are copied at savepoint time and secondary indexes are either
+  snapshot (hash buckets) or rebuilt on rollback;
+* rollback bumps the storage generation so any in-flight
+  generation-checked scan fails loudly rather than resuming over
+  restored state.
+
+Savepoints nest freely (each is an independent capture) and surviving
+tokens may be rolled back more than once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+from repro.errors import SavepointMismatch
+
+_SERIAL = count(1)
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    """Opaque captured state of one object.
+
+    ``owner_id`` pins the token to the instance that issued it;
+    ``payload`` is whatever that instance needs to restore itself
+    (never inspected here); ``parts`` holds nested savepoints of
+    sub-objects (stores inside a database, indexes inside a store).
+    """
+
+    kind: str
+    owner_id: int
+    payload: Any = None
+    parts: dict[str, "Savepoint"] = field(default_factory=dict)
+    serial: int = field(default_factory=lambda: next(_SERIAL))
+
+    def part(self, name: str) -> "Savepoint":
+        try:
+            return self.parts[name]
+        except KeyError:
+            raise SavepointMismatch(
+                f"savepoint {self.kind}#{self.serial} has no part {name!r} "
+                "(schema changed between savepoint and rollback?)"
+            ) from None
+
+
+def check_owner(savepoint: Savepoint, kind: str, owner: object) -> None:
+    """Refuse a savepoint issued by a different object (or kind)."""
+    if savepoint.kind != kind or savepoint.owner_id != id(owner):
+        raise SavepointMismatch(
+            f"savepoint {savepoint.kind}#{savepoint.serial} does not "
+            f"belong to this {kind}"
+        )
+
+
+def fingerprint(state: Any) -> str:
+    """A stable content digest of a canonical state structure.
+
+    The rollback tests assert *byte* identity: the pre-fault and
+    post-rollback states must pickle to the same bytes.  Callers build
+    the state from deterministic containers (dicts in insertion order,
+    lists, scalars) so the pickle stream is reproducible.
+    """
+    payload = pickle.dumps(state, protocol=4)
+    return hashlib.sha256(payload).hexdigest()

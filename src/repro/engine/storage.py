@@ -13,6 +13,7 @@ from typing import Any, Iterable, Iterator
 
 from repro.errors import RecordNotFound
 from repro.engine.metrics import Metrics
+from repro.engine.savepoint import Savepoint, check_owner
 
 
 @dataclass(frozen=True)
@@ -170,3 +171,41 @@ class RecordStore:
     def load(self, rows: Iterable[dict[str, Any]]) -> list[Record]:
         """Bulk-insert rows, returning the created records."""
         return self.insert_many(rows)
+
+    # -- savepoints --------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture the store's state.
+
+        Record objects are immutable, so a shallow copy of the rid map
+        shares every record with the live store -- O(len) pointer
+        copies, no value copying (copy-on-write in effect: updates
+        install *new* Record versions and never touch shared ones).
+        """
+        return Savepoint("record-store", id(self), payload=(
+            dict(self._records), self._next_rid,
+        ))
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        """Restore the exact state captured by :meth:`savepoint`.
+
+        The generation is bumped (not restored) so a scan that was in
+        flight across the rollback fails loudly instead of resuming
+        over replaced state.
+        """
+        check_owner(savepoint, "record-store", self)
+        records, next_rid = savepoint.payload
+        self._records = dict(records)
+        self._next_rid = next_rid
+        self._generation += 1
+
+    def state_fingerprint_data(self) -> tuple:
+        """Canonical content structure for byte-identity assertions."""
+        return (
+            self.type_name,
+            self._next_rid,
+            tuple(
+                (rid, record.type_name, tuple(record.values.items()))
+                for rid, record in self._records.items()
+            ),
+        )

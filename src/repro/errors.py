@@ -30,6 +30,11 @@ class DuplicateKey(EngineError):
     """An index with unique keys rejected a duplicate entry."""
 
 
+class SavepointMismatch(EngineError):
+    """A savepoint token was offered to an object that did not issue it
+    (or whose structure changed since it was issued)."""
+
+
 # ---------------------------------------------------------------------------
 # Schema / DDL
 # ---------------------------------------------------------------------------
@@ -155,7 +160,40 @@ class InformationLoss(RestructureError):
 
 
 class ConversionError(ReproError):
-    """Base class for Figure 4.1 pipeline failures."""
+    """Base class for Figure 4.1 pipeline failures.
+
+    Carries optional structured context so batch fault reports can say
+    *where* a conversion died: the program being converted, the
+    pipeline phase (``analyze`` / ``convert`` / ``optimize`` /
+    ``generate`` / a strategy name), and the statement being processed.
+    All three default to None; the supervisor fills in whatever the
+    raise site did not know.
+    """
+
+    def __init__(self, message: str, *, program: str | None = None,
+                 phase: str | None = None,
+                 statement: str | None = None):
+        self.program = program
+        self.phase = phase
+        self.statement = statement
+        super().__init__(message)
+
+    def context(self) -> dict[str, str]:
+        """The non-None context fields, for structured fault reports."""
+        out = {}
+        for name in ("program", "phase", "statement"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = self.context()
+        if not context:
+            return base
+        rendered = ", ".join(f"{k}={v}" for k, v in context.items())
+        return f"{base} [{rendered}]"
 
 
 class AnalysisError(ConversionError):
@@ -174,3 +212,27 @@ class UnconvertiblePattern(ConversionError):
 
 class AnalystAbort(ConversionError):
     """The conversion analyst declined to resolve an open question."""
+
+
+class PipelineFault(ConversionError):
+    """An *unexpected* exception escaped a pipeline phase.
+
+    The supervisor wraps stray exceptions (engine bugs, injected
+    faults) in this class -- always ``raise ... from exc`` -- so batch
+    conversion can isolate the failing program while keeping the
+    chained root cause."""
+
+
+def annotate(error: ConversionError, *, program: str | None = None,
+             phase: str | None = None,
+             statement: str | None = None) -> ConversionError:
+    """Fill in context fields the raise site did not know, without
+    overwriting anything it did.  Returns the same error object so
+    ``raise annotate(error, ...)`` reads naturally."""
+    if error.program is None:
+        error.program = program
+    if error.phase is None:
+        error.phase = phase
+    if error.statement is None:
+        error.statement = statement
+    return error

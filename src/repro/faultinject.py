@@ -1,0 +1,156 @@
+"""Deterministic fault injection.
+
+The robustness layer promises that a fault at *any* phase of *any*
+single program leaves the rest of the batch converted and every
+database byte-identical to its pre-call savepoint.  Proving that needs
+faults on demand: this module wraps engine/DML entry points on
+*specific instances* and raises at the Nth matching call -- no
+randomness at fire time, so every failing test replays exactly.
+
+Seeding enters only when choosing *where* to fault:
+:func:`choose_point` derives the target (and call ordinal) from a seed
+so sweep-style tests cover many injection sites deterministically.
+
+Usage::
+
+    injector = FaultInjector()
+    injector.add(db, "insert_record", nth=3)
+    with injector:
+        run()                       # 3rd insert_record raises
+    assert injector.points[0].fired
+
+or the one-shot form::
+
+    with inject(db, "insert_record", nth=3):
+        run()
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+
+class InjectedFault(ReproError):
+    """The error raised by an armed fault point.
+
+    Deliberately OUTSIDE the ConversionError branch of the hierarchy:
+    nothing in the pipeline catches it specifically, so it exercises
+    the same isolation paths a genuine engine bug would.
+    """
+
+
+@dataclass
+class FaultPoint:
+    """One armed injection site: the ``nth`` call (1-based) to
+    ``method`` on ``obj`` raises ``make_error()``."""
+
+    obj: Any
+    method: str
+    nth: int = 1
+    make_error: Callable[[str], Exception] = InjectedFault
+    calls: int = 0
+    fired: bool = False
+    _original: Callable | None = field(default=None, repr=False)
+
+    def describe(self) -> str:
+        return f"{type(self.obj).__name__}.{self.method}#{self.nth}"
+
+    def arm(self) -> None:
+        if self._original is not None:
+            return
+        original = getattr(self.obj, self.method)
+        self._original = original
+        point = self
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            point.calls += 1
+            if point.calls == point.nth:
+                point.fired = True
+                raise point.make_error(
+                    f"injected fault at {point.describe()}"
+                )
+            return original(*args, **kwargs)
+
+        wrapper.__wrapped__ = original  # type: ignore[attr-defined]
+        setattr(self.obj, self.method, wrapper)
+
+    def disarm(self) -> None:
+        if self._original is None:
+            return
+        # The wrapper lives in the instance __dict__, shadowing the
+        # class attribute; deleting it restores normal dispatch, while
+        # a bound-method original must be reassigned explicitly.
+        try:
+            instance_dict = vars(self.obj)
+        except TypeError:
+            instance_dict = {}
+        if instance_dict.get(self.method) is not None and \
+                getattr(instance_dict.get(self.method), "__wrapped__",
+                        None) is self._original:
+            del instance_dict[self.method]
+        else:
+            setattr(self.obj, self.method, self._original)
+        self._original = None
+
+
+class FaultInjector:
+    """A set of fault points armed together (context manager)."""
+
+    def __init__(self) -> None:
+        self.points: list[FaultPoint] = []
+
+    def add(self, obj: Any, method: str, nth: int = 1,
+            make_error: Callable[[str], Exception] = InjectedFault
+            ) -> FaultPoint:
+        if not callable(getattr(obj, method, None)):
+            raise ValueError(
+                f"{type(obj).__name__}.{method} is not a callable "
+                "injection target"
+            )
+        point = FaultPoint(obj, method, nth, make_error)
+        self.points.append(point)
+        return point
+
+    @property
+    def fired(self) -> list[FaultPoint]:
+        return [point for point in self.points if point.fired]
+
+    def __enter__(self) -> "FaultInjector":
+        for point in self.points:
+            point.arm()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for point in self.points:
+            point.disarm()
+
+
+@contextmanager
+def inject(obj: Any, method: str, nth: int = 1,
+           make_error: Callable[[str], Exception] = InjectedFault
+           ) -> Iterator[FaultPoint]:
+    """One-shot :class:`FaultInjector` around a single point."""
+    injector = FaultInjector()
+    point = injector.add(obj, method, nth, make_error)
+    with injector:
+        yield point
+
+
+def choose_point(seed: int, candidates: Sequence[tuple[Any, str]],
+                 max_nth: int = 3) -> tuple[Any, str, int]:
+    """Deterministically pick an injection site and call ordinal.
+
+    ``candidates`` are (object, method) pairs; the same seed always
+    returns the same (object, method, nth) -- sweeping seeds walks the
+    site space reproducibly.
+    """
+    if not candidates:
+        raise ValueError("no injection candidates")
+    rng = random.Random(seed)
+    obj, method = candidates[rng.randrange(len(candidates))]
+    return obj, method, rng.randint(1, max_nth)

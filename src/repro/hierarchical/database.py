@@ -6,6 +6,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.engine.metrics import Metrics
+from repro.engine.savepoint import Savepoint, check_owner, fingerprint
 from repro.engine.storage import Record, RecordStore
 from repro.errors import (
     IntegrityError,
@@ -330,5 +331,43 @@ class HierarchicalDatabase:
 
     def count(self, segment_name: str) -> int:
         return len(self.store(segment_name))
+
+    # -- savepoints --------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture stores, parent links, and sibling buckets (the
+        preorder cache is derived state and simply invalidates)."""
+        parts = {
+            f"store:{name}": store.savepoint()
+            for name, store in self._stores.items()
+        }
+        return Savepoint("hierarchical-db", id(self), payload=(
+            dict(self._parent_of),
+            {key: list(rids) for key, rids in self._children.items()},
+        ), parts=parts)
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        check_owner(savepoint, "hierarchical-db", self)
+        for name, store in self._stores.items():
+            store.rollback(savepoint.part(f"store:{name}"))
+        parent_of, children = savepoint.payload
+        self._parent_of = dict(parent_of)
+        self._children = {
+            key: list(rids) for key, rids in children.items()
+        }
+        self._version += 1
+        self._preorder_cache = None
+
+    def state_fingerprint(self) -> str:
+        return fingerprint((
+            "hierarchical", self.schema.name,
+            tuple(store.state_fingerprint_data()
+                  for store in self._stores.values()),
+            tuple(sorted(self._parent_of.items())),
+            tuple(sorted(
+                (key, tuple(rids))
+                for key, rids in self._children.items() if rids
+            )),
+        ))
 
     _preorder_version = -1

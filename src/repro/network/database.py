@@ -9,6 +9,7 @@ from typing import Any, Iterator
 
 from repro.engine.index import HashIndex
 from repro.engine.metrics import Metrics
+from repro.engine.savepoint import Savepoint, check_owner, fingerprint
 from repro.engine.storage import Record, RecordStore
 from repro.errors import (
     ExistenceViolation,
@@ -298,6 +299,43 @@ class NetworkDatabase:
         """
         yield self
         self.verify_consistent()
+
+    # -- savepoints --------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture the whole instance: every store, every set
+        occurrence, every CALC index.  Metrics are deliberately NOT
+        captured -- a rolled-back probe still did the work it did."""
+        parts: dict[str, Savepoint] = {}
+        for name, store in self._stores.items():
+            parts[f"store:{name}"] = store.savepoint()
+        for name, set_store in self._sets.items():
+            parts[f"set:{name}"] = set_store.savepoint()
+        calc = {name: index.snapshot_entries()
+                for name, index in self._calc.items()}
+        return Savepoint("network-db", id(self), payload=calc, parts=parts)
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        """Restore the exact state captured by :meth:`savepoint`."""
+        check_owner(savepoint, "network-db", self)
+        for name, store in self._stores.items():
+            store.rollback(savepoint.part(f"store:{name}"))
+        for name, set_store in self._sets.items():
+            set_store.rollback(savepoint.part(f"set:{name}"))
+        for name, index in self._calc.items():
+            index.restore_entries(savepoint.payload[name])
+
+    def state_fingerprint(self) -> str:
+        """Content digest over records, set occurrences, and rid
+        counters; two databases with equal fingerprints are
+        byte-identical in everything a program can observe."""
+        return fingerprint((
+            "network", self.schema.name,
+            tuple(store.state_fingerprint_data()
+                  for store in self._stores.values()),
+            tuple(set_store.state_fingerprint_data()
+                  for set_store in self._sets.values()),
+        ))
 
     # -- convenience -------------------------------------------------------
 

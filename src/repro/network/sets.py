@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.engine.ordering import orderable
+from repro.engine.savepoint import Savepoint, check_owner
 from repro.errors import IntegrityError, UniquenessViolation
 from repro.schema.model import SetType
 
@@ -205,3 +206,38 @@ class SetStore:
 
     def occurrence_count(self) -> int:
         return len(self._members)
+
+    # -- savepoints -------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture occurrence membership and order (lists copied)."""
+        return Savepoint("set-store", id(self), payload=(
+            dict(self._owner_of),
+            {owner: list(members)
+             for owner, members in self._members.items()},
+            dict(self._seq),
+            self._next_seq,
+        ))
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        check_owner(savepoint, "set-store", self)
+        owner_of, members, seq, next_seq = savepoint.payload
+        self._owner_of = dict(owner_of)
+        self._members = {
+            owner: list(member_rids)
+            for owner, member_rids in members.items()
+        }
+        self._seq = dict(seq)
+        self._next_seq = next_seq
+
+    def state_fingerprint_data(self) -> tuple:
+        return (
+            self.set_type.name,
+            self._next_seq,
+            tuple(
+                (owner, tuple(members))
+                for owner, members in self._members.items()
+            ),
+            tuple(sorted(self._owner_of.items())),
+            tuple(sorted(self._seq.items())),
+        )

@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.engine.metrics import Metrics
+from repro.engine.savepoint import Savepoint, check_owner, fingerprint
 from repro.engine.storage import Record
 from repro.errors import IntegrityError, QueryError, UniquenessViolation
 from repro.relational.relation import Relation
@@ -287,3 +288,26 @@ class RelationalDatabase:
 
     def count(self, relation_name: str) -> int:
         return len(self.relation(relation_name))
+
+    # -- savepoints --------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture every base relation (metrics excluded, as for the
+        other engines)."""
+        parts = {
+            f"relation:{name}": relation.savepoint()
+            for name, relation in self.relations.items()
+        }
+        return Savepoint("relational-db", id(self), parts=parts)
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        check_owner(savepoint, "relational-db", self)
+        for name, relation in self.relations.items():
+            relation.rollback(savepoint.part(f"relation:{name}"))
+
+    def state_fingerprint(self) -> str:
+        return fingerprint((
+            "relational", self.schema.name,
+            tuple(relation.state_fingerprint_data()
+                  for relation in self.relations.values()),
+        ))

@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.engine.index import HashIndex
 from repro.engine.metrics import Metrics
+from repro.engine.savepoint import Savepoint, check_owner
 from repro.errors import QueryError
 
 
@@ -284,6 +285,46 @@ class Relation:
                 f"relation {self.name}: no column {column}"
             )
         return [row[column] for row in self._rows]
+
+    # -- savepoints --------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Capture rows and rids.
+
+        Rows are mutable dicts (``update_where`` writes in place), so
+        each row is copied -- O(rows).  Secondary indexes are NOT
+        captured; rollback rebuilds them from the restored rows, which
+        costs the same one pass and cannot go stale.
+        """
+        return Savepoint("relation", id(self), payload=(
+            [dict(row) for row in self._rows],
+            list(self._rids),
+            self._next_rid,
+        ))
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        check_owner(savepoint, "relation", self)
+        rows, rids, next_rid = savepoint.payload
+        self._rows = [dict(row) for row in rows]
+        self._rids = list(rids)
+        self._row_by_rid = dict(zip(self._rids, self._rows))
+        self._next_rid = next_rid
+        self._pos_by_rid = None
+        for key_columns, index in self._indexes.items():
+            index.restore_entries({})
+            for rid, row in zip(self._rids, self._rows):
+                index.insert(tuple(row[c] for c in key_columns), rid)
+
+    def state_fingerprint_data(self) -> tuple:
+        return (
+            self.name,
+            tuple(self.columns),
+            self._next_rid,
+            tuple(
+                (rid, tuple(row.items()))
+                for rid, row in zip(self._rids, self._rows)
+            ),
+        )
 
     def derived(self, name: str, columns: Iterable[str]) -> "Relation":
         """An empty relation sharing this one's metrics (for algebra

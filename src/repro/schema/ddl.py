@@ -122,7 +122,9 @@ class _Parser:
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise DDLSyntaxError("unexpected end of DDL text")
+            last_line = self._tokens[-1].line if self._tokens else None
+            raise DDLSyntaxError("unexpected end of DDL text",
+                                 line=last_line)
         self._pos += 1
         return token
 

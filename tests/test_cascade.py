@@ -1,0 +1,207 @@
+"""The strategy fallback cascade (repro.strategies.cascade)."""
+
+import pytest
+
+from repro.core.report import (
+    STATUS_FAILED,
+    STATUS_FELL_BACK,
+    STATUS_WARNINGS,
+)
+from repro.errors import PipelineFault
+from repro.faultinject import InjectedFault, inject
+from repro.programs import ast
+from repro.programs import builder as b
+from repro.restructure import restructure_database
+from repro.strategies import FallbackCascade
+from repro.workloads import company
+
+
+def report_program(name="REPORT"):
+    return b.program(name, "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        *b.scan_set("EMP", "DIV-EMP", [
+            b.if_(b.gt(b.field("EMP", "AGE"), 40), [
+                b.display(b.field("EMP", "EMP-NAME")),
+            ]),
+        ]),
+        b.display("END"),
+    ])
+
+
+def hire_program():
+    return b.program("HIRE", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.store("EMP", **{"EMP-NAME": "ZZ-HIRE", "DEPT-NAME": "SALES",
+                          "AGE": 25, "DIV-NAME": "MACHINERY"}),
+        b.display("HIRED"),
+    ])
+
+
+def free_navigation_program():
+    """FIND FIRST/FIND NEXT outside any template: the rewrite pipeline
+    refuses it, but the source program still runs -- emulation serves."""
+    return b.program("FREE-NAV", "network", "COMPANY-NAME", [
+        b.find_any("DIV", **{"DIV-NAME": "MACHINERY"}),
+        b.find_first("EMP", "DIV-EMP"),
+        b.find_next("EMP", "DIV-EMP"),
+        b.if_(ast.status_ok(), [
+            b.get("EMP"),
+            b.display(b.field("EMP", "EMP-NAME")),
+        ]),
+        b.display("DONE"),
+    ])
+
+
+@pytest.fixture
+def cascade_setup(interpose_operator):
+    source_db = company.company_db(seed=42)
+    _schema, target_db = restructure_database(source_db,
+                                              interpose_operator)
+    cascade = FallbackCascade(source_db, target_db, interpose_operator)
+    return source_db, target_db, cascade
+
+
+class TestHappyPath:
+    def test_rewrite_wins_first(self, cascade_setup):
+        _source, _target, cascade = cascade_setup
+        outcome = cascade.convert(hire_program())
+        assert outcome.report.strategy == "rewrite"
+        assert outcome.report.converted
+        assert outcome.report.stages[0].outcome == "validated"
+        assert outcome.strategy is not None
+        assert outcome.run is not None
+
+    def test_reordered_trace_is_warned_not_escalated(self, cascade_setup):
+        """Interposition regroups DIV-EMP members by DEPT; the rewrite
+        emits the same events in a different order.  That is the
+        Section 5.2 level-2 band, not a failure."""
+        _source, _target, cascade = cascade_setup
+        outcome = cascade.convert(report_program())
+        assert outcome.report.strategy == "rewrite"
+        assert outcome.report.stages[0].outcome == "validated-reordered"
+        assert outcome.report.status == STATUS_WARNINGS
+        assert any("order" in w for w in outcome.report.warnings)
+
+    def test_probe_leaves_databases_byte_identical(self, cascade_setup):
+        source_db, target_db, cascade = cascade_setup
+        source_before = source_db.state_fingerprint()
+        target_before = target_db.state_fingerprint()
+        cascade.convert(hire_program())
+        assert source_db.state_fingerprint() == source_before
+        assert target_db.state_fingerprint() == target_before
+
+
+class TestEscalation:
+    def test_unconvertible_program_falls_back_to_emulation(
+            self, cascade_setup):
+        _source, _target, cascade = cascade_setup
+        outcome = cascade.convert(free_navigation_program())
+        assert outcome.report.status == STATUS_FELL_BACK
+        assert outcome.report.strategy == "emulation"
+        assert [s.strategy for s in outcome.report.stages] == \
+            ["rewrite", "emulation"]
+        assert outcome.report.stages[0].outcome == "unconverted"
+        assert outcome.report.converted
+
+    def test_injected_fault_escalates_to_next_stage(self, cascade_setup):
+        source_db, target_db, cascade = cascade_setup
+        source_before = source_db.state_fingerprint()
+        target_before = target_db.state_fingerprint()
+        # The rewrite probe is the first to insert into the target;
+        # nth=1 kills it, then emulation (whose first insert is call 2)
+        # runs clean.
+        with inject(target_db, "insert_record", nth=1):
+            outcome = cascade.convert(hire_program())
+        assert outcome.report.status == STATUS_FELL_BACK
+        assert outcome.report.strategy == "emulation"
+        assert outcome.report.stages[0].outcome == "error"
+        assert "InjectedFault" in outcome.report.stages[0].detail
+        assert source_db.state_fingerprint() == source_before
+        assert target_db.state_fingerprint() == target_before
+
+    def test_all_stages_faulting_reports_failure(self, cascade_setup):
+        from repro.faultinject import FaultInjector
+
+        source_db, target_db, cascade_full = cascade_setup
+        # Bridge probes write to their own reconstruction, so a target
+        # insert fault cannot reach it; restrict the cascade to the
+        # two stages that do write through the target.
+        cascade = FallbackCascade(source_db, target_db,
+                                  cascade_full.operator,
+                                  order=("rewrite", "emulation"))
+        target_before = target_db.state_fingerprint()
+        injector = FaultInjector()
+        # Both stages' first target insert gets killed (calls 1 and 2).
+        for nth in (1, 2):
+            injector.add(target_db, "insert_record", nth=nth)
+        with injector:
+            outcome = cascade.convert(hire_program())
+        assert outcome.report.status == STATUS_FAILED
+        assert outcome.strategy is None
+        assert outcome.report.fault is not None
+        assert "InjectedFault" in outcome.report.fault.root_cause
+        assert all(stage.outcome == "error"
+                   for stage in outcome.report.stages)
+        assert target_db.state_fingerprint() == target_before
+
+    def test_reference_run_fault_is_wrapped_and_chained(
+            self, cascade_setup):
+        source_db, _target, cascade = cascade_setup
+        source_before = source_db.state_fingerprint()
+        with inject(source_db, "calc_index", nth=1):
+            with pytest.raises(PipelineFault) as excinfo:
+                cascade.convert(hire_program())
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        assert excinfo.value.program == "HIRE"
+        assert excinfo.value.phase == "reference-run"
+        assert source_db.state_fingerprint() == source_before
+
+
+class TestConfiguration:
+    def test_custom_order_is_honoured(self, cascade_setup):
+        _source, _target, cascade_full = cascade_setup
+        cascade = FallbackCascade(
+            cascade_full.source_db, cascade_full.target_db,
+            cascade_full.operator, order=("emulation",))
+        outcome = cascade.convert(hire_program())
+        assert outcome.report.strategy == "emulation"
+        assert outcome.report.status == STATUS_FELL_BACK
+
+    def test_rewrite_only_order_fails_hard_programs(self, cascade_setup):
+        _source, _target, cascade_full = cascade_setup
+        cascade = FallbackCascade(
+            cascade_full.source_db, cascade_full.target_db,
+            cascade_full.operator, order=("rewrite",))
+        outcome = cascade.convert(free_navigation_program())
+        assert outcome.report.status == STATUS_FAILED
+        assert not outcome.report.converted
+        assert outcome.report.fault is not None
+
+    def test_unknown_stage_rejected(self, cascade_setup):
+        _source, _target, cascade_full = cascade_setup
+        with pytest.raises(ValueError):
+            FallbackCascade(cascade_full.source_db,
+                            cascade_full.target_db,
+                            cascade_full.operator,
+                            order=("rewrite", "teleport"))
+
+    def test_returned_strategy_is_fresh(self, cascade_setup):
+        """The instance handed back must not carry probe state (a
+        bridge that already retranslated, a rewrite memo against a
+        rolled-back target)."""
+        _source, target_db, cascade = cascade_setup
+        outcome = cascade.convert(hire_program())
+        run = outcome.strategy.run(hire_program())
+        assert "HIRED" in run.trace.terminal_lines()
+
+
+class TestConvertSystem:
+    def test_mixed_corpus(self, cascade_setup):
+        _source, _target, cascade = cascade_setup
+        outcomes = cascade.convert_system([
+            report_program("P1"), hire_program(),
+            free_navigation_program(),
+        ])
+        statuses = [o.report.status for o in outcomes]
+        assert statuses[0] == STATUS_WARNINGS
+        assert statuses[2] == STATUS_FELL_BACK

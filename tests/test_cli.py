@@ -247,3 +247,97 @@ PROGRAM LOADER (network / COMPANY-NAME).
     assert code == 1
     assert "NOT equivalent" in captured.out
     assert "source trace:" in captured.err
+
+
+HIRE_PROGRAM = """\
+PROGRAM HIRE (network / COMPANY-NAME).
+  FIND ANY DIV USING DIV-NAME='MACHINERY'.
+  STORE EMP (EMP-NAME='ZZ-HIRE', DEPT-NAME='SALES', AGE=25, DIV-NAME='MACHINERY').
+  DISPLAY 'HIRED'.
+"""
+
+
+@pytest.fixture
+def batch_artifacts(run_artifacts):
+    hire = run_artifacts["dir"] / "hire.cob"
+    hire.write_text(HIRE_PROGRAM)
+    run_artifacts["hire"] = str(hire)
+    return run_artifacts
+
+
+def test_convert_batch_checkpoint_and_out_dir(batch_artifacts, capsys):
+    """A repeated --program batch journals every report and writes the
+    converted programs to --out-dir."""
+    import json
+
+    checkpoint = batch_artifacts["dir"] / "batch.json"
+    out_dir = batch_artifacts["dir"] / "out"
+    assert main(["convert", "--ddl", batch_artifacts["ddl"],
+                 "--spec", batch_artifacts["spec"],
+                 "--program", batch_artifacts["program"],
+                 "--program", batch_artifacts["hire"],
+                 "--data", batch_artifacts["data"],
+                 "--checkpoint", str(checkpoint),
+                 "--out-dir", str(out_dir)]) == 0
+    err = capsys.readouterr().err
+    assert "program(s) processed" in err
+    journal = json.loads(checkpoint.read_text())
+    assert [e["program"] for e in journal["completed"]] == \
+        ["REPORT", "HIRE"]
+    assert (out_dir / "REPORT.cob").exists()
+    assert (out_dir / "HIRE.cob").exists()
+    assert "STORE" in (out_dir / "HIRE.cob").read_text()
+
+
+def test_convert_batch_resume_completes_remainder(batch_artifacts, capsys):
+    """Truncating the journal (a simulated kill) and re-running with
+    --resume converts only the unfinished program and exits 0."""
+    import json
+
+    checkpoint = batch_artifacts["dir"] / "batch.json"
+    args = ["convert", "--ddl", batch_artifacts["ddl"],
+            "--spec", batch_artifacts["spec"],
+            "--program", batch_artifacts["program"],
+            "--program", batch_artifacts["hire"],
+            "--data", batch_artifacts["data"],
+            "--checkpoint", str(checkpoint)]
+    assert main(args) == 0
+    capsys.readouterr()
+
+    journal = json.loads(checkpoint.read_text())
+    journal["completed"] = journal["completed"][:1]
+    checkpoint.write_text(json.dumps(journal))
+
+    assert main(args + ["--resume"]) == 0
+    err = capsys.readouterr().err
+    assert "HIRE" in err
+    journal = json.loads(checkpoint.read_text())
+    assert [e["program"] for e in journal["completed"]] == \
+        ["REPORT", "HIRE"]
+
+
+def test_convert_batch_nonzero_when_any_program_fails(batch_artifacts,
+                                                      tmp_path, capsys):
+    """One unconvertible program fails its batch slot (exit 1) while
+    the other still converts."""
+    console = tmp_path / "console.cob"
+    console.write_text(VARIABLE_VERB_PROGRAM)
+    assert main(["convert", "--ddl", batch_artifacts["ddl"],
+                 "--spec", batch_artifacts["spec"],
+                 "--program", batch_artifacts["hire"],
+                 "--program", str(console),
+                 "--data", batch_artifacts["data"]]) == 1
+    err = capsys.readouterr().err
+    assert "HIRE" in err
+    assert "needs-manual-conversion" in err
+
+
+def test_validate_ddl_truncated_text_names_line(tmp_path, capsys):
+    """An unexpected EOF is a diagnosed syntax error with a line
+    number, not a traceback."""
+    bad = tmp_path / "truncated.ddl"
+    bad.write_text("SCHEMA NAME IS X")
+    assert main(["validate-ddl", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "line 1: unexpected end of DDL text" in err
+    assert "Traceback" not in err

@@ -1,0 +1,122 @@
+"""Deterministic fault injection (repro.faultinject)."""
+
+import pytest
+
+from repro.engine import RecordStore
+from repro.errors import ConversionError, ReproError
+from repro.faultinject import (
+    FaultInjector,
+    InjectedFault,
+    choose_point,
+    inject,
+)
+
+
+class TestFaultPoint:
+    def test_fires_exactly_at_nth_call(self):
+        store = RecordStore("EMP")
+        with inject(store, "insert", nth=3) as point:
+            store.insert({"NAME": "A"})
+            store.insert({"NAME": "B"})
+            with pytest.raises(InjectedFault):
+                store.insert({"NAME": "C"})
+            assert point.fired
+            # Calls after the Nth pass through unharmed.
+            store.insert({"NAME": "D"})
+        assert [r.get("NAME") for r in store.all_records()] == \
+            ["A", "B", "D"]
+
+    def test_disarm_restores_original_method(self):
+        store = RecordStore("EMP")
+        original = store.insert
+        with inject(store, "insert", nth=1):
+            assert store.insert is not original
+        assert store.insert.__func__ is original.__func__
+        store.insert({"NAME": "A"})
+
+    def test_injection_is_instance_scoped(self):
+        store, other = RecordStore("EMP"), RecordStore("EMP")
+        with inject(store, "insert", nth=1):
+            other.insert({"NAME": "SAFE"})
+            with pytest.raises(InjectedFault):
+                store.insert({"NAME": "BOOM"})
+        assert len(other.all_records()) == 1
+
+    def test_unfired_point_reports_not_fired(self):
+        store = RecordStore("EMP")
+        with inject(store, "insert", nth=5) as point:
+            store.insert({"NAME": "A"})
+        assert not point.fired
+
+    def test_custom_error_factory(self):
+        store = RecordStore("EMP")
+        with inject(store, "insert", nth=1, make_error=RuntimeError):
+            with pytest.raises(RuntimeError):
+                store.insert({"NAME": "A"})
+
+    def test_non_callable_target_rejected(self):
+        store = RecordStore("EMP")
+        with pytest.raises(ValueError):
+            FaultInjector().add(store, "type_name")
+        with pytest.raises(ValueError):
+            FaultInjector().add(store, "no_such_method")
+
+
+class TestFaultInjector:
+    def test_multiple_points_armed_together(self):
+        store_a, store_b = RecordStore("A"), RecordStore("B")
+        injector = FaultInjector()
+        injector.add(store_a, "insert", nth=1)
+        injector.add(store_b, "insert", nth=2)
+        with injector:
+            with pytest.raises(InjectedFault):
+                store_a.insert({"X": 1})
+            store_b.insert({"X": 1})
+            with pytest.raises(InjectedFault):
+                store_b.insert({"X": 2})
+        assert len(injector.fired) == 2
+
+    def test_disarm_even_when_body_raises(self):
+        store = RecordStore("EMP")
+        injector = FaultInjector()
+        injector.add(store, "insert", nth=1)
+        with pytest.raises(InjectedFault):
+            with injector:
+                store.insert({"NAME": "A"})
+        store.insert({"NAME": "B"})
+        assert len(store.all_records()) == 1
+
+
+class TestErrorTaxonomy:
+    def test_injected_fault_is_outside_conversion_branch(self):
+        """Nothing in the pipeline may catch InjectedFault as a
+        ConversionError: it must travel the unexpected-exception
+        paths, like a genuine engine bug."""
+        assert issubclass(InjectedFault, ReproError)
+        assert not issubclass(InjectedFault, ConversionError)
+
+
+class TestChoosePoint:
+    def test_same_seed_same_site(self):
+        store_a, store_b = RecordStore("A"), RecordStore("B")
+        candidates = [(store_a, "insert"), (store_b, "delete")]
+        first = choose_point(7, candidates)
+        second = choose_point(7, candidates)
+        assert first == second
+
+    def test_seed_sweep_covers_multiple_sites(self):
+        store_a, store_b = RecordStore("A"), RecordStore("B")
+        candidates = [(store_a, "insert"), (store_b, "delete")]
+        chosen = {choose_point(seed, candidates)[1] for seed in range(20)}
+        assert chosen == {"insert", "delete"}
+
+    def test_nth_bounded(self):
+        store = RecordStore("A")
+        for seed in range(20):
+            _obj, _method, nth = choose_point(seed, [(store, "insert")],
+                                              max_nth=3)
+            assert 1 <= nth <= 3
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            choose_point(1, [])
