@@ -20,13 +20,11 @@ Reproduced: both conversions go through, carry warnings, and the
 equivalence checker classifies the outcomes into levels.
 """
 
-import pytest
 
 from conftest import print_table
 from repro.core import ConversionSupervisor, check_equivalence
 from repro.core.report import STATUS_WARNINGS
 from repro.network import DMLSession, NetworkDatabase
-from repro.programs import ast
 from repro.programs import builder as b
 from repro.restructure import (
     AddConstraint,

@@ -17,7 +17,6 @@ Reproduced:
   "when they are not but should be" half).
 """
 
-import pytest
 
 from conftest import print_table
 from repro.analysis import detect_procedural_constraints

@@ -33,7 +33,6 @@ from repro.restructure import (
     RenameField,
     RenameRecord,
     RenameSet,
-    VirtualizeField,
     restructure_database,
 )
 from repro.schema.model import Insertion, Retention

@@ -17,7 +17,6 @@ Reproduced:
   paper notes "the work did have some optimization strategies".
 """
 
-import pytest
 
 from conftest import print_table
 from repro.core.command_substitution import convert_hierarchical_program

@@ -26,7 +26,6 @@ or lose the work already done.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 from repro.core.report import (
@@ -36,6 +35,8 @@ from repro.core.report import (
     STATUS_FAILED,
 )
 from repro.errors import ReproError
+from repro.jsonio import write_json_atomic
+from repro.observe.tracing import span
 from repro.programs.ast import Program
 from repro.programs.interpreter import ProgramInputs
 from repro.strategies.cascade import FallbackCascade
@@ -97,9 +98,7 @@ class BatchCheckpoint:
             "programs": programs,
             "completed": [report.to_summary() for report in completed],
         }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(data, indent=2))
-        os.replace(tmp, self.path)
+        write_json_atomic(data, self.path)
 
     def clear(self) -> None:
         if self.path.exists():
@@ -131,15 +130,17 @@ def convert_batch(cascade: FallbackCascade, programs: list[Program],
         done[name] for name in names if name in done
     ]
 
-    for program in programs:
-        if program.name in done:
-            batch.add(done[program.name])
-            continue
-        report = _convert_isolated(cascade, program, inputs)
-        batch.add(report)
-        finished.append(report)
-        if journal is not None:
-            journal.write(names, finished)
+    with span("batch.convert", programs=len(programs)):
+        for program in programs:
+            if program.name in done:
+                batch.add(done[program.name])
+                continue
+            with span("batch.program", program=program.name):
+                report = _convert_isolated(cascade, program, inputs)
+            batch.add(report)
+            finished.append(report)
+            if journal is not None:
+                journal.write(names, finished)
     return batch
 
 

@@ -90,14 +90,31 @@ def cmd_analyze(args) -> int:
 def cmd_convert(args) -> int:
     """Convert one program for a restructuring (Figure 4.1), or -- with
     repeated ``--program`` or a ``--checkpoint`` -- a fault-isolated
-    batch through the strategy fallback cascade."""
+    batch through the strategy fallback cascade.  ``--trace`` and
+    ``--profile`` run the conversion under a tracer (always through the
+    cascade, so supervisor phases, cascade stages, and restructure
+    operators all appear in the span tree)."""
     schema = _load_schema(args)
     operator = parse_spec(_read(args.spec))
     programs = [parse_program(_read(path)) for path in args.program]
+    tracing = bool(args.trace or args.profile)
     batch_mode = len(programs) > 1 or args.checkpoint or args.resume \
-        or args.out_dir
+        or args.out_dir or tracing
     if batch_mode:
-        return _cmd_convert_batch(args, schema, operator, programs)
+        if not tracing:
+            return _cmd_convert_batch(args, schema, operator, programs)
+        from repro.observe.export import render_profile, write_trace
+        from repro.observe.tracing import Tracer
+
+        tracer = Tracer()
+        with tracer:
+            code = _cmd_convert_batch(args, schema, operator, programs)
+        if args.trace:
+            path = write_trace(tracer, args.trace)
+            print(f"wrote trace {path}", file=sys.stderr)
+        if args.profile:
+            print(render_profile(tracer), file=sys.stderr)
+        return code
 
     program = programs[0]
     passes = () if args.no_optimize else (
@@ -226,6 +243,8 @@ def cmd_bench(args) -> int:
     ``translate`` times the pipeline (BENCH_translate.json),
     ``programs`` runs the workload corpus under the three strategies
     and the indexed-vs-linear comparison (BENCH_programs.json)."""
+    if args.diff:
+        return _bench_diff(args)
     if args.suite == "programs":
         return _bench_programs(args)
     from repro.perf.harness import run_benchmark, summarize, write_report
@@ -246,6 +265,26 @@ def cmd_bench(args) -> int:
     path = write_report(report, args.out)
     print(summarize(report))
     print(f"wrote {path}")
+    return 0
+
+
+def _bench_diff(args) -> int:
+    """Diff two BENCH_*.json reports: config/schema changes are fatal
+    (exit 1), performance regressions warn only (exit 0)."""
+    from repro.perf.diff import diff_report_files, render_markdown
+
+    diff = diff_report_files(args.diff[0], args.diff[1])
+    print(render_markdown(diff), end="")
+    return 0 if diff.ok else 1
+
+
+def cmd_trace_summarize(args) -> int:
+    """Render the profile table of a trace file written by
+    ``repro convert --trace``."""
+    from repro.observe.export import load_trace, render_profile
+
+    spans = load_trace(args.file)
+    print(render_profile(spans, top=args.top))
     return 0
 
 
@@ -342,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")
+    sub.add_argument("--trace",
+                     help="write a trace file (Chrome trace format plus "
+                          "the native span tree) of the conversion")
+    sub.add_argument("--profile", action="store_true",
+                     help="print the per-phase/per-operator time table "
+                          "to stderr")
     sub.set_defaults(handler=cmd_convert)
 
     sub = subparsers.add_parser(
@@ -389,7 +434,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "quadratic by design)")
     sub.add_argument("--smoke", action="store_true",
                      help="smallest scales only, for CI smoke runs")
+    sub.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                     help="diff two BENCH_*.json reports instead of "
+                          "running a suite (regressions warn, "
+                          "config/schema changes fail)")
     sub.set_defaults(handler=cmd_bench)
+
+    sub = subparsers.add_parser(
+        "trace",
+        help="inspect trace files written by convert --trace")
+    trace_subparsers = sub.add_subparsers(dest="trace_command",
+                                          required=True)
+    sub = trace_subparsers.add_parser(
+        "summarize", help="render a trace file's profile table")
+    sub.add_argument("file")
+    sub.add_argument("--top", type=int, default=15,
+                     help="show only the N hottest span names "
+                          "(default: 15)")
+    sub.set_defaults(handler=cmd_trace_summarize)
 
     sub = subparsers.add_parser(
         "suggest-renames",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.analysis.variability import Finding, detect_pathologies
+from repro.analysis.variability import detect_pathologies
 from repro.core.abstract import ALocate, AQuery, AScan, AbstractProgram
 from repro.core.templates import NetworkTemplateMatcher, _conds
 from repro.errors import AnalysisError

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core import abstract, templates
+from repro.core import templates
 from repro.core.abstract import (
     ABind,
     AErase,

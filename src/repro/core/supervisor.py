@@ -15,7 +15,7 @@ mechanical automation rate -- the E2 experiment).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.abstract import AScan, walk as walk_abstract
 from repro.core.analyzer_db import ChangeCatalog, ConversionAnalyzer
@@ -39,6 +39,8 @@ from repro.errors import (
     UnconvertiblePattern,
     annotate,
 )
+from repro.observe.registry import get_registry, registry_delta
+from repro.observe.tracing import span
 from repro.programs import ast
 from repro.restructure.operators import RestructuringOperator
 from repro.schema.model import Schema
@@ -175,7 +177,13 @@ class ConversionSupervisor:
         wrapped in a chained :class:`PipelineFault` so batch isolation
         can report the root cause structurally."""
         try:
-            return thunk()
+            # Phases are pure AST work -- the engine counters only move
+            # during reference runs and program execution -- so phase
+            # spans skip the registry snapshots; the per-program delta
+            # lives on the enclosing ``supervisor.convert`` span.
+            with span(f"phase.{phase}", capture_metrics=False,
+                      program=program_name):
+                return thunk()
         except ConversionError as error:
             raise annotate(error, program=program_name, phase=phase)
         except Exception as exc:
@@ -187,6 +195,27 @@ class ConversionSupervisor:
     def convert_program(self, program: ast.Program,
                         target_model: str | None = None
                         ) -> ConversionReport:
+        """Convert one program, under a ``supervisor.convert`` span.
+
+        The report comes back carrying the unified counter movement
+        observed during the conversion (``report.metrics``)."""
+        registry = get_registry()
+        before = registry.snapshot()
+        # The span shares this wrapper's snapshots instead of taking
+        # its own pair (capture_metrics=False, then stamped below).
+        with span("supervisor.convert", capture_metrics=False,
+                  program=program.name) as convert_span:
+            report = self._convert_program(program, target_model)
+        after = registry.snapshot()
+        report.metrics = registry_delta(before, after)
+        if convert_span:
+            convert_span.metrics = {k: v for k, v in after.items() if v}
+            convert_span.metrics_delta = dict(report.metrics)
+        return report
+
+    def _convert_program(self, program: ast.Program,
+                         target_model: str | None = None
+                         ) -> ConversionReport:
         target_model = target_model or program.model
         report = ConversionReport(program.name, STATUS_AUTOMATIC)
 

@@ -10,11 +10,21 @@ and directly capture access-path length.
 A single :class:`Metrics` object is threaded through an engine and the
 DML layers above it; :class:`MetricsScope` snapshots a region of
 execution so benchmarks can report per-phase deltas.
+
+Every engine-owned bundle also registers itself with the process-wide
+:class:`~repro.observe.registry.MetricsRegistry` under ``engine.*``
+names, so spans and conversion reports see one unified counter view;
+derived bundles (scope deltas, subtraction results) opt out so the
+aggregate never counts an increment twice.  The attribute API here is
+the registry's back-compat shim: increments stay plain int stores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.observe.registry import get_registry
 
 
 _COUNTERS = (
@@ -51,6 +61,20 @@ class Metrics:
     emulation_mappings: int = 0
     bridge_materializations: int = 0
     sort_operations: int = 0
+    #: Registered bundles feed the unified registry's aggregate view;
+    #: derived bundles (deltas, differences) are created with
+    #: ``registered=False`` so their copies of already-counted work do
+    #: not inflate it.
+    registered: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.registered:
+            get_registry().register(self)
+
+    def metrics_items(self) -> Iterable[tuple[str, int]]:
+        """Yield ``(engine.<counter>, value)`` pairs for the registry."""
+        for name in _COUNTERS:
+            yield f"engine.{name}", getattr(self, name)
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -71,7 +95,7 @@ class Metrics:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def __sub__(self, other: "Metrics") -> "Metrics":
-        out = Metrics()
+        out = Metrics(registered=False)
         for name in _COUNTERS:
             setattr(out, name, getattr(self, name) - getattr(other, name))
         return out
@@ -89,7 +113,8 @@ class MetricsScope:
     """
 
     metrics: Metrics
-    delta: Metrics = field(default_factory=Metrics)
+    delta: Metrics = field(
+        default_factory=lambda: Metrics(registered=False))
     _before: dict[str, int] = field(default_factory=dict)
 
     def __enter__(self) -> "MetricsScope":

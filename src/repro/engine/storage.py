@@ -8,7 +8,7 @@ values are plain Python scalars, and iteration order is insertion order
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import RecordNotFound

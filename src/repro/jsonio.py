@@ -1,0 +1,31 @@
+"""Atomic JSON document IO.
+
+Every machine-readable artifact the framework writes -- benchmark
+reports, batch checkpoints, trace files -- goes through one helper
+that creates parent directories and writes atomically (temp file in
+the same directory, then ``os.replace``), so a killed run never
+leaves a half-written document where a previous good one stood.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def write_json_atomic(data: Any, out_path: "str | Path", indent: int = 2) -> Path:
+    """Serialize ``data`` to ``out_path`` atomically, creating parents.
+
+    The temp file lives next to the target (same filesystem, so the
+    rename is atomic) and is named after it, matching the batch
+    checkpoint journal's convention.
+    """
+    path = Path(out_path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=indent) + "\n")
+    os.replace(tmp, path)
+    return path

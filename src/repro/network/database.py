@@ -12,7 +12,6 @@ from repro.engine.metrics import Metrics
 from repro.engine.savepoint import Savepoint, check_owner, fingerprint
 from repro.engine.storage import Record, RecordStore
 from repro.errors import (
-    ExistenceViolation,
     IntegrityError,
     MandatoryViolation,
 )

@@ -20,12 +20,14 @@ Run it via ``repro bench`` (CLI smoke) or
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Any
 
 from repro.engine.metrics import Metrics
+from repro.jsonio import write_json_atomic
+from repro.observe.export import profile_summary
+from repro.observe.tracing import Tracer, span
 from repro.restructure.operators import AddField, Composite, RenameField
 from repro.restructure.translator import (
     DataSnapshot,
@@ -164,22 +166,26 @@ def measure_size(total_rows: int, seed: int = 1979,
     schema = perf_schema()
     source_db = build_source_db(total_rows, seed)
 
-    started = time.perf_counter()
-    snapshot = extract_snapshot(source_db)
-    extract_seconds = time.perf_counter() - started
+    with span("bench.extract", rows=total_rows):
+        started = time.perf_counter()
+        snapshot = extract_snapshot(source_db)
+        extract_seconds = time.perf_counter() - started
 
     target_schema = PERF_OPERATOR.apply_schema(schema)
-    started = time.perf_counter()
-    translated = PERF_OPERATOR.translate(snapshot, schema, target_schema)
-    translate_seconds = time.perf_counter() - started
+    with span("bench.translate", rows=total_rows):
+        started = time.perf_counter()
+        translated = PERF_OPERATOR.translate(snapshot, schema, target_schema)
+        translate_seconds = time.perf_counter() - started
 
     targets: dict[str, Any] = {}
     for model, loader in TARGET_LOADERS.items():
         metrics = Metrics()
-        started = time.perf_counter()
-        loader(target_schema, translated, metrics)
+        with span("bench.load", model=model, rows=total_rows):
+            started = time.perf_counter()
+            loader(target_schema, translated, metrics)
+            load_seconds = time.perf_counter() - started
         targets[model] = {
-            "load_seconds": time.perf_counter() - started,
+            "load_seconds": load_seconds,
             "metrics": metrics.snapshot(),
         }
 
@@ -199,25 +205,30 @@ def measure_size(total_rows: int, seed: int = 1979,
 
 def run_benchmark(sizes: list[int], seed: int = 1979,
                   compare_linear: bool = True) -> dict[str, Any]:
-    """The full report dict (see EXPERIMENTS.md for the structure)."""
+    """The full report dict (see EXPERIMENTS.md for the structure).
+
+    The whole run executes under a tracer; the per-stage profile rides
+    in the report as ``trace_summary``."""
+    tracer = Tracer()
+    with tracer:
+        measured = [
+            measure_size(total_rows, seed, compare_linear=compare_linear)
+            for total_rows in sizes
+        ]
     return {
         "suite": "translate",
         "schema": "PERF (DIV -> DEPT -> EMP, 3 levels)",
         "operator": PERF_OPERATOR.describe(),
         "seed": seed,
-        "sizes": [
-            measure_size(total_rows, seed, compare_linear=compare_linear)
-            for total_rows in sizes
-        ],
+        "sizes": measured,
+        "trace_summary": profile_summary(tracer, top=12),
     }
 
 
 def write_report(report: dict[str, Any], out_path: str | Path) -> Path:
     """Serialize a report to ``out_path`` (canonical name:
-    ``BENCH_translate.json``)."""
-    path = Path(out_path)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    return path
+    ``BENCH_translate.json``), atomically, creating parent dirs."""
+    return write_json_atomic(report, out_path)
 
 
 def summarize(report: dict[str, Any]) -> str:

@@ -23,13 +23,15 @@ Run via ``repro bench --suite programs`` (writes
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Any
 
 from repro.core.analyzer_db import ConversionAnalyzer
 from repro.engine.metrics import MetricsScope
+from repro.jsonio import write_json_atomic
+from repro.observe.export import profile_summary
+from repro.observe.tracing import Tracer, span
 from repro.programs import ast
 from repro.programs import builder as b
 from repro.programs.ast import Program
@@ -106,7 +108,8 @@ def measure_strategies(employees_per_division: int, seed: int = 1979,
     # Native baseline: the source programs on the source database.
     native_db = company.company_db(
         seed=seed, employees_per_division=employees_per_division)
-    with MetricsScope(native_db.metrics) as native_scope:
+    with MetricsScope(native_db.metrics) as native_scope, \
+            span("bench.native", scale=employees_per_division):
         started = time.perf_counter()
         native_traces = _run_all(
             lambda program, inputs: run_program(
@@ -136,7 +139,8 @@ def measure_strategies(employees_per_division: int, seed: int = 1979,
             cost += run.cost()
             return run.trace.render()
 
-        traces = _run_all(run_one, programs)
+        with span(f"bench.{name}", scale=employees_per_division):
+            traces = _run_all(run_one, programs)
         seconds = time.perf_counter() - started
         if name == "rewrite":
             # Rewrite carries the order-dependence warning: traces are
@@ -250,7 +254,9 @@ def compare_relational_execution(rows: int, statements: int,
 
     def run_suite(use_indexes: bool) -> tuple[float, list[str], dict]:
         db = build_relational_db(rows, use_indexes=use_indexes)
-        with MetricsScope(db.metrics) as scope:
+        variant = "indexed" if use_indexes else "linear"
+        with MetricsScope(db.metrics) as scope, \
+                span(f"bench.relational-{variant}", rows=rows):
             started = time.perf_counter()
             traces = [
                 run_program(program, db, consistent=False).render()
@@ -285,26 +291,33 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
                            relational_rows: int = FULL_RELATIONAL_ROWS,
                            relational_statements: int =
                            FULL_RELATIONAL_STATEMENTS) -> dict[str, Any]:
-    """The full BENCH_programs.json report dict."""
+    """The full BENCH_programs.json report dict.
+
+    The whole run executes under a tracer; the per-stage profile rides
+    in the report as ``trace_summary``."""
     programs = corpus_programs(seed, corpus_size)
+    tracer = Tracer()
+    with tracer:
+        measured_scales = [
+            measure_strategies(size, seed, programs) for size in scales
+        ]
+        relational = compare_relational_execution(
+            relational_rows, relational_statements, seed)
     return {
         "suite": "programs",
         "schema": "COMPANY (Figure 4.2), restructured per Figure 4.4",
         "seed": seed,
-        "scales": [
-            measure_strategies(size, seed, programs) for size in scales
-        ],
-        "relational_index_comparison": compare_relational_execution(
-            relational_rows, relational_statements, seed),
+        "scales": measured_scales,
+        "relational_index_comparison": relational,
+        "trace_summary": profile_summary(tracer, top=12),
     }
 
 
 def write_programs_report(report: dict[str, Any],
                           out_path: str | Path) -> Path:
-    """Serialize a report (canonical name: ``BENCH_programs.json``)."""
-    path = Path(out_path)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    return path
+    """Serialize a report (canonical name: ``BENCH_programs.json``),
+    atomically, creating parent dirs."""
+    return write_json_atomic(report, out_path)
 
 
 def summarize_programs(report: dict[str, Any]) -> str:

@@ -19,7 +19,7 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Iterator, Union
 
 

@@ -17,6 +17,7 @@ from repro.hierarchical.database import HierarchicalDatabase
 from repro.hierarchical.dml import DLISession, SSA
 from repro.network.database import NetworkDatabase
 from repro.network.dml import DMLSession
+from repro.observe.tracing import current_tracer, sampled_span, span
 from repro.programs import ast
 from repro.programs.iotrace import IOTrace
 from repro.relational.database import RelationalDatabase
@@ -77,6 +78,8 @@ class Interpreter:
         self.trace = IOTrace()
         self.env: dict[str, Any] = {"DB-STATUS": "0000", "FILE-STATUS": "00"}
         self._steps = 0
+        self._dml_statements = 0
+        self._dml_trace = False
         self._program: ast.Program | None = None
         # Per-statement compiled-expression cache.  Keyed by id() (AST
         # nodes are frozen dataclasses whose values may be unhashable);
@@ -104,8 +107,21 @@ class Interpreter:
     # -- public entry -----------------------------------------------------
 
     def run(self, program: ast.Program) -> IOTrace:
+        """Execute the program, producing its I/O trace.
+
+        Under an active tracer the whole run is a ``program.run`` span
+        stamped with the statement totals, and individual DML
+        statements are recorded as sampled ``dml.*`` spans."""
         self._program = program
-        self._exec_block(program.statements)
+        self._dml_trace = current_tracer() is not None
+        if not self._dml_trace:
+            self._exec_block(program.statements)
+            return self.trace
+        with span("program.run", capture_metrics=False,
+                  program=program.name, model=program.model) as run_span:
+            self._exec_block(program.statements)
+            run_span.set_attr("statements", self._steps)
+            run_span.set_attr("dml_statements", self._dml_statements)
         return self.trace
 
     # -- expressions ---------------------------------------------------------
@@ -182,6 +198,12 @@ class Interpreter:
             raise InterpreterError(
                 f"no handler for statement {type(stmt).__name__}"
             )
+        if type(stmt) in _DML_STATEMENTS:
+            self._dml_statements += 1
+            if self._dml_trace:
+                with sampled_span(f"dml.{type(stmt).__name__}"):
+                    handler(self, stmt)
+                return
         handler(self, stmt)
 
     # host language ----------------------------------------------------
@@ -518,6 +540,14 @@ class Interpreter:
         ast.HierPositionParent: _exec_hier_position_parent,
         ast.HierREPL: _exec_hier_repl,
     }
+
+
+#: Statement types that issue DML; counted per run and recorded as
+#: sampled spans when tracing is on.
+_DML_STATEMENTS = frozenset(
+    stmt_type for stmt_type in Interpreter._HANDLERS
+    if stmt_type.__name__.startswith(("Net", "Rel", "Hier"))
+)
 
 
 def run_program(program: ast.Program, db,

@@ -15,7 +15,7 @@ comparisons and uncorrelated IN-subqueries, and ORDER BY.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Union
 
 from repro.errors import QueryError

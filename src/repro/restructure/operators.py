@@ -22,14 +22,14 @@ becoming VIRTUAL through the new set.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Sequence
+from typing import Any
 
 from repro.errors import (
     InformationLoss,
     NotInvertible,
     RestructureError,
-    SchemaError,
 )
+from repro.observe.tracing import span
 from repro.restructure.translator import DataSnapshot, RowId
 from repro.schema.constraints import Constraint
 from repro.schema.diff import (
@@ -41,17 +41,13 @@ from repro.schema.diff import (
     FieldsExtracted,
     FieldsInlined,
     MembershipChanged,
-    RecordAdded,
     RecordInterposed,
-    RecordRemoved,
     RecordRenamed,
     RecordsMerged,
     SchemaChange,
     SetOrderChanged,
     SetRenamed,
     SiblingOrderChanged,
-    SetAdded,
-    SetRemoved,
     VirtualizedField,
 )
 from repro.schema.model import (
@@ -1270,8 +1266,10 @@ class Composite(RestructuringOperator):
         current_schema = source_schema
         for operator in self.operators:
             next_schema = operator.apply_schema(current_schema)
-            snapshot = operator.translate(snapshot, current_schema,
-                                          next_schema)
+            with span(f"operator.{type(operator).__name__}",
+                      operator=operator.describe()):
+                snapshot = operator.translate(snapshot, current_schema,
+                                              next_schema)
             current_schema = next_schema
         return snapshot
 

@@ -26,10 +26,12 @@ copy the record types they actually mutate via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.engine.metrics import Metrics
 from repro.errors import RestructureError
+from repro.observe.registry import get_registry
+from repro.observe.tracing import span
 from repro.hierarchical.database import HierarchicalDatabase
 from repro.network.database import NetworkDatabase
 from repro.network.sets import SYSTEM_OWNER_RID
@@ -54,6 +56,15 @@ class SnapshotStats:
     index_probes: int = 0
     link_scans: int = 0
     index_builds: int = 0
+
+    def __post_init__(self) -> None:
+        get_registry().register(self)
+
+    def metrics_items(self) -> Iterable[tuple[str, int]]:
+        """Yield ``(snapshot.<counter>, value)`` registry pairs."""
+        yield "snapshot.index_probes", self.index_probes
+        yield "snapshot.link_scans", self.link_scans
+        yield "snapshot.index_builds", self.index_builds
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -548,6 +559,13 @@ def restructure_database(db, operator, target_model: str = "network",
         ) from None
     source_schema = db.schema
     target_schema = operator.apply_schema(source_schema)
-    snapshot = extract_snapshot(db)
-    translated = operator.translate(snapshot, source_schema, target_schema)
-    return target_schema, loader(target_schema, translated, metrics)
+    with span("restructure.extract", model=type(db).__name__):
+        snapshot = extract_snapshot(db)
+    with span("restructure.translate"), \
+            span(f"operator.{type(operator).__name__}",
+                 operator=operator.describe()):
+        translated = operator.translate(snapshot, source_schema,
+                                        target_schema)
+    with span("restructure.load", model=target_model):
+        loaded = loader(target_schema, translated, metrics)
+    return target_schema, loaded

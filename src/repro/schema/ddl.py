@@ -324,12 +324,14 @@ class _Parser:
             elif self._at("INSERTION"):
                 self._expect("INSERTION")
                 self._expect("IS")
-                insertion = Insertion[self._expect("AUTOMATIC", "MANUAL").text.upper()]
+                word = self._expect("AUTOMATIC", "MANUAL")
+                insertion = Insertion[word.text.upper()]
                 self._expect(".")
             elif self._at("RETENTION"):
                 self._expect("RETENTION")
                 self._expect("IS")
-                retention = Retention[self._expect("MANDATORY", "OPTIONAL").text.upper()]
+                word = self._expect("MANDATORY", "OPTIONAL")
+                retention = Retention[word.text.upper()]
                 self._expect(".")
             elif self._at("DUPLICATES"):
                 self._expect("DUPLICATES")

@@ -27,6 +27,8 @@ from repro.core.analyzer_db import ChangeCatalog
 from repro.engine.storage import Record
 from repro.network.database import NetworkDatabase
 from repro.network.dml import DMLSession
+from repro.observe.registry import NamedCounters
+from repro.observe.tracing import span
 from repro.programs.ast import Program
 from repro.programs.interpreter import Interpreter, ProgramInputs
 from repro.restructure.operators import RestructuringOperator
@@ -44,14 +46,19 @@ class _LoggingDMLSession(DMLSession):
     def __init__(self, db: NetworkDatabase, diff: DifferentialFile):
         super().__init__(db)
         self.diff = diff
+        #: Per-verb update counts, visible registry-wide as
+        #: ``bridge.<verb>``.
+        self.verbs = NamedCounters("bridge")
 
     def store(self, record_name: str,
               values: dict[str, Any] | None = None) -> Record:
+        self.verbs.bump("store")
         record = super().store(record_name, values)
         self.diff.log_store(record_name, record.rid, dict(record.values))
         return record
 
     def modify(self, updates: dict[str, Any]) -> Record | None:
+        self.verbs.bump("modify")
         record = super().modify(updates)
         if record is not None:
             self.diff.log_modify(record.type_name, record.rid,
@@ -59,6 +66,7 @@ class _LoggingDMLSession(DMLSession):
         return record
 
     def erase(self, all_members: bool = False) -> None:
+        self.verbs.bump("erase")
         record = self.current_record()
         if record is not None:
             self.diff.log_erase(record.type_name, record.rid, all_members)
@@ -78,29 +86,38 @@ class BridgeStrategy(ConversionStrategy):
         self.catalog = catalog
         self.inverse = operator.inverse(catalog.source_schema)
         self.retranslations = 0
+        #: Reconstruction/retranslation counts, visible registry-wide
+        #: as ``bridge.<phase>``.
+        self.phases = NamedCounters("bridge")
 
     def _reconstruct(self) -> NetworkDatabase:
         """Rebuild the source-shaped database from the current target."""
-        metrics = self.target_db.metrics
-        snapshot = extract_snapshot(self.target_db)
-        translated = self.inverse.translate(
-            snapshot, self.catalog.target_schema, self.catalog.source_schema
-        )
-        metrics.bridge_materializations += translated.total_rows()
-        return load_network(self.catalog.source_schema, translated,
-                            metrics=metrics)
+        self.phases.bump("reconstruct")
+        with span("bridge.reconstruct"):
+            metrics = self.target_db.metrics
+            snapshot = extract_snapshot(self.target_db)
+            translated = self.inverse.translate(
+                snapshot, self.catalog.target_schema,
+                self.catalog.source_schema
+            )
+            metrics.bridge_materializations += translated.total_rows()
+            return load_network(self.catalog.source_schema, translated,
+                                metrics=metrics)
 
     def _retranslate(self, reconstruction: NetworkDatabase) -> None:
         """Forward-translate the (updated) reconstruction back into the
         target form, replacing the target database contents."""
-        metrics = self.target_db.metrics
-        snapshot = extract_snapshot(reconstruction)
-        translated = self.operator.translate(
-            snapshot, self.catalog.source_schema, self.catalog.target_schema
-        )
-        metrics.bridge_materializations += translated.total_rows()
-        self.target_db = load_network(self.catalog.target_schema,
-                                      translated, metrics=metrics)
+        self.phases.bump("retranslate")
+        with span("bridge.retranslate"):
+            metrics = self.target_db.metrics
+            snapshot = extract_snapshot(reconstruction)
+            translated = self.operator.translate(
+                snapshot, self.catalog.source_schema,
+                self.catalog.target_schema
+            )
+            metrics.bridge_materializations += translated.total_rows()
+            self.target_db = load_network(self.catalog.target_schema,
+                                          translated, metrics=metrics)
         self.retranslations += 1
 
     def run(self, program: Program,

@@ -39,6 +39,8 @@ from repro.core.report import (
 from repro.core.supervisor import Analyst
 from repro.errors import PipelineFault
 from repro.network.database import NetworkDatabase
+from repro.observe.registry import get_registry, registry_delta
+from repro.observe.tracing import span
 from repro.programs.ast import Program
 from repro.programs.interpreter import ProgramInputs, run_program
 from repro.programs.iotrace import IOTrace
@@ -121,8 +123,9 @@ class FallbackCascade:
         inputs = inputs or ProgramInputs()
         savepoint = self.source_db.savepoint()
         try:
-            return run_program(program, self.source_db, inputs.copy(),
-                               consistent=False)
+            with span("cascade.reference-run", program=program.name):
+                return run_program(program, self.source_db, inputs.copy(),
+                                   consistent=False)
         except Exception as exc:
             raise PipelineFault(
                 f"source program would not run: {exc}",
@@ -144,6 +147,24 @@ class FallbackCascade:
 
     def convert(self, program: Program,
                 inputs: ProgramInputs | None = None) -> CascadeOutcome:
+        """Run the cascade under a ``cascade.convert`` span; the report
+        comes back with the unified counter movement attached."""
+        registry = get_registry()
+        before = registry.snapshot()
+        # The span shares this wrapper's snapshots instead of taking
+        # its own pair (capture_metrics=False, then stamped below).
+        with span("cascade.convert", capture_metrics=False,
+                  program=program.name) as convert_span:
+            outcome = self._convert(program, inputs)
+        after = registry.snapshot()
+        outcome.report.metrics = registry_delta(before, after)
+        if convert_span:
+            convert_span.metrics = {k: v for k, v in after.items() if v}
+            convert_span.metrics_delta = dict(outcome.report.metrics)
+        return outcome
+
+    def _convert(self, program: Program,
+                 inputs: ProgramInputs | None = None) -> CascadeOutcome:
         inputs = inputs or ProgramInputs()
         reference = self.reference_trace(program, inputs)
 
@@ -153,37 +174,43 @@ class FallbackCascade:
         last_detail = "no cascade stages attempted"
 
         for name in self.order:
-            strategy = self.make_strategy(name)
+            with span(f"cascade.{name}", program=program.name) as stage_span:
+                strategy = self.make_strategy(name)
 
-            if name == "rewrite":
-                rewrite_report = strategy.conversion_report(program)
-                if rewrite_report.target_program is None:
-                    last_detail = rewrite_report.failure or "unconverted"
-                    stages.append(StageOutcome(name, "unconverted",
-                                               last_detail))
+                if name == "rewrite":
+                    rewrite_report = strategy.conversion_report(program)
+                    if rewrite_report.target_program is None:
+                        last_detail = rewrite_report.failure or "unconverted"
+                        stages.append(StageOutcome(name, "unconverted",
+                                                   last_detail))
+                        stage_span.set_attr("outcome", "unconverted")
+                        continue
+
+                try:
+                    run = self._probe(strategy, program, inputs)
+                except Exception as exc:
+                    last_error = exc
+                    last_detail = f"{type(exc).__name__}: {exc}"
+                    stages.append(StageOutcome(name, "error", last_detail))
+                    stage_span.set_attr("outcome", "error")
                     continue
 
-            try:
-                run = self._probe(strategy, program, inputs)
-            except Exception as exc:
-                last_error = exc
-                last_detail = f"{type(exc).__name__}: {exc}"
-                stages.append(StageOutcome(name, "error", last_detail))
-                continue
-
-            divergence = reference.diff(run.trace)
-            if divergence is None:
-                stages.append(StageOutcome(name, "validated"))
-                return self._won(program, name, stages, rewrite_report,
-                                 run, reordered=False)
-            if traces_reordered(reference, run.trace):
-                stages.append(StageOutcome(
-                    name, "validated-reordered",
-                    "same events, different order"))
-                return self._won(program, name, stages, rewrite_report,
-                                 run, reordered=True)
-            last_detail = divergence
-            stages.append(StageOutcome(name, "divergent", divergence))
+                divergence = reference.diff(run.trace)
+                if divergence is None:
+                    stages.append(StageOutcome(name, "validated"))
+                    stage_span.set_attr("outcome", "validated")
+                    return self._won(program, name, stages, rewrite_report,
+                                     run, reordered=False)
+                if traces_reordered(reference, run.trace):
+                    stages.append(StageOutcome(
+                        name, "validated-reordered",
+                        "same events, different order"))
+                    stage_span.set_attr("outcome", "validated-reordered")
+                    return self._won(program, name, stages, rewrite_report,
+                                     run, reordered=True)
+                last_detail = divergence
+                stages.append(StageOutcome(name, "divergent", divergence))
+                stage_span.set_attr("outcome", "divergent")
 
         return self._lost(program, stages, rewrite_report, last_error,
                           last_detail)

@@ -33,6 +33,7 @@ from repro.network.dml import (
     STATUS_NO_CURRENCY,
     STATUS_NOT_FOUND,
 )
+from repro.observe.registry import NamedCounters
 from repro.programs.ast import Program
 from repro.programs.interpreter import Interpreter, ProgramInputs
 from repro.schema.diff import (
@@ -64,6 +65,9 @@ class EmulatedDMLSession(DMLSession):
     def __init__(self, target_db: NetworkDatabase, catalog: ChangeCatalog,
                  cache_occurrences: bool = True):
         super().__init__(target_db)
+        #: Per-verb call counts, visible registry-wide as
+        #: ``emulation.<verb>``.
+        self.verbs = NamedCounters("emulation")
         #: Ablation knob: without the cache, every FIND NEXT
         #: re-materializes the emulated occurrence -- the paper's
         #: "maintenance of run time descriptions and tables" is what
@@ -257,6 +261,7 @@ class EmulatedDMLSession(DMLSession):
     # -- intercepted verbs --------------------------------------------------------
 
     def find_any(self, record_name: str, **field_values: Any) -> Record | None:
+        self.verbs.bump("find_any")
         raw = dict(field_values) or dict(self.uwa.get(record_name, {}))
         mapped = self._map_values(record_name, raw)
         target_name = self._rec(record_name)
@@ -282,6 +287,7 @@ class EmulatedDMLSession(DMLSession):
         return self._materialize_reordered(set_name)
 
     def find_first(self, record_name: str, set_name: str) -> Record | None:
+        self.verbs.bump("find_first")
         if not self._emulated_set(set_name):
             self.db.metrics.emulation_mappings += 1
             return super().find_first(self._rec(record_name),
@@ -298,6 +304,7 @@ class EmulatedDMLSession(DMLSession):
         return self._ok(self.db.store(member_type).fetch(members[0]))
 
     def find_next(self, record_name: str, set_name: str) -> Record | None:
+        self.verbs.bump("find_next")
         if not self._emulated_set(set_name):
             self.db.metrics.emulation_mappings += 1
             return super().find_next(self._rec(record_name),
@@ -324,6 +331,7 @@ class EmulatedDMLSession(DMLSession):
 
     def find_next_using(self, record_name: str, set_name: str,
                         *using_fields: str) -> Record | None:
+        self.verbs.bump("find_next_using")
         if not self._emulated_set(set_name):
             self.db.metrics.emulation_mappings += 1
             return super().find_next_using(self._rec(record_name),
@@ -345,6 +353,7 @@ class EmulatedDMLSession(DMLSession):
                 return record
 
     def find_owner(self, set_name: str) -> Record | None:
+        self.verbs.bump("find_owner")
         mapping = self._interposed.get(set_name)
         if mapping is None:
             self.db.metrics.emulation_mappings += 1
@@ -366,6 +375,7 @@ class EmulatedDMLSession(DMLSession):
         return self._ok(owner)
 
     def get(self) -> dict[str, Any] | None:
+        self.verbs.bump("get")
         values = super().get()
         if values is None:
             return None
@@ -392,6 +402,7 @@ class EmulatedDMLSession(DMLSession):
 
     def store(self, record_name: str,
               values: dict[str, Any] | None = None) -> Record:
+        self.verbs.bump("store")
         self.db.metrics.emulation_mappings += 1
         raw = dict(self.uwa[record_name]) if values is None else dict(values)
         mapped = self._map_values(record_name, raw)
@@ -417,6 +428,7 @@ class EmulatedDMLSession(DMLSession):
         return super().store(target_name, mapped)
 
     def modify(self, updates: dict[str, Any]) -> Record | None:
+        self.verbs.bump("modify")
         self.db.metrics.emulation_mappings += 1
         record = self.current_record()
         if record is None:
@@ -444,6 +456,7 @@ class EmulatedDMLSession(DMLSession):
         return record
 
     def erase(self, all_members: bool = False) -> None:
+        self.verbs.bump("erase")
         self.db.metrics.emulation_mappings += 1
         record = self.current_record()
         if record is not None:

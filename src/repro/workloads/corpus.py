@@ -13,7 +13,7 @@ measurable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.programs import ast
 from repro.programs import builder as b

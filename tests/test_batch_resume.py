@@ -8,7 +8,6 @@ import pytest
 from repro.batch import BatchCheckpoint, CheckpointError, convert_batch
 from repro.core.report import (
     BatchReport,
-    ConversionReport,
     FaultContext,
     STATUS_ASSISTED,
     STATUS_AUTOMATIC,

@@ -1,0 +1,197 @@
+"""Tests for the benchmark diff gate (:mod:`repro.perf.diff`) and the
+atomic JSON writer the reports go through.
+
+The CI contract under test: config/shape changes are errors (exit 1),
+timing movement only warns (exit 0), and report enrichment is a note.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.jsonio import write_json_atomic
+from repro.perf.diff import diff_reports, render_markdown
+
+BASE_REPORT = {
+    "suite": "translate",
+    "seed": 1234,
+    "sizes": [
+        {
+            "rows": 500,
+            "extract_seconds": 0.05,
+            "translate_seconds": 0.08,
+            "load_seconds": 0.04,
+            "traces_match": True,
+        },
+    ],
+    "trace_summary": [{"name": "bench.extract", "calls": 1}],
+}
+
+
+def variant(**size_overrides):
+    report = json.loads(json.dumps(BASE_REPORT))
+    report["sizes"][0].update(size_overrides)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Diff semantics
+# ---------------------------------------------------------------------------
+
+
+def test_identical_reports_are_clean():
+    diff = diff_reports(BASE_REPORT, json.loads(json.dumps(BASE_REPORT)))
+    assert diff.ok
+    assert diff.errors == [] and diff.warnings == [] and diff.notes == []
+    assert all(status == "ok" for *_, status in diff.rows)
+
+
+def test_config_change_is_an_error():
+    diff = diff_reports(BASE_REPORT, variant(rows=800))
+    assert not diff.ok
+    assert any("configuration changed" in error for error in diff.errors)
+
+
+def test_top_level_config_change_is_an_error():
+    changed = json.loads(json.dumps(BASE_REPORT))
+    changed["seed"] = 99
+    diff = diff_reports(BASE_REPORT, changed)
+    assert any("seed" in error for error in diff.errors)
+
+
+def test_removed_key_is_an_error_added_key_is_a_note():
+    removed = json.loads(json.dumps(BASE_REPORT))
+    del removed["sizes"][0]["load_seconds"]
+    diff = diff_reports(BASE_REPORT, removed)
+    assert any("missing from the new" in error for error in diff.errors)
+
+    added = variant(store_seconds=0.01)
+    diff = diff_reports(BASE_REPORT, added)
+    assert diff.ok
+    assert any("new measurement" in note for note in diff.notes)
+
+
+def test_list_length_change_is_an_error():
+    longer = json.loads(json.dumps(BASE_REPORT))
+    longer["sizes"].append(dict(longer["sizes"][0]))
+    diff = diff_reports(BASE_REPORT, longer)
+    assert any("list length changed" in error for error in diff.errors)
+
+
+def test_type_change_is_an_error():
+    diff = diff_reports(BASE_REPORT, variant(traces_match="yes"))
+    assert not diff.ok
+
+
+def test_timing_regression_warns_but_stays_ok():
+    diff = diff_reports(BASE_REPORT, variant(translate_seconds=0.2))
+    assert diff.ok
+    assert any("translate_seconds" in warning for warning in diff.warnings)
+    assert any(status == "slower" for *_, status in diff.rows)
+
+
+def test_timing_below_floor_never_warns():
+    tiny_old = variant(translate_seconds=0.001)
+    tiny_new = variant(translate_seconds=0.004)  # 4x, but sub-floor
+    diff = diff_reports(tiny_old, tiny_new)
+    assert diff.warnings == []
+
+
+def test_timing_improvement_is_not_flagged():
+    diff = diff_reports(BASE_REPORT, variant(translate_seconds=0.01))
+    assert diff.ok and diff.warnings == []
+
+
+def test_speedup_and_cost_thresholds():
+    old = {"suite": "programs", "speedup": 2.0, "overhead_vs_native": 100}
+    slower = {"suite": "programs", "speedup": 1.0,
+              "overhead_vs_native": 100}
+    diff = diff_reports(old, slower)
+    assert diff.ok and any("speedup fell" in w for w in diff.warnings)
+
+    costlier = {"suite": "programs", "speedup": 2.0,
+                "overhead_vs_native": 150}
+    diff = diff_reports(old, costlier)
+    assert diff.ok and any("cost grew" in w for w in diff.warnings)
+
+
+def test_bool_regression_warns_and_recovery_notes():
+    diff = diff_reports(BASE_REPORT, variant(traces_match=False))
+    assert diff.ok
+    assert any("True -> False" in warning for warning in diff.warnings)
+
+    recovered = variant(traces_match=False)
+    diff = diff_reports(recovered, BASE_REPORT)
+    assert diff.warnings == [] and any("now True" in n for n in diff.notes)
+
+
+def test_trace_summary_subtree_is_skipped():
+    changed = json.loads(json.dumps(BASE_REPORT))
+    changed["trace_summary"] = [{"name": "totally", "different": "shape"},
+                                {"and": "longer"}]
+    diff = diff_reports(BASE_REPORT, changed)
+    assert diff.ok and diff.warnings == [] and diff.notes == []
+
+
+def test_plain_counters_carry_no_verdict():
+    old = {"suite": "programs", "metrics": {"engine.records_read": 100}}
+    new = {"suite": "programs", "metrics": {"engine.records_read": 900}}
+    diff = diff_reports(old, new)
+    assert diff.ok and diff.warnings == []
+
+
+def test_render_markdown_sections():
+    diff = diff_reports(BASE_REPORT, variant(rows=800,
+                                             translate_seconds=0.2))
+    rendered = render_markdown(diff)
+    assert "### Benchmark diff" in rendered
+    assert "**Errors (reports not comparable):**" in rendered
+    assert "**Regressions (warn-only):**" in rendered
+    assert "| measurement |" in rendered
+
+
+def test_render_markdown_empty():
+    empty = diff_reports({"suite": "x"}, {"suite": "x"})
+    assert "No measurements compared." in render_markdown(empty)
+
+
+# ---------------------------------------------------------------------------
+# CLI and the atomic writer
+# ---------------------------------------------------------------------------
+
+
+def test_cli_diff_exit_codes(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    same = tmp_path / "same.json"
+    warn = tmp_path / "warn.json"
+    bad = tmp_path / "bad.json"
+    write_json_atomic(BASE_REPORT, old)
+    write_json_atomic(BASE_REPORT, same)
+    write_json_atomic(variant(translate_seconds=0.5), warn)
+    write_json_atomic(variant(rows=999), bad)
+
+    assert main(["bench", "--diff", str(old), str(same)]) == 0
+    assert main(["bench", "--diff", str(old), str(warn)]) == 0
+    out = capsys.readouterr().out
+    assert "Regressions (warn-only)" in out
+    assert main(["bench", "--diff", str(old), str(bad)]) == 1
+    assert "configuration changed" in capsys.readouterr().out
+
+
+def test_write_json_atomic_creates_parents_and_trailing_newline(tmp_path):
+    target = tmp_path / "deep" / "nested" / "report.json"
+    written = write_json_atomic({"a": 1}, target)
+    assert written == target
+    text = target.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == {"a": 1}
+    # No leftover temp file from the replace dance.
+    assert list(target.parent.iterdir()) == [target]
+
+
+def test_write_json_atomic_overwrites(tmp_path):
+    target = tmp_path / "report.json"
+    write_json_atomic({"v": 1}, target)
+    write_json_atomic({"v": 2}, target)
+    assert json.loads(target.read_text()) == {"v": 2}

@@ -10,12 +10,9 @@ from repro.programs import builder as b
 from repro.programs.interpreter import run_program
 from repro.restructure import (
     SwapSiblingOrder,
-    extract_snapshot,
-    load_hierarchical,
     restructure_database,
 )
 from repro.schema import Schema
-from repro.schema.diff import SiblingOrderChanged
 
 
 def ims_schema() -> Schema:

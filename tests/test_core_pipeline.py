@@ -9,7 +9,6 @@ from repro.core import (
     Optimizer,
     ProgramAnalyzer,
     ProgramConverter,
-    ProgramGenerator,
     RefusingAnalyst,
     ScriptedAnalyst,
     check_equivalence,

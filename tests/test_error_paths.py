@@ -7,7 +7,6 @@ from repro.core import check_equivalence
 from repro.core.report import BatchReport, ConversionReport
 from repro.core.supervisor import AnalystQuestion, ScriptedAnalyst
 from repro.errors import QueryError, RestructureError
-from repro.network import DMLSession, NetworkDatabase
 from repro.programs import builder as b
 from repro.programs.interpreter import Interpreter, InterpreterError
 from repro.restructure import restructure_database

@@ -19,7 +19,7 @@ from hypothesis import given, settings, strategies as st
 from repro.engine import SortedIndex
 from repro.engine.index import _orderable
 from repro.errors import SchemaError
-from repro.network import DMLSession, NetworkDatabase
+from repro.network import NetworkDatabase
 from repro.restructure import (
     RenameField,
     extract_snapshot,

@@ -11,9 +11,8 @@ import pytest
 from repro.engine import RecordStore, Savepoint, fingerprint
 from repro.engine.savepoint import check_owner
 from repro.errors import SavepointMismatch
-from repro.hierarchical import DLISession, HierarchicalDatabase, SSA
-from repro.network import DMLSession, NetworkDatabase
-from repro.relational.database import RelationalDatabase
+from repro.hierarchical import DLISession, SSA
+from repro.network import DMLSession
 from repro.workloads import company
 
 

@@ -9,7 +9,6 @@ from repro.schema import (
     DomainConstraint,
     ExistenceConstraint,
     NotNull,
-    Schema,
     UniqueKey,
 )
 from repro.schema.constraints import check_all

@@ -5,14 +5,12 @@ the O(n) access-path guarantee of the bulk hierarchical load.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.perf.harness import build_snapshot, perf_schema, size_split
 from repro.restructure import (
     AddField,
     Composite,
-    InterposeRecord,
     RenameField,
     extract_snapshot,
     load_hierarchical,

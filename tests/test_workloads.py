@@ -3,7 +3,7 @@
 from repro.analysis import detect_pathologies
 from repro.network import DMLSession
 from repro.programs.interpreter import ProgramInputs, run_program
-from repro.workloads import DataGen, company, corpus, florida, school
+from repro.workloads import DataGen, company, corpus, school
 from repro.workloads.corpus import CorpusSpec, generate_corpus
 
 
