@@ -18,6 +18,8 @@ from pathlib import Path
 import pytest
 
 from repro.perf.programs import (
+    SMOKE_JOBS_CURVE,
+    SMOKE_PARALLEL_PROGRAMS,
     SMOKE_PROGRAMS,
     SMOKE_RELATIONAL_ROWS,
     SMOKE_RELATIONAL_STATEMENTS,
@@ -61,6 +63,17 @@ def _check_report_shape(report: dict) -> None:
     )
     assert comparison["indexed_stats"]["index_hits"] > 0
     assert comparison["linear_stats"]["index_hits"] == 0
+    scaling = report["parallel_scaling"]
+    assert scaling["programs"] > 0
+    assert [row["jobs"] for row in scaling["jobs"]]
+    for row in scaling["jobs"]:
+        assert row["seconds"] > 0
+        # Determinism is non-negotiable at every worker count; the
+        # *speedup* is asserted only in the perf-marked full run
+        # (wall-clock on shared/1-CPU runners proves nothing).
+        assert row["reports_identical"], (
+            f"jobs={row['jobs']} reports diverged from the 1-worker run"
+        )
 
 
 def test_programs_smoke(tmp_path):
@@ -69,6 +82,8 @@ def test_programs_smoke(tmp_path):
         corpus_size=SMOKE_PROGRAMS,
         relational_rows=SMOKE_RELATIONAL_ROWS,
         relational_statements=SMOKE_RELATIONAL_STATEMENTS,
+        jobs_curve=SMOKE_JOBS_CURVE,
+        parallel_programs=SMOKE_PARALLEL_PROGRAMS,
     )
     _check_report_shape(report)
     out = write_programs_report(report, tmp_path / "BENCH_programs.json")
@@ -88,3 +103,22 @@ def test_programs_full_writes_baseline():
     write_programs_report(report, BASELINE)
     print()
     print(summarize_programs(report))
+
+
+@pytest.mark.perf
+def test_parallel_scaling_reaches_2x_at_4_workers():
+    """Only meaningful on a multi-core runner (the tier-1 container has
+    a single CPU, where the spawn overhead *costs* time); hence
+    perf-marked and excluded from CI smoke."""
+    import os
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 CPUs for a meaningful scaling curve")
+    from repro.perf.programs import measure_parallel_scaling
+
+    scaling = measure_parallel_scaling(jobs_curve=(1, 4))
+    by_jobs = {row["jobs"]: row for row in scaling["jobs"]}
+    assert by_jobs[4]["reports_identical"]
+    assert by_jobs[4]["speedup_vs_serial"] >= 2.0, (
+        f"4 workers only {by_jobs[4]['speedup_vs_serial']:.2f}x faster"
+    )

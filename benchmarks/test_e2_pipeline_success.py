@@ -19,6 +19,7 @@ import pytest
 
 from conftest import print_table
 from repro.core import ConversionSupervisor, RefusingAnalyst
+from repro.options import ConversionOptions
 from repro.core.report import (
     STATUS_ASSISTED,
     STATUS_AUTOMATIC,
@@ -206,8 +207,9 @@ def test_relational_inventory_insensitive_to_change(benchmark):
                 ("relational", relational_items, "relational")):
             converted = untouched = warned = 0
             for item in items:
-                report = supervisor.convert_program(item.program,
-                                                    target_model=model)
+                report = supervisor.convert_program(
+                    item.program,
+                    options=ConversionOptions(target_model=model))
                 if report.target_program is None:
                     continue
                 converted += 1

@@ -18,6 +18,7 @@ Reproduced artifacts:
 from conftest import print_table
 from repro.core import ProgramGenerator, access_pattern_sequence
 from repro.core.access_patterns import render_sequence
+from repro.options import ConversionOptions
 from repro.programs import ast
 from repro.programs.interpreter import run_program
 from repro.relational import evaluate, parse_sequel
@@ -111,9 +112,10 @@ def test_schema_change_plus_model_change_in_one_conversion(benchmark):
 
     def convert_and_run():
         network_report = supervisor.convert_program(
-            program, target_model="network")
+            program, options=ConversionOptions(target_model="network"))
         relational_report = supervisor.convert_program(
-            program, target_model="relational")
+            program,
+            options=ConversionOptions(target_model="relational"))
         target_schema, network_target = restructure_database(
             company.company_db(seed=1979), operator)
         relational_target = load_relational(

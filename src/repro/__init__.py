@@ -29,6 +29,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 per-figure reproduction results.
 """
 
+from repro.api import (
+    convert,
+    convert_batch,
+    load_schema,
+    reset_deprecation_warnings,
+    run_bench,
+)
 from repro.errors import (
     AnalysisError,
     ConversionError,
@@ -41,10 +48,23 @@ from repro.errors import (
     SchemaError,
     UnconvertiblePattern,
 )
+from repro.options import ConversionOptions
+from repro.parallel import ParallelExecutionError, ParallelExecutor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # -- facade (repro.api) -------------------------------------------
+    "ConversionOptions",
+    "convert",
+    "convert_batch",
+    "load_schema",
+    "run_bench",
+    "reset_deprecation_warnings",
+    # -- parallel execution -------------------------------------------
+    "ParallelExecutor",
+    "ParallelExecutionError",
+    # -- error hierarchy ----------------------------------------------
     "ReproError",
     "EngineError",
     "SchemaError",

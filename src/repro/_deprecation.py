@@ -1,0 +1,39 @@
+"""Warn-once plumbing for the deprecated pre-facade entry points.
+
+The :mod:`repro.api` facade replaced the divergent kwargs that had
+accreted on :meth:`ConversionSupervisor.convert_program`,
+:meth:`FallbackCascade.convert`, and :func:`repro.batch.convert_batch`
+with one :class:`~repro.options.ConversionOptions` dataclass.  The old
+signatures remain as thin shims; each distinct shim warns exactly once
+per process (a batch looping a deprecated call site should not emit a
+thousand identical warnings), keyed by shim name rather than call
+site so the guarantee is testable.
+
+This module has no repro dependencies so every layer can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim keys that have already warned in this process.
+_WARNED: set[str] = set()
+
+
+def warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key``, at most once per process.
+
+    The key is recorded *before* warning so a ``-W error`` run (the CI
+    tier-1 configuration) that turns the warning into an exception
+    still counts the shim as having warned.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims warned (test isolation hook)."""
+    _WARNED.clear()

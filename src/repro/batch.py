@@ -7,7 +7,7 @@ batch must survive any single program going wrong: one fault may not
 take down the run, corrupt the databases the probes execute against,
 or lose the work already done.
 
-:func:`convert_batch` provides those three guarantees over a
+:func:`run_batch` provides those three guarantees over a
 :class:`~repro.strategies.cascade.FallbackCascade`:
 
 * **isolation** -- every program converts inside engine savepoints;
@@ -16,11 +16,19 @@ or lose the work already done.
   with a :class:`~repro.core.report.FaultContext` carrying the chained
   root cause, while the rest of the batch proceeds;
 * **durability** -- after each program the batch journals its progress
-  to a JSON checkpoint (atomic rename), so a killed run resumes with
-  ``resume=True`` and completes only the unfinished programs;
+  to a JSON checkpoint (atomic rename + directory fsync), so a killed
+  run resumes with ``resume=True`` and completes only the unfinished
+  programs;
 * **fidelity** -- a resumed batch reproduces the same final
   :class:`~repro.core.report.BatchReport` (reports are serialized via
   the exact render/parse round trip).
+
+The parallel executor (:mod:`repro.parallel`) reuses the same journal
+through per-worker *shards*: worker ``k`` journals to
+``<checkpoint>.shard<k>`` after each program, and the coordinator
+merges the shards into the main checkpoint in program order --
+atomically, shards unlinked only after the merged document is durable
+-- so a resumed parallel run is byte-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro._deprecation import warn_deprecated
 from repro.core.report import (
     BatchReport,
     ConversionReport,
@@ -37,6 +46,7 @@ from repro.core.report import (
 from repro.errors import ReproError
 from repro.jsonio import write_json_atomic
 from repro.observe.tracing import span
+from repro.options import ConversionOptions
 from repro.programs.ast import Program
 from repro.programs.interpreter import ProgramInputs
 from repro.strategies.cascade import FallbackCascade
@@ -73,11 +83,10 @@ class BatchCheckpoint:
             )
         return data
 
-    def completed_reports(self, programs: list[str]
-                          ) -> dict[str, ConversionReport]:
-        """The already-finished reports, verified against this batch's
-        program list (a checkpoint from a different batch is refused,
-        not silently merged)."""
+    def completed_summaries(self, programs: list[str]) -> dict[str, dict]:
+        """The already-journaled report summaries, verified against
+        this batch's program list (a checkpoint from a different batch
+        is refused, not silently merged)."""
         data = self.load()
         if data.get("programs") != programs:
             raise CheckpointError(
@@ -85,45 +94,131 @@ class BatchCheckpoint:
                 f"{data.get('programs')}, not {programs}"
             )
         return {
-            entry["program"]: ConversionReport.from_summary(entry)
-            for entry in data.get("completed", ())
+            entry["program"]: entry for entry in data.get("completed", ())
+        }
+
+    def completed_reports(self, programs: list[str]
+                          ) -> dict[str, ConversionReport]:
+        """:meth:`completed_summaries`, parsed back into reports."""
+        return {
+            name: ConversionReport.from_summary(entry)
+            for name, entry in self.completed_summaries(programs).items()
         }
 
     def write(self, programs: list[str],
               completed: list[ConversionReport]) -> None:
         """Atomic journal update (write-then-rename, so a kill mid-write
         leaves the previous checkpoint intact)."""
+        self.write_summaries(
+            programs, [report.to_summary() for report in completed])
+
+    def write_summaries(self, programs: list[str],
+                        completed: list[dict]) -> None:
         data = {
             "version": CHECKPOINT_VERSION,
             "programs": programs,
-            "completed": [report.to_summary() for report in completed],
+            "completed": completed,
         }
         write_json_atomic(data, self.path)
 
     def clear(self) -> None:
         if self.path.exists():
             self.path.unlink()
+        for shard in self.shard_paths():
+            shard.unlink()
+
+    # -- per-worker shards (parallel batches) --------------------------
+
+    def shard_path(self, worker_id: int) -> Path:
+        """Worker ``k``'s private journal, next to the main checkpoint."""
+        return self.path.with_name(f"{self.path.name}.shard{worker_id}")
+
+    def shard(self, worker_id: int) -> "BatchCheckpoint":
+        return BatchCheckpoint(self.shard_path(worker_id))
+
+    def shard_paths(self) -> list[Path]:
+        """Existing shard files, ordered by worker id."""
+        prefix = f"{self.path.name}.shard"
+        found = [
+            p for p in self.path.parent.glob(f"{prefix}*")
+            if p.name[len(prefix):].isdigit()
+        ]
+        return sorted(found, key=lambda p: int(p.name[len(prefix):]))
+
+    def merge_shards(self, programs: list[str]) -> None:
+        """Fold every worker shard into the main checkpoint.
+
+        The union of the main document and all shards is rewritten in
+        program order -- the same order a serial run journals in, so
+        the merged checkpoint is byte-identical to a serial one.  The
+        merged document is written (and its directory fsynced) *before*
+        the shards are unlinked: a crash inside the merge window leaves
+        either the shards or the merged main, never neither.  The
+        fault-injection harness targets exactly that window via
+        ``inject(repro.batch, "write_json_atomic")`` and
+        ``inject(repro.jsonio, "fsync_dir")``.
+        """
+        merged: dict[str, dict] = {}
+        if self.exists():
+            merged.update(self.completed_summaries(programs))
+        shards = self.shard_paths()
+        for shard_file in shards:
+            merged.update(
+                BatchCheckpoint(shard_file).completed_summaries(programs))
+        ordered = [merged[name] for name in programs if name in merged]
+        write_json_atomic(
+            {
+                "version": CHECKPOINT_VERSION,
+                "programs": programs,
+                "completed": ordered,
+            },
+            self.path,
+        )
+        for shard_file in shards:
+            shard_file.unlink()
+
+    def recover(self, programs: list[str]) -> dict[str, ConversionReport]:
+        """Resume entry point: fold in any leftover shards (a parallel
+        run killed before or during its merge), then return the
+        completed reports.  Tolerates a missing main checkpoint."""
+        if self.shard_paths():
+            self.merge_shards(programs)
+        if not self.exists():
+            return {}
+        return self.completed_reports(programs)
 
 
-def convert_batch(cascade: FallbackCascade, programs: list[Program],
-                  checkpoint: str | Path | None = None,
-                  resume: bool = False,
-                  inputs: ProgramInputs | None = None) -> BatchReport:
-    """Convert every program through the fallback cascade, isolating
-    per-program faults and journaling progress.
-
-    With ``resume=True`` and an existing checkpoint, programs already
-    journaled are not re-run; their reports are reconstructed from the
-    checkpoint so the final report matches an uninterrupted run.
-    """
+def check_program_names(programs: list[Program]) -> list[str]:
+    """The batch's program names, refused on duplicates (the journal
+    and the parallel merge both key on the name)."""
     names = [program.name for program in programs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate program names in batch: {names}")
+    return names
 
-    journal = BatchCheckpoint(checkpoint) if checkpoint else None
+
+def run_batch(cascade: FallbackCascade, programs: list[Program],
+              options: ConversionOptions | None = None) -> BatchReport:
+    """Convert every program through the fallback cascade, isolating
+    per-program faults and journaling progress.
+
+    With ``options.resume`` and an existing checkpoint (or leftover
+    parallel shards), programs already journaled are not re-run; their
+    reports are reconstructed from the checkpoint so the final report
+    matches an uninterrupted run.
+
+    This is the serial engine; ``options.jobs`` is ignored here.  The
+    facade's :func:`repro.api.convert_batch` dispatches to
+    :class:`repro.parallel.ParallelExecutor` when ``jobs > 1``.
+    """
+    options = options if options is not None else ConversionOptions()
+    names = check_program_names(programs)
+
+    journal = BatchCheckpoint(options.checkpoint) if options.checkpoint \
+        else None
     done: dict[str, ConversionReport] = {}
-    if journal is not None and resume and journal.exists():
-        done = journal.completed_reports(names)
+    if journal is not None and options.resume:
+        done = journal.recover(names)
 
     batch = BatchReport()
     finished: list[ConversionReport] = [
@@ -136,7 +231,7 @@ def convert_batch(cascade: FallbackCascade, programs: list[Program],
                 batch.add(done[program.name])
                 continue
             with span("batch.program", program=program.name):
-                report = _convert_isolated(cascade, program, inputs)
+                report = convert_one(cascade, program, options)
             batch.add(report)
             finished.append(report)
             if journal is not None:
@@ -144,16 +239,47 @@ def convert_batch(cascade: FallbackCascade, programs: list[Program],
     return batch
 
 
-def _convert_isolated(cascade: FallbackCascade, program: Program,
-                      inputs: ProgramInputs | None) -> ConversionReport:
+def convert_batch(cascade: FallbackCascade, programs: list[Program],
+                  checkpoint: str | Path | None = None,
+                  resume: bool = False,
+                  inputs: ProgramInputs | None = None) -> BatchReport:
+    """Deprecated pre-facade signature; use :func:`run_batch` with a
+    :class:`~repro.options.ConversionOptions` (or the
+    :func:`repro.api.convert_batch` facade)."""
+    warn_deprecated(
+        "batch.convert_batch",
+        "repro.batch.convert_batch(checkpoint=..., resume=..., "
+        "inputs=...) is deprecated; use repro.api.convert_batch with "
+        "options=ConversionOptions(...) instead",
+    )
+    return run_batch(cascade, programs, ConversionOptions(
+        checkpoint=checkpoint, resume=resume, inputs=inputs))
+
+
+def convert_one(cascade: FallbackCascade, program: Program,
+                options: ConversionOptions) -> ConversionReport:
     """One program through the cascade, with belt-and-braces rollback:
     the cascade already probes inside savepoints, but if a fault
     escapes anyway both databases are restored here before the failure
-    is recorded."""
+    is recorded.
+
+    When the options carry a fault plan, its faults for this program
+    are armed around the conversion -- call counting scoped to this
+    one program unit, so the plan fires identically no matter how the
+    batch is ordered or sharded across workers.
+    """
     source_sp = cascade.source_db.savepoint()
     target_sp = cascade.target_db.savepoint()
+    plan = options.fault_plan
     try:
-        outcome = cascade.convert(program, inputs)
+        if plan:
+            with plan.armed(program.name, {
+                "source_db": cascade.source_db,
+                "target_db": cascade.target_db,
+            }):
+                outcome = cascade.convert(program, options=options)
+        else:
+            outcome = cascade.convert(program, options=options)
     except Exception as exc:
         cascade.source_db.rollback(source_sp)
         cascade.target_db.rollback(target_sp)
@@ -164,3 +290,14 @@ def _convert_isolated(cascade: FallbackCascade, program: Program,
         report.fault = fault
         return report
     return outcome.report
+
+
+def _convert_isolated(cascade: FallbackCascade, program: Program,
+                      inputs: ProgramInputs | None) -> ConversionReport:
+    """Deprecated alias for :func:`convert_one` (pre-facade name)."""
+    warn_deprecated(
+        "batch._convert_isolated",
+        "repro.batch._convert_isolated is deprecated; use "
+        "repro.batch.convert_one with ConversionOptions(inputs=...)",
+    )
+    return convert_one(cascade, program, ConversionOptions(inputs=inputs))

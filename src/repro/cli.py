@@ -16,6 +16,7 @@ drivable from the shell::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -90,10 +91,13 @@ def cmd_analyze(args) -> int:
 def cmd_convert(args) -> int:
     """Convert one program for a restructuring (Figure 4.1), or -- with
     repeated ``--program`` or a ``--checkpoint`` -- a fault-isolated
-    batch through the strategy fallback cascade.  ``--trace`` and
-    ``--profile`` run the conversion under a tracer (always through the
-    cascade, so supervisor phases, cascade stages, and restructure
-    operators all appear in the span tree)."""
+    batch through the strategy fallback cascade, parallel across
+    ``--jobs`` worker processes.  ``--trace`` and ``--profile`` run the
+    conversion under a tracer (always through the cascade, so
+    supervisor phases, cascade stages, and restructure operators all
+    appear in the span tree)."""
+    from repro import api
+
     schema = _load_schema(args)
     operator = parse_spec(_read(args.spec))
     programs = [parse_program(_read(path)) for path in args.program]
@@ -117,12 +121,14 @@ def cmd_convert(args) -> int:
         return code
 
     program = programs[0]
-    passes = () if args.no_optimize else (
-        "pushdown", "keyed", "dedup-locate", "owner-elim")
-    supervisor = ConversionSupervisor(schema, operator,
-                                      optimizer_passes=passes)
-    report = supervisor.convert_program(
-        program, target_model=args.target_model)
+    from repro.options import DEFAULT_OPTIMIZER_PASSES
+
+    options = api.ConversionOptions(
+        target_model=args.target_model,
+        optimizer_passes=() if args.no_optimize
+        else DEFAULT_OPTIMIZER_PASSES,
+    )
+    report = api.convert(schema, operator, program, options)
     print(report.render(), file=sys.stderr)
     if report.target_program is None:
         return 1
@@ -132,18 +138,20 @@ def cmd_convert(args) -> int:
 
 def _cmd_convert_batch(args, schema, operator, programs) -> int:
     """Batch conversion: cascade per program, probe databases built
-    from the optional ``--data`` loader, checkpointed and resumable."""
-    from repro.batch import convert_batch
+    from the optional ``--data`` loader, checkpointed, resumable, and
+    parallel across ``--jobs`` workers."""
+    from repro import api
     from repro.restructure import restructure_database
     from repro.strategies.cascade import FallbackCascade
 
     source_db = _build_database(schema, args.data)
     _target_schema, target_db = restructure_database(source_db, operator)
     cascade = FallbackCascade(source_db, target_db, operator)
-    batch = convert_batch(cascade, programs,
-                          checkpoint=args.checkpoint,
-                          resume=args.resume,
-                          inputs=_load_inputs(args))
+    batch = api.convert_batch(cascade, programs, api.ConversionOptions(
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        inputs=_load_inputs(args),
+        jobs=args.jobs))
     for report in batch.reports:
         print(report.render(), file=sys.stderr)
     print(batch.render(), file=sys.stderr)
@@ -190,12 +198,15 @@ def cmd_run(args) -> int:
     db = _build_database(schema, args.data)
     inputs = _load_inputs(args)
     if args.spec:
+        from repro.options import ConversionOptions
+
         operator = parse_spec(_read(args.spec))
         _target_schema, db = restructure_database(
             db, operator, target_model=args.target_model or "network")
         supervisor = ConversionSupervisor(schema, operator)
         report = supervisor.convert_program(
-            program, target_model=args.target_model)
+            program,
+            options=ConversionOptions(target_model=args.target_model))
         print(report.render(), file=sys.stderr)
         if report.target_program is None:
             return 1
@@ -247,10 +258,11 @@ def cmd_bench(args) -> int:
         return _bench_diff(args)
     if args.suite == "programs":
         return _bench_programs(args)
-    from repro.perf.harness import run_benchmark, summarize, write_report
+    from repro import api
+    from repro.perf.harness import summarize
 
     try:
-        sizes = [int(part) for part in args.sizes.split(",") if part]
+        sizes = tuple(int(part) for part in args.sizes.split(",") if part)
     except ValueError:
         print(f"error: --sizes must be comma-separated integers, "
               f"got {args.sizes!r}", file=sys.stderr)
@@ -258,13 +270,12 @@ def cmd_bench(args) -> int:
     if not sizes:
         print("error: --sizes is empty", file=sys.stderr)
         return 2
-    if args.smoke:
-        sizes = [min(sizes)]
-    report = run_benchmark(sizes, seed=args.seed,
-                           compare_linear=not args.no_compare)
-    path = write_report(report, args.out)
+    report = api.run_bench("translate", seed=args.seed, smoke=args.smoke,
+                           sizes=sizes,
+                           compare_linear=not args.no_compare,
+                           out=args.out)
     print(summarize(report))
-    print(f"wrote {path}")
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -289,24 +300,16 @@ def cmd_trace_summarize(args) -> int:
 
 
 def _bench_programs(args) -> int:
+    from repro import api
     from repro.perf import programs as perf_programs
 
-    if args.smoke:
-        kwargs = dict(
-            scales=perf_programs.SMOKE_SCALES,
-            corpus_size=perf_programs.SMOKE_PROGRAMS,
-            relational_rows=perf_programs.SMOKE_RELATIONAL_ROWS,
-            relational_statements=perf_programs.SMOKE_RELATIONAL_STATEMENTS,
-        )
-    else:
-        kwargs = {}
-    report = perf_programs.run_programs_benchmark(seed=args.seed, **kwargs)
     out = args.out
     if out == "BENCH_translate.json":  # the translate-suite default
         out = "BENCH_programs.json"
-    path = perf_programs.write_programs_report(report, out)
+    report = api.run_bench("programs", seed=args.seed, smoke=args.smoke,
+                           out=out)
     print(perf_programs.summarize_programs(report))
-    print(f"wrote {path}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -378,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--resume", action="store_true",
                      help="batch mode: skip programs already journaled "
                           "in --checkpoint")
+    sub.add_argument("--jobs", type=int, default=os.cpu_count(),
+                     help="batch mode: worker processes (default: one "
+                          "per CPU); 1 runs in-process")
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")

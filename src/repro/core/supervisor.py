@@ -31,6 +31,7 @@ from repro.core.report import (
     STATUS_FAILED,
     STATUS_WARNINGS,
 )
+from repro._deprecation import warn_deprecated
 from repro.errors import (
     AnalysisError,
     ConversionError,
@@ -40,6 +41,7 @@ from repro.errors import (
     annotate,
 )
 from repro.observe.registry import get_registry, registry_delta
+from repro.options import DEFAULT_OPTIMIZER_PASSES, ConversionOptions
 from repro.observe.tracing import span
 from repro.programs import ast
 from repro.restructure.operators import RestructuringOperator
@@ -147,8 +149,8 @@ class ConversionSupervisor:
                  target_schema: Schema | None = None,
                  analyst: Analyst | None = None,
                  cost_model: CostModel | None = None,
-                 optimizer_passes: tuple[str, ...] = (
-                     "pushdown", "keyed", "dedup-locate", "owner-elim"),
+                 optimizer_passes: tuple[str, ...] =
+                 DEFAULT_OPTIMIZER_PASSES,
                  verb_pins: dict[str, dict[int, str]] | None = None):
         analyzer = ConversionAnalyzer()
         if operator is not None:
@@ -168,6 +170,20 @@ class ConversionSupervisor:
                                    optimizer_passes)
         self.generator = ProgramGenerator(self.catalog.target_schema)
         self.verb_pins = verb_pins or {}
+
+    @classmethod
+    def from_options(cls, source_schema: Schema,
+                     operator: RestructuringOperator | None = None,
+                     target_schema: Schema | None = None,
+                     options: ConversionOptions | None = None
+                     ) -> "ConversionSupervisor":
+        """Build a supervisor from one :class:`ConversionOptions`
+        (the :mod:`repro.api` construction path)."""
+        options = options if options is not None else ConversionOptions()
+        return cls(source_schema, operator, target_schema,
+                   analyst=options.analyst,
+                   optimizer_passes=options.optimizer_passes,
+                   verb_pins=options.verb_pins)
 
     # -- single program ----------------------------------------------------
 
@@ -193,12 +209,24 @@ class ConversionSupervisor:
             ) from exc
 
     def convert_program(self, program: ast.Program,
-                        target_model: str | None = None
+                        target_model: str | None = None, *,
+                        options: ConversionOptions | None = None
                         ) -> ConversionReport:
         """Convert one program, under a ``supervisor.convert`` span.
 
         The report comes back carrying the unified counter movement
-        observed during the conversion (``report.metrics``)."""
+        observed during the conversion (``report.metrics``).  The
+        ``target_model=`` kwarg is a deprecated shim; pass
+        ``options=ConversionOptions(target_model=...)``."""
+        if target_model is not None:
+            warn_deprecated(
+                "ConversionSupervisor.convert_program:target_model",
+                "convert_program(program, target_model=...) is "
+                "deprecated; pass options="
+                "ConversionOptions(target_model=...) instead",
+            )
+        elif options is not None:
+            target_model = options.target_model
         registry = get_registry()
         before = registry.snapshot()
         # The span shares this wrapper's snapshots instead of taking
@@ -327,8 +355,21 @@ class ConversionSupervisor:
     # -- whole system ------------------------------------------------------------
 
     def convert_system(self, programs: list[ast.Program],
-                       target_model: str | None = None) -> BatchReport:
+                       target_model: str | None = None, *,
+                       options: ConversionOptions | None = None
+                       ) -> BatchReport:
+        """Convert every program.  ``target_model=`` is a deprecated
+        shim; pass ``options=ConversionOptions(target_model=...)``."""
+        if target_model is not None:
+            warn_deprecated(
+                "ConversionSupervisor.convert_system:target_model",
+                "convert_system(programs, target_model=...) is "
+                "deprecated; pass options="
+                "ConversionOptions(target_model=...) instead",
+            )
+            options = (options or ConversionOptions()).replace(
+                target_model=target_model)
         batch = BatchReport()
         for program in programs:
-            batch.add(self.convert_program(program, target_model))
+            batch.add(self.convert_program(program, options=options))
         return batch

@@ -71,6 +71,15 @@ class Metrics:
         if self.registered:
             get_registry().register(self)
 
+    def __setstate__(self, state: dict) -> None:
+        # Pickle bypasses __init__/__post_init__; a rehydrated engine
+        # bundle (parallel worker processes unpickle whole engines)
+        # must re-register into *its* process's registry or the
+        # worker's counters would be invisible to spans and reports.
+        self.__dict__.update(state)
+        if self.registered:
+            get_registry().register(self)
+
     def metrics_items(self) -> Iterable[tuple[str, int]]:
         """Yield ``(engine.<counter>, value)`` pairs for the registry."""
         for name in _COUNTERS:

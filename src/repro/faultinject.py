@@ -84,14 +84,18 @@ class FaultPoint:
             return
         # The wrapper lives in the instance __dict__, shadowing the
         # class attribute; deleting it restores normal dispatch, while
-        # a bound-method original must be reassigned explicitly.
+        # a bound-method original must be reassigned explicitly.  A
+        # module target has no class attribute to fall back to (the
+        # merge-window sites inject module-level functions), so there
+        # the original is always reassigned.
         try:
             instance_dict = vars(self.obj)
         except TypeError:
             instance_dict = {}
         if instance_dict.get(self.method) is not None and \
                 getattr(instance_dict.get(self.method), "__wrapped__",
-                        None) is self._original:
+                        None) is self._original and \
+                getattr(type(self.obj), self.method, None) is not None:
             del instance_dict[self.method]
         else:
             setattr(self.obj, self.method, self._original)
@@ -154,3 +158,105 @@ def choose_point(seed: int, candidates: Sequence[tuple[Any, str]],
     rng = random.Random(seed)
     obj, method = candidates[rng.randrange(len(candidates))]
     return obj, method, rng.randint(1, max_nth)
+
+
+# ---------------------------------------------------------------------------
+# Declarative fault plans (process-portable, per-program deterministic)
+# ---------------------------------------------------------------------------
+
+#: Engine methods the seeded planner draws from: both sides of the
+#: cascade's probes exercise them on every conversion.
+DEFAULT_PLAN_METHODS = ("calc_index", "insert_record")
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One declarative fault: the ``nth`` call (1-based) to ``method``
+    on the engine named ``target`` raises, while ``program`` is being
+    converted (``None``: during every program).
+
+    Unlike :class:`FaultPoint`, a planned fault names its target
+    symbolically (``"source_db"`` / ``"target_db"``), so a plan is
+    picklable and can be shipped to parallel worker processes, which
+    arm it on their own rehydrated engines.
+    """
+
+    target: str
+    method: str
+    nth: int = 1
+    program: str | None = None
+
+    def describe(self) -> str:
+        scope = self.program if self.program is not None else "*"
+        return f"{self.target}.{self.method}#{self.nth}@{scope}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of planned faults, armed per program *unit*.
+
+    Call counting restarts at every program: the same plan therefore
+    fires at the same statement of the same program no matter how the
+    batch is ordered or sharded across workers -- the determinism the
+    parallel-vs-serial byte-identity guarantee rests on.
+    """
+
+    faults: tuple[PlannedFault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def for_program(self, program_name: str) -> tuple[PlannedFault, ...]:
+        return tuple(
+            fault for fault in self.faults
+            if fault.program is None or fault.program == program_name
+        )
+
+    @contextmanager
+    def armed(self, program_name: str,
+              targets: dict[str, Any]) -> Iterator[FaultInjector]:
+        """Arm this plan's faults for one program unit.
+
+        ``targets`` maps symbolic names to live objects (typically
+        ``{"source_db": ..., "target_db": ...}``).  Fresh
+        :class:`FaultPoint` instances are created each time, so call
+        counting is scoped to the unit.
+        """
+        injector = FaultInjector()
+        for fault in self.for_program(program_name):
+            if fault.target not in targets:
+                raise ValueError(
+                    f"fault plan targets unknown object "
+                    f"{fault.target!r} (have {sorted(targets)})"
+                )
+            injector.add(targets[fault.target], fault.method,
+                         nth=fault.nth)
+        with injector:
+            yield injector
+
+
+def plan_faults(seed: int, program_names: Sequence[str],
+                rate: float = 0.5,
+                targets: Sequence[str] = ("source_db", "target_db"),
+                methods: Sequence[str] = DEFAULT_PLAN_METHODS,
+                max_nth: int = 3) -> FaultPlan:
+    """Derive a deterministic per-program fault plan from a seed.
+
+    Each program draws from its own RNG seeded by ``f"{seed}:{name}"``
+    (string seeding is stable across processes and runs, unlike object
+    hashes), so whether a program gets a fault -- and where -- depends
+    only on the seed and the program's name, never on batch order or
+    the worker it lands on.
+    """
+    faults: list[PlannedFault] = []
+    for name in program_names:
+        rng = random.Random(f"{seed}:{name}")
+        if rng.random() >= rate:
+            continue
+        faults.append(PlannedFault(
+            target=rng.choice(list(targets)),
+            method=rng.choice(list(methods)),
+            nth=rng.randint(1, max_nth),
+            program=name,
+        ))
+    return FaultPlan(tuple(faults))

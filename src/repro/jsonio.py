@@ -1,10 +1,21 @@
-"""Atomic JSON document IO.
+"""Atomic, durable JSON document IO.
 
 Every machine-readable artifact the framework writes -- benchmark
-reports, batch checkpoints, trace files -- goes through one helper
-that creates parent directories and writes atomically (temp file in
-the same directory, then ``os.replace``), so a killed run never
-leaves a half-written document where a previous good one stood.
+reports, batch checkpoints and their per-worker shards, trace files --
+goes through one helper that creates parent directories and writes
+atomically (temp file in the same directory, then ``os.replace``), so
+a killed run never leaves a half-written document where a previous
+good one stood.
+
+Atomicity alone is not durability: after the rename, the *directory
+entry* pointing at the new file may still live only in the page cache,
+and a crash can resurrect the old file -- or, during the parallel
+batch's shard merge, lose the merged checkpoint while the shards have
+already been unlinked.  So the writer also fsyncs the temp file before
+the rename and the containing directory after it.  ``fsync_dir`` is a
+module-level seam on purpose: the fault-injection harness arms it
+(``inject(jsonio, "fsync_dir")``) to simulate a crash inside exactly
+that window.
 """
 
 from __future__ import annotations
@@ -15,17 +26,51 @@ from pathlib import Path
 from typing import Any
 
 
+def fsync_dir(path: Path) -> None:
+    """Flush a directory entry to stable storage (POSIX).
+
+    Platforms without directory fds (or filesystems refusing the open)
+    degrade to atomic-but-not-durable, matching the pre-fix behaviour.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def write_json_atomic(data: Any, out_path: "str | Path", indent: int = 2) -> Path:
-    """Serialize ``data`` to ``out_path`` atomically, creating parents.
+    """Serialize ``data`` to ``out_path`` atomically and durably.
 
     The temp file lives next to the target (same filesystem, so the
     rename is atomic) and is named after it, matching the batch
-    checkpoint journal's convention.
+    checkpoint journal's convention.  The temp file is fsynced before
+    the rename and the containing directory after it, so a crash at
+    any instant leaves either the previous document or the new one --
+    never a mix, and never a directory entry that a power loss rolls
+    back.
     """
     path = Path(out_path)
     if path.parent != Path("."):
         path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(data, indent=indent) + "\n")
+    payload = json.dumps(data, indent=indent) + "\n"
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     os.replace(tmp, path)
+    fsync_dir(path.parent)
     return path

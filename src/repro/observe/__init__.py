@@ -31,7 +31,14 @@ from repro.observe.export import (
     to_chrome,
     write_trace,
 )
+from repro.observe.merge import (
+    WORKER_ROOT,
+    merge_worker_trace,
+    rebase_spans,
+    worker_root,
+)
 from repro.observe.registry import (
+    FrozenMetricsSource,
     MetricsRegistry,
     NamedCounters,
     get_registry,
@@ -47,14 +54,19 @@ from repro.observe.tracing import (
 )
 
 __all__ = [
+    "FrozenMetricsSource",
     "MetricsRegistry",
     "NamedCounters",
     "NULL_SPAN",
+    "WORKER_ROOT",
     "Span",
     "Tracer",
     "current_tracer",
     "get_registry",
     "load_trace",
+    "merge_worker_trace",
+    "rebase_spans",
+    "worker_root",
     "profile_rows",
     "profile_summary",
     "registry_delta",

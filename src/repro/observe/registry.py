@@ -115,6 +115,24 @@ class NamedCounters:
             yield f"{self.namespace}.{name}", value
 
 
+class FrozenMetricsSource:
+    """An immutable ``{name: value}`` bag exposed as a registry source.
+
+    The parallel coordinator absorbs each worker's registry delta by
+    wrapping it in one of these and registering it: the worker's counts
+    then sum into the coordinator's aggregate view exactly as if the
+    work had run in-process.  The registry holds sources weakly, so the
+    absorber must keep a strong reference for as long as the counts
+    should remain visible.
+    """
+
+    def __init__(self, counts: dict[str, int]):
+        self._counts = dict(counts)
+
+    def metrics_items(self) -> Iterable[tuple[str, int]]:
+        return iter(self._counts.items())
+
+
 #: The process-wide registry every bundle registers into by default.
 _GLOBAL = MetricsRegistry()
 

@@ -1,0 +1,96 @@
+"""The one options dataclass behind the :mod:`repro.api` facade.
+
+Before the facade, each subsystem grew its own kwargs: the supervisor
+took ``target_model=``, the cascade took ``inputs=``, the batch runner
+took ``checkpoint=``/``resume=``/``inputs=``, and the CLI threaded yet
+another ad-hoc bundle through all three.  :class:`ConversionOptions`
+is the union of those knobs in one frozen, picklable value that every
+public entry point accepts -- picklable matters, because the parallel
+executor ships the options to its worker processes verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # imported lazily to keep this module cycle-free
+    from repro.core.supervisor import Analyst
+    from repro.faultinject import FaultPlan
+    from repro.programs.interpreter import ProgramInputs
+
+#: The supervisor's default optimizer pass order (Figure 4.1 phase 4).
+DEFAULT_OPTIMIZER_PASSES = ("pushdown", "keyed", "dedup-locate", "owner-elim")
+
+#: The cascade's default stage order: the paper's preferred strategy
+#: first (Section 2.2), runtime strategies in reserve (Section 2.1.2).
+DEFAULT_STAGE_ORDER = ("rewrite", "emulation", "bridge")
+
+
+@dataclass(frozen=True)
+class ConversionOptions:
+    """Every conversion knob the public API understands.
+
+    One instance configures single-program conversion (pipeline knobs),
+    cascade validation (stage knobs), and batch execution (journal and
+    parallelism knobs) alike; entry points read only the fields they
+    use, so one options value can drive a whole workflow end to end.
+    """
+
+    # -- pipeline (supervisor) knobs ----------------------------------
+    #: Target data model for the generated program (``None``: keep the
+    #: source program's model).
+    target_model: str | None = None
+    #: Optimizer passes, in application order.
+    optimizer_passes: tuple[str, ...] = DEFAULT_OPTIMIZER_PASSES
+    #: Conversion Analyst answering Section 4 questions (``None``: the
+    #: permissive :class:`~repro.core.supervisor.AutoAnalyst`).
+    analyst: "Analyst | None" = None
+    #: Program name -> {generic-call index -> verb} pins for the
+    #: verb-variability pathology.
+    verb_pins: dict[str, dict[int, str]] | None = None
+
+    # -- cascade knobs ------------------------------------------------
+    #: Strategy stage order for the fallback cascade.
+    order: tuple[str, ...] = DEFAULT_STAGE_ORDER
+    #: Terminal/file inputs replayed by every validation probe.
+    inputs: "ProgramInputs | None" = None
+
+    # -- batch knobs --------------------------------------------------
+    #: Worker process count for batch conversion.  1 is the in-process
+    #: fast path (no pooling, no pickling); ``None`` means "one worker
+    #: per CPU" and is resolved by the parallel executor.
+    jobs: int | None = 1
+    #: JSON journal path, updated after every program.
+    checkpoint: str | Path | None = None
+    #: Skip programs already journaled in ``checkpoint``.
+    resume: bool = False
+    #: Deterministic fault plan armed per program unit (robustness
+    #: testing; see :mod:`repro.faultinject`).
+    fault_plan: "FaultPlan | None" = None
+
+    # -- engine knobs -------------------------------------------------
+    #: Maintain and use secondary indexes in databases the API builds.
+    use_indexes: bool = True
+
+    def replace(self, **changes: Any) -> "ConversionOptions":
+        """A copy with the given fields replaced (frozen-safe)."""
+        return replace(self, **changes)
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count (``None`` -> CPU count)."""
+        if self.jobs is None:
+            import os
+
+            return os.cpu_count() or 1
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        return self.jobs
+
+
+__all__ = [
+    "ConversionOptions",
+    "DEFAULT_OPTIMIZER_PASSES",
+    "DEFAULT_STAGE_ORDER",
+]

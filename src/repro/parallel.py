@@ -1,0 +1,271 @@
+"""Parallel multi-worker batch conversion.
+
+Batch conversion is embarrassingly parallel in exactly the way the
+cascade's savepoint discipline guarantees: every probe rolls back, so
+both databases are byte-identical before *every* program and the
+per-program work is independent of batch order.  The
+:class:`ParallelExecutor` exploits that: ``N`` worker processes each
+rehydrate the source/target engines from one pickled seed state, each
+converts its round-robin share of the programs through the ordinary
+:func:`repro.batch.convert_one` isolation path, and ships back
+
+* report **summaries** (the exact render/parse round-trip form, so the
+  merged reports are byte-identical to a serial run's),
+* per-program **metrics deltas** (summaries exclude metrics by design;
+  the coordinator reattaches them),
+* its **registry delta**, absorbed into the coordinator's registry via
+  a :class:`~repro.observe.registry.FrozenMetricsSource`,
+* its **span forest** plus clock base, merged under a per-worker
+  ``parallel.worker`` root on the coordinator's tracer.
+
+Durability: worker ``k`` journals to ``<checkpoint>.shard<k>`` after
+each program; the coordinator merges the shards into the main
+checkpoint in program order (:meth:`BatchCheckpoint.merge_shards`), so
+the merged journal -- and a ``resume`` after any crash, including one
+inside the merge window -- is byte-identical to a serial run's.
+
+``jobs=1`` (or a batch with at most one pending program) takes the
+in-process fast path: no pool, no pickling, no subprocess -- just
+:func:`repro.batch.run_batch`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
+from multiprocessing import get_context
+
+from repro.batch import (
+    BatchCheckpoint,
+    check_program_names,
+    convert_one,
+    run_batch,
+)
+from repro.core.report import BatchReport, ConversionReport
+from repro.errors import ReproError
+from repro.observe.merge import merge_worker_trace
+from repro.observe.registry import (
+    FrozenMetricsSource,
+    get_registry,
+    registry_delta,
+)
+from repro.observe.tracing import Tracer, current_tracer, span
+from repro.options import ConversionOptions
+from repro.programs.ast import Program
+from repro.strategies.cascade import FallbackCascade
+
+
+class ParallelExecutionError(ReproError):
+    """The worker pool died before the batch finished.
+
+    Any per-worker checkpoint shards already journaled remain on disk,
+    so a ``resume`` run completes only the genuinely unfinished
+    programs.
+    """
+
+
+def _worker_main(
+    worker_id: int,
+    shared_blob: bytes,
+    programs_blob: bytes,
+    names: list[str],
+    shard_path: str | None,
+    trace: bool,
+) -> dict:
+    """One worker process: rehydrate, convert the assigned share,
+    journal to the private shard, ship results back.
+
+    Runs in a spawned interpreter: unpickling the cascade re-registers
+    its engine metrics bundles into *this* process's registry (see
+    :meth:`repro.engine.metrics.Metrics.__setstate__`), so registry
+    deltas and span metrics work exactly as in-process.
+    """
+    cascade, options = pickle.loads(shared_blob)
+    programs: list[Program] = pickle.loads(programs_blob)
+    journal = BatchCheckpoint(shard_path) if shard_path else None
+    registry = get_registry()
+    before = registry.snapshot()
+    tracer = Tracer() if trace else None
+    clock_base = time.perf_counter()
+
+    summaries: list[dict] = []
+    program_metrics: dict[str, dict[str, int]] = {}
+    scope = tracer if tracer is not None else nullcontext()
+    with scope:
+        for program in programs:
+            with span("batch.program", program=program.name):
+                report = convert_one(cascade, program, options)
+            summaries.append(report.to_summary())
+            program_metrics[program.name] = dict(report.metrics)
+            if journal is not None:
+                journal.write_summaries(names, summaries)
+
+    spans = [root.to_dict() for root in tracer.roots] if tracer is not None else []
+    return {
+        "worker_id": worker_id,
+        "summaries": summaries,
+        "metrics": program_metrics,
+        "registry_delta": registry_delta(before, registry.snapshot()),
+        "spans": spans,
+        "clock_base": clock_base,
+    }
+
+
+class ParallelExecutor:
+    """Coordinates a multi-process batch conversion.
+
+    The executor owns the deterministic merge: reports come back in
+    program order regardless of which worker finished first, checkpoint
+    shards fold into the main journal in program order, worker metrics
+    are absorbed into the coordinator registry, and worker span forests
+    mount under per-worker roots on the active tracer.
+    """
+
+    def __init__(
+        self,
+        cascade: FallbackCascade,
+        programs: list[Program],
+        options: ConversionOptions | None = None,
+    ):
+        self.cascade = cascade
+        self.programs = list(programs)
+        self.options = options if options is not None else ConversionOptions()
+        #: Strong references to absorbed worker deltas (the registry
+        #: holds sources weakly).
+        self.absorbed: list[FrozenMetricsSource] = []
+
+    def run(self) -> BatchReport:
+        """Convert the batch; equivalent to :func:`run_batch` output."""
+        options = self.options
+        names = check_program_names(self.programs)
+        jobs = options.resolved_jobs()
+
+        journal = BatchCheckpoint(options.checkpoint) if options.checkpoint else None
+        done: dict[str, ConversionReport] = {}
+        if journal is not None and options.resume:
+            done = journal.recover(names)
+        pending = [p for p in self.programs if p.name not in done]
+
+        if jobs <= 1 or len(pending) <= 1:
+            # In-process fast path: no pool, no pickling, no fork.
+            return run_batch(self.cascade, self.programs, options)
+
+        shares = [pending[k::jobs] for k in range(jobs)]
+        shares = [share for share in shares if share]
+        trace = current_tracer() is not None
+        coordinator_base = time.perf_counter()
+
+        results = self._run_workers(shares, names, journal, trace)
+
+        return self._merge(results, names, done, journal, coordinator_base)
+
+    # -- the pool ------------------------------------------------------
+
+    def _run_workers(
+        self,
+        shares: list[list[Program]],
+        names: list[str],
+        journal: BatchCheckpoint | None,
+        trace: bool,
+    ) -> list[dict]:
+        shared_blob = pickle.dumps((self.cascade, self.options))
+        # Spawn, not fork: fork in a threaded parent is deprecated (and
+        # unsafe), and spawn gives each worker the clean interpreter
+        # the rehydration contract assumes.
+        pool = ProcessPoolExecutor(
+            max_workers=len(shares), mp_context=get_context("spawn")
+        )
+        try:
+            with pool:
+                futures = []
+                for worker_id, share in enumerate(shares):
+                    shard = None
+                    if journal is not None:
+                        shard = str(journal.shard_path(worker_id))
+                    futures.append(
+                        pool.submit(
+                            _worker_main,
+                            worker_id,
+                            shared_blob,
+                            pickle.dumps(share),
+                            names,
+                            shard,
+                            trace,
+                        )
+                    )
+                return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            raise ParallelExecutionError(
+                "parallel batch worker pool died; completed programs "
+                "are journaled in the checkpoint shards -- rerun with "
+                "resume to finish the batch"
+            ) from exc
+
+    # -- the deterministic merge --------------------------------------
+
+    def _merge(
+        self,
+        results: list[dict],
+        names: list[str],
+        done: dict[str, ConversionReport],
+        journal: BatchCheckpoint | None,
+        coordinator_base: float,
+    ) -> BatchReport:
+        by_name: dict[str, ConversionReport] = dict(done)
+        for result in sorted(results, key=lambda r: r["worker_id"]):
+            for summary in result["summaries"]:
+                report = ConversionReport.from_summary(summary)
+                report.metrics = dict(result["metrics"].get(report.program_name, {}))
+                by_name[report.program_name] = report
+            self._absorb_registry(result["registry_delta"])
+            self._absorb_trace(result, coordinator_base)
+
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise ParallelExecutionError(f"parallel batch lost programs: {missing}")
+
+        if journal is not None:
+            journal.merge_shards(names)
+
+        batch = BatchReport()
+        for name in names:
+            batch.add(by_name[name])
+        return batch
+
+    def _absorb_registry(self, delta: dict[str, int]) -> None:
+        if not delta:
+            return
+        source = FrozenMetricsSource(delta)
+        self.absorbed.append(source)
+        get_registry().register(source)
+
+    def _absorb_trace(self, result: dict, coordinator_base: float) -> None:
+        tracer = current_tracer()
+        if tracer is None or not result["spans"]:
+            return
+        merge_worker_trace(
+            tracer,
+            result["worker_id"],
+            result["spans"],
+            worker_base=result["clock_base"],
+            coordinator_base=coordinator_base,
+        )
+
+
+def run_parallel_batch(
+    cascade: FallbackCascade,
+    programs: list[Program],
+    options: ConversionOptions | None = None,
+) -> BatchReport:
+    """Run a batch with ``options.jobs`` workers (function form)."""
+    return ParallelExecutor(cascade, programs, options).run()
+
+
+__all__ = [
+    "ParallelExecutionError",
+    "ParallelExecutor",
+    "run_parallel_batch",
+]

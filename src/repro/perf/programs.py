@@ -60,6 +60,14 @@ FULL_RELATIONAL_STATEMENTS = 150
 SMOKE_RELATIONAL_ROWS = 400
 SMOKE_RELATIONAL_STATEMENTS = 20
 
+#: Worker counts for the parallel batch scaling curve (E16).
+FULL_JOBS_CURVE = (1, 2, 4, 8)
+SMOKE_JOBS_CURVE = (1, 2)
+
+#: Batch size for the parallel scaling measurement.
+FULL_PARALLEL_PROGRAMS = 24
+SMOKE_PARALLEL_PROGRAMS = 6
+
 
 #: Corpus kinds whose behaviour is preserved across all three
 #: strategies.  STORE-based kinds (hire, guarded-store) are excluded:
@@ -281,6 +289,72 @@ def compare_relational_execution(rows: int, statements: int,
 
 
 # ---------------------------------------------------------------------------
+# Parallel batch scaling (E16)
+# ---------------------------------------------------------------------------
+
+
+def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
+                             seed: int = 1979,
+                             corpus_size: int = FULL_PARALLEL_PROGRAMS,
+                             pathology_rate: float = 0.25
+                             ) -> dict[str, Any]:
+    """Wall-clock the same cascade batch at each worker count.
+
+    Every run converts an identical E2-style corpus (pathologies
+    included -- fallbacks and failures must parallelize too) through a
+    freshly restructured database pair, so the only variable is
+    ``jobs``.  Besides the speedup curve, every row records whether the
+    run's reports came back byte-identical to the 1-worker baseline --
+    the determinism guarantee the parallel executor is built on.
+    """
+    import json as _json
+
+    from repro.options import ConversionOptions
+    from repro.parallel import run_parallel_batch
+    from repro.strategies.cascade import FallbackCascade
+    from repro.workloads.corpus import CorpusSpec as _Spec
+    from repro.workloads.corpus import generate_corpus as _generate
+
+    items = _generate(_Spec(seed=seed, size=corpus_size,
+                            pathology_rate=pathology_rate))
+    programs = [item.program for item in items]
+    operator = company.figure_44_operator()
+    options = ConversionOptions(
+        inputs=ProgramInputs(terminal=["STORE"]))
+
+    rows: list[dict[str, Any]] = []
+    baseline_seconds: float | None = None
+    baseline_reports: str | None = None
+    for jobs in jobs_curve:
+        source_db = company.company_db(seed=seed)
+        _target_schema, target_db = restructure_database(source_db,
+                                                         operator)
+        cascade = FallbackCascade(source_db, target_db, operator)
+        started = time.perf_counter()
+        with span("bench.parallel-batch", jobs=jobs,
+                  programs=len(programs)):
+            batch = run_parallel_batch(cascade, programs,
+                                       options.replace(jobs=jobs))
+        seconds = time.perf_counter() - started
+        rendered = _json.dumps(
+            [report.to_summary() for report in batch.reports])
+        if baseline_seconds is None:
+            baseline_seconds, baseline_reports = seconds, rendered
+        rows.append({
+            "jobs": jobs,
+            "seconds": seconds,
+            "speedup_vs_serial": (baseline_seconds / seconds
+                                  if seconds > 0 else float("inf")),
+            "reports_identical": rendered == baseline_reports,
+        })
+    return {
+        "programs": len(programs),
+        "pathology_rate": pathology_rate,
+        "jobs": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Report
 # ---------------------------------------------------------------------------
 
@@ -290,11 +364,17 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
                            corpus_size: int = FULL_PROGRAMS,
                            relational_rows: int = FULL_RELATIONAL_ROWS,
                            relational_statements: int =
-                           FULL_RELATIONAL_STATEMENTS) -> dict[str, Any]:
+                           FULL_RELATIONAL_STATEMENTS,
+                           jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
+                           parallel_programs: int =
+                           FULL_PARALLEL_PROGRAMS) -> dict[str, Any]:
     """The full BENCH_programs.json report dict.
 
     The whole run executes under a tracer; the per-stage profile rides
-    in the report as ``trace_summary``."""
+    in the report as ``trace_summary``.  The parallel scaling sweep
+    runs *outside* the tracer: its point is wall-clock at each worker
+    count, and merging every worker's span forest into the report
+    trace would swamp the profile table."""
     programs = corpus_programs(seed, corpus_size)
     tracer = Tracer()
     with tracer:
@@ -303,12 +383,15 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
         ]
         relational = compare_relational_execution(
             relational_rows, relational_statements, seed)
+    parallel = measure_parallel_scaling(jobs_curve, seed,
+                                        parallel_programs)
     return {
         "suite": "programs",
         "schema": "COMPANY (Figure 4.2), restructured per Figure 4.4",
         "seed": seed,
         "scales": measured_scales,
         "relational_index_comparison": relational,
+        "parallel_scaling": parallel,
         "trace_summary": profile_summary(tracer, top=12),
     }
 
@@ -348,4 +431,16 @@ def summarize_programs(report: dict[str, Any]) -> str:
         f"{comparison['linear_seconds']:.3f}s "
         f"({comparison['speedup']:.1f}x, traces {identical})"
     )
+    parallel = report.get("parallel_scaling")
+    if parallel:
+        curve = ", ".join(
+            f"{row['jobs']}w {row['seconds']:.3f}s "
+            f"({row['speedup_vs_serial']:.2f}x"
+            f"{'' if row['reports_identical'] else ', REPORTS DIVERGED'})"
+            for row in parallel["jobs"]
+        )
+        lines.append(
+            f"parallel batch scaling over {parallel['programs']} "
+            f"programs: {curve}"
+        )
     return "\n".join(lines)

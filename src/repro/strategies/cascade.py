@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._deprecation import warn_deprecated
 from repro.core.analyzer_db import ChangeCatalog, ConversionAnalyzer
 from repro.core.report import (
     ConversionReport,
@@ -40,6 +41,7 @@ from repro.core.supervisor import Analyst
 from repro.errors import PipelineFault
 from repro.network.database import NetworkDatabase
 from repro.observe.registry import get_registry, registry_delta
+from repro.options import ConversionOptions
 from repro.observe.tracing import span
 from repro.programs.ast import Program
 from repro.programs.interpreter import ProgramInputs, run_program
@@ -146,9 +148,24 @@ class FallbackCascade:
     # -- the cascade ---------------------------------------------------
 
     def convert(self, program: Program,
-                inputs: ProgramInputs | None = None) -> CascadeOutcome:
+                inputs: ProgramInputs | None = None, *,
+                options: ConversionOptions | None = None
+                ) -> CascadeOutcome:
         """Run the cascade under a ``cascade.convert`` span; the report
-        comes back with the unified counter movement attached."""
+        comes back with the unified counter movement attached.
+
+        ``inputs=`` is a deprecated shim; pass
+        ``options=ConversionOptions(inputs=...)``.
+        """
+        if inputs is not None:
+            warn_deprecated(
+                "FallbackCascade.convert:inputs",
+                "FallbackCascade.convert(program, inputs=...) is "
+                "deprecated; pass options=ConversionOptions(inputs=...) "
+                "instead",
+            )
+        elif options is not None:
+            inputs = options.inputs
         registry = get_registry()
         before = registry.snapshot()
         # The span shares this wrapper's snapshots instead of taking
@@ -216,9 +233,20 @@ class FallbackCascade:
                           last_detail)
 
     def convert_system(self, programs: list[Program],
-                       inputs: ProgramInputs | None = None
+                       inputs: ProgramInputs | None = None, *,
+                       options: ConversionOptions | None = None
                        ) -> list[CascadeOutcome]:
-        return [self.convert(program, inputs) for program in programs]
+        if inputs is not None:
+            warn_deprecated(
+                "FallbackCascade.convert_system:inputs",
+                "FallbackCascade.convert_system(programs, inputs=...) is "
+                "deprecated; pass options=ConversionOptions(inputs=...) "
+                "instead",
+            )
+            options = (options or ConversionOptions()).replace(
+                inputs=inputs)
+        return [self.convert(program, options=options)
+                for program in programs]
 
     # -- report assembly ----------------------------------------------
 

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.batch import BatchCheckpoint, CheckpointError, convert_batch
+from repro.batch import BatchCheckpoint, CheckpointError, run_batch
 from repro.core.report import (
     BatchReport,
     FaultContext,
@@ -20,6 +20,7 @@ from repro.core.supervisor import (
     ScriptedAnalyst,
 )
 from repro.errors import AnalysisError, PipelineFault, annotate
+from repro.options import ConversionOptions
 from repro.faultinject import InjectedFault, inject
 from repro.programs import ast
 from repro.programs import builder as b
@@ -75,7 +76,7 @@ class TestFaultIsolation:
         # calc index second (HIRE's FIND ANY DIV) -- a fault the
         # cascade cannot fall back from.
         with inject(cascade.source_db, "calc_index", nth=2):
-            batch = convert_batch(cascade, programs)
+            batch = run_batch(cascade, programs)
         statuses = {r.program_name: r.status for r in batch.reports}
         assert statuses["HIRE"] == STATUS_FAILED
         assert statuses["P1"] != STATUS_FAILED
@@ -85,7 +86,7 @@ class TestFaultIsolation:
 
     def test_fault_report_carries_chained_root_cause(self, cascade):
         with inject(cascade.source_db, "calc_index", nth=1):
-            batch = convert_batch(cascade, [hire_program()])
+            batch = run_batch(cascade, [hire_program()])
         report = batch.reports[0]
         assert report.status == STATUS_FAILED
         fault = report.fault
@@ -97,7 +98,7 @@ class TestFaultIsolation:
 
     def test_duplicate_program_names_rejected(self, cascade):
         with pytest.raises(ValueError, match="duplicate"):
-            convert_batch(cascade, [hire_program(), hire_program()])
+            run_batch(cascade, [hire_program(), hire_program()])
 
 
 class TestCheckpointResume:
@@ -105,7 +106,8 @@ class TestCheckpointResume:
                                                      tmp_path):
         path = tmp_path / "batch.json"
         programs = [report_program("P1"), hire_program()]
-        convert_batch(cascade, programs, checkpoint=path)
+        run_batch(cascade, programs,
+                  ConversionOptions(checkpoint=path))
         data = json.loads(path.read_text())
         assert [e["program"] for e in data["completed"]] == ["P1", "HIRE"]
         assert data["programs"] == ["P1", "HIRE"]
@@ -114,7 +116,8 @@ class TestCheckpointResume:
         path = tmp_path / "batch.json"
         programs = [report_program("P1"), hire_program(),
                     report_program("P3")]
-        full = convert_batch(cascade, programs, checkpoint=path)
+        full = run_batch(cascade, programs,
+                         ConversionOptions(checkpoint=path))
 
         # Simulate a kill after the first program: truncate the journal.
         data = json.loads(path.read_text())
@@ -131,8 +134,9 @@ class TestCheckpointResume:
             return original(program, inputs)
 
         cascade.reference_trace = counting_reference
-        resumed = convert_batch(cascade, programs, checkpoint=path,
-                                resume=True)
+        resumed = run_batch(cascade, programs,
+                            ConversionOptions(checkpoint=path,
+                                              resume=True))
         assert probes == ["HIRE", "P3"]
         assert [r.to_summary() for r in resumed.reports] == \
             [r.to_summary() for r in full.reports]
@@ -141,9 +145,10 @@ class TestCheckpointResume:
                                                        tmp_path):
         path = tmp_path / "batch.json"
         programs = [hire_program()]
-        convert_batch(cascade, programs, checkpoint=path)
-        resumed = convert_batch(cascade, programs, checkpoint=path,
-                                resume=True)
+        run_batch(cascade, programs, ConversionOptions(checkpoint=path))
+        resumed = run_batch(cascade, programs,
+                            ConversionOptions(checkpoint=path,
+                                              resume=True))
         report = resumed.reports[0]
         assert report.target_program is not None
         run = cascade.make_strategy("rewrite")
@@ -159,10 +164,11 @@ class TestCheckpointResume:
     def test_checkpoint_for_different_batch_refused(self, cascade,
                                                     tmp_path):
         path = tmp_path / "batch.json"
-        convert_batch(cascade, [hire_program()], checkpoint=path)
+        run_batch(cascade, [hire_program()],
+                  ConversionOptions(checkpoint=path))
         with pytest.raises(CheckpointError, match="different|written for"):
-            convert_batch(cascade, [report_program("OTHER")],
-                          checkpoint=path, resume=True)
+            run_batch(cascade, [report_program("OTHER")],
+                      ConversionOptions(checkpoint=path, resume=True))
 
     def test_corrupt_checkpoint_reported(self, tmp_path):
         path = tmp_path / "batch.json"
@@ -172,7 +178,8 @@ class TestCheckpointResume:
 
     def test_checkpoint_write_is_atomic(self, cascade, tmp_path):
         path = tmp_path / "batch.json"
-        convert_batch(cascade, [hire_program()], checkpoint=path)
+        run_batch(cascade, [hire_program()],
+                  ConversionOptions(checkpoint=path))
         assert not (tmp_path / "batch.json.tmp").exists()
 
 
@@ -234,9 +241,9 @@ class TestAnalystEdgeCases:
         cascade = FallbackCascade(source_db, target_db,
                                   interpose_operator,
                                   analyst=RefusingAnalyst())
-        batch = convert_batch(cascade, [hire_program(),
-                                        variable_verb_program()],
-                              inputs=ProgramInputs(terminal=["FIND-ANY"]))
+        batch = run_batch(
+            cascade, [hire_program(), variable_verb_program()],
+            ConversionOptions(inputs=ProgramInputs(terminal=["FIND-ANY"])))
         statuses = {r.program_name: r.status for r in batch.reports}
         assert statuses["HIRE"] == STATUS_AUTOMATIC
         assert statuses["CONSOLE"] in (STATUS_FELL_BACK, STATUS_FAILED)

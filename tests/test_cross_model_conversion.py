@@ -11,6 +11,7 @@ model in the same pipeline run.
 import pytest
 
 from repro.core import ConversionSupervisor
+from repro.options import ConversionOptions
 from repro.programs import ast
 from repro.programs import builder as b
 from repro.programs.interpreter import run_program
@@ -60,8 +61,9 @@ class TestNetworkToRelational:
     def convert(self, program):
         supervisor = ConversionSupervisor(company.figure_42_schema(),
                                           company.figure_44_operator())
-        report = supervisor.convert_program(program,
-                                            target_model="relational")
+        report = supervisor.convert_program(
+            program,
+            options=ConversionOptions(target_model="relational"))
         assert report.target_program is not None, report.failure
         assert report.target_program.model == "relational"
         return report

@@ -1,0 +1,276 @@
+"""Parallel multi-worker batch conversion (repro.parallel).
+
+The headline guarantee under test: a parallel batch is
+*indistinguishable* from a serial one -- byte-identical report
+summaries, byte-identical checkpoint journal, identical per-program
+metrics -- at any worker count, any pathology rate, and any planned
+fault pattern.  Plus the merge plumbing that makes the observability
+story survive multi-process execution: worker registry deltas absorbed
+into the coordinator registry, worker span forests mounted under
+per-worker roots with the self-time reconciliation intact.
+"""
+
+import gc
+import json
+
+import pytest
+
+import repro.batch
+import repro.jsonio
+from repro.batch import BatchCheckpoint, run_batch
+from repro.faultinject import InjectedFault, inject, plan_faults
+from repro.observe.merge import WORKER_ROOT
+from repro.observe.registry import get_registry
+from repro.observe.tracing import Tracer
+from repro.options import ConversionOptions
+from repro.parallel import ParallelExecutor, run_parallel_batch
+from repro.programs.interpreter import ProgramInputs
+from repro.restructure import restructure_database
+from repro.strategies.cascade import FallbackCascade
+from repro.workloads import company
+from repro.workloads.corpus import CorpusSpec, generate_corpus
+
+CORPUS_SIZE = 6
+
+
+def corpus_programs(pathology_rate=0.25, size=CORPUS_SIZE, seed=1979):
+    items = generate_corpus(CorpusSpec(seed=seed, size=size,
+                                       pathology_rate=pathology_rate))
+    return [item.program for item in items]
+
+
+def fresh_cascade(seed=1979):
+    # Report metrics are registry-wide deltas and the registry holds
+    # bundles weakly: if the cycle collector reaps an earlier test's
+    # dead engines *during* a conversion window, the in-process run's
+    # metrics shrink while a clean worker process's do not.  Collect
+    # that garbage now so every run starts from a quiet registry.
+    gc.collect()
+    operator = company.figure_44_operator()
+    source_db = company.company_db(seed=seed)
+    _schema, target_db = restructure_database(source_db, operator)
+    return FallbackCascade(source_db, target_db, operator)
+
+
+OPTIONS = ConversionOptions(inputs=ProgramInputs(terminal=["STORE"]))
+
+
+def summaries(batch):
+    return [report.to_summary() for report in batch.reports]
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("pathology_rate", [0.0, 0.25, 0.75])
+    def test_reports_and_checkpoint_byte_identical(self, tmp_path,
+                                                   pathology_rate):
+        programs = corpus_programs(pathology_rate)
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+
+        serial = run_batch(fresh_cascade(), programs,
+                           OPTIONS.replace(checkpoint=serial_path))
+        parallel = run_parallel_batch(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=2, checkpoint=parallel_path))
+
+        assert summaries(parallel) == summaries(serial)
+        assert parallel_path.read_bytes() == serial_path.read_bytes()
+        assert [r.metrics for r in parallel.reports] == \
+            [r.metrics for r in serial.reports]
+        # The merge consumed every worker shard.
+        assert not list(tmp_path.glob("*.shard*"))
+
+    def test_fault_plan_fires_identically_at_any_jobs_count(self):
+        programs = corpus_programs(0.0)
+        plan = plan_faults(seed=7, program_names=[p.name for p in programs],
+                           rate=0.75)
+        assert plan, "seed 7 must plan at least one fault"
+        options = OPTIONS.replace(fault_plan=plan)
+
+        serial = run_batch(fresh_cascade(), programs, options)
+        parallel = run_parallel_batch(fresh_cascade(), programs,
+                                      options.replace(jobs=3))
+        assert summaries(parallel) == summaries(serial)
+        # The plan visibly changed outcomes vs a fault-free run.
+        clean = run_batch(fresh_cascade(), programs, OPTIONS)
+        assert summaries(serial) != summaries(clean)
+
+
+class TestFastPathAndResume:
+    def test_jobs_1_never_touches_the_pool(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("jobs=1 must not create a process pool")
+
+        monkeypatch.setattr("repro.parallel.ProcessPoolExecutor", boom)
+        programs = corpus_programs(0.0, size=3)
+        batch = run_parallel_batch(fresh_cascade(), programs,
+                                   OPTIONS.replace(jobs=1))
+        assert len(batch.reports) == len(programs)
+
+    def test_single_pending_program_takes_fast_path(self, monkeypatch,
+                                                    tmp_path):
+        programs = corpus_programs(0.0, size=3)
+        path = tmp_path / "batch.json"
+        run_batch(fresh_cascade(), programs,
+                  OPTIONS.replace(checkpoint=path))
+        # Drop the last journal entry: one program is pending, so even
+        # jobs=4 must run in-process.
+        data = json.loads(path.read_text())
+        data["completed"] = data["completed"][:-1]
+        path.write_text(json.dumps(data))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("one pending program must not fork")
+
+        monkeypatch.setattr("repro.parallel.ProcessPoolExecutor", boom)
+        batch = run_parallel_batch(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=4, checkpoint=path, resume=True))
+        assert len(batch.reports) == len(programs)
+
+    def test_resume_recovers_leftover_shards(self, tmp_path):
+        """A parallel run killed before its merge leaves shards; the
+        next run (serial or parallel) folds them in and completes."""
+        programs = corpus_programs(0.0)
+        names = [p.name for p in programs]
+        reference_path = tmp_path / "reference.json"
+        reference = run_batch(fresh_cascade(), programs,
+                              OPTIONS.replace(checkpoint=reference_path))
+
+        # Fabricate the crash state: shards journaled, no main file.
+        crashed = tmp_path / "crashed.json"
+        journal = BatchCheckpoint(crashed)
+        journal.shard(0).write_summaries(
+            names, [reference.reports[0].to_summary()])
+        journal.shard(1).write_summaries(
+            names, [reference.reports[1].to_summary()])
+
+        resumed = run_parallel_batch(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=2, checkpoint=crashed, resume=True))
+        assert summaries(resumed) == summaries(reference)
+        assert crashed.read_bytes() == reference_path.read_bytes()
+        assert not list(tmp_path.glob("*.shard*"))
+
+    def test_crash_inside_merge_window_resumes_identically(self, tmp_path):
+        """The merge writes the main checkpoint before unlinking the
+        shards; a fault on the merge write leaves the shards intact,
+        and the resumed run still converges to the serial bytes."""
+        programs = corpus_programs(0.0)
+        reference_path = tmp_path / "reference.json"
+        run_batch(fresh_cascade(), programs,
+                  OPTIONS.replace(checkpoint=reference_path))
+
+        path = tmp_path / "batch.json"
+        with inject(repro.batch, "write_json_atomic", nth=1):
+            with pytest.raises(InjectedFault):
+                run_parallel_batch(fresh_cascade(), programs,
+                                   OPTIONS.replace(jobs=2,
+                                                   checkpoint=path))
+        shards = BatchCheckpoint(path).shard_paths()
+        assert shards, "merge-window crash must leave the shards behind"
+
+        resumed = run_parallel_batch(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=2, checkpoint=path, resume=True))
+        assert len(resumed.reports) == len(programs)
+        assert path.read_bytes() == reference_path.read_bytes()
+        assert not BatchCheckpoint(path).shard_paths()
+
+
+class TestObservabilityMerge:
+    def test_worker_spans_mount_under_per_worker_roots(self):
+        programs = corpus_programs(0.0)
+        tracer = Tracer()
+        with tracer:
+            run_parallel_batch(fresh_cascade(), programs,
+                               OPTIONS.replace(jobs=2))
+        worker_roots = [root for root in tracer.roots
+                        if root.name == WORKER_ROOT]
+        assert {root.attrs["worker"] for root in worker_roots} == {0, 1}
+        converted = [node for root in worker_roots
+                     for node in root.walk()
+                     if node.name == "batch.program"]
+        assert len(converted) == len(programs)
+
+    def test_self_times_partition_each_worker_root_exactly(self):
+        programs = corpus_programs(0.0)
+        tracer = Tracer()
+        with tracer:
+            run_parallel_batch(fresh_cascade(), programs,
+                               OPTIONS.replace(jobs=2))
+        roots = [root for root in tracer.roots if root.name == WORKER_ROOT]
+        assert roots
+        for root in roots:
+            total_self = sum(node.self_seconds() for node in root.walk())
+            assert total_self == pytest.approx(root.duration, rel=1e-9)
+
+    def test_worker_registry_deltas_absorbed(self):
+        programs = corpus_programs(0.0)
+        registry = get_registry()
+        # The registry holds bundles weakly; collect earlier tests'
+        # dead cascades now so the cycle collector cannot drop their
+        # counts between the two snapshots below.
+        gc.collect()
+        before = registry.snapshot()
+        executor = ParallelExecutor(fresh_cascade(), programs,
+                                    OPTIONS.replace(jobs=2))
+        executor.run()
+        after = registry.snapshot()
+        moved = after.get("engine.records_read", 0) - \
+            before.get("engine.records_read", 0)
+        assert moved > 0, \
+            "worker engine counters must surface in the coordinator"
+        assert executor.absorbed, \
+            "executor must hold the absorbed sources alive"
+
+
+class TestJournalPlumbing:
+    def test_shard_paths_are_ordered_and_filtered(self, tmp_path):
+        journal = BatchCheckpoint(tmp_path / "c.json")
+        assert journal.shard_path(3).name == "c.json.shard3"
+        journal.shard(10).write_summaries(["P"], [])
+        journal.shard(2).write_summaries(["P"], [])
+        (tmp_path / "c.json.shardX").write_text("not a shard")
+        assert [p.name for p in journal.shard_paths()] == \
+            ["c.json.shard2", "c.json.shard10"]
+
+    def test_clear_removes_shards_too(self, tmp_path):
+        journal = BatchCheckpoint(tmp_path / "c.json")
+        journal.write_summaries(["P"], [])
+        journal.shard(0).write_summaries(["P"], [])
+        journal.clear()
+        assert not journal.exists()
+        assert not journal.shard_paths()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ConversionOptions(jobs=0).resolved_jobs()
+
+    def test_jobs_none_resolves_to_cpu_count(self):
+        assert ConversionOptions(jobs=None).resolved_jobs() >= 1
+
+
+class TestDurableWrites:
+    def test_write_json_atomic_fsyncs_directory(self, tmp_path,
+                                                monkeypatch):
+        synced = []
+        monkeypatch.setattr(repro.jsonio, "fsync_dir",
+                            lambda path: synced.append(path))
+        out = repro.jsonio.write_json_atomic({"k": 1}, tmp_path / "d.json")
+        assert out.read_text() == '{\n  "k": 1\n}\n'
+        assert synced == [tmp_path]
+
+    def test_fsync_dir_injection_site_is_armable(self, tmp_path):
+        """``inject(jsonio, "fsync_dir")`` models a crash after the
+        rename but before the directory entry is durable: the document
+        is complete on disk, the caller sees the fault."""
+        target = tmp_path / "d.json"
+        with inject(repro.jsonio, "fsync_dir", nth=1):
+            with pytest.raises(InjectedFault):
+                repro.jsonio.write_json_atomic({"k": 1}, target)
+        assert json.loads(target.read_text()) == {"k": 1}
+        assert not (tmp_path / "d.json.tmp").exists()
+
+    def test_fsync_dir_tolerates_unopenable_directory(self, tmp_path):
+        repro.jsonio.fsync_dir(tmp_path / "does-not-exist")

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core import ConversionSupervisor, RefusingAnalyst
 from repro.core.report import STATUS_AUTOMATIC
+from repro.options import ConversionOptions
 from repro.programs.interpreter import run_program
 from repro.restructure import (
     extract_snapshot,
@@ -68,7 +69,7 @@ def test_all_convert_automatically(relational_corpus):
                                       analyst=RefusingAnalyst())
     batch = supervisor.convert_system(
         [item.program for item in relational_corpus],
-        target_model="relational")
+        options=ConversionOptions(target_model="relational"))
     assert batch.automation_rate() == 1.0
     counts = batch.counts()
     # only the hire programs (which touch the moved DEPT-NAME on a
@@ -82,8 +83,9 @@ def test_converted_relational_programs_equivalent(relational_corpus):
     supervisor = ConversionSupervisor(schema, operator)
     diverged = []
     for item in relational_corpus[:20]:
-        report = supervisor.convert_program(item.program,
-                                            target_model="relational")
+        report = supervisor.convert_program(
+            item.program,
+            options=ConversionOptions(target_model="relational"))
         assert report.target_program is not None, report.failure
         source, target = make_relational_pair()
         source_trace = run_program(item.program, source,
@@ -101,8 +103,9 @@ def test_hire_creates_group_row(relational_corpus):
     supervisor = ConversionSupervisor(schema, operator)
     hire = next(item for item in relational_corpus
                 if item.kind == "rel-hire")
-    report = supervisor.convert_program(hire.program,
-                                        target_model="relational")
+    report = supervisor.convert_program(
+        hire.program,
+        options=ConversionOptions(target_model="relational"))
     _source, target = make_relational_pair()
     departments_before = target.count("DEPT")
     run_program(report.target_program, target, consistent=False)
@@ -117,7 +120,8 @@ def test_hire_creates_group_row(relational_corpus):
         }),
         b.display("OK"),
     ])
-    report = supervisor.convert_program(novel, target_model="relational")
+    report = supervisor.convert_program(
+        novel, options=ConversionOptions(target_model="relational"))
     run_program(report.target_program, target, consistent=False)
     robotics = [r for r in target.relation("DEPT").rows()
                 if r["DEPT-NAME"] == "ROBOTICS"]
@@ -144,8 +148,9 @@ def test_network_twin_needs_more_conversion():
         changed = 0
         converted = 0
         for item in corpus:
-            report = supervisor.convert_program(item.program,
-                                                target_model=target_model)
+            report = supervisor.convert_program(
+                item.program,
+                options=ConversionOptions(target_model=target_model))
             if report.target_program is None:
                 continue
             converted += 1

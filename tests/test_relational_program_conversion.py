@@ -4,6 +4,7 @@ end to end, not just at text level)."""
 import pytest
 
 from repro.core import ConversionSupervisor, check_equivalence
+from repro.options import ConversionOptions
 from repro.programs import builder as b
 from repro.restructure import (
     Composite,
@@ -59,8 +60,8 @@ def test_rename_record_conversion(factory):
     schema = florida.florida_schema()
     operator = RenameRecord("EMP", "WORKER")
     supervisor = ConversionSupervisor(schema, operator)
-    report = supervisor.convert_program(factory(),
-                                        target_model="relational")
+    report = supervisor.convert_program(
+        factory(), options=ConversionOptions(target_model="relational"))
     assert report.target_program is not None, report.failure
     source, target = make_dbs(operator)
     from repro.programs.interpreter import ProgramInputs
@@ -85,8 +86,9 @@ def test_rename_field_rewrites_query_text():
         RenameField("EMP-DEPT", "YEAR-OF-SERVICE", "TENURE"),
     ))
     supervisor = ConversionSupervisor(schema, operator)
-    report = supervisor.convert_program(d2_program(),
-                                        target_model="relational")
+    report = supervisor.convert_program(
+        d2_program(),
+        options=ConversionOptions(target_model="relational"))
     assert report.target_program is not None, report.failure
     from repro.programs import ast
 
@@ -101,8 +103,9 @@ def test_rename_field_conversion_runs():
     schema = florida.florida_schema()
     operator = RenameField("EMP", "ENAME", "FULL-NAME")
     supervisor = ConversionSupervisor(schema, operator)
-    report = supervisor.convert_program(d2_program(),
-                                        target_model="relational")
+    report = supervisor.convert_program(
+        d2_program(),
+        options=ConversionOptions(target_model="relational"))
     source, target = make_dbs(operator)
     source_program = d2_program().with_statements(
         (b.assign("THRESHOLD", 5),) + d2_program().statements)
