@@ -49,9 +49,9 @@ from repro.errors import (
     UnconvertiblePattern,
 )
 from repro.options import ConversionOptions
-from repro.parallel import ParallelExecutionError, ParallelExecutor
+from repro.parallel import ParallelExecutionError, ParallelExecutor, WorkerPool
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # -- facade (repro.api) -------------------------------------------
@@ -64,6 +64,7 @@ __all__ = [
     # -- parallel execution -------------------------------------------
     "ParallelExecutor",
     "ParallelExecutionError",
+    "WorkerPool",
     # -- error hierarchy ----------------------------------------------
     "ReproError",
     "EngineError",

@@ -29,7 +29,7 @@ from repro._deprecation import reset_deprecation_warnings
 from repro.core.report import BatchReport, ConversionReport
 from repro.core.supervisor import ConversionSupervisor
 from repro.options import ConversionOptions
-from repro.parallel import ParallelExecutor
+from repro.parallel import ParallelExecutor, WorkerPool
 from repro.programs.ast import Program
 from repro.programs.parser import parse_program
 from repro.restructure.operators import RestructuringOperator
@@ -103,6 +103,7 @@ def convert_batch(
     cascade: FallbackCascade,
     programs: list[Program],
     options: ConversionOptions | None = None,
+    pool: WorkerPool | None = None,
 ) -> BatchReport:
     """Convert a batch through the fallback cascade.
 
@@ -110,9 +111,14 @@ def convert_batch(
     (``options.checkpoint`` / ``options.resume``), and parallel when
     ``options.jobs`` asks for more than one worker -- with the
     guarantee that reports and checkpoint are byte-identical to a
-    serial run.
+    serial run.  Batches below ``options.parallel_threshold`` pending
+    programs auto-degrade to the in-process path.
+
+    Pass ``pool=`` (a :class:`~repro.parallel.WorkerPool` built once
+    from the same cascade) to convert many batches on the same warm
+    worker processes; the caller owns the pool's lifecycle.
     """
-    return ParallelExecutor(cascade, programs, options).run()
+    return ParallelExecutor(cascade, programs, options, pool=pool).run()
 
 
 def run_bench(
@@ -146,7 +152,7 @@ def run_bench(
                 relational_rows=perf_programs.SMOKE_RELATIONAL_ROWS,
                 relational_statements=perf_programs.SMOKE_RELATIONAL_STATEMENTS,
                 jobs_curve=perf_programs.SMOKE_JOBS_CURVE,
-                parallel_programs=perf_programs.SMOKE_PARALLEL_PROGRAMS,
+                parallel_tiers=perf_programs.SMOKE_INVENTORY_TIERS,
             )
         else:
             report = perf_programs.run_programs_benchmark(seed=seed)
@@ -166,6 +172,7 @@ def run_bench(
 
 __all__ = [
     "ConversionOptions",
+    "WorkerPool",
     "convert",
     "convert_batch",
     "load_schema",

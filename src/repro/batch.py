@@ -24,11 +24,13 @@ or lose the work already done.
   the exact render/parse round trip).
 
 The parallel executor (:mod:`repro.parallel`) reuses the same journal
-through per-worker *shards*: worker ``k`` journals to
-``<checkpoint>.shard<k>`` after each program, and the coordinator
-merges the shards into the main checkpoint in program order --
-atomically, shards unlinked only after the merged document is durable
--- so a resumed parallel run is byte-identical to a serial one.
+through per-worker *shards*: worker ``k`` journals its cumulative
+progress to ``<checkpoint>.shard<k>`` after every dispatch chunk, and
+the coordinator merges the shards into the main checkpoint in program
+order -- atomically, shards unlinked only after the merged document is
+durable -- so a resumed parallel run is byte-identical to a serial
+one.  The merge keys on program names, not shard order, so it is
+indifferent to which worker converted which chunk.
 """
 
 from __future__ import annotations

@@ -147,11 +147,24 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
     source_db = _build_database(schema, args.data)
     _target_schema, target_db = restructure_database(source_db, operator)
     cascade = FallbackCascade(source_db, target_db, operator)
-    batch = api.convert_batch(cascade, programs, api.ConversionOptions(
+    options = api.ConversionOptions(
         checkpoint=args.checkpoint,
         resume=args.resume,
         inputs=_load_inputs(args),
-        jobs=args.jobs))
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        parallel_threshold=args.parallel_threshold)
+    try:
+        batch = api.convert_batch(cascade, programs, options)
+    except KeyboardInterrupt:
+        if args.checkpoint:
+            print(f"interrupted: progress journaled to "
+                  f"{args.checkpoint}; rerun with --resume to finish",
+                  file=sys.stderr)
+        else:
+            print("interrupted (no --checkpoint: progress discarded)",
+                  file=sys.stderr)
+        return 130
     for report in batch.reports:
         print(report.render(), file=sys.stderr)
     print(batch.render(), file=sys.stderr)
@@ -384,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--jobs", type=int, default=os.cpu_count(),
                      help="batch mode: worker processes (default: one "
                           "per CPU); 1 runs in-process")
+    sub.add_argument("--chunk-size", type=int, default=None,
+                     help="batch mode: programs per parallel dispatch "
+                          "chunk (default: auto, ~8 chunks per worker)")
+    sub.add_argument("--parallel-threshold", type=int, default=None,
+                     help="batch mode: minimum pending programs before "
+                          "a worker pool is spawned; smaller batches "
+                          "run in-process (default: max(2*jobs, 32))")
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")

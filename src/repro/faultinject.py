@@ -198,7 +198,11 @@ class FaultPlan:
     Call counting restarts at every program: the same plan therefore
     fires at the same statement of the same program no matter how the
     batch is ordered or sharded across workers -- the determinism the
-    parallel-vs-serial byte-identity guarantee rests on.
+    parallel-vs-serial byte-identity guarantee rests on.  Dynamic
+    chunk dispatch changes nothing here: whichever worker pulls
+    whichever chunk, each program still arms its faults against a
+    fresh per-unit counter, so the plan fires identically under
+    static round-robin, work-stealing, or serial execution.
     """
 
     faults: tuple[PlannedFault, ...] = ()

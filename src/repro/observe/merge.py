@@ -34,15 +34,26 @@ def rebase_spans(spans: Iterable[Span], offset: float) -> None:
                 node.end += offset
 
 
-def worker_root(worker_id: int, spans: list[Span]) -> Span:
+def worker_root(
+    worker_id: int, spans: list[Span], **attrs: Any
+) -> Span:
     """Wrap a worker's (non-empty) span forest under one root span
-    covering exactly the children's envelope."""
+    covering exactly the children's envelope.
+
+    Extra ``attrs`` ride on the root (the warm-pool executor has no
+    per-batch attrs today, but chunk provenance can mount here without
+    another merge-shape change).
+    """
     if not spans:
         raise ValueError("cannot root an empty span forest")
     start = min(node.start for node in spans)
     end = max(node.end if node.end is not None else node.start for node in spans)
     return Span(
-        WORKER_ROOT, {"worker": worker_id}, start=start, end=end, children=list(spans)
+        WORKER_ROOT,
+        {"worker": worker_id, **attrs},
+        start=start,
+        end=end,
+        children=list(spans),
     )
 
 

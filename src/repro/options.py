@@ -27,6 +27,15 @@ DEFAULT_OPTIMIZER_PASSES = ("pushdown", "keyed", "dedup-locate", "owner-elim")
 #: first (Section 2.2), runtime strategies in reserve (Section 2.1.2).
 DEFAULT_STAGE_ORDER = ("rewrite", "emulation", "bridge")
 
+#: Minimum pending programs before a worker pool pays for itself.  The
+#: floor is deliberately generous: spawning an interpreter and
+#: rehydrating the cascade seed costs whole seconds, while a small
+#: batch converts in milliseconds in-process.
+DEFAULT_PARALLEL_THRESHOLD = 32
+
+#: Ceiling for the auto-resolved dispatch chunk size.
+MAX_AUTO_CHUNK = 64
+
 
 @dataclass(frozen=True)
 class ConversionOptions:
@@ -62,6 +71,14 @@ class ConversionOptions:
     #: fast path (no pooling, no pickling); ``None`` means "one worker
     #: per CPU" and is resolved by the parallel executor.
     jobs: int | None = 1
+    #: Programs per parallel dispatch chunk (``None``: auto -- roughly
+    #: eight chunks per worker, capped at :data:`MAX_AUTO_CHUNK`, so
+    #: dynamic dispatch can rebalance without drowning the task queue).
+    chunk_size: int | None = None
+    #: Minimum pending programs before the executor spawns a worker
+    #: pool; smaller batches auto-degrade to the in-process path
+    #: (``None``: ``max(2 * jobs, DEFAULT_PARALLEL_THRESHOLD)``).
+    parallel_threshold: int | None = None
     #: JSON journal path, updated after every program.
     checkpoint: str | Path | None = None
     #: Skip programs already journaled in ``checkpoint``.
@@ -88,9 +105,34 @@ class ConversionOptions:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         return self.jobs
 
+    def resolved_chunk_size(self, pending: int, jobs: int) -> int:
+        """The effective dispatch chunk size for a batch of ``pending``
+        programs across ``jobs`` workers."""
+        if self.chunk_size is not None:
+            if self.chunk_size < 1:
+                raise ValueError(
+                    f"chunk_size must be >= 1, got {self.chunk_size}"
+                )
+            return self.chunk_size
+        slots = max(1, jobs) * 8
+        return max(1, min(MAX_AUTO_CHUNK, -(-pending // slots)))
+
+    def resolved_parallel_threshold(self, jobs: int) -> int:
+        """The minimum pending-corpus size that justifies a pool."""
+        if self.parallel_threshold is not None:
+            if self.parallel_threshold < 0:
+                raise ValueError(
+                    f"parallel_threshold must be >= 0, got "
+                    f"{self.parallel_threshold}"
+                )
+            return self.parallel_threshold
+        return max(2 * jobs, DEFAULT_PARALLEL_THRESHOLD)
+
 
 __all__ = [
     "ConversionOptions",
     "DEFAULT_OPTIMIZER_PASSES",
+    "DEFAULT_PARALLEL_THRESHOLD",
     "DEFAULT_STAGE_ORDER",
+    "MAX_AUTO_CHUNK",
 ]

@@ -1,28 +1,42 @@
-"""Parallel multi-worker batch conversion.
+"""Parallel multi-worker batch conversion over a persistent warm pool.
 
 Batch conversion is embarrassingly parallel in exactly the way the
 cascade's savepoint discipline guarantees: every probe rolls back, so
 both databases are byte-identical before *every* program and the
-per-program work is independent of batch order.  The
-:class:`ParallelExecutor` exploits that: ``N`` worker processes each
-rehydrate the source/target engines from one pickled seed state, each
-converts its round-robin share of the programs through the ordinary
-:func:`repro.batch.convert_one` isolation path, and ships back
+per-program work is independent of batch order.  The original executor
+exploited that with a spawn-per-batch pool, which made parallelism
+*slower* than serial on realistic small batches -- process spawn plus
+seed-state rehydration cost whole seconds against milliseconds of
+work.  This module replaces it with a :class:`WorkerPool` of
+long-lived worker processes:
 
-* report **summaries** (the exact render/parse round-trip form, so the
-  merged reports are byte-identical to a serial run's),
-* per-program **metrics deltas** (summaries exclude metrics by design;
-  the coordinator reattaches them),
-* its **registry delta**, absorbed into the coordinator's registry via
-  a :class:`~repro.observe.registry.FrozenMetricsSource`,
-* its **span forest** plus clock base, merged under a per-worker
-  ``parallel.worker`` root on the coordinator's tracer.
+* the coordinator pickles the cascade seed state **once** and ships it
+  **once per worker at spawn**, never per batch; each worker
+  rehydrates once and stays warm for any number of batches;
+* programs are dispatched in **chunks** from a coordinator-side bag of
+  tasks (dynamic dispatch: a fast worker completes more chunks, so an
+  expensive pathology on one worker no longer stalls a static
+  round-robin share);
+* worker ``k`` journals its cumulative batch progress to the
+  ``<checkpoint>.shard<k>`` file after **every chunk**, so a killed or
+  interrupted run resumes exactly as before;
+* batches below ``options.parallel_threshold`` pending programs
+  auto-degrade to the in-process path (and say why at INFO level) --
+  ``--jobs 8`` on a tiny batch must not cost 35x;
+* Ctrl-C / SIGTERM inside the pool window **drains** gracefully: no
+  new chunks are dispatched, in-flight chunks finish and are
+  journaled, every shard is folded into the main checkpoint, and the
+  interrupt is re-raised with a resumable journal on disk.
 
-Durability: worker ``k`` journals to ``<checkpoint>.shard<k>`` after
-each program; the coordinator merges the shards into the main
-checkpoint in program order (:meth:`BatchCheckpoint.merge_shards`), so
-the merged journal -- and a ``resume`` after any crash, including one
-inside the merge window -- is byte-identical to a serial run's.
+The deterministic merge is unchanged from the spawn-per-batch
+executor: report summaries come back through the exact render/parse
+round trip and are reassembled in program order, per-program metrics
+are reattached, worker registry deltas are absorbed via
+:class:`~repro.observe.registry.FrozenMetricsSource`, worker span
+forests mount under per-worker ``parallel.worker`` roots, and shards
+fold into the main journal in program order -- so reports, checkpoint
+bytes, and metrics are byte-identical to a serial run at any worker
+count, any chunk size, and any dispatch interleaving.
 
 ``jobs=1`` (or a batch with at most one pending program) takes the
 in-process fast path: no pool, no pickling, no subprocess -- just
@@ -31,12 +45,15 @@ in-process fast path: no pool, no pickling, no subprocess -- just
 
 from __future__ import annotations
 
+import logging
 import pickle
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import nullcontext
+from contextlib import contextmanager
 from multiprocessing import get_context
+from queue import Empty
+from typing import Iterator
 
 from repro.batch import (
     BatchCheckpoint,
@@ -57,6 +74,24 @@ from repro.options import ConversionOptions
 from repro.programs.ast import Program
 from repro.strategies.cascade import FallbackCascade
 
+log = logging.getLogger(__name__)
+
+#: Chunks kept in flight per worker: two, so the worker that finishes
+#: a chunk always has the next one already queued (the dispatch round
+#: trip hides behind real work) while the bag keeps enough undispatched
+#: chunks for dynamic rebalancing.
+PREFILL = 2
+
+#: Result-queue poll interval; every timeout re-checks worker health.
+POLL_SECONDS = 0.2
+
+#: Budget for the graceful-interrupt drain: in-flight chunks get this
+#: long to finish and journal before the pool is terminated.
+DRAIN_SECONDS = 30.0
+
+#: How long ``close()`` waits for a worker to exit before terminating.
+CLOSE_SECONDS = 5.0
+
 
 class ParallelExecutionError(ReproError):
     """The worker pool died before the batch finished.
@@ -67,61 +102,244 @@ class ParallelExecutionError(ReproError):
     """
 
 
-def _worker_main(
-    worker_id: int,
-    shared_blob: bytes,
-    programs_blob: bytes,
-    names: list[str],
-    shard_path: str | None,
-    trace: bool,
-) -> dict:
-    """One worker process: rehydrate, convert the assigned share,
-    journal to the private shard, ship results back.
+def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
+    """One long-lived worker process.
 
-    Runs in a spawned interpreter: unpickling the cascade re-registers
-    its engine metrics bundles into *this* process's registry (see
-    :meth:`repro.engine.metrics.Metrics.__setstate__`), so registry
-    deltas and span metrics work exactly as in-process.
+    Rehydrates the pickled ``(cascade, options)`` seed exactly once
+    (unpickling re-registers the engine metrics bundles into *this*
+    process's registry, see
+    :meth:`repro.engine.metrics.Metrics.__setstate__`), then serves
+    ``begin`` / ``chunk`` / ``flush`` / ``exit`` messages until told to
+    stop.  SIGINT is ignored: a terminal Ctrl-C reaches the whole
+    process group, and it is the coordinator's drain -- not the
+    signal -- that must stop a worker, *after* its in-flight chunk is
+    journaled.
     """
-    cascade, options = pickle.loads(shared_blob)
-    programs: list[Program] = pickle.loads(programs_blob)
-    journal = BatchCheckpoint(shard_path) if shard_path else None
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    cascade, options = pickle.loads(seed_blob)
     registry = get_registry()
-    before = registry.snapshot()
-    tracer = Tracer() if trace else None
-    clock_base = time.perf_counter()
 
+    journal: BatchCheckpoint | None = None
+    names: list[str] = []
     summaries: list[dict] = []
-    program_metrics: dict[str, dict[str, int]] = {}
-    scope = tracer if tracer is not None else nullcontext()
-    with scope:
-        for program in programs:
-            with span("batch.program", program=program.name):
-                report = convert_one(cascade, program, options)
-            summaries.append(report.to_summary())
-            program_metrics[program.name] = dict(report.metrics)
+    tracer: Tracer | None = None
+    before: dict[str, int] = {}
+    clock_base = 0.0
+    active = False
+
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "exit":
+            return
+        if kind == "begin":
+            _, names, shard_path, trace = message
+            journal = BatchCheckpoint(shard_path) if shard_path else None
+            if journal is not None and journal.exists():
+                # A stale shard from a crashed run the caller chose not
+                # to resume must not leak into this batch's merge.
+                journal.path.unlink()
+            summaries = []
+            before = registry.snapshot()
+            tracer = Tracer() if trace else None
+            if tracer is not None:
+                tracer.__enter__()
+            clock_base = time.perf_counter()
+            active = True
+            continue
+        if kind == "flush":
+            if not active:
+                result_queue.put(("flush", worker_id, {}, [], 0.0))
+                continue
+            if tracer is not None:
+                tracer.__exit__(None, None, None)
+            spans = (
+                [root.to_dict() for root in tracer.roots] if tracer else []
+            )
+            result_queue.put(
+                (
+                    "flush",
+                    worker_id,
+                    registry_delta(before, registry.snapshot()),
+                    spans,
+                    clock_base,
+                )
+            )
+            tracer = None
+            active = False
+            continue
+        # ("chunk", chunk_id, programs_blob)
+        _, chunk_id, programs_blob = message
+        try:
+            programs: list[Program] = pickle.loads(programs_blob)
+            chunk_summaries: list[dict] = []
+            chunk_metrics: dict[str, dict[str, int]] = {}
+            for program in programs:
+                with span("batch.program", program=program.name):
+                    report = convert_one(cascade, program, options)
+                chunk_summaries.append(report.to_summary())
+                chunk_metrics[program.name] = dict(report.metrics)
+            summaries.extend(chunk_summaries)
             if journal is not None:
                 journal.write_summaries(names, summaries)
+        except Exception as exc:  # pragma: no cover - shipped upward
+            result_queue.put(
+                ("error", worker_id, f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        result_queue.put(
+            ("chunk", worker_id, chunk_id, chunk_summaries, chunk_metrics)
+        )
 
-    spans = [root.to_dict() for root in tracer.roots] if tracer is not None else []
-    return {
-        "worker_id": worker_id,
-        "summaries": summaries,
-        "metrics": program_metrics,
-        "registry_delta": registry_delta(before, registry.snapshot()),
-        "spans": spans,
-        "clock_base": clock_base,
-    }
+
+class WorkerPool:
+    """A persistent pool of warm worker processes bound to one seed.
+
+    Construction pickles ``(cascade, options)`` once and spawns
+    ``jobs`` worker processes, each receiving the seed bytes exactly
+    once; every worker rehydrates on startup and then serves any
+    number of batches.  Reuse the pool across batches (via
+    ``ParallelExecutor(..., pool=...)`` or
+    :func:`repro.api.convert_batch`'s ``pool=``) to amortize spawn and
+    rehydration entirely.
+
+    The pool is a context manager; :meth:`close` shuts the workers
+    down cleanly.  Savepoint discipline keeps every worker's engines
+    byte-identical to the seed between programs, so a warm worker is
+    exactly as deterministic as a fresh one.
+    """
+
+    def __init__(
+        self,
+        cascade: FallbackCascade,
+        options: ConversionOptions | None = None,
+        jobs: int | None = None,
+        context: str = "spawn",
+    ):
+        options = options if options is not None else ConversionOptions()
+        self.jobs = jobs if jobs is not None else options.resolved_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"pool needs >= 1 worker, got {self.jobs}")
+        # Spawn, not fork: fork in a threaded parent is deprecated (and
+        # unsafe), and spawn gives each worker the clean interpreter
+        # the rehydration contract assumes.
+        ctx = get_context(context)
+        self.seed_blob = pickle.dumps((cascade, options))
+        self._results = ctx.Queue()
+        self._tasks = [ctx.Queue() for _ in range(self.jobs)]
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(k, self.seed_blob, self._tasks[k], self._results),
+                name=f"repro-worker-{k}",
+                daemon=True,
+            )
+            for k in range(self.jobs)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self.closed = False
+
+    # -- messaging -----------------------------------------------------
+
+    def send(self, worker_id: int, message: tuple) -> None:
+        self._tasks[worker_id].put(message)
+
+    def receive(self, timeout: float) -> tuple:
+        """The next worker result (raises ``queue.Empty`` on timeout)."""
+        return self._results.get(timeout=timeout)
+
+    def begin_batch(
+        self,
+        names: list[str],
+        shard_paths: "list[str | None]",
+        trace: bool,
+    ) -> None:
+        for worker_id in range(self.jobs):
+            self.send(
+                worker_id, ("begin", names, shard_paths[worker_id], trace)
+            )
+
+    def flush(self, worker_id: int) -> None:
+        self.send(worker_id, ("flush",))
+
+    # -- health and lifecycle ------------------------------------------
+
+    def dead_workers(self) -> list[int]:
+        return [
+            k for k, proc in enumerate(self._procs) if not proc.is_alive()
+        ]
+
+    def worker_pids(self) -> list[int]:
+        """Live worker PIDs (stable across batches: the warmness proof)."""
+        return [proc.pid for proc in self._procs]
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker_id in range(self.jobs):
+            try:
+                self.send(worker_id, ("exit",))
+            except (OSError, ValueError):  # queue already torn down
+                pass
+        for proc in self._procs:
+            proc.join(timeout=CLOSE_SECONDS)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=CLOSE_SECONDS)
+
+    def terminate(self) -> None:
+        """Hard-kill the workers (drain deadline exceeded)."""
+        self.closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=CLOSE_SECONDS)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@contextmanager
+def _interrupt_on_sigterm() -> Iterator[None]:
+    """Convert SIGTERM into KeyboardInterrupt inside the pool window,
+    so an orchestrator's polite kill takes the same graceful-drain path
+    as a terminal Ctrl-C.  No-op outside the main thread (signal
+    handlers cannot be installed elsewhere)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 class ParallelExecutor:
-    """Coordinates a multi-process batch conversion.
+    """Coordinates a multi-process batch conversion over a warm pool.
 
     The executor owns the deterministic merge: reports come back in
-    program order regardless of which worker finished first, checkpoint
+    program order regardless of which worker converted what, checkpoint
     shards fold into the main journal in program order, worker metrics
     are absorbed into the coordinator registry, and worker span forests
     mount under per-worker roots on the active tracer.
+
+    Pass ``pool=`` to reuse a :class:`WorkerPool` across batches (the
+    caller owns its lifecycle); otherwise the executor spins one up for
+    the run and closes it after.  With an external pool the pool's
+    seed state and worker count govern the conversion.
     """
 
     def __init__(
@@ -129,10 +347,12 @@ class ParallelExecutor:
         cascade: FallbackCascade,
         programs: list[Program],
         options: ConversionOptions | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.cascade = cascade
         self.programs = list(programs)
         self.options = options if options is not None else ConversionOptions()
+        self.pool = pool
         #: Strong references to absorbed worker deltas (the registry
         #: holds sources weakly).
         self.absorbed: list[FrozenMetricsSource] = []
@@ -141,7 +361,7 @@ class ParallelExecutor:
         """Convert the batch; equivalent to :func:`run_batch` output."""
         options = self.options
         names = check_program_names(self.programs)
-        jobs = options.resolved_jobs()
+        jobs = self.pool.jobs if self.pool is not None else options.resolved_jobs()
 
         journal = BatchCheckpoint(options.checkpoint) if options.checkpoint else None
         done: dict[str, ConversionReport] = {}
@@ -152,80 +372,215 @@ class ParallelExecutor:
         if jobs <= 1 or len(pending) <= 1:
             # In-process fast path: no pool, no pickling, no fork.
             return run_batch(self.cascade, self.programs, options)
+        threshold = options.resolved_parallel_threshold(jobs)
+        if self.pool is None and len(pending) < threshold:
+            # Auto-degrade: below the threshold the pool's spawn and
+            # rehydration cost dwarfs the conversion work.  An external
+            # warm pool skips this check -- its marginal cost is nil.
+            log.info(
+                "parallel: %d pending program(s) is below the pool "
+                "threshold %d for jobs=%d; converting in-process "
+                "(spawn + seed rehydration would dominate)",
+                len(pending),
+                threshold,
+                jobs,
+            )
+            return run_batch(self.cascade, self.programs, options)
 
-        shares = [pending[k::jobs] for k in range(jobs)]
-        shares = [share for share in shares if share]
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            pool = WorkerPool(
+                self.cascade, options, jobs=min(jobs, len(pending))
+            )
         trace = current_tracer() is not None
         coordinator_base = time.perf_counter()
+        try:
+            with _interrupt_on_sigterm():
+                try:
+                    chunk_results, flushes = self._run_pool(
+                        pool, pending, names, journal, trace
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    self._drain(pool, names, journal)
+                    raise
+        finally:
+            if owned:
+                pool.close()
 
-        results = self._run_workers(shares, names, journal, trace)
-
-        return self._merge(results, names, done, journal, coordinator_base)
+        return self._merge(
+            chunk_results, flushes, names, done, journal, coordinator_base
+        )
 
     # -- the pool ------------------------------------------------------
 
-    def _run_workers(
+    def _run_pool(
         self,
-        shares: list[list[Program]],
+        pool: WorkerPool,
+        pending: list[Program],
         names: list[str],
         journal: BatchCheckpoint | None,
         trace: bool,
-    ) -> list[dict]:
-        shared_blob = pickle.dumps((self.cascade, self.options))
-        # Spawn, not fork: fork in a threaded parent is deprecated (and
-        # unsafe), and spawn gives each worker the clean interpreter
-        # the rehydration contract assumes.
-        pool = ProcessPoolExecutor(
-            max_workers=len(shares), mp_context=get_context("spawn")
+    ) -> tuple[list[tuple[list[dict], dict]], list[tuple]]:
+        """Dispatch chunks dynamically and collect every result.
+
+        Returns ``(chunk_results, flushes)``: chunk results in arrival
+        order (the merge re-sorts by program), one flush per worker in
+        worker-id order.
+        """
+        chunk_size = self.options.resolved_chunk_size(
+            len(pending), pool.jobs
         )
+        chunks = [
+            pending[index : index + chunk_size]
+            for index in range(0, len(pending), chunk_size)
+        ]
+        shard_paths = [
+            str(journal.shard_path(k)) if journal is not None else None
+            for k in range(pool.jobs)
+        ]
+        pool.begin_batch(names, shard_paths, trace)
+
+        todo = iter(enumerate(chunks))
+        outstanding = {k: 0 for k in range(pool.jobs)}
+        flush_requested: set[int] = set()
+
+        def dispatch(worker_id: int) -> None:
+            item = next(todo, None)
+            if item is None:
+                if (
+                    outstanding[worker_id] == 0
+                    and worker_id not in flush_requested
+                ):
+                    flush_requested.add(worker_id)
+                    pool.flush(worker_id)
+                return
+            chunk_id, chunk = item
+            pool.send(
+                worker_id, ("chunk", chunk_id, pickle.dumps(chunk))
+            )
+            outstanding[worker_id] += 1
+
+        for _ in range(PREFILL):
+            for worker_id in range(pool.jobs):
+                if outstanding[worker_id] >= PREFILL:
+                    continue
+                dispatch(worker_id)
+
+        chunk_results: list[tuple[list[dict], dict]] = []
+        flushes: dict[int, tuple] = {}
+        while len(flushes) < pool.jobs:
+            message = self._receive(pool)
+            kind = message[0]
+            if kind == "chunk":
+                _, worker_id, _chunk_id, summaries, metrics = message
+                chunk_results.append((summaries, metrics))
+                outstanding[worker_id] -= 1
+                dispatch(worker_id)
+            elif kind == "flush":
+                flushes[message[1]] = message
+            else:  # ("error", worker_id, detail)
+                raise ParallelExecutionError(
+                    f"worker {message[1]} failed: {message[2]}; completed "
+                    "programs are journaled in the checkpoint shards -- "
+                    "rerun with resume to finish the batch"
+                )
+        return chunk_results, [flushes[k] for k in sorted(flushes)]
+
+    def _receive(self, pool: WorkerPool) -> tuple:
+        """Wait for the next worker message, watching pool health.
+
+        A separate method so the fault-injection harness can arm the
+        coordinator's receive path (e.g. raising KeyboardInterrupt to
+        model a mid-batch Ctrl-C at a precise point)."""
+        while True:
+            try:
+                return pool.receive(timeout=POLL_SECONDS)
+            except Empty:
+                dead = pool.dead_workers()
+                if dead:
+                    raise ParallelExecutionError(
+                        f"worker process(es) {dead} died mid-batch; "
+                        "completed programs are journaled in the "
+                        "checkpoint shards -- rerun with resume to "
+                        "finish the batch"
+                    ) from None
+
+    def _drain(
+        self,
+        pool: WorkerPool,
+        names: list[str],
+        journal: BatchCheckpoint | None,
+    ) -> None:
+        """Graceful-interrupt path: let in-flight chunks finish and
+        journal, stop dispatching, fold every shard into the main
+        checkpoint, and leave the pool idle (warm) or terminated.
+
+        Called with the interrupt pending; the caller re-raises it once
+        the journal is resumable."""
+        log.warning(
+            "parallel: interrupted -- draining %d worker(s), "
+            "in-flight chunks will be journaled",
+            pool.jobs,
+        )
+        deadline = time.monotonic() + DRAIN_SECONDS
         try:
-            with pool:
-                futures = []
-                for worker_id, share in enumerate(shares):
-                    shard = None
-                    if journal is not None:
-                        shard = str(journal.shard_path(worker_id))
-                    futures.append(
-                        pool.submit(
-                            _worker_main,
-                            worker_id,
-                            shared_blob,
-                            pickle.dumps(share),
-                            names,
-                            shard,
-                            trace,
-                        )
-                    )
-                return [future.result() for future in futures]
-        except BrokenProcessPool as exc:
-            raise ParallelExecutionError(
-                "parallel batch worker pool died; completed programs "
-                "are journaled in the checkpoint shards -- rerun with "
-                "resume to finish the batch"
-            ) from exc
+            for worker_id in range(pool.jobs):
+                pool.flush(worker_id)
+            flushed: set[int] = set()
+            while len(flushed) < pool.jobs and time.monotonic() < deadline:
+                try:
+                    message = pool.receive(timeout=POLL_SECONDS)
+                except Empty:
+                    if len(pool.dead_workers()) == pool.jobs:
+                        break
+                    continue
+                if message[0] == "flush":
+                    flushed.add(message[1])
+            if len(flushed) < pool.jobs:
+                log.warning(
+                    "parallel: drain deadline exceeded; terminating workers"
+                )
+                pool.terminate()
+        except (KeyboardInterrupt, SystemExit):
+            # A second interrupt mid-drain: stop waiting, kill the pool,
+            # still fold whatever the shards already hold.
+            pool.terminate()
+        finally:
+            if journal is not None:
+                journal.merge_shards(names)
+                log.warning(
+                    "parallel: progress journaled to %s -- rerun with "
+                    "resume to finish the batch",
+                    journal.path,
+                )
 
     # -- the deterministic merge --------------------------------------
 
     def _merge(
         self,
-        results: list[dict],
+        chunk_results: list[tuple[list[dict], dict]],
+        flushes: list[tuple],
         names: list[str],
         done: dict[str, ConversionReport],
         journal: BatchCheckpoint | None,
         coordinator_base: float,
     ) -> BatchReport:
         by_name: dict[str, ConversionReport] = dict(done)
-        for result in sorted(results, key=lambda r: r["worker_id"]):
-            for summary in result["summaries"]:
+        for summaries, metrics in chunk_results:
+            for summary in summaries:
                 report = ConversionReport.from_summary(summary)
-                report.metrics = dict(result["metrics"].get(report.program_name, {}))
+                report.metrics = dict(metrics.get(report.program_name, {}))
                 by_name[report.program_name] = report
-            self._absorb_registry(result["registry_delta"])
-            self._absorb_trace(result, coordinator_base)
+        for _, worker_id, delta, spans, clock_base in flushes:
+            self._absorb_registry(delta)
+            self._absorb_trace(worker_id, spans, clock_base, coordinator_base)
 
         missing = [name for name in names if name not in by_name]
         if missing:
-            raise ParallelExecutionError(f"parallel batch lost programs: {missing}")
+            raise ParallelExecutionError(
+                f"parallel batch lost programs: {missing}"
+            )
 
         if journal is not None:
             journal.merge_shards(names)
@@ -242,15 +597,21 @@ class ParallelExecutor:
         self.absorbed.append(source)
         get_registry().register(source)
 
-    def _absorb_trace(self, result: dict, coordinator_base: float) -> None:
+    def _absorb_trace(
+        self,
+        worker_id: int,
+        spans: list[dict],
+        clock_base: float,
+        coordinator_base: float,
+    ) -> None:
         tracer = current_tracer()
-        if tracer is None or not result["spans"]:
+        if tracer is None or not spans:
             return
         merge_worker_trace(
             tracer,
-            result["worker_id"],
-            result["spans"],
-            worker_base=result["clock_base"],
+            worker_id,
+            spans,
+            worker_base=clock_base,
             coordinator_base=coordinator_base,
         )
 
@@ -259,13 +620,15 @@ def run_parallel_batch(
     cascade: FallbackCascade,
     programs: list[Program],
     options: ConversionOptions | None = None,
+    pool: WorkerPool | None = None,
 ) -> BatchReport:
     """Run a batch with ``options.jobs`` workers (function form)."""
-    return ParallelExecutor(cascade, programs, options).run()
+    return ParallelExecutor(cascade, programs, options, pool=pool).run()
 
 
 __all__ = [
     "ParallelExecutionError",
     "ParallelExecutor",
+    "WorkerPool",
     "run_parallel_batch",
 ]

@@ -35,7 +35,7 @@ from typing import Any
 #: reports are not comparable.
 CONFIG_KEYS = frozenset({
     "suite", "schema", "operator", "seed", "rows", "statements",
-    "programs", "employees_per_division",
+    "programs", "employees_per_division", "chunk_size", "pathology_rate",
 })
 
 #: Observational subtrees excluded from the diff.
@@ -67,7 +67,25 @@ class BenchDiff:
 
 
 def diff_reports(old: dict[str, Any], new: dict[str, Any]) -> BenchDiff:
-    """Compare two report dicts (see the module docstring for rules)."""
+    """Compare two report dicts (see the module docstring for rules).
+
+    Reports carry a ``bench_format`` shape-version key (absent in
+    format-1 reports).  When the two formats differ, the reports are
+    *structurally* incomparable by design -- the harness changed what
+    it measures -- so the diff notes the migration and skips the
+    structural comparison instead of failing the first run after a
+    format bump.
+    """
+    old_format = old.get("bench_format", 1)
+    new_format = new.get("bench_format", 1)
+    if old_format != new_format:
+        diff = BenchDiff()
+        diff.notes.append(
+            f"bench_format changed {old_format} -> {new_format}: "
+            "report shapes are not comparable; skipping the "
+            "structural diff (the new report becomes the baseline)"
+        )
+        return diff
     diff = BenchDiff()
     _walk(old, new, "", diff)
     return diff

@@ -60,13 +60,21 @@ FULL_RELATIONAL_STATEMENTS = 150
 SMOKE_RELATIONAL_ROWS = 400
 SMOKE_RELATIONAL_STATEMENTS = 20
 
-#: Worker counts for the parallel batch scaling curve (E16).
+#: Worker counts for the parallel batch scaling curve (E16/E17).
 FULL_JOBS_CURVE = (1, 2, 4, 8)
 SMOKE_JOBS_CURVE = (1, 2)
 
-#: Batch size for the parallel scaling measurement.
-FULL_PARALLEL_PROGRAMS = 24
-SMOKE_PARALLEL_PROGRAMS = 6
+#: Inventory-corpus tiers for the parallel scaling measurement.  The
+#: old 24-program corpus converted in ~26ms and measured nothing but
+#: process spawn; these tiers are sized so the work dwarfs the pool
+#: overhead (E17).
+FULL_INVENTORY_TIERS = (1_000, 10_000)
+SMOKE_INVENTORY_TIERS = (32,)
+
+#: Report shape version.  2: ``parallel_scaling`` became multi-tier
+#: (``tiers`` rows keyed by corpus size, each row recording the chunk
+#: size next to the jobs curve) over the inventory workload.
+BENCH_FORMAT = 2
 
 
 #: Corpus kinds whose behaviour is preserved across all three
@@ -295,62 +303,76 @@ def compare_relational_execution(rows: int, statements: int,
 
 def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
                              seed: int = 1979,
-                             corpus_size: int = FULL_PARALLEL_PROGRAMS,
-                             pathology_rate: float = 0.25
+                             tiers: tuple[int, ...] = FULL_INVENTORY_TIERS,
+                             pathology_rate: float = 0.25,
+                             chunk_size: int | None = None
                              ) -> dict[str, Any]:
-    """Wall-clock the same cascade batch at each worker count.
+    """Wall-clock identical inventory batches at each worker count,
+    at each corpus tier.
 
-    Every run converts an identical E2-style corpus (pathologies
+    Every run converts an identical inventory corpus (pathologies
     included -- fallbacks and failures must parallelize too) through a
-    freshly restructured database pair, so the only variable is
-    ``jobs``.  Besides the speedup curve, every row records whether the
-    run's reports came back byte-identical to the 1-worker baseline --
-    the determinism guarantee the parallel executor is built on.
+    freshly restructured database pair, so within a tier the only
+    variable is ``jobs``.  Every row records the resolved dispatch
+    chunk size next to the worker count, and whether the run's reports
+    came back byte-identical to the tier's 1-worker baseline -- the
+    determinism guarantee the parallel executor is built on.
+
+    ``parallel_threshold=1`` pins every multi-worker run onto the pool
+    path: the point of the sweep is to *measure* the pool, so the
+    auto-degrade heuristic must not silently reroute a small tier.
     """
     import json as _json
 
     from repro.options import ConversionOptions
     from repro.parallel import run_parallel_batch
-    from repro.strategies.cascade import FallbackCascade
-    from repro.workloads.corpus import CorpusSpec as _Spec
-    from repro.workloads.corpus import generate_corpus as _generate
+    from repro.workloads.inventory import (
+        InventorySpec,
+        generate_inventory,
+        inventory_cascade,
+    )
 
-    items = _generate(_Spec(seed=seed, size=corpus_size,
-                            pathology_rate=pathology_rate))
-    programs = [item.program for item in items]
-    operator = company.figure_44_operator()
     options = ConversionOptions(
-        inputs=ProgramInputs(terminal=["STORE"]))
+        inputs=ProgramInputs(terminal=["STORE"]),
+        chunk_size=chunk_size,
+        parallel_threshold=1,
+    )
 
-    rows: list[dict[str, Any]] = []
-    baseline_seconds: float | None = None
-    baseline_reports: str | None = None
-    for jobs in jobs_curve:
-        source_db = company.company_db(seed=seed)
-        _target_schema, target_db = restructure_database(source_db,
-                                                         operator)
-        cascade = FallbackCascade(source_db, target_db, operator)
-        started = time.perf_counter()
-        with span("bench.parallel-batch", jobs=jobs,
-                  programs=len(programs)):
-            batch = run_parallel_batch(cascade, programs,
-                                       options.replace(jobs=jobs))
-        seconds = time.perf_counter() - started
-        rendered = _json.dumps(
-            [report.to_summary() for report in batch.reports])
-        if baseline_seconds is None:
-            baseline_seconds, baseline_reports = seconds, rendered
-        rows.append({
-            "jobs": jobs,
-            "seconds": seconds,
-            "speedup_vs_serial": (baseline_seconds / seconds
-                                  if seconds > 0 else float("inf")),
-            "reports_identical": rendered == baseline_reports,
-        })
+    tier_rows: list[dict[str, Any]] = []
+    for tier in tiers:
+        spec = InventorySpec(seed=seed, programs=tier,
+                             pathology_rate=pathology_rate)
+        programs = [item.program for item in generate_inventory(spec)]
+        rows: list[dict[str, Any]] = []
+        baseline_seconds: float | None = None
+        baseline_reports: str | None = None
+        for jobs in jobs_curve:
+            cascade = inventory_cascade(spec)
+            resolved_chunk = (
+                options.resolved_chunk_size(len(programs), jobs)
+                if jobs > 1 else None)
+            started = time.perf_counter()
+            with span("bench.parallel-batch", jobs=jobs,
+                      programs=len(programs)):
+                batch = run_parallel_batch(cascade, programs,
+                                           options.replace(jobs=jobs))
+            seconds = time.perf_counter() - started
+            rendered = _json.dumps(
+                [report.to_summary() for report in batch.reports])
+            if baseline_seconds is None:
+                baseline_seconds, baseline_reports = seconds, rendered
+            rows.append({
+                "jobs": jobs,
+                "chunk_size": resolved_chunk,
+                "seconds": seconds,
+                "speedup_vs_serial": (baseline_seconds / seconds
+                                      if seconds > 0 else float("inf")),
+                "reports_identical": rendered == baseline_reports,
+            })
+        tier_rows.append({"programs": tier, "jobs": rows})
     return {
-        "programs": len(programs),
         "pathology_rate": pathology_rate,
-        "jobs": rows,
+        "tiers": tier_rows,
     }
 
 
@@ -366,8 +388,8 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
                            relational_statements: int =
                            FULL_RELATIONAL_STATEMENTS,
                            jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
-                           parallel_programs: int =
-                           FULL_PARALLEL_PROGRAMS) -> dict[str, Any]:
+                           parallel_tiers: tuple[int, ...] =
+                           FULL_INVENTORY_TIERS) -> dict[str, Any]:
     """The full BENCH_programs.json report dict.
 
     The whole run executes under a tracer; the per-stage profile rides
@@ -383,10 +405,10 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
         ]
         relational = compare_relational_execution(
             relational_rows, relational_statements, seed)
-    parallel = measure_parallel_scaling(jobs_curve, seed,
-                                        parallel_programs)
+    parallel = measure_parallel_scaling(jobs_curve, seed, parallel_tiers)
     return {
         "suite": "programs",
+        "bench_format": BENCH_FORMAT,
         "schema": "COMPANY (Figure 4.2), restructured per Figure 4.4",
         "seed": seed,
         "scales": measured_scales,
@@ -433,14 +455,15 @@ def summarize_programs(report: dict[str, Any]) -> str:
     )
     parallel = report.get("parallel_scaling")
     if parallel:
-        curve = ", ".join(
-            f"{row['jobs']}w {row['seconds']:.3f}s "
-            f"({row['speedup_vs_serial']:.2f}x"
-            f"{'' if row['reports_identical'] else ', REPORTS DIVERGED'})"
-            for row in parallel["jobs"]
-        )
-        lines.append(
-            f"parallel batch scaling over {parallel['programs']} "
-            f"programs: {curve}"
-        )
+        for tier in parallel["tiers"]:
+            curve = ", ".join(
+                f"{row['jobs']}w {row['seconds']:.3f}s "
+                f"({row['speedup_vs_serial']:.2f}x"
+                f"{'' if row['reports_identical'] else ', REPORTS DIVERGED'})"
+                for row in tier["jobs"]
+            )
+            lines.append(
+                f"parallel inventory scaling at {tier['programs']} "
+                f"programs: {curve}"
+            )
     return "\n".join(lines)

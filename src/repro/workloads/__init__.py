@@ -10,10 +10,14 @@
 * :mod:`repro.workloads.datagen` -- deterministic seeded data;
 * :mod:`repro.workloads.corpus` -- a generated application system
   (programs with controlled pathology injection) for the E2/E6
-  experiments.
+  experiments;
+* :mod:`repro.workloads.inventory` -- the synthetic large-inventory
+  workload (generated wide schema + 1k-100k program corpus) behind
+  the multi-scale parallel benchmarks.
 """
 
 from repro.workloads.datagen import DataGen
-from repro.workloads import school, company, florida, corpus
+from repro.workloads import school, company, florida, corpus, inventory
 
-__all__ = ["DataGen", "school", "company", "florida", "corpus"]
+__all__ = ["DataGen", "school", "company", "florida", "corpus",
+           "inventory"]

@@ -246,6 +246,19 @@ def _pathological(kind: str, index: int, gen: DataGen,
     raise ValueError(f"unknown pathology kind {kind!r}")
 
 
+def pathological_program(kind: str, index: int, gen: DataGen,
+                         divisions: tuple[str, ...]) -> CorpusProgram:
+    """One Section 3.2 pathological program over any DIV/EMP schema.
+
+    Public entry point for other corpus generators (the inventory
+    workload injects pathologies through it): the shapes only touch
+    the Figure 4.3 DIV/EMP core, so any schema embedding that core --
+    and any division vocabulary -- works.
+    """
+    return _pathological(kind, index, gen,
+                         CorpusSpec(divisions=tuple(divisions)))
+
+
 def corpus_counts(corpus: list[CorpusProgram]) -> dict[str, int]:
     """Programs per kind, for reporting."""
     counts: dict[str, int] = {}

@@ -141,6 +141,40 @@ def test_plain_counters_carry_no_verdict():
     assert diff.ok and diff.warnings == []
 
 
+def test_bench_format_mismatch_is_a_note_not_an_error():
+    """A report-shape version bump makes old and new structurally
+    incomparable by design: the diff must say so and pass (exit 0), so
+    the first CI run after a harness migration does not fail against
+    the stale artifact."""
+    old = json.loads(json.dumps(BASE_REPORT))  # format 1 (implicit)
+    new = json.loads(json.dumps(BASE_REPORT))
+    new["bench_format"] = 2
+    new["sizes"] = []  # wildly different shape: must not be compared
+    diff = diff_reports(old, new)
+    assert diff.ok
+    assert diff.errors == [] and diff.warnings == [] and diff.rows == []
+    assert any("bench_format changed 1 -> 2" in note
+               for note in diff.notes)
+
+
+def test_same_bench_format_compares_fully():
+    old = json.loads(json.dumps(BASE_REPORT))
+    old["bench_format"] = 2
+    new = variant(translate_seconds=0.2)
+    new["bench_format"] = 2
+    diff = diff_reports(old, new)
+    assert diff.ok
+    assert any("translate_seconds" in warning for warning in diff.warnings)
+
+
+def test_chunk_size_is_a_config_key():
+    old = {"suite": "programs", "chunk_size": 64}
+    new = {"suite": "programs", "chunk_size": 16}
+    diff = diff_reports(old, new)
+    assert not diff.ok
+    assert any("chunk_size" in error for error in diff.errors)
+
+
 def test_render_markdown_sections():
     diff = diff_reports(BASE_REPORT, variant(rows=800,
                                              translate_seconds=0.2))

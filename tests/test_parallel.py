@@ -12,6 +12,8 @@ per-worker roots with the self-time reconciliation intact.
 
 import gc
 import json
+import logging
+import multiprocessing
 
 import pytest
 
@@ -23,7 +25,7 @@ from repro.observe.merge import WORKER_ROOT
 from repro.observe.registry import get_registry
 from repro.observe.tracing import Tracer
 from repro.options import ConversionOptions
-from repro.parallel import ParallelExecutor, run_parallel_batch
+from repro.parallel import ParallelExecutor, WorkerPool, run_parallel_batch
 from repro.programs.interpreter import ProgramInputs
 from repro.restructure import restructure_database
 from repro.strategies.cascade import FallbackCascade
@@ -52,7 +54,11 @@ def fresh_cascade(seed=1979):
     return FallbackCascade(source_db, target_db, operator)
 
 
-OPTIONS = ConversionOptions(inputs=ProgramInputs(terminal=["STORE"]))
+# parallel_threshold=2: these corpora are deliberately tiny, and the
+# default threshold would (correctly) route them in-process -- the
+# auto-degrade behaviour has its own test class below.
+OPTIONS = ConversionOptions(inputs=ProgramInputs(terminal=["STORE"]),
+                            parallel_threshold=2)
 
 
 def summaries(batch):
@@ -96,12 +102,16 @@ class TestParallelMatchesSerial:
         assert summaries(serial) != summaries(clean)
 
 
+def _no_pool(monkeypatch, reason):
+    def boom(*args, **kwargs):
+        raise AssertionError(reason)
+
+    monkeypatch.setattr("repro.parallel.WorkerPool", boom)
+
+
 class TestFastPathAndResume:
     def test_jobs_1_never_touches_the_pool(self, monkeypatch):
-        def boom(*args, **kwargs):
-            raise AssertionError("jobs=1 must not create a process pool")
-
-        monkeypatch.setattr("repro.parallel.ProcessPoolExecutor", boom)
+        _no_pool(monkeypatch, "jobs=1 must not create a worker pool")
         programs = corpus_programs(0.0, size=3)
         batch = run_parallel_batch(fresh_cascade(), programs,
                                    OPTIONS.replace(jobs=1))
@@ -119,10 +129,7 @@ class TestFastPathAndResume:
         data["completed"] = data["completed"][:-1]
         path.write_text(json.dumps(data))
 
-        def boom(*args, **kwargs):
-            raise AssertionError("one pending program must not fork")
-
-        monkeypatch.setattr("repro.parallel.ProcessPoolExecutor", boom)
+        _no_pool(monkeypatch, "one pending program must not fork")
         batch = run_parallel_batch(
             fresh_cascade(), programs,
             OPTIONS.replace(jobs=4, checkpoint=path, resume=True))
@@ -176,6 +183,158 @@ class TestFastPathAndResume:
         assert len(resumed.reports) == len(programs)
         assert path.read_bytes() == reference_path.read_bytes()
         assert not BatchCheckpoint(path).shard_paths()
+
+
+class TestAutoDegrade:
+    def test_small_batch_never_spawns_a_pool_and_logs_why(
+            self, monkeypatch, caplog):
+        """Below the pending-corpus threshold, jobs>1 converts
+        in-process -- a pool would cost seconds to save milliseconds."""
+        _no_pool(monkeypatch, "sub-threshold batch must not spawn a pool")
+        programs = corpus_programs(0.25)
+        serial = run_batch(fresh_cascade(), programs, OPTIONS)
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            batch = run_parallel_batch(
+                fresh_cascade(), programs,
+                OPTIONS.replace(jobs=8, parallel_threshold=None))
+        assert summaries(batch) == summaries(serial)
+        assert any("below the pool threshold" in record.message
+                   for record in caplog.records)
+
+    def test_external_pool_skips_the_threshold_check(self):
+        """A caller-owned warm pool has no spawn cost to amortize, so
+        even a tiny batch uses it."""
+        programs = corpus_programs(0.0)
+        cascade = fresh_cascade()
+        serial = run_batch(fresh_cascade(), programs, OPTIONS)
+        with WorkerPool(cascade, OPTIONS, jobs=2) as pool:
+            batch = ParallelExecutor(
+                cascade, programs,
+                OPTIONS.replace(parallel_threshold=None),
+                pool=pool).run()
+        assert summaries(batch) == summaries(serial)
+
+    def test_threshold_resolution(self):
+        assert ConversionOptions().resolved_parallel_threshold(2) == 32
+        assert ConversionOptions().resolved_parallel_threshold(32) == 64
+        options = ConversionOptions(parallel_threshold=5)
+        assert options.resolved_parallel_threshold(8) == 5
+        with pytest.raises(ValueError, match="parallel_threshold"):
+            ConversionOptions(
+                parallel_threshold=-1).resolved_parallel_threshold(2)
+
+    def test_chunk_size_resolution(self):
+        # Auto: ~8 chunks per worker, floor 1, ceiling MAX_AUTO_CHUNK.
+        assert ConversionOptions().resolved_chunk_size(6, 2) == 1
+        assert ConversionOptions().resolved_chunk_size(10_000, 4) == 64
+        assert ConversionOptions().resolved_chunk_size(1_000, 4) == 32
+        assert ConversionOptions(chunk_size=7).resolved_chunk_size(6, 2) == 7
+        with pytest.raises(ValueError, match="chunk_size"):
+            ConversionOptions(chunk_size=0).resolved_chunk_size(6, 2)
+
+
+class TestWarmPool:
+    def test_pool_reuse_across_batches_is_byte_identical(self, tmp_path):
+        """The warmness contract: the same worker processes (same
+        PIDs) serve consecutive batches, and savepoint discipline
+        makes every batch byte-identical to a fresh serial run."""
+        programs = corpus_programs(0.25)
+        serial_path = tmp_path / "serial.json"
+        serial = run_batch(fresh_cascade(), programs,
+                           OPTIONS.replace(checkpoint=serial_path))
+
+        cascade = fresh_cascade()
+        with WorkerPool(cascade, OPTIONS, jobs=2) as pool:
+            pids_before = pool.worker_pids()
+            for round_index in range(2):
+                path = tmp_path / f"round{round_index}.json"
+                batch = ParallelExecutor(
+                    cascade, programs,
+                    OPTIONS.replace(checkpoint=path), pool=pool).run()
+                assert summaries(batch) == summaries(serial)
+                assert path.read_bytes() == serial_path.read_bytes()
+            assert pool.worker_pids() == pids_before
+
+    def test_chunk_size_does_not_change_the_bytes(self, tmp_path):
+        programs = corpus_programs(0.75)
+        serial_path = tmp_path / "serial.json"
+        serial = run_batch(fresh_cascade(), programs,
+                           OPTIONS.replace(checkpoint=serial_path))
+        for chunk_size in (1, 2, 5):
+            path = tmp_path / f"chunk{chunk_size}.json"
+            batch = run_parallel_batch(
+                fresh_cascade(), programs,
+                OPTIONS.replace(jobs=2, chunk_size=chunk_size,
+                                checkpoint=path))
+            assert summaries(batch) == summaries(serial)
+            assert path.read_bytes() == serial_path.read_bytes()
+
+    def test_owned_pool_is_closed_after_the_run(self):
+        programs = corpus_programs(0.0)
+        run_parallel_batch(fresh_cascade(), programs,
+                           OPTIONS.replace(jobs=2))
+        assert not [proc for proc in multiprocessing.active_children()
+                    if proc.name.startswith("repro-worker-")]
+
+
+class TestGracefulInterrupt:
+    def test_ctrl_c_mid_batch_leaves_a_resumable_checkpoint(self,
+                                                            tmp_path):
+        """A KeyboardInterrupt inside the pool window drains the
+        workers (in-flight chunks finish and journal), folds every
+        shard into the main checkpoint, re-raises, and leaves no
+        orphaned processes; a resume run completes byte-identically."""
+        programs = corpus_programs(0.25)
+        reference_path = tmp_path / "reference.json"
+        run_batch(fresh_cascade(), programs,
+                  OPTIONS.replace(checkpoint=reference_path))
+
+        path = tmp_path / "batch.json"
+        executor = ParallelExecutor(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=2, chunk_size=1, checkpoint=path))
+        # The second coordinator receive is mid-batch by construction:
+        # chunks are still in flight on both workers.
+        with inject(executor, "_receive", nth=2,
+                    make_error=KeyboardInterrupt):
+            with pytest.raises(KeyboardInterrupt):
+                executor.run()
+
+        assert not [proc for proc in multiprocessing.active_children()
+                    if proc.name.startswith("repro-worker-")]
+        journal = BatchCheckpoint(path)
+        assert journal.exists(), "drain must fold shards into the journal"
+        assert not journal.shard_paths()
+        drained = len(json.loads(path.read_text())["completed"])
+        assert drained >= 1, "in-flight chunks must finish and journal"
+
+        resumed = run_parallel_batch(
+            fresh_cascade(), programs,
+            OPTIONS.replace(jobs=2, checkpoint=path, resume=True))
+        assert len(resumed.reports) == len(programs)
+        assert path.read_bytes() == reference_path.read_bytes()
+
+    def test_interrupt_on_a_warm_pool_leaves_it_usable(self, tmp_path):
+        """Draining an external pool must not kill it: the owner may
+        want to resume on the same warm workers."""
+        programs = corpus_programs(0.0)
+        reference = run_batch(fresh_cascade(), programs, OPTIONS)
+
+        cascade = fresh_cascade()
+        with WorkerPool(cascade, OPTIONS, jobs=2) as pool:
+            path = tmp_path / "batch.json"
+            executor = ParallelExecutor(
+                cascade, programs,
+                OPTIONS.replace(chunk_size=1, checkpoint=path), pool=pool)
+            with inject(executor, "_receive", nth=2,
+                        make_error=KeyboardInterrupt):
+                with pytest.raises(KeyboardInterrupt):
+                    executor.run()
+            resumed = ParallelExecutor(
+                cascade, programs,
+                OPTIONS.replace(checkpoint=path, resume=True),
+                pool=pool).run()
+            assert summaries(resumed) == summaries(reference)
 
 
 class TestObservabilityMerge:
