@@ -50,7 +50,7 @@ REWRITE_FACTOR = 4.0
 
 def _check_report_shape(report: dict) -> None:
     assert report["suite"] == "programs"
-    assert report["bench_format"] == 2
+    assert report["bench_format"] == 3
     for entry in report["scales"]:
         native_cost = entry["native"]["cost"]
         assert native_cost > 0
@@ -88,6 +88,24 @@ def _check_report_shape(report: dict) -> None:
                 f"tier {tier['programs']}: jobs={row['jobs']} reports "
                 "diverged from the 1-worker run"
             )
+        # Cost-model columns (bench_format 3).  The *speedup* over the
+        # fixed order is asserted only in the perf-marked gate below;
+        # byte-identity between the orders is non-negotiable.
+        order = tier["strategy_order"]
+        assert order["fixed_seconds"] > 0
+        assert order["cost_seconds"] > 0
+        assert order["reports_identical"], (
+            f"tier {tier['programs']}: cost-ordered reports diverged "
+            "from the fixed-order run"
+        )
+        model = tier["cost_model"]
+        assert model["counters"]["predictions"] == tier["programs"]
+        assert model["reports_with_cost"] == tier["programs"], (
+            "every cascade report must carry a predicted cost"
+        )
+        for channel in model["accuracy"].values():
+            assert channel["samples"] > 0
+            assert channel["factor"] > 0
 
 
 def test_programs_smoke(tmp_path):
@@ -124,6 +142,32 @@ def _scaling_rows(tiers: tuple[int, ...],
     scaling = measure_parallel_scaling(jobs_curve=jobs_curve, tiers=tiers)
     (tier,) = scaling["tiers"]
     return {row["jobs"]: row for row in tier["jobs"]}
+
+
+@pytest.mark.perf
+def test_cost_order_beats_fixed_order_on_pathological_tier():
+    """The COBRA acceptance gate: on a 1k-program inventory tier at
+    pathology_rate=0.75, the cost-ordered cascade must run >= 1.3x
+    faster end-to-end than the fixed rewrite-first order while
+    producing byte-identical reports.  CPU-gated: wall-clock on a
+    shared 1-CPU runner proves nothing."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("needs >= 2 CPUs for a meaningful wall-clock gate")
+    scaling = measure_parallel_scaling(jobs_curve=(1,), tiers=(1_000,),
+                                       pathology_rate=0.75)
+    (tier,) = scaling["tiers"]
+    order = tier["strategy_order"]
+    assert order["reports_identical"], (
+        "cost-ordered reports diverged from the fixed-order run"
+    )
+    assert order["speedup"] >= 1.3, (
+        f"cost order only {order['speedup']:.2f}x faster than fixed "
+        "order on the pathological 1k tier"
+    )
+    model = tier["cost_model"]
+    assert model["counters"]["rewrite_skips"] > 0, (
+        "the pathological tier must exercise the rewrite-skip path"
+    )
 
 
 @pytest.mark.perf

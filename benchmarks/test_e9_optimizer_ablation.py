@@ -22,7 +22,8 @@ from repro.programs import builder as b
 from repro.programs.interpreter import run_program
 from repro.workloads import company
 
-ALL_PASSES = ("pushdown", "keyed", "dedup-locate", "owner-elim")
+ALL_PASSES = ("pushdown", "keyed", "calc-locate", "hoist-locate",
+              "dedup-locate", "owner-elim")
 
 
 def dept_report():

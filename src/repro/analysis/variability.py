@@ -43,6 +43,13 @@ class Finding:
 #: these is idiomatic, not pathological.
 _BENIGN_CODES = {"0000"}
 
+#: Shared with :mod:`repro.cost`, whose static profile walk must
+#: reproduce this finding byte-for-byte.
+VERB_VARIABILITY_DETAIL = (
+    "DML verb is a run-time expression; the request may change "
+    "during execution (Section 3.2)"
+)
+
 
 def detect_verb_variability(program: Program) -> list[Finding]:
     """Call-interface DML whose verb is not provably constant."""
@@ -54,8 +61,7 @@ def detect_verb_variability(program: Program) -> list[Finding]:
             continue
         findings.append(Finding(
             "verb-variability", stmt.render(),
-            "DML verb is a run-time expression; the request may change "
-            "during execution (Section 3.2)",
+            VERB_VARIABILITY_DETAIL,
             blocking=True,
         ))
     return findings

@@ -114,6 +114,14 @@ def convert_batch(
     serial run.  Batches below ``options.parallel_threshold`` pending
     programs auto-degrade to the in-process path.
 
+    Stage attempts are cost-ordered by default
+    (``options.strategy_order="cost"``): the cascade predicts each
+    program's access profile and skips the rewrite attempt only when
+    static analysis is guaranteed to refuse it.  Every report carries
+    ``report.cost`` with the predicted and measured plan costs;
+    ``options.strategy_order="fixed"`` restores the unconditional
+    rewrite-first order.
+
     Pass ``pool=`` (a :class:`~repro.parallel.WorkerPool` built once
     from the same cascade) to convert many batches on the same warm
     worker processes; the caller owns the pool's lifecycle.

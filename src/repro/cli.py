@@ -146,14 +146,18 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
 
     source_db = _build_database(schema, args.data)
     _target_schema, target_db = restructure_database(source_db, operator)
-    cascade = FallbackCascade(source_db, target_db, operator)
+    cascade = FallbackCascade(source_db, target_db, operator,
+                              strategy_order=args.strategy_order,
+                              cost_model=args.cost_model)
     options = api.ConversionOptions(
         checkpoint=args.checkpoint,
         resume=args.resume,
         inputs=_load_inputs(args),
         jobs=args.jobs,
         chunk_size=args.chunk_size,
-        parallel_threshold=args.parallel_threshold)
+        parallel_threshold=args.parallel_threshold,
+        strategy_order=args.strategy_order,
+        cost_model=args.cost_model)
     try:
         batch = api.convert_batch(cascade, programs, options)
     except KeyboardInterrupt:
@@ -404,6 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="batch mode: minimum pending programs before "
                           "a worker pool is spawned; smaller batches "
                           "run in-process (default: max(2*jobs, 32))")
+    sub.add_argument("--strategy-order", default="cost",
+                     choices=["cost", "fixed"],
+                     help="batch mode: order cascade stage attempts by "
+                          "predicted cost, skipping rewrites that "
+                          "static analysis is guaranteed to refuse "
+                          "(default), or probe every stage in the "
+                          "fixed rewrite-first order")
+    sub.add_argument("--cost-model", default="auto",
+                     choices=["auto", "default"],
+                     help="batch mode: cardinalities for cost "
+                          "prediction -- auto counts the source "
+                          "database's records, default uses a flat "
+                          "per-record estimate")
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")

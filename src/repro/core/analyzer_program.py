@@ -28,6 +28,17 @@ from repro.programs import ast
 from repro.schema.model import Schema
 
 
+def blocking_failure(details: list[str] | tuple[str, ...]) -> str:
+    """The analyzer's refusal message for blocking findings.
+
+    Shared with :mod:`repro.cost`, whose static prediction of "this
+    program will fall back" must synthesize the exact same failure
+    text the real analyzer raises.
+    """
+    return ("program cannot be analyzed mechanically: "
+            + "; ".join(details))
+
+
 class ProgramAnalyzer:
     """Derives abstract programs from concrete database programs."""
 
@@ -52,8 +63,7 @@ class ProgramAnalyzer:
             blocking = [f for f in findings if f.blocking]
         if blocking:
             raise AnalysisError(
-                "program cannot be analyzed mechanically: "
-                + "; ".join(f.detail for f in blocking)
+                blocking_failure([f.detail for f in blocking])
             )
         if program.procedures:
             # Inline-free analysis: procedures are analyzed but calls

@@ -9,13 +9,24 @@ Passes, each individually toggleable for the E9 ablation:
 
 * **keyed-scan selection** -- a scan whose conditions are all
   equalities on fields of the scanned entity becomes a keyed retrieval
-  (the paper's FIND ... USING template (B)), cutting DML calls;
+  (the paper's FIND ... USING template (B)), cutting DML calls.
+  Cost-gated: keyed retrieval only wins when the estimated occurrence
+  cardinality exceeds the probe overhead, so tiny sets keep the
+  sequential template;
 * **condition pushdown** -- an IF at the head of a scan body whose
   condition tests only bound fields of the scanned entity moves into
   the scan conditions (enabling keyed-scan selection);
-* **locate-by-calc preference** -- a locate on non-CALC fields is
-  rerouted through the entity's CALC key when a condition on it exists
-  (drop the rest into a residual filter);
+* **locate-by-calc preference** -- a locate mixing equality conditions
+  that cover the entity's CALC key with non-equality residuals is
+  rerouted through the CALC key, the residuals dropped into a filter
+  inside the status guard.  Cost-gated like keyed selection (a CALC
+  probe beats a half-scan only past the probe overhead).  Unlocks
+  generation: the network LOCATE template accepts equality conditions
+  only;
+* **loop-invariant locate hoisting** -- a locate at the head of a
+  While body whose condition values are all constants, in a body with
+  no other database operation, moves before the loop when the
+  estimated trip count makes the repeated probe dominate;
 * **redundant-locate elimination** -- consecutive identical locates
   collapse;
 * **redundant-owner elimination** -- AToOwner hops to an entity whose
@@ -29,6 +40,7 @@ from dataclasses import dataclass, replace
 
 from repro.core import abstract
 from repro.core.abstract import (
+    ABSTRACT_NODES,
     ACond,
     ALocate,
     AScan,
@@ -38,6 +50,14 @@ from repro.core.abstract import (
 )
 from repro.programs import ast
 from repro.schema.model import Schema
+
+#: Probe overhead (in record accesses) charged to an index retrieval
+#: when comparing it against a sequential alternative: below this
+#: cardinality the plain scan wins.
+KEYED_PROBE_OVERHEAD = 2
+
+DEFAULT_PASSES = ("pushdown", "keyed", "calc-locate", "hoist-locate",
+                  "dedup-locate", "owner-elim")
 
 
 @dataclass
@@ -64,8 +84,7 @@ class Optimizer:
     """Pass-based abstract-program optimizer."""
 
     def __init__(self, schema: Schema, cost_model: CostModel | None = None,
-                 passes: tuple[str, ...] = ("pushdown", "keyed",
-                                            "dedup-locate", "owner-elim")):
+                 passes: tuple[str, ...] = DEFAULT_PASSES):
         self.schema = schema
         self.cost_model = cost_model or CostModel({})
         self.passes = passes
@@ -76,6 +95,10 @@ class Optimizer:
             statements = self._push_conditions(statements)
         if "keyed" in self.passes:
             statements = self._select_keyed_scans(statements)
+        if "calc-locate" in self.passes:
+            statements = self._prefer_calc_locates(statements)
+        if "hoist-locate" in self.passes:
+            statements = self._hoist_invariant_locates(statements)
         if "dedup-locate" in self.passes:
             statements = self._dedup_locates(statements)
         if "owner-elim" in self.passes:
@@ -113,11 +136,144 @@ class Optimizer:
                 return stmt
             if not stmt.conditions:
                 return stmt
-            if all(c.op == "=" for c in stmt.conditions):
-                return replace(stmt, keyed=True)
-            return stmt
+            if any(c.op != "=" for c in stmt.conditions):
+                return stmt
+            # Plan costs: the sequential template reads every member
+            # and filters in the body; the keyed template pays a probe
+            # per match.  Tiny occurrences keep the plain scan.
+            sequential = self.cost_model.count(stmt.entity)
+            if sequential <= KEYED_PROBE_OVERHEAD:
+                return stmt
+            return replace(stmt, keyed=True)
 
         return abstract.transform(statements, fix)
+
+    # -- locate-by-calc preference ------------------------------------------
+
+    def _prefer_calc_locates(self, statements: tuple[AStmt, ...]
+                             ) -> tuple[AStmt, ...]:
+        """Reroute a mixed-condition locate through the CALC key.
+
+        Pattern: ``LOCATE E [eq-conds covering E's CALC key +
+        non-equality residuals]`` immediately followed by a
+        ``DB-STATUS = '0000'`` guard.  The CALC key identifies at most
+        one instance, so the residuals can move into the guard as a
+        host filter over the bound fields; the not-matched branch
+        restores the not-found status code before running the ELSE
+        arm.  This both beats the half-scan (cost gate) and unlocks
+        generation -- the network LOCATE template rejects
+        non-equality conditions outright.
+        """
+        out: list[AStmt] = []
+        index = 0
+        while index < len(statements):
+            stmt = statements[index]
+            stmt = self._recurse_calc_locates(stmt)
+            follower = (statements[index + 1]
+                        if index + 1 < len(statements) else None)
+            rewritten = None
+            if isinstance(follower, ast.If):
+                rewritten = self._calc_locate_rewrite(stmt, follower)
+            if rewritten is not None:
+                locate, guard = rewritten
+                out.append(locate)
+                out.append(self._recurse_calc_locates(guard))
+                index += 2
+                continue
+            out.append(stmt)
+            index += 1
+        return tuple(out)
+
+    def _recurse_calc_locates(self, stmt: AStmt) -> AStmt:
+        for block_field, block in (
+            ("body", getattr(stmt, "body", None)),
+            ("then", getattr(stmt, "then", None)),
+            ("orelse", getattr(stmt, "orelse", None)),
+        ):
+            if isinstance(block, tuple):
+                stmt = replace(
+                    stmt, **{block_field: self._prefer_calc_locates(block)}
+                )
+        return stmt
+
+    def _calc_locate_rewrite(self, stmt: AStmt, guard: ast.If
+                             ) -> tuple[ALocate, ast.If] | None:
+        if not isinstance(stmt, ALocate) or not stmt.bind:
+            return None
+        if guard.condition != ast.status_ok():
+            return None
+        residual = tuple(c for c in stmt.conditions if c.op != "=")
+        if not residual:
+            return None
+        equalities = tuple(c for c in stmt.conditions if c.op == "=")
+        record = self.schema.records.get(stmt.entity)
+        if record is None or not record.calc_keys:
+            return None
+        supplied = {c.field for c in equalities}
+        if not all(key in supplied for key in record.calc_keys):
+            return None
+        if self.cost_model.count(stmt.entity) <= KEYED_PROBE_OVERHEAD:
+            return None
+        filter_cond = _conjunction(stmt.entity, residual)
+        restore_status = ast.Assign("DB-STATUS", ast.Const("0326"))
+        inner = ast.If(filter_cond, guard.then,
+                       (restore_status,) + guard.orelse)
+        return (replace(stmt, conditions=equalities),
+                ast.If(guard.condition, (inner,), guard.orelse))
+
+    # -- loop-invariant locate hoisting ---------------------------------------
+
+    def _hoist_invariant_locates(self, statements: tuple[AStmt, ...]
+                                 ) -> tuple[AStmt, ...]:
+        """Move a loop-invariant locate out of a While body.
+
+        Safe when the locate's condition values are all constants, the
+        body contains no other database operation (so currency and
+        DB-STATUS cannot change between iterations) and no assignment
+        to DB-STATUS, and the loop condition reads neither DB-STATUS
+        nor the fields the locate binds (hoisting moves the bind ahead
+        of the first condition test).  The cost gate compares the
+        per-iteration probe against paying it once.
+        """
+        def fix(stmt: AStmt):
+            if not isinstance(stmt, ast.While):
+                return stmt
+            if not stmt.body or not isinstance(stmt.body[0], ALocate):
+                return stmt
+            locate = stmt.body[0]
+            if not all(isinstance(c.value, ast.Const)
+                       for c in locate.conditions):
+                return stmt
+            rest = stmt.body[1:]
+            if any(isinstance(inner, ABSTRACT_NODES)
+                   for inner in abstract.walk(rest)):
+                return stmt
+            if any(isinstance(inner, ast.Assign)
+                   and inner.var == "DB-STATUS"
+                   for inner in abstract.walk(rest)):
+                return stmt
+            bound_prefix = f"{locate.entity}."
+            if _mentions_var(stmt.condition, "DB-STATUS") or \
+                    _mentions_prefix_anywhere(stmt.condition, bound_prefix):
+                return stmt
+            probe = self._locate_cost(locate)
+            trip = 2  # the dataflow "may repeat" convention
+            in_loop_cost = trip * probe
+            hoisted_cost = probe
+            if hoisted_cost >= in_loop_cost:
+                return stmt
+            return (locate, replace(stmt, body=rest))
+
+        return abstract.transform(statements, fix)
+
+    def _locate_cost(self, locate: ALocate) -> int:
+        """Estimated record accesses for one execution of a locate."""
+        record = self.schema.records.get(locate.entity)
+        supplied = {c.field for c in locate.conditions if c.op == "="}
+        if record is not None and record.calc_keys and \
+                all(key in supplied for key in record.calc_keys):
+            return 1
+        return max(1, self.cost_model.count(locate.entity) // 2)
 
     # -- duplicate locate elimination ---------------------------------------
 
@@ -164,11 +320,9 @@ class Optimizer:
                 out.append(stmt)
                 continue
             if isinstance(stmt, AScan):
-                set_type = self.schema.sets.get(stmt.via)
                 inner_positioned = positioned + [(
                     stmt.entity, "bound" if stmt.bind else "positioned"
                 )]
-                del set_type
                 out.append(replace(stmt, body=self._eliminate_redundant_owner(
                     stmt.body, inner_positioned
                 )))
@@ -228,4 +382,24 @@ def _mentions_prefix_anywhere(expr: ast.Expr, prefix: str) -> bool:
     return False
 
 
-__all__ = ["Optimizer", "CostModel"]
+def _mentions_var(expr: ast.Expr, name: str) -> bool:
+    if isinstance(expr, ast.Var):
+        return expr.name == name
+    if isinstance(expr, ast.Bin):
+        return (_mentions_var(expr.left, name)
+                or _mentions_var(expr.right, name))
+    return False
+
+
+def _conjunction(entity: str, conditions: tuple[ACond, ...]) -> ast.Expr:
+    """Residual conditions as a host expression over bound fields."""
+    expr: ast.Expr | None = None
+    for cond in conditions:
+        term = ast.Bin(cond.op, ast.Var(f"{entity}.{cond.field}"),
+                       cond.value)
+        expr = term if expr is None else ast.Bin("AND", expr, term)
+    assert expr is not None
+    return expr
+
+
+__all__ = ["Optimizer", "CostModel", "DEFAULT_PASSES"]

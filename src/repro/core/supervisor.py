@@ -62,6 +62,17 @@ class AnalystQuestion:
         return f"({self.kind}) {self.text}{options}"
 
 
+def pin_verb_question(program_name: str, failure: str) -> AnalystQuestion:
+    """The Section 3.2 verb-variability refusal, as a question.
+
+    Shared with the cascade's cost-based skip path: when the predictor
+    proves the analyzer would refuse, the cascade poses this exact
+    question without running the pipeline, so analyst transcripts are
+    identical either way.
+    """
+    return AnalystQuestion("pin-verb", program_name, failure)
+
+
 class Analyst:
     """Protocol: return an answer string, or None to decline."""
 
@@ -254,7 +265,7 @@ class ConversionSupervisor:
                 lambda: self.program_analyzer.analyze(program))
         except AnalysisError as error:
             pins = self.verb_pins.get(program.name)
-            question = AnalystQuestion("pin-verb", program.name, str(error))
+            question = pin_verb_question(program.name, str(error))
             answer = self.analyst.answer(question)
             report.questions.append(question.render())
             if answer is None or pins is None:

@@ -63,6 +63,7 @@ def merge_worker_trace(
     span_dicts: list[dict[str, Any]],
     worker_base: float,
     coordinator_base: float,
+    **attrs: Any,
 ) -> Span | None:
     """Fold one worker's serialized span forest into ``tracer``.
 
@@ -74,13 +75,15 @@ def merge_worker_trace(
     they did in real time.
 
     Returns the appended root span, or ``None`` for an empty forest
-    (a worker with no assigned programs).
+    (a worker with no assigned programs).  Extra ``attrs`` land on the
+    synthetic root (the executor stamps each worker's cost-model
+    counters there, so a trace shows which workers skipped rewrites).
     """
     spans = [Span.from_dict(entry) for entry in span_dicts]
     if not spans:
         return None
     rebase_spans(spans, coordinator_base - worker_base)
-    root = worker_root(worker_id, spans)
+    root = worker_root(worker_id, spans, **attrs)
     tracer.roots.append(root)
     return root
 

@@ -114,6 +114,18 @@ class NamedCounters:
         for name, value in self._counts.items():
             yield f"{self.namespace}.{name}", value
 
+    def __getstate__(self) -> dict:
+        return {"namespace": self.namespace, "_counts": self._counts}
+
+    def __setstate__(self, state: dict) -> None:
+        # Mirror Metrics.__setstate__: a counter bag rehydrated in a
+        # worker process (the cascade's cost counters travel inside
+        # the pickled pool seed) must re-register so its movement
+        # shows up in the worker's registry deltas.
+        self.namespace = state["namespace"]
+        self._counts = state["_counts"]
+        get_registry().register(self)
+
 
 class FrozenMetricsSource:
     """An immutable ``{name: value}`` bag exposed as a registry source.

@@ -21,7 +21,8 @@ if TYPE_CHECKING:  # imported lazily to keep this module cycle-free
     from repro.programs.interpreter import ProgramInputs
 
 #: The supervisor's default optimizer pass order (Figure 4.1 phase 4).
-DEFAULT_OPTIMIZER_PASSES = ("pushdown", "keyed", "dedup-locate", "owner-elim")
+DEFAULT_OPTIMIZER_PASSES = ("pushdown", "keyed", "calc-locate",
+                            "hoist-locate", "dedup-locate", "owner-elim")
 
 #: The cascade's default stage order: the paper's preferred strategy
 #: first (Section 2.2), runtime strategies in reserve (Section 2.1.2).
@@ -65,6 +66,16 @@ class ConversionOptions:
     order: tuple[str, ...] = DEFAULT_STAGE_ORDER
     #: Terminal/file inputs replayed by every validation probe.
     inputs: "ProgramInputs | None" = None
+    #: How the cascade decides which strategy to probe first:
+    #: ``"cost"`` consults the :mod:`repro.cost` predictor (skipping
+    #: the rewrite attempt only when its static analysis proves the
+    #: analyzer would refuse); ``"fixed"`` always probes ``order`` as
+    #: written.  Validation is never skipped in either mode.
+    strategy_order: str = "cost"
+    #: Cardinality source for cost prediction: ``"auto"`` counts the
+    #: source database's records; ``"default"`` uses the flat
+    #: default-cardinality model.
+    cost_model: str = "auto"
 
     # -- batch knobs --------------------------------------------------
     #: Worker process count for batch conversion.  1 is the in-process

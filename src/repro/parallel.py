@@ -124,6 +124,7 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
     summaries: list[dict] = []
     tracer: Tracer | None = None
     before: dict[str, int] = {}
+    calibration_before: dict[str, dict[str, float]] = {}
     clock_base = 0.0
     active = False
 
@@ -141,6 +142,7 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
                 journal.path.unlink()
             summaries = []
             before = registry.snapshot()
+            calibration_before = cascade.calibrator.snapshot()
             tracer = Tracer() if trace else None
             if tracer is not None:
                 tracer.__enter__()
@@ -149,7 +151,7 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
             continue
         if kind == "flush":
             if not active:
-                result_queue.put(("flush", worker_id, {}, [], 0.0))
+                result_queue.put(("flush", worker_id, {}, [], 0.0, {}))
                 continue
             if tracer is not None:
                 tracer.__exit__(None, None, None)
@@ -163,6 +165,7 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
                     registry_delta(before, registry.snapshot()),
                     spans,
                     clock_base,
+                    cascade.calibrator.delta(calibration_before),
                 )
             )
             tracer = None
@@ -174,11 +177,17 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
             programs: list[Program] = pickle.loads(programs_blob)
             chunk_summaries: list[dict] = []
             chunk_metrics: dict[str, dict[str, int]] = {}
+            chunk_costs: dict[str, dict] = {}
             for program in programs:
                 with span("batch.program", program=program.name):
                     report = convert_one(cascade, program, options)
                 chunk_summaries.append(report.to_summary())
-                chunk_metrics[program.name] = dict(report.metrics)
+                # A fault that escapes the cascade leaves metrics/cost
+                # as None (convert_one's belt-and-braces path); ship
+                # that as-is so the merged report matches serial.
+                if report.metrics is not None:
+                    chunk_metrics[program.name] = dict(report.metrics)
+                chunk_costs[program.name] = report.cost
             summaries.extend(chunk_summaries)
             if journal is not None:
                 journal.write_summaries(names, summaries)
@@ -188,7 +197,8 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
             )
             continue
         result_queue.put(
-            ("chunk", worker_id, chunk_id, chunk_summaries, chunk_metrics)
+            ("chunk", worker_id, chunk_id, chunk_summaries, chunk_metrics,
+             chunk_costs)
         )
 
 
@@ -467,14 +477,14 @@ class ParallelExecutor:
                     continue
                 dispatch(worker_id)
 
-        chunk_results: list[tuple[list[dict], dict]] = []
+        chunk_results: list[tuple[list[dict], dict, dict]] = []
         flushes: dict[int, tuple] = {}
         while len(flushes) < pool.jobs:
             message = self._receive(pool)
             kind = message[0]
             if kind == "chunk":
-                _, worker_id, _chunk_id, summaries, metrics = message
-                chunk_results.append((summaries, metrics))
+                _, worker_id, _chunk_id, summaries, metrics, costs = message
+                chunk_results.append((summaries, metrics, costs))
                 outstanding[worker_id] -= 1
                 dispatch(worker_id)
             elif kind == "flush":
@@ -559,7 +569,7 @@ class ParallelExecutor:
 
     def _merge(
         self,
-        chunk_results: list[tuple[list[dict], dict]],
+        chunk_results: list[tuple[list[dict], dict, dict]],
         flushes: list[tuple],
         names: list[str],
         done: dict[str, ConversionReport],
@@ -567,14 +577,21 @@ class ParallelExecutor:
         coordinator_base: float,
     ) -> BatchReport:
         by_name: dict[str, ConversionReport] = dict(done)
-        for summaries, metrics in chunk_results:
+        for summaries, metrics, costs in chunk_results:
             for summary in summaries:
                 report = ConversionReport.from_summary(summary)
-                report.metrics = dict(metrics.get(report.program_name, {}))
+                raw_metrics = metrics.get(report.program_name)
+                report.metrics = (dict(raw_metrics)
+                                  if raw_metrics is not None else None)
+                report.cost = costs.get(report.program_name)
                 by_name[report.program_name] = report
-        for _, worker_id, delta, spans, clock_base in flushes:
+        for _, worker_id, delta, spans, clock_base, calibration in flushes:
             self._absorb_registry(delta)
-            self._absorb_trace(worker_id, spans, clock_base, coordinator_base)
+            self._absorb_trace(worker_id, spans, clock_base, coordinator_base,
+                               delta)
+            # Fold the worker's calibration samples into the seed
+            # cascade, exactly as a serial run would have observed them.
+            self.cascade.calibrator.absorb(calibration)
 
         missing = [name for name in names if name not in by_name]
         if missing:
@@ -603,16 +620,23 @@ class ParallelExecutor:
         spans: list[dict],
         clock_base: float,
         coordinator_base: float,
+        delta: dict[str, int] | None = None,
     ) -> None:
         tracer = current_tracer()
         if tracer is None or not spans:
             return
+        cost_attrs = {
+            name.replace(".", "_"): value
+            for name, value in (delta or {}).items()
+            if name.startswith("cost.")
+        }
         merge_worker_trace(
             tracer,
             worker_id,
             spans,
             worker_base=clock_base,
             coordinator_base=coordinator_base,
+            **cost_attrs,
         )
 
 

@@ -74,7 +74,10 @@ SMOKE_INVENTORY_TIERS = (32,)
 #: Report shape version.  2: ``parallel_scaling`` became multi-tier
 #: (``tiers`` rows keyed by corpus size, each row recording the chunk
 #: size next to the jobs curve) over the inventory workload.
-BENCH_FORMAT = 2
+#: 3: each tier row gained ``strategy_order`` (cost-ordered vs
+#: fixed-order cascade wall-clock and time saved) and ``cost_model``
+#: (predictor counters and calibrated accuracy) columns.
+BENCH_FORMAT = 3
 
 
 #: Corpus kinds whose behaviour is preserved across all three
@@ -321,6 +324,12 @@ def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
     ``parallel_threshold=1`` pins every multi-worker run onto the pool
     path: the point of the sweep is to *measure* the pool, so the
     auto-degrade heuristic must not silently reroute a small tier.
+
+    Each tier also runs once serially in ``strategy_order="fixed"``
+    mode; the tier row's ``strategy_order`` column records the
+    wall-clock saved by the cost-ordered cascade (which must produce
+    byte-identical reports), and ``cost_model`` records the predictor
+    counters and the calibrated predicted-vs-measured accuracy.
     """
     import json as _json
 
@@ -343,9 +352,23 @@ def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
         spec = InventorySpec(seed=seed, programs=tier,
                              pathology_rate=pathology_rate)
         programs = [item.program for item in generate_inventory(spec)]
+        # Fixed-order serial reference: every program pays the rewrite
+        # attempt.  Runs first, so interpreter warm-up cannot flatter
+        # the cost-ordered runs timed below.
+        fixed_cascade = inventory_cascade(spec, strategy_order="fixed")
+        started = time.perf_counter()
+        with span("bench.fixed-order-batch", programs=len(programs)):
+            fixed_batch = run_parallel_batch(
+                fixed_cascade, programs,
+                options.replace(jobs=1, strategy_order="fixed"))
+        fixed_seconds = time.perf_counter() - started
+        fixed_rendered = _json.dumps(
+            [report.to_summary() for report in fixed_batch.reports])
         rows: list[dict[str, Any]] = []
         baseline_seconds: float | None = None
         baseline_reports: str | None = None
+        cost_cascade = None
+        cost_batch = None
         for jobs in jobs_curve:
             cascade = inventory_cascade(spec)
             resolved_chunk = (
@@ -361,6 +384,7 @@ def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
                 [report.to_summary() for report in batch.reports])
             if baseline_seconds is None:
                 baseline_seconds, baseline_reports = seconds, rendered
+                cost_cascade, cost_batch = cascade, batch
             rows.append({
                 "jobs": jobs,
                 "chunk_size": resolved_chunk,
@@ -369,9 +393,35 @@ def measure_parallel_scaling(jobs_curve: tuple[int, ...] = FULL_JOBS_CURVE,
                                       if seconds > 0 else float("inf")),
                 "reports_identical": rendered == baseline_reports,
             })
-        tier_rows.append({"programs": tier, "jobs": rows})
+        reports_with_cost = sum(
+            1 for report in cost_batch.reports
+            if report.cost and report.cost.get("predicted"))
+        tier_rows.append({
+            "programs": tier,
+            "jobs": rows,
+            "strategy_order": {
+                "fixed_seconds": fixed_seconds,
+                "cost_seconds": baseline_seconds,
+                "speedup": (fixed_seconds / baseline_seconds
+                            if baseline_seconds else float("inf")),
+                "time_saved_pct": (
+                    100.0 * (1.0 - baseline_seconds / fixed_seconds)
+                    if fixed_seconds else 0.0),
+                "reports_identical": fixed_rendered == baseline_reports,
+            },
+            "cost_model": {
+                "counters": cost_cascade.cost_counters.snapshot(),
+                "accuracy": cost_cascade.calibrator.accuracy(),
+                "reports_with_cost": reports_with_cost,
+            },
+        })
     return {
         "pathology_rate": pathology_rate,
+        # Mode config the jobs curve ran under (the fixed-order row is
+        # the per-tier reference): a mode change makes reports
+        # incomparable, so bench --diff treats these as config keys.
+        "strategy_order": "cost",
+        "cost_model": "auto",
         "tiers": tier_rows,
     }
 
@@ -466,4 +516,28 @@ def summarize_programs(report: dict[str, Any]) -> str:
                 f"parallel inventory scaling at {tier['programs']} "
                 f"programs: {curve}"
             )
+            order = tier.get("strategy_order")
+            if order:
+                identical = ("identical" if order["reports_identical"]
+                             else "DIVERGED")
+                lines.append(
+                    f"cost-ordered cascade at {tier['programs']} "
+                    f"programs: fixed {order['fixed_seconds']:.3f}s vs "
+                    f"cost {order['cost_seconds']:.3f}s "
+                    f"({order['speedup']:.2f}x, "
+                    f"{order['time_saved_pct']:.0f}% saved, "
+                    f"reports {identical})"
+                )
+            model = tier.get("cost_model")
+            if model:
+                parts = ", ".join(
+                    f"{name} x{channel['factor']:.2f} "
+                    f"({channel['samples']} samples)"
+                    for name, channel in model["accuracy"].items()
+                )
+                lines.append(
+                    f"cost model at {tier['programs']} programs: "
+                    f"{model['counters'].get('rewrite_skips', 0)} rewrite "
+                    f"skips; calibration factors {parts or 'n/a'}"
+                )
     return "\n".join(lines)

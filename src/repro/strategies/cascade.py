@@ -13,6 +13,18 @@ Every probe runs inside an engine savepoint and is rolled back, so
 validation leaves both databases byte-identical to their pre-call
 state no matter which stages fault.
 
+With ``strategy_order="cost"`` (the default) the cascade consults the
+:mod:`repro.cost` predictor before paying for a rewrite attempt.  The
+prediction is *sound pruning only*: the rewrite stage is skipped
+exactly when the static profile proves the program analyzer would
+refuse it (Section 3.2 verb variability; the analyzer's refusal text
+is synthesized byte-for-byte, and the Conversion Analyst is asked the
+same ``pin-verb`` question at the same point, so scripted analysts see
+an identical transcript).  Validation of whichever strategy does run
+is never skipped, and ``strategy_order="fixed"`` restores the
+unconditional rewrite-first probe.  Every report carries
+``report.cost = {predicted, measured, chosen_order}``.
+
 Stage outcomes land in :class:`~repro.core.report.ConversionReport`:
 
 * ``validated`` -- trace identical to the source run;
@@ -28,6 +40,8 @@ from dataclasses import dataclass
 
 from repro._deprecation import warn_deprecated
 from repro.core.analyzer_db import ChangeCatalog, ConversionAnalyzer
+from repro.core.analyzer_program import blocking_failure
+from repro.core.optimizer import CostModel
 from repro.core.report import (
     ConversionReport,
     FaultContext,
@@ -37,10 +51,11 @@ from repro.core.report import (
     STATUS_WARNINGS,
     StageOutcome,
 )
-from repro.core.supervisor import Analyst
-from repro.errors import PipelineFault
+from repro.core.supervisor import Analyst, pin_verb_question
+from repro.cost import CostCalibrator, CostPredictor, Prediction
+from repro.errors import AnalysisError, PipelineFault
 from repro.network.database import NetworkDatabase
-from repro.observe.registry import get_registry, registry_delta
+from repro.observe.registry import NamedCounters, get_registry, registry_delta
 from repro.options import ConversionOptions
 from repro.observe.tracing import span
 from repro.programs.ast import Program
@@ -54,6 +69,9 @@ from repro.strategies.rewrite import RewriteStrategy
 
 #: Default attempt order: the paper's preferred strategy first.
 DEFAULT_ORDER = ("rewrite", "emulation", "bridge")
+
+STRATEGY_ORDERS = ("cost", "fixed")
+COST_MODEL_MODES = ("auto", "default")
 
 
 @dataclass
@@ -89,10 +107,22 @@ class FallbackCascade:
                  operator: RestructuringOperator,
                  analyst: Analyst | None = None,
                  catalog: ChangeCatalog | None = None,
-                 order: tuple[str, ...] = DEFAULT_ORDER):
+                 order: tuple[str, ...] = DEFAULT_ORDER,
+                 strategy_order: str = "cost",
+                 cost_model: str = "auto"):
         unknown = set(order) - set(DEFAULT_ORDER)
         if unknown:
             raise ValueError(f"unknown cascade stages: {sorted(unknown)}")
+        if strategy_order not in STRATEGY_ORDERS:
+            raise ValueError(
+                f"strategy_order must be one of {STRATEGY_ORDERS}, "
+                f"got {strategy_order!r}"
+            )
+        if cost_model not in COST_MODEL_MODES:
+            raise ValueError(
+                f"cost_model must be one of {COST_MODEL_MODES}, "
+                f"got {cost_model!r}"
+            )
         self.source_db = source_db
         self.target_db = target_db
         self.operator = operator
@@ -100,6 +130,24 @@ class FallbackCascade:
         self.catalog = catalog if catalog is not None else \
             ConversionAnalyzer().analyze_operator(source_db.schema, operator)
         self.order = tuple(order)
+        self.strategy_order = strategy_order
+        self.cost_model_mode = cost_model
+        # Cardinality models are taken once, eagerly: probes roll back
+        # every mutation, so the counts never drift during a batch and
+        # worker processes rehydrating this pickled cascade predict
+        # exactly like the serial coordinator.
+        if cost_model == "auto":
+            source_model = CostModel.from_database(source_db)
+            target_model = CostModel.from_database(target_db)
+        else:
+            source_model = CostModel({})
+            target_model = CostModel({})
+        self.target_cost_model = target_model
+        self.predictor = CostPredictor(source_model, source_db.schema)
+        #: Batch-level calibration state (reporting only; never feeds
+        #: back into per-program predictions, which must stay pure).
+        self.calibrator = CostCalibrator()
+        self.cost_counters = NamedCounters("cost")
 
     # -- strategy construction ---------------------------------------
 
@@ -108,7 +156,8 @@ class FallbackCascade:
         instance handed back to the caller)."""
         if name == "rewrite":
             return RewriteStrategy(self.target_db, self.source_db.schema,
-                                   self.operator, analyst=self.analyst)
+                                   self.operator, analyst=self.analyst,
+                                   cost_model=self.target_cost_model)
         if name == "emulation":
             return EmulationStrategy(self.target_db, self.catalog)
         if name == "bridge":
@@ -166,22 +215,58 @@ class FallbackCascade:
             )
         elif options is not None:
             inputs = options.inputs
+        strategy_order = self.strategy_order
+        if options is not None and options.strategy_order is not None:
+            if options.strategy_order not in STRATEGY_ORDERS:
+                raise ValueError(
+                    f"strategy_order must be one of {STRATEGY_ORDERS}, "
+                    f"got {options.strategy_order!r}"
+                )
+            strategy_order = options.strategy_order
+        use_cost = strategy_order == "cost"
         registry = get_registry()
         before = registry.snapshot()
         # The span shares this wrapper's snapshots instead of taking
         # its own pair (capture_metrics=False, then stamped below).
         with span("cascade.convert", capture_metrics=False,
                   program=program.name) as convert_span:
-            outcome = self._convert(program, inputs)
+            prediction = self.predictor.predict(program)
+            self.cost_counters.bump("predictions")
+            outcome = self._convert(program, inputs, prediction, use_cost)
+            self._observe_cost(outcome, prediction)
         after = registry.snapshot()
         outcome.report.metrics = registry_delta(before, after)
+        skipped = (use_cost and bool(prediction.blocking)
+                   and "rewrite" in self.order)
+        outcome.report.cost = {
+            "predicted": prediction.to_dict(),
+            "measured": outcome.run.cost() if outcome.run else None,
+            "chosen_order": [
+                name for name in self.order
+                if not (name == "rewrite" and skipped)
+            ],
+        }
         if convert_span:
             convert_span.metrics = {k: v for k, v in after.items() if v}
             convert_span.metrics_delta = dict(outcome.report.metrics)
         return outcome
 
+    def _observe_cost(self, outcome: CascadeOutcome,
+                      prediction: Prediction) -> None:
+        """Feed the winning run's measured cost into the calibrator."""
+        if outcome.run is None or not outcome.report.strategy:
+            return
+        predicted = prediction.costs.get(outcome.report.strategy)
+        if predicted is None:
+            return
+        self.calibrator.observe(outcome.report.strategy, predicted,
+                                outcome.run.cost())
+        self.cost_counters.bump("calibration_samples")
+
     def _convert(self, program: Program,
-                 inputs: ProgramInputs | None = None) -> CascadeOutcome:
+                 inputs: ProgramInputs | None = None,
+                 prediction: Prediction | None = None,
+                 use_cost: bool = True) -> CascadeOutcome:
         inputs = inputs or ProgramInputs()
         reference = self.reference_trace(program, inputs)
 
@@ -192,6 +277,21 @@ class FallbackCascade:
 
         for name in self.order:
             with span(f"cascade.{name}", program=program.name) as stage_span:
+                if (name == "rewrite" and use_cost
+                        and prediction is not None and prediction.blocking):
+                    # The static profile proves the analyzer would
+                    # refuse this program; synthesize its exact
+                    # refusal instead of paying for the attempt.
+                    rewrite_report = self._synthesize_rewrite_refusal(
+                        program, prediction)
+                    last_detail = rewrite_report.failure or "unconverted"
+                    stages.append(StageOutcome(name, "unconverted",
+                                               last_detail))
+                    stage_span.set_attr("outcome", "unconverted")
+                    stage_span.set_attr("skipped", True)
+                    self.cost_counters.bump("rewrite_skips")
+                    continue
+
                 strategy = self.make_strategy(name)
 
                 if name == "rewrite":
@@ -231,6 +331,31 @@ class FallbackCascade:
 
         return self._lost(program, stages, rewrite_report, last_error,
                           last_detail)
+
+    def _synthesize_rewrite_refusal(self, program: Program,
+                                    prediction: Prediction
+                                    ) -> ConversionReport:
+        """The report the rewrite attempt would have produced.
+
+        Mirrors the supervisor's analyze-failure path exactly: in the
+        cascade the supervisor carries no verb pins, so a blocking
+        program fails regardless of the analyst's answer -- but the
+        ``pin-verb`` question is still posed (and posed here, at the
+        same point), keeping stateful analysts' transcripts identical
+        to a fixed-order run.
+        """
+        # The supervisor's _phase wrapper annotates the raised error
+        # with program/phase context before str()-ing it into the
+        # report; build the same exception so the text cannot drift.
+        failure = str(AnalysisError(blocking_failure(prediction.blocking),
+                                    program=program.name, phase="analyze"))
+        report = ConversionReport(program.name, STATUS_FAILED)
+        question = pin_verb_question(program.name, failure)
+        if self.analyst is not None:
+            self.analyst.answer(question)
+        report.questions.append(question.render())
+        report.failure = failure
+        return report
 
     def convert_system(self, programs: list[Program],
                        inputs: ProgramInputs | None = None, *,

@@ -12,6 +12,7 @@ per-call overhead.
 
 from __future__ import annotations
 
+from repro.core.optimizer import CostModel
 from repro.core.supervisor import Analyst, ConversionSupervisor
 from repro.core.report import ConversionReport
 from repro.errors import ConversionError
@@ -30,10 +31,12 @@ class RewriteStrategy(ConversionStrategy):
 
     def __init__(self, target_db: NetworkDatabase, source_schema: Schema,
                  operator: RestructuringOperator,
-                 analyst: Analyst | None = None):
+                 analyst: Analyst | None = None,
+                 cost_model: CostModel | None = None):
         self.target_db = target_db
         self.supervisor = ConversionSupervisor(source_schema, operator,
-                                               analyst=analyst)
+                                               analyst=analyst,
+                                               cost_model=cost_model)
         self._converted: dict[str, ConversionReport] = {}
 
     def conversion_report(self, program: Program) -> ConversionReport:

@@ -52,6 +52,13 @@ CLEAN_KINDS = ("report", "lookup", "raise", "fire", "audit", "satellite")
 #: Store-heavy shapes drawn at ``store_rate``.
 STORE_KINDS = ("hire", "guarded-store")
 
+#: Pathological shapes drawn at ``pathology_rate``: the four Section
+#: 3.2 corpus pathologies plus the inventory-only ``bulk-sweep`` --
+#: a verb-variability program dragging a large dead maintenance block,
+#: the shape whose access profile predicts emulation-cheaper (the
+#: rewrite attempt pays the full AST walk only to refuse).
+INVENTORY_PATHOLOGY_KINDS = PATHOLOGY_KINDS + ("bulk-sweep",)
+
 
 @dataclass(frozen=True)
 class InventorySpec:
@@ -77,6 +84,9 @@ class InventorySpec:
     store_rate: float = 0.2
     #: Fraction of programs carrying a Section 3.2 pathology.
     pathology_rate: float = 0.25
+    #: Statements in the bulk-sweep shape's dead maintenance block
+    #: (the AST bulk the rewrite attempt would walk before refusing).
+    sweep_statements: int = 4_000
 
 
 def division_name(index: int) -> str:
@@ -213,10 +223,18 @@ def generate_inventory(spec: InventorySpec | None = None
     spec = spec or InventorySpec()
     gen = DataGen(spec.seed)
     divisions = tuple(division_name(i) for i in range(spec.divisions))
+    # One dead block, shared by every bulk-sweep program: at the 10k
+    # tier thousands of programs embed it, so sharing the tuple keeps
+    # the corpus memory-bound by one block, not one per program.
+    sweep_block = _sweep_block(spec.sweep_statements)
     out: list[CorpusProgram] = []
     for index in range(spec.programs):
         if gen.chance(spec.pathology_rate):
-            kind = gen.choice(PATHOLOGY_KINDS)
+            kind = gen.choice(INVENTORY_PATHOLOGY_KINDS)
+            if kind == "bulk-sweep":
+                out.append(_bulk_sweep_shape(index, gen, divisions,
+                                             sweep_block))
+                continue
             out.append(pathological_program(kind, index, gen, divisions))
         elif gen.chance(spec.store_rate):
             out.append(_store_shape(gen.choice(STORE_KINDS), index, gen,
@@ -321,6 +339,42 @@ def _clean_shape(kind: str, index: int, gen: DataGen,
     raise ValueError(f"unknown clean inventory kind {kind!r}")
 
 
+def _sweep_block(statements: int) -> tuple[ast.Stmt, ...]:
+    """The bulk-sweep shape's dead maintenance block: ``statements``
+    working-storage assignments guarded by a flag that is never set."""
+    return tuple(b.assign(f"W{j:03d}", j) for j in range(statements))
+
+
+def _bulk_sweep_shape(index: int, gen: DataGen,
+                      divisions: tuple[str, ...],
+                      sweep_block: tuple[ast.Stmt, ...]) -> CorpusProgram:
+    """A verb-variability program dragging a large dead block.
+
+    The generic call makes static analysis refuse it (Section 3.2), so
+    the rewrite attempt would walk the whole block only to fail; its
+    access profile predicts that refusal up front, which is exactly the
+    cost-separable shape the cost-ordered cascade wins on.
+    """
+    name = f"INV-BULK-SWEEP-{index:05d}"
+    division = gen.choice(divisions)
+    program = b.program(name, "network", "INVENTORY", [
+        b.accept("REQUEST", prompt="VERB?"),
+        b.assign("SWEEP-FLAG", 0),
+        b.find_any("DIV", **{"DIV-NAME": division}),
+        b.generic_call(b.v("REQUEST"), "EMP", **{
+            "EMP-NAME": f"SWP-{index:05d}",
+            "DEPT-NAME": "SALES",
+            "AGE": 30,
+            "DIV-NAME": division,
+        }),
+        b.if_(b.eq(b.v("SWEEP-FLAG"), 1), sweep_block),
+        b.display("DONE"),
+    ])
+    return CorpusProgram(program, "bulk-sweep",
+                         frozenset({"verb-variability"}),
+                         terminal_inputs=("STORE",))
+
+
 def _store_shape(kind: str, index: int, gen: DataGen,
                  spec: InventorySpec) -> CorpusProgram:
     name = f"INV-{kind.upper()}-{index:05d}"
@@ -358,9 +412,12 @@ def _store_shape(kind: str, index: int, gen: DataGen,
     raise ValueError(f"unknown store inventory kind {kind!r}")
 
 
-def inventory_cascade(spec: InventorySpec | None = None):
+def inventory_cascade(spec: InventorySpec | None = None,
+                      **cascade_kwargs):
     """A ready-to-run cascade: inventory database through the Figure
-    4.4 DEPT interposition (imports deferred to stay cycle-free)."""
+    4.4 DEPT interposition (imports deferred to stay cycle-free).
+    Extra keyword arguments (``strategy_order=``, ``cost_model=``)
+    forward to the :class:`FallbackCascade` constructor."""
     from repro.restructure import restructure_database
     from repro.strategies.cascade import FallbackCascade
 
@@ -368,7 +425,8 @@ def inventory_cascade(spec: InventorySpec | None = None):
     operator = figure_44_operator()
     source_db = inventory_database(spec)
     _schema, target_db = restructure_database(source_db, operator)
-    return FallbackCascade(source_db, target_db, operator)
+    return FallbackCascade(source_db, target_db, operator,
+                           **cascade_kwargs)
 
 
 def render_corpus(corpus: list[CorpusProgram]) -> str:
@@ -378,6 +436,7 @@ def render_corpus(corpus: list[CorpusProgram]) -> str:
 
 __all__ = [
     "CLEAN_KINDS",
+    "INVENTORY_PATHOLOGY_KINDS",
     "STORE_KINDS",
     "InventorySpec",
     "asset_record",

@@ -15,9 +15,9 @@ from repro.batch import run_batch
 from repro.options import ConversionOptions
 from repro.parallel import run_parallel_batch
 from repro.programs.interpreter import ProgramInputs
-from repro.workloads.corpus import PATHOLOGY_KINDS
 from repro.workloads.inventory import (
     CLEAN_KINDS,
+    INVENTORY_PATHOLOGY_KINDS,
     STORE_KINDS,
     InventorySpec,
     asset_record,
@@ -96,10 +96,12 @@ class TestKnobs:
     def test_pathology_rate_zero_and_high(self):
         clean = generate_inventory(InventorySpec(programs=60,
                                                  pathology_rate=0.0))
-        assert all(item.kind not in PATHOLOGY_KINDS for item in clean)
+        assert all(item.kind not in INVENTORY_PATHOLOGY_KINDS
+                   for item in clean)
         dirty = generate_inventory(InventorySpec(programs=60,
                                                  pathology_rate=1.0))
-        assert all(item.kind in PATHOLOGY_KINDS for item in dirty)
+        assert all(item.kind in INVENTORY_PATHOLOGY_KINDS
+                   for item in dirty)
 
     def test_store_rate_steers_the_mix(self):
         stores = generate_inventory(InventorySpec(

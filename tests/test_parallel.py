@@ -86,6 +86,28 @@ class TestParallelMatchesSerial:
         # The merge consumed every worker shard.
         assert not list(tmp_path.glob("*.shard*"))
 
+    def test_escaped_fault_report_survives_the_workers(self):
+        # A program whose *reference run* faults (an ACCEPT with no
+        # terminal input feeds '' to a generic DML call) escapes the
+        # cascade entirely; convert_one's belt-and-braces path records
+        # the fault with metrics and cost left as None.  Workers must
+        # ship that report as-is -- dict(None) used to kill the worker.
+        programs = corpus_programs(0.5, size=8, seed=1)
+        options = ConversionOptions(inputs=ProgramInputs(terminal=[]),
+                                    parallel_threshold=2)
+        serial = run_batch(fresh_cascade(), programs, options)
+        faulted = [r for r in serial.reports if r.fault is not None]
+        assert faulted, "corpus must include a reference-run fault"
+        assert all(r.metrics is None and r.cost is None for r in faulted)
+
+        parallel = run_parallel_batch(fresh_cascade(), programs,
+                                      options.replace(jobs=2))
+        assert summaries(parallel) == summaries(serial)
+        assert [r.metrics for r in parallel.reports] == \
+            [r.metrics for r in serial.reports]
+        assert [r.cost for r in parallel.reports] == \
+            [r.cost for r in serial.reports]
+
     def test_fault_plan_fires_identically_at_any_jobs_count(self):
         programs = corpus_programs(0.0)
         plan = plan_faults(seed=7, program_names=[p.name for p in programs],
