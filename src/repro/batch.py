@@ -44,13 +44,16 @@ from repro.core.report import (
     ConversionReport,
     FaultContext,
     STATUS_FAILED,
+    STATUS_QUARANTINED,
 )
 from repro.errors import ReproError
-from repro.jsonio import write_json_atomic
+from repro.faultinject import KIND_KILL_WORKER, FaultPlan, WorkerKilled
+from repro.jsonio import remove_durable, write_json_atomic
+from repro.observe.registry import named_counters
 from repro.observe.tracing import span
 from repro.options import ConversionOptions
 from repro.programs.ast import Program
-from repro.programs.interpreter import ProgramInputs
+from repro.programs.interpreter import ProgramInputs, program_deadline
 from repro.strategies.cascade import FallbackCascade
 
 CHECKPOINT_VERSION = 1
@@ -124,10 +127,9 @@ class BatchCheckpoint:
         write_json_atomic(data, self.path)
 
     def clear(self) -> None:
-        if self.path.exists():
-            self.path.unlink()
+        remove_durable(self.path)
         for shard in self.shard_paths():
-            shard.unlink()
+            remove_durable(shard)
 
     # -- per-worker shards (parallel batches) --------------------------
 
@@ -176,8 +178,10 @@ class BatchCheckpoint:
             },
             self.path,
         )
+        # Durable unlink: a power loss must not resurrect already-merged
+        # shards for a later resume to fold over fresher main state.
         for shard_file in shards:
-            shard_file.unlink()
+            remove_durable(shard_file)
 
     def recover(self, programs: list[str]) -> dict[str, ConversionReport]:
         """Resume entry point: fold in any leftover shards (a parallel
@@ -258,6 +262,42 @@ def convert_batch(cascade: FallbackCascade, programs: list[Program],
         checkpoint=checkpoint, resume=resume, inputs=inputs))
 
 
+def quarantine_report(program_name: str, attempts: int,
+                      plan: "FaultPlan | None" = None) -> ConversionReport:
+    """The synthesized report for a poison program pulled from a batch.
+
+    Built from the *plan*, never from a live exception or worker id:
+    the parallel coordinator synthesizes this report for a program
+    whose worker died (there is no exception object, and worker ids
+    vary with the jobs count), and the serial engine synthesizes the
+    identical one after its in-process retries -- byte-identical
+    checkpoints at any jobs count depend on both sides agreeing on
+    every character here.
+    """
+    cause_chain: tuple[str, ...] = ()
+    if plan is not None:
+        for fault in plan.for_program(program_name):
+            if fault.kind == KIND_KILL_WORKER:
+                cause_chain = (
+                    f"WorkerKilled: injected worker kill at "
+                    f"{fault.describe()}",
+                )
+                break
+    fault_context = FaultContext(
+        error_type="WorkerKilled",
+        message=(f"conversion killed its worker process "
+                 f"{attempts} time(s); program quarantined"),
+        program=program_name,
+        phase="supervise",
+        cause_chain=cause_chain,
+    )
+    report = ConversionReport(program_name, STATUS_QUARANTINED)
+    report.failure = (f"quarantined as poison input: conversion killed "
+                      f"its worker process {attempts} time(s)")
+    report.fault = fault_context
+    return report
+
+
 def convert_one(cascade: FallbackCascade, program: Program,
                 options: ConversionOptions) -> ConversionReport:
     """One program through the cascade, with belt-and-braces rollback:
@@ -269,29 +309,52 @@ def convert_one(cascade: FallbackCascade, program: Program,
     are armed around the conversion -- call counting scoped to this
     one program unit, so the plan fires identically no matter how the
     batch is ordered or sharded across workers.
+
+    Supervision hooks live here too, because this is the one function
+    both the serial engine and every pool worker route through:
+    ``options.program_timeout`` arms the interpreter's cooperative
+    deadline around each attempt, and a :class:`WorkerKilled` fault
+    (the serial stand-in for a worker process dying) is retried up to
+    ``options.max_program_retries`` times before the program is
+    quarantined -- mirroring, attempt for attempt, what the parallel
+    coordinator does when a real worker dies, so quarantine reports
+    are byte-identical at any jobs count.  In a pool worker a kill
+    fault never reaches this handler (the process exits).
     """
     source_sp = cascade.source_db.savepoint()
     target_sp = cascade.target_db.savepoint()
     plan = options.fault_plan
-    try:
-        if plan:
-            with plan.armed(program.name, {
-                "source_db": cascade.source_db,
-                "target_db": cascade.target_db,
-            }):
-                outcome = cascade.convert(program, options=options)
-        else:
-            outcome = cascade.convert(program, options=options)
-    except Exception as exc:
-        cascade.source_db.rollback(source_sp)
-        cascade.target_db.rollback(target_sp)
-        fault = FaultContext.from_exception(exc, program=program.name,
-                                            phase="convert-batch")
-        report = ConversionReport(program.name, STATUS_FAILED)
-        report.failure = str(exc)
-        report.fault = fault
-        return report
-    return outcome.report
+    retries = max(1, options.max_program_retries)
+    kills = 0
+    while True:
+        try:
+            with program_deadline(options.program_timeout):
+                if plan:
+                    with plan.armed(program.name, {
+                        "source_db": cascade.source_db,
+                        "target_db": cascade.target_db,
+                    }):
+                        outcome = cascade.convert(program, options=options)
+                else:
+                    outcome = cascade.convert(program, options=options)
+        except WorkerKilled:
+            cascade.source_db.rollback(source_sp)
+            cascade.target_db.rollback(target_sp)
+            kills += 1
+            if kills >= retries:
+                named_counters("supervision").bump("quarantined")
+                return quarantine_report(program.name, kills, plan)
+            continue
+        except Exception as exc:
+            cascade.source_db.rollback(source_sp)
+            cascade.target_db.rollback(target_sp)
+            fault = FaultContext.from_exception(exc, program=program.name,
+                                                phase="convert-batch")
+            report = ConversionReport(program.name, STATUS_FAILED)
+            report.failure = str(exc)
+            report.fault = fault
+            return report
+        return outcome.report
 
 
 def _convert_isolated(cascade: FallbackCascade, program: Program,

@@ -141,6 +141,7 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
     from the optional ``--data`` loader, checkpointed, resumable, and
     parallel across ``--jobs`` workers."""
     from repro import api
+    from repro.parallel import ParallelExecutionError
     from repro.restructure import restructure_database
     from repro.strategies.cascade import FallbackCascade
 
@@ -157,9 +158,20 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
         chunk_size=args.chunk_size,
         parallel_threshold=args.parallel_threshold,
         strategy_order=args.strategy_order,
-        cost_model=args.cost_model)
+        cost_model=args.cost_model,
+        program_timeout=args.program_timeout)
     try:
         batch = api.convert_batch(cascade, programs, options)
+    except ParallelExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if args.checkpoint:
+            print(f"parallel batch failed: progress journaled to "
+                  f"{args.checkpoint}; rerun with --resume to finish",
+                  file=sys.stderr)
+        else:
+            print("parallel batch failed (no --checkpoint: progress "
+                  "discarded)", file=sys.stderr)
+        return 3
     except KeyboardInterrupt:
         if args.checkpoint:
             print(f"interrupted: progress journaled to "
@@ -377,7 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "convert",
         help="convert a program (Figure 4.1); repeat --program for a "
-             "fault-isolated, checkpointed batch")
+             "fault-isolated, checkpointed batch",
+        epilog="exit codes: 0 all programs converted; 1 some programs "
+               "did not convert; 2 usage or input error; 3 the parallel "
+               "worker pool failed mid-batch (progress is journaled to "
+               "--checkpoint -- rerun with --resume); 130 interrupted")
     sub.add_argument("--ddl", required=True)
     sub.add_argument("--spec", required=True)
     sub.add_argument("--program", required=True, action="append",
@@ -421,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "prediction -- auto counts the source "
                           "database's records, default uses a flat "
                           "per-record estimate")
+    sub.add_argument("--program-timeout", type=float, default=None,
+                     help="batch mode: cooperative per-program watchdog "
+                          "deadline in seconds; a program exceeding it "
+                          "fails deterministically with a timeout fault "
+                          "(serial and parallel alike)")
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")

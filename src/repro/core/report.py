@@ -28,6 +28,15 @@ STATUS_ASSISTED = "analyst-assisted"
 #: automatically rewritten".
 STATUS_FELL_BACK = "fell-back"
 STATUS_FAILED = "needs-manual-conversion"
+#: The batch supervisor gave up on a poison program: its conversion
+#: repeatedly killed the worker process running it (or, serially,
+#: raised :class:`~repro.faultinject.WorkerKilled`), so the program was
+#: pulled from the batch with a synthesized report instead of sinking
+#: the run.  Like ``STATUS_FAILED`` this is a needs-manual band --
+#: ``converted`` stays False -- but the distinct status tells the
+#: analyst *why*: the program is hostile to the conversion machinery
+#: itself, not merely unconvertible.
+STATUS_QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,9 @@ or the one-shot form::
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -44,21 +46,126 @@ class InjectedFault(ReproError):
     """
 
 
+class WorkerKilled(BaseException):
+    """A ``kill_worker`` fault fired outside a worker process.
+
+    Deliberately a ``BaseException``: this models the *process dying*,
+    which no ``except Exception`` isolation layer in the pipeline could
+    ever observe, let alone absorb.  Inside a pool worker the fault is
+    the real thing (``os._exit``); in the serial engine it must take
+    the same supervision path, so it sails past the cascade's
+    per-stage error handling straight to the batch supervisor's
+    retry/quarantine loop in :func:`repro.batch.convert_one`.
+    """
+
+
+# -- fault kinds ------------------------------------------------------------
+
+#: Raise ``make_error`` at the Nth call (the original behaviour).
+KIND_RAISE = "raise"
+#: Die the way a segfault would: ``os._exit`` inside a pool worker,
+#: :class:`WorkerKilled` (a BaseException) in-process, so serial and
+#: parallel runs exercise the same quarantine bookkeeping.
+KIND_KILL_WORKER = "kill_worker"
+#: Busy-wait past the armed cooperative deadline, then let the call
+#: proceed -- the interpreter's next statement check raises
+#: :class:`~repro.programs.interpreter.ProgramTimeout`.
+KIND_HANG = "hang"
+
+FAULT_KINDS = (KIND_RAISE, KIND_KILL_WORKER, KIND_HANG)
+
+#: Exit status a worker process dies with when ``kill_worker`` fires
+#: (distinctive on purpose: a supervisor log line showing 173 means an
+#: injected kill, not a genuine crash).
+WORKER_KILL_EXIT = 173
+
+#: True in pool worker processes (set by the worker main loop), where
+#: ``kill_worker`` faults really exit instead of raising.
+_WORKER_MODE = False
+#: Ran just before ``os._exit`` so the worker can drain its result
+#: queue's feeder thread -- an abrupt exit mid-write could tear the
+#: previous chunk's already-queued result.
+_WORKER_EXIT_HOOK: Callable[[], None] | None = None
+
+
+def mark_worker_process(
+        exit_hook: Callable[[], None] | None = None) -> None:
+    """Declare this process a pool worker (kill faults become real).
+
+    ``exit_hook`` runs immediately before ``os._exit`` -- the pool
+    worker passes a result-queue drain so an injected kill cannot tear
+    a result already handed to the queue's feeder thread.
+    """
+    global _WORKER_MODE, _WORKER_EXIT_HOOK
+    _WORKER_MODE = True
+    _WORKER_EXIT_HOOK = exit_hook
+
+
+def _kill_current_worker(where: str) -> None:
+    if _WORKER_MODE:
+        hook = _WORKER_EXIT_HOOK
+        if hook is not None:
+            try:
+                hook()
+            except Exception:  # pragma: no cover - best-effort drain
+                pass
+        os._exit(WORKER_KILL_EXIT)
+    raise WorkerKilled(f"injected worker kill at {where}")
+
+
+def _hang_until_deadline(where: str) -> None:
+    from repro.programs.interpreter import active_deadline
+
+    state = active_deadline()
+    if state is None:
+        # Without a watchdog a hang would stall the run forever; fail
+        # loudly (and identically in serial and worker processes).
+        raise InjectedFault(
+            f"hang fault at {where} fired with no program deadline "
+            "armed; hangs are only recoverable through the cooperative "
+            "watchdog (set ConversionOptions.program_timeout)"
+        )
+    deadline, _limit = state
+    while time.monotonic() < deadline:
+        time.sleep(0.0005)
+
+
 @dataclass
 class FaultPoint:
     """One armed injection site: the ``nth`` call (1-based) to
-    ``method`` on ``obj`` raises ``make_error()``."""
+    ``method`` on ``obj`` fires a fault of ``kind`` -- raising
+    ``make_error()`` (the default kind), killing the worker process, or
+    hanging past the cooperative deadline.  ``label`` overrides the
+    site description in kill/hang messages (fault plans pass their
+    symbolic, process-portable description so serial and worker runs
+    name the site identically)."""
 
     obj: Any
     method: str
     nth: int = 1
     make_error: Callable[[str], Exception] = InjectedFault
+    kind: str = KIND_RAISE
+    label: str | None = None
     calls: int = 0
     fired: bool = False
     _original: Callable | None = field(default=None, repr=False)
 
     def describe(self) -> str:
         return f"{type(self.obj).__name__}.{self.method}#{self.nth}"
+
+    def trigger(self) -> None:
+        """Fire this point's fault (called at the Nth matching call)."""
+        if self.kind == KIND_RAISE:
+            raise self.make_error(
+                f"injected fault at {self.describe()}"
+            )
+        where = self.label if self.label is not None else self.describe()
+        if self.kind == KIND_KILL_WORKER:
+            _kill_current_worker(where)
+        elif self.kind == KIND_HANG:
+            _hang_until_deadline(where)
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
 
     def arm(self) -> None:
         if self._original is not None:
@@ -71,9 +178,10 @@ class FaultPoint:
             point.calls += 1
             if point.calls == point.nth:
                 point.fired = True
-                raise point.make_error(
-                    f"injected fault at {point.describe()}"
-                )
+                # A raise/kill trigger never returns; a hang returns
+                # control so the call proceeds and the interpreter's
+                # next deadline check observes the stall.
+                point.trigger()
             return original(*args, **kwargs)
 
         wrapper.__wrapped__ = original  # type: ignore[attr-defined]
@@ -109,14 +217,20 @@ class FaultInjector:
         self.points: list[FaultPoint] = []
 
     def add(self, obj: Any, method: str, nth: int = 1,
-            make_error: Callable[[str], Exception] = InjectedFault
+            make_error: Callable[[str], Exception] = InjectedFault,
+            kind: str = KIND_RAISE, label: str | None = None
             ) -> FaultPoint:
         if not callable(getattr(obj, method, None)):
             raise ValueError(
                 f"{type(obj).__name__}.{method} is not a callable "
                 "injection target"
             )
-        point = FaultPoint(obj, method, nth, make_error)
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (have {FAULT_KINDS})"
+            )
+        point = FaultPoint(obj, method, nth, make_error, kind=kind,
+                           label=label)
         self.points.append(point)
         return point
 
@@ -185,6 +299,10 @@ class PlannedFault:
     method: str
     nth: int = 1
     program: str | None = None
+    #: One of :data:`FAULT_KINDS`; ``kill_worker`` and ``hang`` drive
+    #: the batch supervisor's chaos surface (worker death, watchdog
+    #: timeout) instead of raising.
+    kind: str = KIND_RAISE
 
     def describe(self) -> str:
         scope = self.program if self.program is not None else "*"
@@ -234,7 +352,8 @@ class FaultPlan:
                     f"{fault.target!r} (have {sorted(targets)})"
                 )
             injector.add(targets[fault.target], fault.method,
-                         nth=fault.nth)
+                         nth=fault.nth, kind=fault.kind,
+                         label=fault.describe())
         with injector:
             yield injector
 
@@ -243,7 +362,8 @@ def plan_faults(seed: int, program_names: Sequence[str],
                 rate: float = 0.5,
                 targets: Sequence[str] = ("source_db", "target_db"),
                 methods: Sequence[str] = DEFAULT_PLAN_METHODS,
-                max_nth: int = 3) -> FaultPlan:
+                max_nth: int = 3,
+                kinds: Sequence[str] = (KIND_RAISE,)) -> FaultPlan:
     """Derive a deterministic per-program fault plan from a seed.
 
     Each program draws from its own RNG seeded by ``f"{seed}:{name}"``
@@ -251,16 +371,34 @@ def plan_faults(seed: int, program_names: Sequence[str],
     hashes), so whether a program gets a fault -- and where -- depends
     only on the seed and the program's name, never on batch order or
     the worker it lands on.
+
+    ``kinds`` chooses the fault kind per faulted program.  The kind is
+    drawn *last*, and only when more than one kind is offered, so every
+    pre-existing single-kind plan keeps its exact fault sites under the
+    same seed.
     """
+    kind_pool = list(kinds)
+    if not kind_pool:
+        raise ValueError("plan_faults needs at least one fault kind")
+    for kind in kind_pool:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (have {FAULT_KINDS})"
+            )
     faults: list[PlannedFault] = []
     for name in program_names:
         rng = random.Random(f"{seed}:{name}")
         if rng.random() >= rate:
             continue
+        target = rng.choice(list(targets))
+        method = rng.choice(list(methods))
+        nth = rng.randint(1, max_nth)
+        kind = rng.choice(kind_pool) if len(kind_pool) > 1 else kind_pool[0]
         faults.append(PlannedFault(
-            target=rng.choice(list(targets)),
-            method=rng.choice(list(methods)),
-            nth=rng.randint(1, max_nth),
+            target=target,
+            method=method,
+            nth=nth,
             program=name,
+            kind=kind,
         ))
     return FaultPlan(tuple(faults))

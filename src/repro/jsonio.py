@@ -74,3 +74,23 @@ def write_json_atomic(data: Any, out_path: "str | Path", indent: int = 2) -> Pat
     os.replace(tmp, path)
     fsync_dir(path.parent)
     return path
+
+
+def remove_durable(path: "str | Path") -> None:
+    """Unlink ``path`` and fsync its directory entry away.
+
+    The durability twin of :func:`write_json_atomic`: an unlink that
+    only reaches the page cache can be rolled back by a power loss,
+    resurrecting a file the caller already acted on.  The batch layer
+    removes checkpoint shards through this helper so a crash after a
+    shard merge cannot bring back stale shards that a later resume
+    would fold over fresher main-checkpoint state.  Missing files are
+    tolerated (the caller's intent -- the file being gone -- already
+    holds).
+    """
+    target = Path(path)
+    try:
+        target.unlink()
+    except FileNotFoundError:
+        return
+    fsync_dir(target.parent)

@@ -42,6 +42,7 @@ from repro.observe.registry import (
     MetricsRegistry,
     NamedCounters,
     get_registry,
+    named_counters,
     registry_delta,
 )
 from repro.observe.tracing import (
@@ -65,6 +66,7 @@ __all__ = [
     "get_registry",
     "load_trace",
     "merge_worker_trace",
+    "named_counters",
     "rebase_spans",
     "worker_root",
     "profile_rows",

@@ -152,3 +152,30 @@ _GLOBAL = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-wide :class:`MetricsRegistry`."""
     return _GLOBAL
+
+
+#: Process-wide named-counter bundles, held strongly (the registry
+#: itself only holds sources weakly).
+_NAMED: dict[str, NamedCounters] = {}
+_NAMED_LOCK = threading.Lock()
+
+
+def named_counters(namespace: str) -> NamedCounters:
+    """The process-wide :class:`NamedCounters` bag for ``namespace``.
+
+    Counter families that have no natural owner object -- e.g. the
+    batch supervisor's ``supervision.*`` counts, bumped from the
+    coordinator, the serial engine, and worker processes alike -- need
+    a bundle that outlives any one conversion.  This accessor creates
+    the bag on first use, keeps a strong reference so the registry's
+    weak registration never drops it, and returns the same instance for
+    the life of the process (in a worker, that is the worker process:
+    its movement reaches the coordinator through the registry delta
+    shipped at flush).
+    """
+    with _NAMED_LOCK:
+        counters = _NAMED.get(namespace)
+        if counters is None:
+            counters = NamedCounters(namespace)
+            _NAMED[namespace] = counters
+        return counters

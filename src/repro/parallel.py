@@ -26,7 +26,19 @@ long-lived worker processes:
 * Ctrl-C / SIGTERM inside the pool window **drains** gracefully: no
   new chunks are dispatched, in-flight chunks finish and are
   journaled, every shard is folded into the main checkpoint, and the
-  interrupt is re-raised with a resumable journal on disk.
+  interrupt is re-raised with a resumable journal on disk;
+* the coordinator **supervises** the pool: a dead worker's in-flight
+  chunks are reclaimed from the dealt-chunk ledger and re-dealt, a
+  replacement worker is respawned (exponential backoff with
+  deterministic, seed-stable jitter; bounded by
+  ``options.max_worker_respawns`` consecutive respawns without
+  progress), a chunk that keeps killing workers is bisected until the
+  poison program is isolated, and a program that individually kills a
+  worker ``options.max_program_retries`` times is **quarantined** with
+  a synthesized ``STATUS_QUARANTINED`` report -- the batch completes
+  instead of raising.  ``options.program_timeout`` arms the
+  interpreter's cooperative watchdog so a hung program times out with
+  the same deterministic report serially and in-worker.
 
 The deterministic merge is unchanged from the spawn-per-batch
 executor: report summaries come back through the exact render/parse
@@ -47,9 +59,11 @@ from __future__ import annotations
 
 import logging
 import pickle
+import random
 import signal
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from multiprocessing import get_context
 from queue import Empty
@@ -57,16 +71,21 @@ from typing import Iterator
 
 from repro.batch import (
     BatchCheckpoint,
+    CheckpointError,
     check_program_names,
     convert_one,
+    quarantine_report,
     run_batch,
 )
 from repro.core.report import BatchReport, ConversionReport
 from repro.errors import ReproError
+from repro.faultinject import mark_worker_process
+from repro.jsonio import remove_durable
 from repro.observe.merge import merge_worker_trace
 from repro.observe.registry import (
     FrozenMetricsSource,
     get_registry,
+    named_counters,
     registry_delta,
 )
 from repro.observe.tracing import Tracer, current_tracer, span
@@ -83,22 +102,36 @@ log = logging.getLogger(__name__)
 PREFILL = 2
 
 #: Result-queue poll interval; every timeout re-checks worker health.
+#: Historic default -- the live value is ``options.poll_interval``.
 POLL_SECONDS = 0.2
 
 #: Budget for the graceful-interrupt drain: in-flight chunks get this
-#: long to finish and journal before the pool is terminated.
+#: long to finish and journal before the pool is terminated.  Historic
+#: default -- the live value is ``options.drain_timeout``.
 DRAIN_SECONDS = 30.0
 
 #: How long ``close()`` waits for a worker to exit before terminating.
 CLOSE_SECONDS = 5.0
 
+#: Base of the respawn backoff: respawn ``n`` (since the last sign of
+#: progress) sleeps ``BASE * 2**n`` seconds, capped, plus a
+#: deterministic jitter seeded by the respawn ordinal -- seed-stable,
+#: so chaos runs replay with identical pacing.
+RESPAWN_BACKOFF_BASE = 0.02
+RESPAWN_BACKOFF_CAP = 1.0
+
 
 class ParallelExecutionError(ReproError):
-    """The worker pool died before the batch finished.
+    """The worker pool could not finish the batch.
 
-    Any per-worker checkpoint shards already journaled remain on disk,
-    so a ``resume`` run completes only the genuinely unfinished
-    programs.
+    Individual worker deaths no longer raise this -- the coordinator
+    reclaims the dead worker's chunks, respawns a replacement, and
+    quarantines poison programs.  What remains fatal is a pool that
+    crash-loops without making progress (``max_worker_respawns``
+    consecutive respawns with nothing completed, quarantined, or
+    narrowed) or a worker shipping a coordinator-level error.  Any
+    per-worker checkpoint shards already journaled remain on disk, so
+    a ``resume`` run completes only the genuinely unfinished programs.
     """
 
 
@@ -116,6 +149,16 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
     journaled.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    def _drain_results() -> None:
+        # Ran by an injected kill_worker fault just before os._exit:
+        # close the result queue and join its feeder thread so a
+        # previous chunk's already-queued result is fully written to
+        # the pipe rather than torn mid-exit.
+        result_queue.close()
+        result_queue.join_thread()
+
+    mark_worker_process(_drain_results)
     cascade, options = pickle.loads(seed_blob)
     registry = get_registry()
 
@@ -138,8 +181,9 @@ def _pool_worker(worker_id: int, seed_blob: bytes, task_queue, result_queue):
             journal = BatchCheckpoint(shard_path) if shard_path else None
             if journal is not None and journal.exists():
                 # A stale shard from a crashed run the caller chose not
-                # to resume must not leak into this batch's merge.
-                journal.path.unlink()
+                # to resume must not leak into this batch's merge --
+                # durably, so a machine crash cannot resurrect it.
+                remove_durable(journal.path)
             summaries = []
             before = registry.snapshot()
             calibration_before = cascade.calibrator.snapshot()
@@ -234,6 +278,7 @@ class WorkerPool:
         # unsafe), and spawn gives each worker the clean interpreter
         # the rehydration contract assumes.
         ctx = get_context(context)
+        self._ctx = ctx
         self.seed_blob = pickle.dumps((cascade, options))
         self._results = ctx.Queue()
         self._tasks = [ctx.Queue() for _ in range(self.jobs)]
@@ -248,6 +293,10 @@ class WorkerPool:
         ]
         for proc in self._procs:
             proc.start()
+        #: Worker ids taken out of service by the supervisor (their
+        #: shard files stay on disk for the merge; their queues stay
+        #: allocated so ids never recycle).
+        self.retired: set[int] = set()
         self.closed = False
 
     # -- messaging -----------------------------------------------------
@@ -259,37 +308,67 @@ class WorkerPool:
         """The next worker result (raises ``queue.Empty`` on timeout)."""
         return self._results.get(timeout=timeout)
 
-    def begin_batch(
-        self,
-        names: list[str],
-        shard_paths: "list[str | None]",
-        trace: bool,
-    ) -> None:
-        for worker_id in range(self.jobs):
-            self.send(
-                worker_id, ("begin", names, shard_paths[worker_id], trace)
-            )
-
     def flush(self, worker_id: int) -> None:
         self.send(worker_id, ("flush",))
 
     # -- health and lifecycle ------------------------------------------
 
-    def dead_workers(self) -> list[int]:
+    def active_ids(self) -> list[int]:
+        """Worker ids currently in service (spawned, not retired)."""
         return [
-            k for k, proc in enumerate(self._procs) if not proc.is_alive()
+            k for k in range(len(self._procs)) if k not in self.retired
         ]
+
+    def dead_workers(self) -> list[int]:
+        """In-service workers whose process has exited."""
+        return [
+            k
+            for k, proc in enumerate(self._procs)
+            if k not in self.retired and not proc.is_alive()
+        ]
+
+    def retire(self, worker_id: int) -> None:
+        """Take a (dead) worker out of service.  Its shard file stays
+        on disk -- the chunks it journaled before dying are folded into
+        the main checkpoint at merge time."""
+        self.retired.add(worker_id)
+
+    def respawn(self) -> int:
+        """Spawn a replacement worker under a fresh id.
+
+        A fresh id, never a recycled one: the dead worker's shard must
+        survive for the merge, so the replacement gets its own shard
+        path (and its own task queue -- messages queued to the dead
+        worker are reclaimed from the coordinator's ledger, not from
+        its queue).
+        """
+        worker_id = len(self._procs)
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(worker_id, self.seed_blob, task_queue, self._results),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        self._tasks.append(task_queue)
+        self._procs.append(proc)
+        proc.start()
+        return worker_id
 
     def worker_pids(self) -> list[int]:
         """Live worker PIDs (stable across batches: the warmness proof)."""
-        return [proc.pid for proc in self._procs]
+        return [
+            proc.pid
+            for k, proc in enumerate(self._procs)
+            if k not in self.retired
+        ]
 
     def close(self) -> None:
         """Shut the workers down; idempotent."""
         if self.closed:
             return
         self.closed = True
-        for worker_id in range(self.jobs):
+        for worker_id in range(len(self._tasks)):
             try:
                 self.send(worker_id, ("exit",))
             except (OSError, ValueError):  # queue already torn down
@@ -408,8 +487,8 @@ class ParallelExecutor:
         try:
             with _interrupt_on_sigterm():
                 try:
-                    chunk_results, flushes = self._run_pool(
-                        pool, pending, names, journal, trace
+                    chunk_results, flushes, quarantined = self._run_pool(
+                        pool, pending, names, journal, trace, done
                     )
                 except (KeyboardInterrupt, SystemExit):
                     self._drain(pool, names, journal)
@@ -419,7 +498,13 @@ class ParallelExecutor:
                 pool.close()
 
         return self._merge(
-            chunk_results, flushes, names, done, journal, coordinator_base
+            chunk_results,
+            flushes,
+            names,
+            done,
+            journal,
+            coordinator_base,
+            quarantined,
         )
 
     # -- the pool ------------------------------------------------------
@@ -431,90 +516,317 @@ class ParallelExecutor:
         names: list[str],
         journal: BatchCheckpoint | None,
         trace: bool,
-    ) -> tuple[list[tuple[list[dict], dict]], list[tuple]]:
-        """Dispatch chunks dynamically and collect every result.
+        done: dict[str, ConversionReport],
+    ) -> tuple[
+        list[tuple[list[dict], dict, dict]],
+        list[tuple],
+        dict[str, ConversionReport],
+    ]:
+        """Dispatch chunks dynamically, supervising the pool.
 
-        Returns ``(chunk_results, flushes)``: chunk results in arrival
-        order (the merge re-sorts by program), one flush per worker in
-        worker-id order.
+        Returns ``(chunk_results, flushes, quarantined)``: chunk
+        results in arrival order (the merge re-sorts by program), one
+        flush per surviving worker in worker-id order, and the reports
+        synthesized for quarantined poison programs.
+
+        Supervision: every result-queue poll timeout re-checks worker
+        health.  A dead worker is retired, its dealt-but-unjournaled
+        chunks are reclaimed from the ledger and re-dealt (the first
+        chunk not fully present in its shard journal is the suspect:
+        shards are journaled after every chunk, so that is exactly
+        where the worker died), suspect chunks are bisected until the
+        poison program is isolated, and a program whose chunk-of-one
+        kills ``options.max_program_retries`` workers is quarantined
+        with the same synthesized report the serial engine produces.
+        A replacement worker is respawned under backoff whenever
+        re-dealt work exists; ``options.max_worker_respawns``
+        consecutive respawns without progress (a chunk completed,
+        quarantined, or narrowed) fail the batch instead of
+        crash-looping forever.
         """
-        chunk_size = self.options.resolved_chunk_size(
-            len(pending), pool.jobs
-        )
-        chunks = [
-            pending[index : index + chunk_size]
-            for index in range(0, len(pending), chunk_size)
-        ]
-        shard_paths = [
-            str(journal.shard_path(k)) if journal is not None else None
-            for k in range(pool.jobs)
-        ]
-        pool.begin_batch(names, shard_paths, trace)
-
-        todo = iter(enumerate(chunks))
-        outstanding = {k: 0 for k in range(pool.jobs)}
-        flush_requested: set[int] = set()
-
-        def dispatch(worker_id: int) -> None:
-            item = next(todo, None)
-            if item is None:
-                if (
-                    outstanding[worker_id] == 0
-                    and worker_id not in flush_requested
-                ):
-                    flush_requested.add(worker_id)
-                    pool.flush(worker_id)
-                return
-            chunk_id, chunk = item
-            pool.send(
-                worker_id, ("chunk", chunk_id, pickle.dumps(chunk))
+        options = self.options
+        if options.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {options.poll_interval}"
             )
-            outstanding[worker_id] += 1
+        if options.drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {options.drain_timeout}"
+            )
+        chunk_size = options.resolved_chunk_size(len(pending), pool.jobs)
+        supervision = named_counters("supervision")
+        retries = max(1, options.max_program_retries)
 
-        for _ in range(PREFILL):
-            for worker_id in range(pool.jobs):
-                if outstanding[worker_id] >= PREFILL:
-                    continue
-                dispatch(worker_id)
+        bag: deque[tuple[int, list[Program]]] = deque()
+        next_chunk_id = 0
+        for index in range(0, len(pending), chunk_size):
+            bag.append((next_chunk_id, pending[index : index + chunk_size]))
+            next_chunk_id += 1
+
+        #: worker id -> chunks dealt to it and not yet completed, in
+        #: deal order (workers process their queue FIFO).
+        ledger: dict[int, deque[tuple[int, list[Program]]]] = {}
+        kill_counts: dict[str, int] = {}
+        quarantined: dict[str, ConversionReport] = {}
+        remaining = {program.name for program in pending}
+        unproductive_respawns = 0
+        total_respawns = 0
+
+        def begin(worker_id: int) -> None:
+            shard = (
+                str(journal.shard_path(worker_id))
+                if journal is not None
+                else None
+            )
+            pool.send(worker_id, ("begin", names, shard, trace))
+            ledger[worker_id] = deque()
+
+        def fill(worker_id: int) -> None:
+            dealt = ledger.get(worker_id)
+            if dealt is None:
+                return
+            while len(dealt) < PREFILL and bag:
+                chunk_id, chunk = bag.popleft()
+                pool.send(
+                    worker_id, ("chunk", chunk_id, pickle.dumps(chunk))
+                )
+                dealt.append((chunk_id, chunk))
+
+        def journal_quarantine() -> None:
+            # Quarantined programs never complete in any worker, so
+            # their summaries go into the *main* checkpoint directly
+            # (together with any resumed reports); the shard merge
+            # folds the union, and an interrupt or crash at any moment
+            # leaves them journaled.
+            if journal is None:
+                return
+            summaries = {
+                name: report.to_summary() for name, report in done.items()
+            }
+            summaries.update(
+                {
+                    name: report.to_summary()
+                    for name, report in quarantined.items()
+                }
+            )
+            journal.write_summaries(
+                names,
+                [summaries[name] for name in names if name in summaries],
+            )
+
+        def quarantine(program: Program) -> None:
+            report = quarantine_report(
+                program.name,
+                kill_counts[program.name],
+                options.fault_plan,
+            )
+            quarantined[program.name] = report
+            remaining.discard(program.name)
+            supervision.bump("quarantined")
+            journal_quarantine()
+            log.warning(
+                "parallel: quarantined %s after it killed %d worker(s)",
+                program.name,
+                kill_counts[program.name],
+            )
+
+        def journaled_names(worker_id: int) -> set[str]:
+            # What the dead worker durably finished: its shard is
+            # rewritten after every chunk, so the first dealt chunk
+            # not fully present in it is where the worker died.
+            if journal is None:
+                return set()
+            shard = BatchCheckpoint(journal.shard_path(worker_id))
+            if not shard.exists():
+                return set()
+            try:
+                return set(shard.completed_summaries(names))
+            except CheckpointError:
+                return set()
+
+        def handle_death(worker_id: int) -> None:
+            nonlocal next_chunk_id, total_respawns, unproductive_respawns
+            dealt = ledger.pop(worker_id, None) or deque()
+            pool.retire(worker_id)
+            finished = journaled_names(worker_id)
+            progressed = False
+            suspect_found = False
+            for chunk_id, chunk in dealt:
+                complete = all(p.name in finished for p in chunk)
+                if not suspect_found and not complete:
+                    # The chunk the worker died inside.
+                    suspect_found = True
+                    progressed = True
+                    if len(chunk) == 1:
+                        program = chunk[0]
+                        kill_counts[program.name] = (
+                            kill_counts.get(program.name, 0) + 1
+                        )
+                        if kill_counts[program.name] >= retries:
+                            quarantine(program)
+                        else:
+                            bag.append((chunk_id, chunk))
+                            supervision.bump("chunks_redealt")
+                    else:
+                        # Bisect: the poison program is in here
+                        # somewhere; halving isolates it in O(log n)
+                        # redeliveries while innocent neighbours
+                        # convert on the way.
+                        mid = (len(chunk) + 1) // 2
+                        log.warning(
+                            "parallel: worker %d died in a %d-program "
+                            "chunk; bisecting for the poison program",
+                            worker_id,
+                            len(chunk),
+                        )
+                        for half in (chunk[:mid], chunk[mid:]):
+                            bag.append((next_chunk_id, half))
+                            next_chunk_id += 1
+                            supervision.bump("chunks_redealt")
+                else:
+                    # Innocent: journaled already (its result may be in
+                    # flight or lost with the worker -- re-running is
+                    # deterministic and the merge dedups by name) or
+                    # dealt behind the suspect and never started.
+                    bag.append((chunk_id, chunk))
+                    supervision.bump("chunks_redealt")
+            if not bag:
+                # Nothing to re-deal; surviving workers hold the rest.
+                return
+            if not progressed:
+                # Died holding no unfinished work: the canary of a
+                # crash-looping pool (e.g. seed state that cannot
+                # rehydrate), which re-dealing cannot fix.
+                unproductive_respawns += 1
+                if unproductive_respawns > max(
+                    0, options.max_worker_respawns
+                ):
+                    raise ParallelExecutionError(
+                        f"worker pool is crash-looping: "
+                        f"{unproductive_respawns} consecutive respawns "
+                        "without progress; completed programs are "
+                        "journaled in the checkpoint shards -- rerun "
+                        "with resume to finish the batch"
+                    )
+            total_respawns += 1
+            supervision.bump("respawns")
+            self._backoff(total_respawns, unproductive_respawns)
+            replacement = pool.respawn()
+            log.warning(
+                "parallel: worker %d died; respawned replacement %d "
+                "(%d chunk(s) re-dealt)",
+                worker_id,
+                replacement,
+                len(bag),
+            )
+            begin(replacement)
+            fill(replacement)
+
+        if not pool.active_ids():
+            # A warm external pool whose every worker was retired by a
+            # previous chaotic batch: revive it to full strength.
+            for _ in range(pool.jobs):
+                pool.respawn()
+        for worker_id in pool.active_ids():
+            begin(worker_id)
+        for worker_id in pool.active_ids():
+            fill(worker_id)
 
         chunk_results: list[tuple[list[dict], dict, dict]] = []
-        flushes: dict[int, tuple] = {}
-        while len(flushes) < pool.jobs:
+        while remaining:
             message = self._receive(pool)
             kind = message[0]
-            if kind == "chunk":
-                _, worker_id, _chunk_id, summaries, metrics, costs = message
+            if kind == "dead":
+                for worker_id in message[1]:
+                    handle_death(worker_id)
+                for worker_id in pool.active_ids():
+                    fill(worker_id)
+            elif kind == "chunk":
+                _, worker_id, chunk_id, summaries, metrics, costs = message
                 chunk_results.append((summaries, metrics, costs))
-                outstanding[worker_id] -= 1
-                dispatch(worker_id)
-            elif kind == "flush":
-                flushes[message[1]] = message
+                unproductive_respawns = 0
+                dealt = ledger.get(worker_id)
+                if dealt is not None:
+                    for index, (dealt_id, _chunk) in enumerate(dealt):
+                        if dealt_id == chunk_id:
+                            del dealt[index]
+                            break
+                for summary in summaries:
+                    remaining.discard(summary["program"])
+                fill(worker_id)
+            elif kind == "flush":  # pragma: no cover - defensive
+                continue
             else:  # ("error", worker_id, detail)
                 raise ParallelExecutionError(
-                    f"worker {message[1]} failed: {message[2]}; completed "
-                    "programs are journaled in the checkpoint shards -- "
-                    "rerun with resume to finish the batch"
+                    f"worker {message[1]} failed: {message[2]}; "
+                    "completed programs are journaled in the checkpoint "
+                    "shards -- rerun with resume to finish the batch"
                 )
-        return chunk_results, [flushes[k] for k in sorted(flushes)]
+
+        # Every program is accounted for; flush the survivors for
+        # their observability deltas (metrics, spans, calibration).
+        expected = set(pool.active_ids())
+        for worker_id in sorted(expected):
+            pool.flush(worker_id)
+        flushes: dict[int, tuple] = {}
+        while expected - set(flushes):
+            message = self._receive(pool)
+            kind = message[0]
+            if kind == "flush":
+                if message[1] in expected:
+                    flushes[message[1]] = message
+            elif kind == "chunk":
+                # A re-dealt duplicate whose original result raced the
+                # end of the batch; keep it -- the merge dedups.
+                chunk_results.append((message[3], message[4], message[5]))
+            elif kind == "dead":
+                for worker_id in message[1]:
+                    pool.retire(worker_id)
+                    if worker_id in expected:
+                        expected.discard(worker_id)
+                        log.warning(
+                            "parallel: worker %d died during flush; "
+                            "its observability delta is lost",
+                            worker_id,
+                        )
+            else:  # pragma: no cover - defensive
+                raise ParallelExecutionError(
+                    f"worker {message[1]} failed during flush: "
+                    f"{message[2]}"
+                )
+        ordered_flushes = [flushes[k] for k in sorted(flushes)]
+        return chunk_results, ordered_flushes, quarantined
+
+    def _backoff(self, total_respawns: int, unproductive: int) -> None:
+        """Sleep before a respawn: exponential in the consecutive
+        no-progress count, plus a small deterministic jitter seeded by
+        the respawn ordinal (seed-stable: chaos replays pace
+        identically; jitter still decorrelates respawn storms when
+        several supervisors share a machine)."""
+        delay = min(
+            RESPAWN_BACKOFF_CAP,
+            RESPAWN_BACKOFF_BASE * (2 ** min(unproductive, 6)),
+        )
+        jitter = random.Random(f"respawn:{total_respawns}").uniform(
+            0.0, RESPAWN_BACKOFF_BASE
+        )
+        time.sleep(delay + jitter)
 
     def _receive(self, pool: WorkerPool) -> tuple:
         """Wait for the next worker message, watching pool health.
 
         A separate method so the fault-injection harness can arm the
         coordinator's receive path (e.g. raising KeyboardInterrupt to
-        model a mid-batch Ctrl-C at a precise point)."""
+        model a mid-batch Ctrl-C at a precise point).  Dead workers are
+        reported as a synthetic ``("dead", [worker_id, ...])`` message
+        for the supervision loop to reclaim and respawn."""
         while True:
             try:
-                return pool.receive(timeout=POLL_SECONDS)
+                return pool.receive(timeout=self.options.poll_interval)
             except Empty:
                 dead = pool.dead_workers()
                 if dead:
-                    raise ParallelExecutionError(
-                        f"worker process(es) {dead} died mid-batch; "
-                        "completed programs are journaled in the "
-                        "checkpoint shards -- rerun with resume to "
-                        "finish the batch"
-                    ) from None
+                    return ("dead", dead)
 
     def _drain(
         self,
@@ -528,26 +840,34 @@ class ParallelExecutor:
 
         Called with the interrupt pending; the caller re-raises it once
         the journal is resumable."""
+        active = set(pool.active_ids())
         log.warning(
             "parallel: interrupted -- draining %d worker(s), "
             "in-flight chunks will be journaled",
-            pool.jobs,
+            len(active),
         )
-        deadline = time.monotonic() + DRAIN_SECONDS
+        deadline = time.monotonic() + self.options.drain_timeout
         try:
-            for worker_id in range(pool.jobs):
+            for worker_id in sorted(active):
                 pool.flush(worker_id)
             flushed: set[int] = set()
-            while len(flushed) < pool.jobs and time.monotonic() < deadline:
+            while (
+                len(flushed) < len(active)
+                and time.monotonic() < deadline
+            ):
                 try:
-                    message = pool.receive(timeout=POLL_SECONDS)
+                    message = pool.receive(
+                        timeout=self.options.poll_interval
+                    )
                 except Empty:
-                    if len(pool.dead_workers()) == pool.jobs:
+                    if not set(pool.active_ids()) - set(
+                        pool.dead_workers()
+                    ):
                         break
                     continue
                 if message[0] == "flush":
                     flushed.add(message[1])
-            if len(flushed) < pool.jobs:
+            if len(flushed) < len(active):
                 log.warning(
                     "parallel: drain deadline exceeded; terminating workers"
                 )
@@ -575,8 +895,11 @@ class ParallelExecutor:
         done: dict[str, ConversionReport],
         journal: BatchCheckpoint | None,
         coordinator_base: float,
+        quarantined: dict[str, ConversionReport] | None = None,
     ) -> BatchReport:
         by_name: dict[str, ConversionReport] = dict(done)
+        if quarantined:
+            by_name.update(quarantined)
         for summaries, metrics, costs in chunk_results:
             for summary in summaries:
                 report = ConversionReport.from_summary(summary)

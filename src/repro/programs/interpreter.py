@@ -9,14 +9,18 @@ and guards against runaway loops with a step budget.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import ReproError
 from repro.hierarchical.database import HierarchicalDatabase
 from repro.hierarchical.dml import DLISession, SSA
 from repro.network.database import NetworkDatabase
 from repro.network.dml import DMLSession
+from repro.observe.registry import named_counters
 from repro.observe.tracing import current_tracer, sampled_span, span
 from repro.programs import ast
 from repro.programs.iotrace import IOTrace
@@ -26,6 +30,58 @@ from repro.relational.sequel import evaluate as evaluate_sequel, parse_sequel
 
 class InterpreterError(ReproError):
     """A program failed at run time (bad variable, step budget, ...)."""
+
+
+class ProgramTimeout(InterpreterError):
+    """A program run exceeded its cooperative wall-clock deadline.
+
+    Raised from the interpreter's statement loop when a
+    :func:`program_deadline` window is active -- the batch supervisor's
+    watchdog.  The message names the configured limit, never the
+    elapsed time, so a timed-out program produces the same report
+    serially and inside a worker process."""
+
+    def __init__(self, message: str, program: str | None = None):
+        super().__init__(message)
+        self.program = program
+        self.phase = "watchdog"
+
+
+#: The active cooperative deadline: ``(monotonic_deadline, limit)``.
+#: A context variable, so the batch layer can arm one deadline around
+#: a whole conversion (reference run plus every validation probe) and
+#: every interpreter the conversion creates -- in this thread or
+#: task -- sees it without plumbing.
+_DEADLINE: ContextVar[tuple[float, float] | None] = ContextVar(
+    "repro_program_deadline", default=None)
+
+
+@contextmanager
+def program_deadline(seconds: float | None) -> Iterator[None]:
+    """Arm a cooperative wall-clock deadline for program runs.
+
+    Every :meth:`Interpreter.run` started inside the window checks the
+    deadline once per statement (and once at end of run, so a run whose
+    final statement blocked past the limit still surfaces) and raises
+    :class:`ProgramTimeout` when it has passed.  ``None`` is a no-op,
+    so callers can pass ``options.program_timeout`` unconditionally.
+    Windows nest; the innermost wins.
+    """
+    if seconds is None:
+        yield
+        return
+    if seconds <= 0:
+        raise ValueError(f"program_timeout must be > 0, got {seconds}")
+    token = _DEADLINE.set((time.monotonic() + seconds, seconds))
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def active_deadline() -> tuple[float, float] | None:
+    """The armed ``(monotonic_deadline, limit_seconds)``, if any."""
+    return _DEADLINE.get()
 
 
 @dataclass
@@ -80,6 +136,7 @@ class Interpreter:
         self._steps = 0
         self._dml_statements = 0
         self._dml_trace = False
+        self._deadline: tuple[float, float] | None = active_deadline()
         self._program: ast.Program | None = None
         # Per-statement compiled-expression cache.  Keyed by id() (AST
         # nodes are frozen dataclasses whose values may be unhashable);
@@ -113,13 +170,16 @@ class Interpreter:
         stamped with the statement totals, and individual DML
         statements are recorded as sampled ``dml.*`` spans."""
         self._program = program
+        self._deadline = active_deadline()
         self._dml_trace = current_tracer() is not None
         if not self._dml_trace:
             self._exec_block(program.statements)
+            self._check_deadline()
             return self.trace
         with span("program.run", capture_metrics=False,
                   program=program.name, model=program.model) as run_span:
             self._exec_block(program.statements)
+            self._check_deadline()
             run_span.set_attr("statements", self._steps)
             run_span.set_attr("dml_statements", self._dml_statements)
         return self.trace
@@ -191,6 +251,28 @@ class Interpreter:
                 f"step budget exceeded ({self.max_steps}); "
                 "probable infinite loop"
             )
+        if self._deadline is not None:
+            self._check_deadline()
+
+    def _check_deadline(self) -> None:
+        """Cooperative watchdog: raise once the armed deadline passes.
+
+        The timeout message is deterministic -- it names the program
+        and the configured limit, never the elapsed time -- so a
+        timed-out program's failure report is byte-identical whether
+        the run happened serially or inside a worker process."""
+        if self._deadline is None:
+            return
+        deadline, limit = self._deadline
+        if time.monotonic() < deadline:
+            return
+        named_counters("supervision").bump("timeouts")
+        name = self._program.name if self._program is not None else "?"
+        raise ProgramTimeout(
+            f"program '{name}' exceeded its {limit:g}s conversion "
+            "deadline (cooperative watchdog)",
+            program=name,
+        )
 
     def _exec(self, stmt: ast.Stmt) -> None:
         handler = self._HANDLERS.get(type(stmt))
