@@ -51,7 +51,7 @@ from repro.errors import (
 from repro.options import ConversionOptions
 from repro.parallel import ParallelExecutionError, ParallelExecutor, WorkerPool
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # -- facade (repro.api) -------------------------------------------

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any
 
 from repro._deprecation import reset_deprecation_warnings
+from repro.batch import ProgressCallback
 from repro.core.report import BatchReport, ConversionReport
 from repro.core.supervisor import ConversionSupervisor
 from repro.options import ConversionOptions
@@ -99,11 +100,47 @@ def convert(
     return supervisor.convert_program(_load_program(program), options=options)
 
 
+def build_cascade(
+    schema: "str | Path | Schema",
+    operator: "str | Path | RestructuringOperator",
+    data: "str | Path | Program | None" = None,
+    options: ConversionOptions | None = None,
+) -> FallbackCascade:
+    """Build the probe databases and fallback cascade for a batch.
+
+    ``data`` is an optional loader program (STOREs) that populates the
+    source database before the restructuring is applied; the cascade's
+    strategy order and cost model come from ``options``.  This is the
+    exact construction ``repro convert`` (batch mode) and the
+    conversion service share, so a served job and a shell run of the
+    same artifacts validate against byte-identical probe databases.
+    """
+    options = options if options is not None else ConversionOptions()
+    from repro.network.database import NetworkDatabase
+    from repro.programs.interpreter import run_program
+    from repro.restructure import restructure_database
+
+    parsed_schema = load_schema(schema)
+    parsed_operator = _load_operator(operator)
+    source_db = NetworkDatabase(parsed_schema)
+    if data is not None:
+        run_program(_load_program(data), source_db, consistent=False)
+    _target_schema, target_db = restructure_database(source_db, parsed_operator)
+    return FallbackCascade(
+        source_db,
+        target_db,
+        parsed_operator,
+        strategy_order=options.strategy_order,
+        cost_model=options.cost_model,
+    )
+
+
 def convert_batch(
     cascade: FallbackCascade,
     programs: list[Program],
     options: ConversionOptions | None = None,
     pool: WorkerPool | None = None,
+    progress: "ProgressCallback | None" = None,
 ) -> BatchReport:
     """Convert a batch through the fallback cascade.
 
@@ -125,8 +162,23 @@ def convert_batch(
     Pass ``pool=`` (a :class:`~repro.parallel.WorkerPool` built once
     from the same cascade) to convert many batches on the same warm
     worker processes; the caller owns the pool's lifecycle.
+
+    ``progress`` is called once per settled program --
+    ``progress(report, done, total, resumed)``, see
+    :data:`repro.batch.ProgressCallback` -- and is how the conversion
+    service streams per-program server-sent events.  With
+    ``options.report_json`` the final batch summary is also written
+    atomically to that path (the service's report artifact).
     """
-    return ParallelExecutor(cascade, programs, options, pool=pool).run()
+    batch = ParallelExecutor(
+        cascade, programs, options, pool=pool, progress=progress
+    ).run()
+    options = options if options is not None else ConversionOptions()
+    if options.report_json is not None:
+        from repro.jsonio import write_json_atomic
+
+        write_json_atomic(batch.to_summary(), options.report_json)
+    return batch
 
 
 def run_bench(
@@ -180,7 +232,9 @@ def run_bench(
 
 __all__ = [
     "ConversionOptions",
+    "ProgressCallback",
     "WorkerPool",
+    "build_cascade",
     "convert",
     "convert_batch",
     "load_schema",

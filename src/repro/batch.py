@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Callable
 
 from repro._deprecation import warn_deprecated
 from repro.core.report import (
@@ -57,6 +58,18 @@ from repro.programs.interpreter import ProgramInputs, program_deadline
 from repro.strategies.cascade import FallbackCascade
 
 CHECKPOINT_VERSION = 1
+
+#: Per-program progress callback: ``(report, done, total, resumed)``.
+#: ``done`` counts settled programs (converted, failed, quarantined,
+#: or recovered from a checkpoint), ``total`` is the batch size, and
+#: ``resumed`` marks reports reconstructed from the journal rather
+#: than converted in this run.  Serial batches call it in program
+#: order; parallel batches call it in completion order (the final
+#: :class:`~repro.core.report.BatchReport` is program-ordered either
+#: way).  An exception raised from the callback aborts the batch after
+#: the reported program -- with the journal already written, so a
+#: ``KeyboardInterrupt`` here is exactly the graceful-interrupt path.
+ProgressCallback = Callable[[ConversionReport, int, int, bool], None]
 
 
 class CheckpointError(ReproError):
@@ -204,7 +217,8 @@ def check_program_names(programs: list[Program]) -> list[str]:
 
 
 def run_batch(cascade: FallbackCascade, programs: list[Program],
-              options: ConversionOptions | None = None) -> BatchReport:
+              options: ConversionOptions | None = None,
+              progress: "ProgressCallback | None" = None) -> BatchReport:
     """Convert every program through the fallback cascade, isolating
     per-program faults and journaling progress.
 
@@ -212,6 +226,15 @@ def run_batch(cascade: FallbackCascade, programs: list[Program],
     parallel shards), programs already journaled are not re-run; their
     reports are reconstructed from the checkpoint so the final report
     matches an uninterrupted run.
+
+    ``progress`` is invoked as ``progress(report, done, total,
+    resumed)`` after every program settles -- *after* its report is
+    journaled, so a callback that raises (the conversion service's
+    cooperative stop raises ``KeyboardInterrupt`` there) always leaves
+    a checkpoint that resumes past the reported program.  Programs
+    recovered from the checkpoint are reported too, with
+    ``resumed=True``, so a resumed batch still narrates every program
+    exactly once.
 
     This is the serial engine; ``options.jobs`` is ignored here.  The
     facade's :func:`repro.api.convert_batch` dispatches to
@@ -231,10 +254,15 @@ def run_batch(cascade: FallbackCascade, programs: list[Program],
         done[name] for name in names if name in done
     ]
 
+    total = len(programs)
+    settled = 0
     with span("batch.convert", programs=len(programs)):
         for program in programs:
             if program.name in done:
                 batch.add(done[program.name])
+                settled += 1
+                if progress is not None:
+                    progress(done[program.name], settled, total, True)
                 continue
             with span("batch.program", program=program.name):
                 report = convert_one(cascade, program, options)
@@ -242,6 +270,9 @@ def run_batch(cascade: FallbackCascade, programs: list[Program],
             finished.append(report)
             if journal is not None:
                 journal.write(names, finished)
+            settled += 1
+            if progress is not None:
+                progress(report, settled, total, False)
     return batch
 
 

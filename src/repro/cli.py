@@ -103,7 +103,7 @@ def cmd_convert(args) -> int:
     programs = [parse_program(_read(path)) for path in args.program]
     tracing = bool(args.trace or args.profile)
     batch_mode = len(programs) > 1 or args.checkpoint or args.resume \
-        or args.out_dir or tracing
+        or args.out_dir or args.report_json or tracing
     if batch_mode:
         if not tracing:
             return _cmd_convert_batch(args, schema, operator, programs)
@@ -142,17 +142,11 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
     parallel across ``--jobs`` workers."""
     from repro import api
     from repro.parallel import ParallelExecutionError
-    from repro.restructure import restructure_database
-    from repro.strategies.cascade import FallbackCascade
 
-    source_db = _build_database(schema, args.data)
-    _target_schema, target_db = restructure_database(source_db, operator)
-    cascade = FallbackCascade(source_db, target_db, operator,
-                              strategy_order=args.strategy_order,
-                              cost_model=args.cost_model)
     options = api.ConversionOptions(
         checkpoint=args.checkpoint,
         resume=args.resume,
+        report_json=args.report_json,
         inputs=_load_inputs(args),
         jobs=args.jobs,
         chunk_size=args.chunk_size,
@@ -160,6 +154,8 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
         strategy_order=args.strategy_order,
         cost_model=args.cost_model,
         program_timeout=args.program_timeout)
+    cascade = api.build_cascade(schema, operator, data=args.data,
+                                options=options)
     try:
         batch = api.convert_batch(cascade, programs, options)
     except ParallelExecutionError as error:
@@ -342,6 +338,20 @@ def _bench_programs(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the conversion service: a zero-dependency HTTP job server
+    over the facade.  Jobs POSTed to /jobs run as checkpointed batch
+    conversions on a bounded queue; progress streams as server-sent
+    events; report and checkpoint artifacts download byte-identical to
+    a ``repro convert`` run of the same inputs.  SIGTERM drains
+    gracefully (resumable checkpoints) and exits 0."""
+    from repro.service.server import serve
+
+    return serve(args.spool, host=args.host, port=args.port,
+                 queue_limit=args.queue_limit,
+                 warm_pools=not args.no_warm_pools)
+
+
 def cmd_suggest_renames(args) -> int:
     """Propose rename hypotheses between two schemas."""
     source_schema = _load_schema(args)
@@ -393,7 +403,10 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="exit codes: 0 all programs converted; 1 some programs "
                "did not convert; 2 usage or input error; 3 the parallel "
                "worker pool failed mid-batch (progress is journaled to "
-               "--checkpoint -- rerun with --resume); 130 interrupted")
+               "--checkpoint -- rerun with --resume); 130 interrupted. "
+               "repro serve exit codes: 0 clean drain (SIGTERM/SIGINT; "
+               "interrupted jobs leave resumable checkpoints); 2 usage "
+               "error; 4 the listener or spool could not be set up")
     sub.add_argument("--ddl", required=True)
     sub.add_argument("--spec", required=True)
     sub.add_argument("--program", required=True, action="append",
@@ -442,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "deadline in seconds; a program exceeding it "
                           "fails deterministically with a timeout fault "
                           "(serial and parallel alike)")
+    sub.add_argument("--report-json",
+                     help="batch mode: write the batch-report summary "
+                          "JSON here (atomic write; byte-identical to "
+                          "the conversion service's report artifact "
+                          "for the same inputs)")
     sub.add_argument("--out-dir",
                      help="batch mode: write converted programs here, "
                           "one <name>.cob each")
@@ -516,6 +534,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="show only the N hottest span names "
                           "(default: 15)")
     sub.set_defaults(handler=cmd_trace_summarize)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="run the conversion service: an HTTP job server with "
+             "SSE progress streaming over the batch facade",
+        epilog="exit codes: 0 clean drain after SIGTERM/SIGINT (any "
+               "interrupted job leaves a resumable checkpoint in the "
+               "spool -- resubmit it with {\"resume\": \"<job-id>\"}); "
+               "2 usage error; 4 the listener or spool could not be "
+               "set up")
+    sub.add_argument("--spool", required=True,
+                     help="directory for job manifests, checkpoints, "
+                          "and report artifacts (created if missing; "
+                          "jobs found in it on startup are reloaded)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8979,
+                     help="TCP port; 0 binds an ephemeral port "
+                          "(default: 8979)")
+    sub.add_argument("--queue-limit", type=int, default=16,
+                     help="maximum queued jobs before POST /jobs "
+                          "answers 503 (default: 16)")
+    sub.add_argument("--no-warm-pools", action="store_true",
+                     help="disable the shared warm worker-pool cache; "
+                          "each parallel job spawns and tears down its "
+                          "own pool")
+    sub.set_defaults(handler=cmd_serve)
 
     sub = subparsers.add_parser(
         "suggest-renames",

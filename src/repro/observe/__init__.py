@@ -20,6 +20,10 @@ answers both questions:
 * :mod:`repro.observe.export` -- Chrome ``chrome://tracing`` event
   export (plus a native tree form in the same file), round-trip
   loading, and the per-phase/per-operator profile table.
+* :mod:`repro.observe.stream` -- :class:`StreamingTracer`, the
+  span-to-event bridge behind the conversion service's server-sent
+  progress stream: every closed span is handed to a callback while
+  the traced activity is still running.
 """
 
 from repro.observe.export import (
@@ -45,6 +49,11 @@ from repro.observe.registry import (
     named_counters,
     registry_delta,
 )
+from repro.observe.stream import (
+    EVENT_COUNTER_PREFIXES,
+    StreamingTracer,
+    span_event,
+)
 from repro.observe.tracing import (
     NULL_SPAN,
     Span,
@@ -55,14 +64,17 @@ from repro.observe.tracing import (
 )
 
 __all__ = [
+    "EVENT_COUNTER_PREFIXES",
     "FrozenMetricsSource",
     "MetricsRegistry",
     "NamedCounters",
     "NULL_SPAN",
     "WORKER_ROOT",
     "Span",
+    "StreamingTracer",
     "Tracer",
     "current_tracer",
+    "span_event",
     "get_registry",
     "load_trace",
     "merge_worker_trace",

@@ -94,6 +94,15 @@ class ConversionOptions:
     checkpoint: str | Path | None = None
     #: Skip programs already journaled in ``checkpoint``.
     resume: bool = False
+    #: Path for the batch-report artifact: the final
+    #: :class:`~repro.core.report.BatchReport` summary written
+    #: atomically (:func:`repro.jsonio.write_json_atomic`) when the
+    #: batch completes.  The conversion service serves this file as a
+    #: job's report artifact, and ``repro convert --report-json``
+    #: writes the identical bytes -- the byte-compare contract between
+    #: served and shell-run batches rests on both sides routing
+    #: through this one option.
+    report_json: str | Path | None = None
     #: Deterministic fault plan armed per program unit (robustness
     #: testing; see :mod:`repro.faultinject`).
     fault_plan: "FaultPlan | None" = None

@@ -72,6 +72,7 @@ from typing import Iterator
 from repro.batch import (
     BatchCheckpoint,
     CheckpointError,
+    ProgressCallback,
     check_program_names,
     convert_one,
     quarantine_report,
@@ -437,11 +438,21 @@ class ParallelExecutor:
         programs: list[Program],
         options: ConversionOptions | None = None,
         pool: WorkerPool | None = None,
+        progress: ProgressCallback | None = None,
     ):
         self.cascade = cascade
         self.programs = list(programs)
         self.options = options if options is not None else ConversionOptions()
         self.pool = pool
+        #: Per-program progress callback (see
+        #: :data:`repro.batch.ProgressCallback`).  On the pool path it
+        #: fires in completion order, once per program, as chunk
+        #: results reach the coordinator -- after the producing worker
+        #: journaled its shard, so a callback that raises
+        #: ``KeyboardInterrupt`` (the service's cooperative stop)
+        #: drains to a checkpoint that resumes past every reported
+        #: program.
+        self.progress = progress
         #: Strong references to absorbed worker deltas (the registry
         #: holds sources weakly).
         self.absorbed: list[FrozenMetricsSource] = []
@@ -460,7 +471,9 @@ class ParallelExecutor:
 
         if jobs <= 1 or len(pending) <= 1:
             # In-process fast path: no pool, no pickling, no fork.
-            return run_batch(self.cascade, self.programs, options)
+            return run_batch(
+                self.cascade, self.programs, options, progress=self.progress
+            )
         threshold = options.resolved_parallel_threshold(jobs)
         if self.pool is None and len(pending) < threshold:
             # Auto-degrade: below the threshold the pool's spawn and
@@ -474,7 +487,9 @@ class ParallelExecutor:
                 threshold,
                 jobs,
             )
-            return run_batch(self.cascade, self.programs, options)
+            return run_batch(
+                self.cascade, self.programs, options, progress=self.progress
+            )
 
         pool = self.pool
         owned = pool is None
@@ -572,6 +587,28 @@ class ParallelExecutor:
         unproductive_respawns = 0
         total_respawns = 0
 
+        progress = self.progress
+        total = len(names)
+        settled = 0
+        reported: set[str] = set()
+
+        def notify(report: ConversionReport, resumed: bool = False) -> None:
+            # Once per program, in completion order; re-dealt duplicate
+            # chunk results are filtered on the program name.  Raising
+            # here (the service's cooperative stop) propagates into the
+            # graceful-drain path with the reporting worker's shard
+            # already journaled.
+            nonlocal settled
+            if progress is None or report.program_name in reported:
+                return
+            reported.add(report.program_name)
+            settled += 1
+            progress(report, settled, total, resumed)
+
+        for name in names:
+            if name in done:
+                notify(done[name], resumed=True)
+
         def begin(worker_id: int) -> None:
             shard = (
                 str(journal.shard_path(worker_id))
@@ -624,6 +661,7 @@ class ParallelExecutor:
             remaining.discard(program.name)
             supervision.bump("quarantined")
             journal_quarantine()
+            notify(report)
             log.warning(
                 "parallel: quarantined %s after it killed %d worker(s)",
                 program.name,
@@ -753,6 +791,15 @@ class ParallelExecutor:
                             break
                 for summary in summaries:
                     remaining.discard(summary["program"])
+                if progress is not None:
+                    for summary in summaries:
+                        if summary["program"] in reported:
+                            continue
+                        report = ConversionReport.from_summary(summary)
+                        raw = metrics.get(report.program_name)
+                        report.metrics = dict(raw) if raw is not None else None
+                        report.cost = costs.get(report.program_name)
+                        notify(report)
                 fill(worker_id)
             elif kind == "flush":  # pragma: no cover - defensive
                 continue
@@ -968,9 +1015,12 @@ def run_parallel_batch(
     programs: list[Program],
     options: ConversionOptions | None = None,
     pool: WorkerPool | None = None,
+    progress: ProgressCallback | None = None,
 ) -> BatchReport:
     """Run a batch with ``options.jobs`` workers (function form)."""
-    return ParallelExecutor(cascade, programs, options, pool=pool).run()
+    return ParallelExecutor(
+        cascade, programs, options, pool=pool, progress=progress
+    ).run()
 
 
 __all__ = [

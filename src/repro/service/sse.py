@@ -1,0 +1,65 @@
+"""Server-sent events: the service's streaming wire format.
+
+One event per line group, exactly as the WHATWG ``text/event-stream``
+grammar specifies::
+
+    id: 3
+    event: program
+    data: {"job":"job-000001","program":"P-0003","status":"automatic"}
+
+:func:`format_event` renders one event; :func:`parse_events` is the
+matching client-side parser used by the tests and the CI smoke client
+(keeping both ends of the wire in one module means the schema cannot
+drift between them).  Payloads are JSON with sorted keys and no
+whitespace, so identical events serialize to identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+
+def format_event(event: str, data: Any, event_id: int | None = None) -> bytes:
+    """One ``text/event-stream`` event as wire bytes."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    lines.append(f"data: {payload}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def parse_events(
+    lines: Iterable[bytes],
+) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Parse an SSE byte stream into ``(event, data)`` pairs.
+
+    ``lines`` is any iterable of byte lines (an ``http.client``
+    response object works directly).  Comment lines (``:`` prefix,
+    used as keep-alives) and ``id:`` fields are consumed but not
+    yielded; multi-line ``data:`` fields are joined per the spec.
+    """
+    event: str | None = None
+    data_lines: list[str] = []
+    for raw in lines:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if not line:
+            if event is not None or data_lines:
+                payload = json.loads("\n".join(data_lines) or "null")
+                yield (event or "message", payload)
+            event, data_lines = None, []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
+        # id / retry fields: consumed, nothing to do client-side here
+
+
+__all__ = ["format_event", "parse_events"]
