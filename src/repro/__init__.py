@@ -32,12 +32,16 @@ per-figure reproduction results.
 from repro.api import (
     convert,
     convert_batch,
+    default_catalog,
+    load_rule_catalog,
     load_schema,
     reset_deprecation_warnings,
     run_bench,
 )
+from repro.catalog.model import RuleCatalog
 from repro.errors import (
     AnalysisError,
+    CatalogError,
     ConversionError,
     DMLError,
     EngineError,
@@ -51,7 +55,7 @@ from repro.errors import (
 from repro.options import ConversionOptions
 from repro.parallel import ParallelExecutionError, ParallelExecutor, WorkerPool
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # -- facade (repro.api) -------------------------------------------
@@ -61,6 +65,10 @@ __all__ = [
     "load_schema",
     "run_bench",
     "reset_deprecation_warnings",
+    # -- rule catalogs (repro.catalog) --------------------------------
+    "RuleCatalog",
+    "default_catalog",
+    "load_rule_catalog",
     # -- parallel execution -------------------------------------------
     "ParallelExecutor",
     "ParallelExecutionError",
@@ -75,6 +83,7 @@ __all__ = [
     "NotInvertible",
     "ConversionError",
     "AnalysisError",
+    "CatalogError",
     "UnconvertiblePattern",
     "__version__",
 ]

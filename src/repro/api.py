@@ -9,6 +9,9 @@ facade collapses all of it to four entry points sharing one
 
 * :func:`load_schema` -- DDL text, a path, or a parsed
   :class:`~repro.schema.model.Schema`, normalized to a ``Schema``;
+* :func:`load_rule_catalog` / :func:`default_catalog` -- the
+  rules-as-data surface: conversion-rule catalogs as values that plug
+  into ``ConversionOptions.rule_catalog``;
 * :func:`convert` -- one program through the Figure 4.1 pipeline;
 * :func:`convert_batch` -- a fault-isolated, checkpointed batch
   through the fallback cascade, serial or multi-process
@@ -23,7 +26,7 @@ one :class:`DeprecationWarning` each.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro._deprecation import reset_deprecation_warnings
 from repro.batch import ProgressCallback
@@ -38,6 +41,9 @@ from repro.restructure.spec import parse_spec
 from repro.schema.ddl import parse_ddl
 from repro.schema.model import Schema
 from repro.strategies.cascade import FallbackCascade
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.model import RuleCatalog
 
 
 def _source_text(source: "str | Path") -> str:
@@ -63,6 +69,42 @@ def load_schema(source: "str | Path | Schema") -> Schema:
     if isinstance(source, Schema):
         return source
     return parse_ddl(_source_text(source))
+
+
+def load_rule_catalog(source: "str | Path | RuleCatalog") -> "RuleCatalog":
+    """Normalize a rule-catalog argument to a validated
+    :class:`~repro.catalog.model.RuleCatalog`.
+
+    Accepts a parsed catalog (returned unchanged), a path to a catalog
+    file, or catalog text itself.  Every entry is validated here, at
+    load time; a malformed document raises
+    :class:`~repro.errors.CatalogError` with its file and line
+    position.  Plug the result into
+    ``ConversionOptions(rule_catalog=...)``.
+    """
+    from repro.catalog import load_catalog_text
+    from repro.catalog.model import RuleCatalog
+
+    if isinstance(source, RuleCatalog):
+        return source
+    if isinstance(source, Path):
+        return load_catalog_text(source.read_text(), path=str(source))
+    try:
+        candidate = Path(source)
+        if candidate.is_file():
+            return load_catalog_text(candidate.read_text(),
+                                     path=str(candidate))
+    except (OSError, ValueError):
+        pass  # not a representable path: inline text
+    return load_catalog_text(source)
+
+
+def default_catalog() -> "RuleCatalog":
+    """The shipped builtin rule catalog (what ``rule_catalog=None``
+    resolves to): every hardcoded transformation rule, as data."""
+    from repro.catalog import default_catalog as _default
+
+    return _default()
 
 
 def _load_operator(
@@ -132,6 +174,7 @@ def build_cascade(
         parsed_operator,
         strategy_order=options.strategy_order,
         cost_model=options.cost_model,
+        rule_catalog=options.rule_catalog,
     )
 
 
@@ -237,6 +280,8 @@ __all__ = [
     "build_cascade",
     "convert",
     "convert_batch",
+    "default_catalog",
+    "load_rule_catalog",
     "load_schema",
     "reset_deprecation_warnings",
     "run_bench",

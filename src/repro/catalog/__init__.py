@@ -1,0 +1,59 @@
+"""Rules-as-data: the declarative conversion-rule catalog.
+
+The transformation rules of Figure 4.1 -- which schema-change kinds
+are convertible, with which rewrite, and what the analyst is told --
+used to be hardcoded Python classes.  This package makes them data: a
+versioned, self-describing catalog format (:mod:`repro.catalog.model`),
+a validating loader (:mod:`repro.catalog.loader`), a primitive
+vocabulary the entries instantiate (:mod:`repro.catalog.primitives`),
+and a compiler into the existing rule machinery
+(:mod:`repro.catalog.compile`).  The shipped ``data/builtin.rules``
+re-expresses every builtin rule; custom catalogs reach the pipeline
+through ``ConversionOptions.rule_catalog`` / ``repro convert --rules``
+without touching any ``repro.core`` module.
+"""
+
+from repro.catalog.compile import (
+    CompiledRules,
+    compile_catalog,
+    default_catalog,
+    default_rules,
+)
+from repro.catalog.loader import (
+    load_catalog_file,
+    load_catalog_text,
+    validate_catalog,
+)
+from repro.catalog.model import (
+    CATALOG_VERSION,
+    CHANGE_KINDS,
+    NETWORK_TEMPLATES,
+    AlgebraEntry,
+    DomainDecl,
+    Guard,
+    RuleCatalog,
+    RuleEntry,
+    TemplateEntry,
+)
+from repro.catalog.primitives import PRIMITIVES, Primitive
+
+__all__ = [
+    "AlgebraEntry",
+    "CATALOG_VERSION",
+    "CHANGE_KINDS",
+    "CompiledRules",
+    "DomainDecl",
+    "Guard",
+    "NETWORK_TEMPLATES",
+    "PRIMITIVES",
+    "Primitive",
+    "RuleCatalog",
+    "RuleEntry",
+    "TemplateEntry",
+    "compile_catalog",
+    "default_catalog",
+    "default_rules",
+    "load_catalog_file",
+    "load_catalog_text",
+    "validate_catalog",
+]

@@ -1,0 +1,443 @@
+"""Load and validate rule-catalog documents.
+
+The catalog text format is line-oriented, in the same house style as
+the network DDL and restructuring spec parsers: one directive per
+line, ``END``-terminated blocks, full-line comments with ``#`` or
+``*>``.  A document looks like::
+
+    CATALOG my-rules VERSION 1
+
+    DOMAIN
+      RECORD EMP FIELDS EMP-NO, SALARY
+      SET DEPT-EMP
+    END
+
+    RULE field-added
+      ON FieldAdded
+      USING note-on-store
+      COST 1
+      NOTE "new field {record}.{field_name} ..."
+    END
+
+    TEMPLATE keyed-scan
+      MODEL network
+    END
+
+    ALGEBRA rename-relation
+      ON RecordRenamed
+      REWRITE rename-relation
+    END
+
+    PASSES pushdown, keyed
+
+Every entry is validated at load time -- unknown directives or keys,
+unknown change kinds or primitives, template-count and placeholder
+mismatches, dangling record/set/field references against the DOMAIN
+vocabulary -- and every violation is a :class:`~repro.errors.CatalogError`
+carrying the file and line position.  :func:`validate_catalog` runs
+the same semantic checks on programmatically built catalogs.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+
+from repro.catalog.model import (
+    CATALOG_VERSION,
+    CHANGE_KINDS,
+    NETWORK_TEMPLATES,
+    TEMPLATE_MODELS,
+    AlgebraEntry,
+    DomainDecl,
+    Guard,
+    RuleCatalog,
+    RuleEntry,
+    TemplateEntry,
+)
+from repro.catalog.primitives import PRIMITIVES
+from repro.core.code_templates import ALGEBRA_REWRITES
+from repro.errors import CatalogError
+from repro.options import DEFAULT_OPTIMIZER_PASSES
+
+_HEADER = re.compile(r"CATALOG (\S+) VERSION (\d+)$")
+
+#: Change attributes that name record types / set types / fields, for
+#: DOMAIN dangling-reference checks on guard values.
+_RECORD_ATTRS = frozenset(
+    {"record", "new_record", "removed_record", "owner", "member"})
+_SET_ATTRS = frozenset(
+    {"set_name", "old_set", "new_set", "upper_set", "lower_set",
+     "link_set", "via_set"})
+_FIELD_ATTRS = frozenset({"field_name"})
+#: ``old_name``/``new_name`` are polymorphic across the rename kinds.
+_RENAME_CATEGORY = {
+    "RecordRenamed": "record",
+    "SetRenamed": "set",
+    "FieldRenamed": "field",
+}
+
+
+def load_catalog_file(path: str | Path) -> RuleCatalog:
+    """Parse and validate one catalog file."""
+    path = Path(path)
+    return load_catalog_text(path.read_text(), path=str(path))
+
+
+def load_catalog_text(text: str, path: str | None = None) -> RuleCatalog:
+    """Parse and validate catalog text (``path`` labels errors)."""
+    catalog = _Parser(text, path).parse()
+    validate_catalog(catalog, path=path)
+    return catalog
+
+
+class _Parser:
+    """The line-oriented catalog parser (syntax only; semantic checks
+    live in :func:`validate_catalog`)."""
+
+    def __init__(self, text: str, path: str | None):
+        self.path = path
+        self.lines = text.splitlines()
+        self.pos = 0
+
+    def error(self, message: str, line: int | None) -> None:
+        raise CatalogError(message, path=self.path, line=line)
+
+    def _next(self) -> tuple[int | None, str | None]:
+        """The next significant (non-blank, non-comment) line."""
+        while self.pos < len(self.lines):
+            self.pos += 1
+            line = self.lines[self.pos - 1].strip()
+            if not line or line.startswith("#") or line.startswith("*>"):
+                continue
+            return self.pos, line
+        return None, None
+
+    def parse(self) -> RuleCatalog:
+        number, line = self._next()
+        match = _HEADER.match(line) if line is not None else None
+        if match is None:
+            self.error("catalog must begin with "
+                       "'CATALOG <name> VERSION <n>'", number or 1)
+        version = int(match.group(2))
+        if version != CATALOG_VERSION:
+            self.error(f"unsupported catalog version {version} "
+                       f"(supported: {CATALOG_VERSION})", number)
+
+        rules: list[RuleEntry] = []
+        templates: list[TemplateEntry] = []
+        algebra: list[AlgebraEntry] = []
+        passes: tuple[str, ...] | None = None
+        passes_line = 0
+        domain: DomainDecl | None = None
+        while True:
+            number, line = self._next()
+            if line is None:
+                break
+            word, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if word == "DOMAIN":
+                if domain is not None:
+                    self.error("duplicate DOMAIN section", number)
+                domain = self._parse_domain(number)
+            elif word == "RULE":
+                rules.append(self._parse_rule(rest, number))
+            elif word == "TEMPLATE":
+                templates.append(self._parse_template(rest, number))
+            elif word == "ALGEBRA":
+                algebra.append(self._parse_algebra(rest, number))
+            elif word == "PASSES":
+                if passes is not None:
+                    self.error("duplicate PASSES directive", number)
+                passes = tuple(
+                    p.strip() for p in rest.split(",") if p.strip())
+                passes_line = number
+            else:
+                self.error(f"unknown catalog directive {word!r}", number)
+        catalog = RuleCatalog(match.group(1), version, tuple(rules),
+                              tuple(templates), tuple(algebra), passes,
+                              domain)
+        if passes is not None:
+            for name in passes:
+                if name not in DEFAULT_OPTIMIZER_PASSES:
+                    self.error(f"unknown optimizer pass {name!r}",
+                               passes_line)
+        return catalog
+
+    def _block_line(self, block: str, name: str,
+                    start: int) -> tuple[int, str, str]:
+        number, line = self._next()
+        if line is None:
+            self.error(f"{block} {name!r} is missing END", start)
+        word, _, rest = line.partition(" ")
+        return number, word, rest.strip()
+
+    def _parse_quoted(self, rest: str, line: int) -> str:
+        rest = rest.strip()
+        if not rest.startswith('"'):
+            self.error("expected a quoted string", line)
+        out: list[str] = []
+        i = 1
+        while i < len(rest):
+            ch = rest[i]
+            if ch == "\\":
+                if i + 1 >= len(rest):
+                    break
+                out.append(rest[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                if rest[i + 1:].strip():
+                    break
+                return "".join(out)
+            out.append(ch)
+            i += 1
+        self.error("expected a quoted string", line)
+
+    def _parse_rule(self, name: str, start: int) -> RuleEntry:
+        if not name:
+            self.error("RULE needs a name", start)
+        on = using = refusal = None
+        cost: int | None = None
+        notes: list[str] = []
+        warnings: list[str] = []
+        guards: list[Guard] = []
+        while True:
+            number, word, rest = self._block_line("RULE", name, start)
+            if word == "END":
+                break
+            if word == "ON":
+                on = rest
+            elif word == "USING":
+                using = rest
+            elif word == "COST":
+                try:
+                    cost = int(rest)
+                except ValueError:
+                    self.error(f"COST must be an integer, got {rest!r}",
+                               number)
+            elif word in ("ONLY", "NOTE", "WARN", "REFUSE"):
+                if on is None or using is None:
+                    self.error(f"ON and USING must precede {word}",
+                               number)
+                if word == "ONLY":
+                    parts = rest.split(None, 1)
+                    if len(parts) != 2:
+                        self.error("ONLY takes an attribute and a value",
+                                   number)
+                    guards.append(Guard(parts[0], parts[1]))
+                elif word == "NOTE":
+                    notes.append(self._parse_quoted(rest, number))
+                elif word == "WARN":
+                    warnings.append(self._parse_quoted(rest, number))
+                else:
+                    if refusal is not None:
+                        self.error("only one REFUSE template is allowed",
+                                   number)
+                    refusal = self._parse_quoted(rest, number)
+            else:
+                self.error(f"unknown RULE key {word!r}", number)
+        if on is None or using is None:
+            self.error(f"RULE {name!r} needs ON and USING", start)
+        return RuleEntry(name, on, using, tuple(notes), tuple(warnings),
+                         refusal, cost, tuple(guards), line=start)
+
+    def _parse_template(self, name: str, start: int) -> TemplateEntry:
+        if not name:
+            self.error("TEMPLATE needs a name", start)
+        model = "network"
+        doc: str | None = None
+        while True:
+            number, word, rest = self._block_line("TEMPLATE", name, start)
+            if word == "END":
+                break
+            if word == "MODEL":
+                model = rest
+            elif word == "DOC":
+                doc = self._parse_quoted(rest, number)
+            else:
+                self.error(f"unknown TEMPLATE key {word!r}", number)
+        return TemplateEntry(name, model, doc, line=start)
+
+    def _parse_algebra(self, name: str, start: int) -> AlgebraEntry:
+        if not name:
+            self.error("ALGEBRA needs a name", start)
+        on = rewrite = None
+        while True:
+            number, word, rest = self._block_line("ALGEBRA", name, start)
+            if word == "END":
+                break
+            if word == "ON":
+                on = rest
+            elif word == "REWRITE":
+                rewrite = rest
+            else:
+                self.error(f"unknown ALGEBRA key {word!r}", number)
+        if on is None or rewrite is None:
+            self.error(f"ALGEBRA {name!r} needs ON and REWRITE", start)
+        return AlgebraEntry(name, on, rewrite, line=start)
+
+    def _parse_domain(self, start: int) -> DomainDecl:
+        records: list[tuple[str, tuple[str, ...]]] = []
+        sets: list[str] = []
+        while True:
+            number, word, rest = self._block_line("DOMAIN", "DOMAIN",
+                                                  start)
+            if word == "END":
+                break
+            if word == "RECORD":
+                parts = rest.split(None, 1)
+                if not parts:
+                    self.error("RECORD needs a name", number)
+                field_names: tuple[str, ...] = ()
+                if len(parts) == 2:
+                    keyword, _, spec = parts[1].partition(" ")
+                    if keyword != "FIELDS" or not spec.strip():
+                        self.error("RECORD takes 'FIELDS a, b' after "
+                                   "the name", number)
+                    field_names = tuple(
+                        f.strip() for f in spec.split(",") if f.strip())
+                records.append((parts[0], field_names))
+            elif word == "SET":
+                if not rest:
+                    self.error("SET needs a name", number)
+                sets.append(rest)
+            else:
+                self.error(f"unknown DOMAIN key {word!r}", number)
+        return DomainDecl(tuple(records), tuple(sets))
+
+
+# ---------------------------------------------------------------------------
+# Semantic validation
+# ---------------------------------------------------------------------------
+
+
+def validate_catalog(catalog: RuleCatalog,
+                     path: str | None = None) -> None:
+    """Semantic validation: every entry must bind to a known change
+    kind and primitive, carry exactly the message templates its
+    primitive needs with resolvable placeholders, and guard only on
+    declared vocabulary.  Raises :class:`CatalogError` on the first
+    violation."""
+
+    def error(message: str, line: int) -> None:
+        raise CatalogError(message, path=path, line=line or None)
+
+    seen: set[str] = set()
+    for entry in catalog.rules:
+        if entry.name in seen:
+            error(f"duplicate RULE name {entry.name!r}", entry.line)
+        seen.add(entry.name)
+        kind_cls = CHANGE_KINDS.get(entry.on)
+        if kind_cls is None:
+            error(f"unknown change kind {entry.on!r}", entry.line)
+        primitive = PRIMITIVES.get(entry.using)
+        if primitive is None:
+            error(f"unknown primitive {entry.using!r}", entry.line)
+        kind_fields = {spec.name for spec in dataclass_fields(kind_cls)}
+        if primitive.kinds is not None:
+            if entry.on not in primitive.kinds:
+                error(f"primitive {entry.using!r} does not apply to "
+                      f"{entry.on}", entry.line)
+        else:
+            for attr in primitive.requires:
+                if attr not in kind_fields:
+                    error(f"primitive {entry.using!r} needs change "
+                          f"field {attr!r}, which {entry.on} does not "
+                          f"have", entry.line)
+        for label, want, got in (
+            ("NOTE", primitive.notes, len(entry.notes)),
+            ("WARN", primitive.warnings, len(entry.warnings)),
+            ("REFUSE", primitive.refusals,
+             0 if entry.refusal is None else 1),
+        ):
+            if want != got:
+                error(f"primitive {entry.using!r} takes exactly {want} "
+                      f"{label} template(s), got {got}", entry.line)
+        allowed = kind_fields | set(primitive.extras)
+        refusals = () if entry.refusal is None else (entry.refusal,)
+        for template in entry.notes + entry.warnings + refusals:
+            _check_placeholders(template, entry.on, allowed, error,
+                                entry.line)
+        for guard in entry.guards:
+            if guard.attr not in kind_fields:
+                error(f"guard attribute {guard.attr!r} is not a field "
+                      f"of {entry.on}", entry.line)
+            if catalog.domain is not None:
+                _check_domain(catalog.domain, entry.on, guard, error,
+                              entry.line)
+
+    for template in catalog.templates:
+        if template.model not in TEMPLATE_MODELS:
+            error(f"unknown template model {template.model!r}",
+                  template.line)
+        if template.model == "network" \
+                and template.name not in NETWORK_TEMPLATES:
+            error(f"unknown network template {template.name!r}",
+                  template.line)
+
+    for entry in catalog.algebra:
+        if entry.on not in CHANGE_KINDS:
+            error(f"unknown change kind {entry.on!r}", entry.line)
+        bound = ALGEBRA_REWRITES.get(entry.rewrite)
+        if bound is None:
+            error(f"unknown algebra rewrite {entry.rewrite!r}",
+                  entry.line)
+        if bound[0] != entry.on:
+            error(f"algebra rewrite {entry.rewrite!r} applies to "
+                  f"{bound[0]}, not {entry.on}", entry.line)
+
+    if catalog.passes is not None:
+        for name in catalog.passes:
+            if name not in DEFAULT_OPTIMIZER_PASSES:
+                error(f"unknown optimizer pass {name!r}", 0)
+
+
+def _check_placeholders(template: str, kind: str,
+                        allowed: frozenset[str] | set[str],
+                        error, line: int) -> None:
+    try:
+        parsed = list(string.Formatter().parse(template))
+    except ValueError as exc:
+        error(f"malformed message template: {exc}", line)
+    for _literal, field_name, _spec, _conversion in parsed:
+        if field_name is None:
+            continue
+        root = field_name.split(".")[0].split("[")[0]
+        if root not in allowed:
+            error(f"placeholder {{{root}}} does not name a field of "
+                  f"{kind}", line)
+
+
+def _check_domain(domain: DomainDecl, kind: str, guard: Guard, error,
+                  line: int) -> None:
+    attr = guard.attr
+    if attr in _RECORD_ATTRS:
+        category = "record"
+    elif attr in _SET_ATTRS:
+        category = "set"
+    elif attr in _FIELD_ATTRS:
+        category = "field"
+    elif attr in ("old_name", "new_name"):
+        category = _RENAME_CATEGORY.get(kind)
+    else:
+        category = None
+    if category is None:
+        return
+    names = {
+        "record": domain.record_names(),
+        "set": frozenset(domain.sets),
+        "field": domain.field_names(),
+    }[category]
+    if guard.value not in names:
+        error(f"guard value {guard.value!r} is not a declared "
+              f"{category} (DOMAIN)", line)
+
+
+__all__ = [
+    "load_catalog_file",
+    "load_catalog_text",
+    "validate_catalog",
+]

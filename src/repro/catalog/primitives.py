@@ -1,0 +1,155 @@
+"""The primitive registry: catalog ``USING`` names -> rule factories.
+
+Each :class:`Primitive` describes one combinator a catalog entry may
+instantiate: which change kinds it accepts (``kinds`` pins exact
+kinds; ``requires`` instead demands the kind carry certain fields),
+how many NOTE/WARN/REFUSE message templates it takes, and which extra
+placeholder names it feeds the templates beyond the change's own
+fields.  The loader validates entries against this table at import;
+:mod:`repro.catalog.compile` calls the factories.
+
+The structural primitives wrap the hand-written rewrites that remain
+in :mod:`repro.core.rules`; the message combinators are fully
+parameterized by the catalog.  :class:`StoreDefaultRule` lives here --
+outside ``repro.core`` -- as the proof that a user-supplied catalog
+entry can change conversion behaviour without touching any core
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.core import abstract, rules as core_rules
+from repro.core.abstract import AStore
+from repro.core.rules import TransformationRule, format_message
+from repro.programs import ast
+from repro.schema.diff import SchemaChange
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.model import RuleEntry
+
+
+class StoreDefaultRule(TransformationRule):
+    """Extension combinator: rewrite every STORE of the changed record
+    to carry the new field's default explicitly (instead of merely
+    noting that the engine will default it).  The demonstration that
+    behaviour-changing rules load from catalog data alone."""
+
+    def __init__(self, change_type: type[SchemaChange], note: str):
+        self.change_type = change_type
+        self.note = note
+
+    def apply(self, program, change, ctx):
+        rewrote = []
+
+        def fix(stmt):
+            if isinstance(stmt, AStore) and stmt.entity == change.record:
+                stored = {name for name, _value in stmt.values}
+                if change.field_name not in stored:
+                    rewrote.append(stmt)
+                    values = stmt.values + (
+                        (change.field_name, ast.Const(change.default)),
+                    )
+                    return replace(stmt, values=values)
+            return stmt
+
+        statements = abstract.transform(program.statements, fix)
+        if rewrote:
+            ctx.note(format_message(self.note, change))
+            return program.with_statements(statements)
+        return program
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One combinator the catalog may instantiate."""
+
+    name: str
+    factory: Callable[["RuleEntry", type[SchemaChange]],
+                      TransformationRule]
+    #: Exact change kinds accepted (None: any kind satisfying
+    #: ``requires``).
+    kinds: tuple[str, ...] | None = None
+    #: Change fields the combinator reads (checked against the ON
+    #: kind's dataclass fields when ``kinds`` is None).
+    requires: tuple[str, ...] = ()
+    #: Required message template counts.
+    notes: int = 0
+    warnings: int = 0
+    refusals: int = 0
+    #: Extra placeholder names the combinator provides to templates
+    #: beyond the change's own fields.
+    extras: tuple[str, ...] = ()
+
+
+def _structural(name: str, kind: str,
+                rule_class: type[TransformationRule]) -> Primitive:
+    return Primitive(name, lambda entry, cls: rule_class(),
+                     kinds=(kind,))
+
+
+#: ``USING`` name -> primitive, the whole combinator vocabulary.
+PRIMITIVES: dict[str, Primitive] = {
+    primitive.name: primitive
+    for primitive in (
+        # Structural rewrites (hand-written in repro.core.rules).
+        _structural("rename-record", "RecordRenamed",
+                    core_rules.RenameRecordRule),
+        _structural("rename-field", "FieldRenamed",
+                    core_rules.RenameFieldRule),
+        _structural("rename-set", "SetRenamed",
+                    core_rules.RenameSetRule),
+        _structural("virtualize-field", "VirtualizedField",
+                    core_rules.VirtualizedFieldRule),
+        _structural("interpose-record", "RecordInterposed",
+                    core_rules.InterposeRule),
+        _structural("merge-records", "RecordsMerged",
+                    core_rules.MergeRule),
+        _structural("extract-fields", "FieldsExtracted",
+                    core_rules.ExtractFieldsRule),
+        _structural("inline-fields", "FieldsInlined",
+                    core_rules.InlineFieldsRule),
+        # Message combinators (fully catalog-parameterized).
+        Primitive("noop",
+                  lambda entry, cls: core_rules.NoopRule(cls)),
+        Primitive("note-on-store",
+                  lambda entry, cls: core_rules.NoteOnStoreRule(
+                      cls, entry.notes[0]),
+                  requires=("record",), notes=1),
+        Primitive("refuse-on-field-use",
+                  lambda entry, cls: core_rules.RefuseOnFieldUseRule(
+                      cls, entry.refusal),
+                  requires=("record", "field_name"), refusals=1),
+        Primitive("refuse-on-record-use",
+                  lambda entry, cls: core_rules.RefuseOnRecordUseRule(
+                      cls, entry.refusal),
+                  requires=("record",), refusals=1),
+        Primitive("refuse-on-set-use",
+                  lambda entry, cls: core_rules.RefuseOnSetUseRule(
+                      cls, entry.refusal),
+                  requires=("set_name",), refusals=1),
+        Primitive("warn-on-reorder",
+                  lambda entry, cls: core_rules.WarnOnReorderRule(
+                      cls, entry.warnings[0], entry.warnings[1]),
+                  requires=("set_name",), warnings=2),
+        Primitive("note-on-membership",
+                  lambda entry, cls: core_rules.NoteOnMembershipRule(
+                      cls, entry.notes[0]),
+                  requires=("set_name",), notes=1, extras=("member",)),
+        Primitive("note",
+                  lambda entry, cls: core_rules.NoteRule(
+                      cls, entry.notes[0]),
+                  notes=1),
+        # Extension combinator (defined in this module, not core).
+        Primitive("store-default",
+                  lambda entry, cls: StoreDefaultRule(
+                      cls, entry.notes[0]),
+                  requires=("record", "field_name", "default"),
+                  notes=1),
+    )
+}
+
+
+__all__ = ["PRIMITIVES", "Primitive", "StoreDefaultRule"]

@@ -127,6 +127,7 @@ def cmd_convert(args) -> int:
         target_model=args.target_model,
         optimizer_passes=() if args.no_optimize
         else DEFAULT_OPTIMIZER_PASSES,
+        rule_catalog=_load_rules(args),
     )
     report = api.convert(schema, operator, program, options)
     print(report.render(), file=sys.stderr)
@@ -153,7 +154,8 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
         parallel_threshold=args.parallel_threshold,
         strategy_order=args.strategy_order,
         cost_model=args.cost_model,
-        program_timeout=args.program_timeout)
+        program_timeout=args.program_timeout,
+        rule_catalog=_load_rules(args))
     cascade = api.build_cascade(schema, operator, data=args.data,
                                 options=options)
     try:
@@ -189,6 +191,14 @@ def _cmd_convert_batch(args, schema, operator, programs) -> int:
                 path.write_text(render_program(report.target_program))
     failed = [r for r in batch.reports if not r.converted]
     return 1 if failed else 0
+
+
+def _load_rules(args):
+    from repro import api
+
+    if not getattr(args, "rules", None):
+        return None
+    return api.load_rule_catalog(Path(args.rules))
 
 
 def _load_inputs(args):
@@ -352,6 +362,35 @@ def cmd_serve(args) -> int:
                  warm_pools=not args.no_warm_pools)
 
 
+def cmd_rules_validate(args) -> int:
+    """Load-time validate a rule-catalog file; a malformed catalog
+    exits 2 with the offending file and line position."""
+    from repro import api
+    from repro.catalog import compile_catalog
+
+    catalog = api.load_rule_catalog(Path(args.file))
+    compiled = compile_catalog(catalog)
+    print(f"catalog {catalog.name} version {catalog.version}: "
+          f"{len(catalog.rules)} rule(s), "
+          f"{len(catalog.templates)} template(s), "
+          f"{len(catalog.algebra)} algebra rewrite(s)")
+    print(f"identity {compiled.identity}")
+    return 0
+
+
+def cmd_rules_show(args) -> int:
+    """Print a catalog in canonical text form (the builtin catalog by
+    default) -- the starting point for writing a custom one."""
+    from repro import api
+
+    if args.file:
+        catalog = api.load_rule_catalog(Path(args.file))
+    else:
+        catalog = api.default_catalog()
+    print(catalog.render(), end="")
+    return 0
+
+
 def cmd_suggest_renames(args) -> int:
     """Propose rename hypotheses between two schemas."""
     source_schema = _load_schema(args)
@@ -415,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["network", "relational", "hierarchical"])
     sub.add_argument("--no-optimize", action="store_true",
                      help="single-program mode only")
+    sub.add_argument("--rules",
+                     help="rule-catalog file driving the Program "
+                          "Converter (default: the shipped builtin "
+                          "catalog; see 'repro rules show')")
     sub.add_argument("--data",
                      help="batch mode: loader program building the "
                           "probe databases")
@@ -557,10 +600,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="maximum queued jobs before POST /jobs "
                           "answers 503 (default: 16)")
     sub.add_argument("--no-warm-pools", action="store_true",
-                     help="disable the shared warm worker-pool cache; "
-                          "each parallel job spawns and tears down its "
-                          "own pool")
+                     help="disable the shared warm-state caches "
+                          "(worker pool and built cascade); each job "
+                          "rebuilds its probe databases and each "
+                          "parallel job spawns and tears down its own "
+                          "pool")
     sub.set_defaults(handler=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "rules",
+        help="inspect and validate conversion-rule catalogs")
+    rules_subparsers = sub.add_subparsers(dest="rules_command",
+                                          required=True)
+    sub = rules_subparsers.add_parser(
+        "validate",
+        help="load-time validate a rule-catalog file (exit 2 with "
+             "file/line position on the first violation)")
+    sub.add_argument("file")
+    sub.set_defaults(handler=cmd_rules_validate)
+    sub = rules_subparsers.add_parser(
+        "show",
+        help="print a catalog in canonical form (default: the "
+             "shipped builtin catalog)")
+    sub.add_argument("file", nargs="?", default=None)
+    sub.set_defaults(handler=cmd_rules_show)
 
     sub = subparsers.add_parser(
         "suggest-renames",

@@ -206,83 +206,141 @@ def expand(program: TemplateProgram, schema: Schema) -> AbstractProgram:
 
 
 def convert_algebra(program: TemplateProgram,
-                    changes: list[SchemaChange]) -> TemplateProgram:
+                    changes: list[SchemaChange],
+                    rewrites: dict[str, str] | None = None
+                    ) -> TemplateProgram:
     """Rewrite the template expression for a list of schema changes.
 
     This is the Section 4.3 move: because the program *is* an algebra
     expression, conversion never inspects host-language code -- the
     "relational algebra specifications for the data conversion
     transform" the expression directly.
+
+    ``rewrites`` maps change kinds to :data:`ALGEBRA_REWRITES` names
+    (a rule catalog's ``ALGEBRA`` entries, via
+    ``CompiledRules.algebra_map()``); kinds without a binding leave
+    the expression untouched.  ``None`` uses the builtin
+    :data:`DEFAULT_ALGEBRA_MAP`.
     """
+    mapping = DEFAULT_ALGEBRA_MAP if rewrites is None else rewrites
     expression = program.expression
     for change in changes:
-        expression = _apply(expression, change)
+        name = mapping.get(change.kind)
+        if name is None:
+            continue
+        _kind, rewrite = ALGEBRA_REWRITES[name]
+        expression = rewrite(expression, change)
     return replace(program, expression=expression)
 
 
-def _apply(expression: Algebra, change: SchemaChange) -> Algebra:
+def _descend(expression: Algebra, node_fn, field_fn=None) -> Algebra:
+    """Rewrite bottom-up: sources first, then ``node_fn`` on each
+    node; ``field_fn`` maps projected field references."""
     if isinstance(expression, Project):
-        return replace(
+        source = _descend(expression.source, node_fn, field_fn)
+        fields = expression.fields
+        if field_fn is not None:
+            fields = tuple(field_fn(f) for f in fields)
+        return node_fn(replace(expression, source=source, fields=fields))
+    if isinstance(expression, (Select, Join)):
+        return node_fn(replace(
             expression,
-            source=_apply(expression.source, change),
-            fields=tuple(
-                _rename_field_ref(f, change) for f in expression.fields
-            ),
-        )
-    if isinstance(expression, Select):
-        source = _apply(expression.source, change)
-        conditions = expression.conditions
-        if isinstance(change, FieldRenamed):
-            entity = _scanned_entity(source)
-            if entity == change.record:
-                conditions = tuple(
-                    replace(c, field=change.new_name)
-                    if c.field == change.old_name else c
-                    for c in conditions
-                )
-        return replace(expression, source=source, conditions=conditions)
-    if isinstance(expression, Join):
-        source = _apply(expression.source, change)
-        if isinstance(change, RecordRenamed) and \
-                expression.member == change.old_name:
-            return replace(expression, source=source,
-                           member=change.new_name)
-        if isinstance(change, SetRenamed) and \
-                expression.via == change.old_name:
-            return replace(expression, source=source,
-                           via=change.new_name)
-        if isinstance(change, RecordInterposed) and \
-                expression.via == change.old_set:
+            source=_descend(expression.source, node_fn, field_fn),
+        ))
+    if isinstance(expression, RelationRef):
+        return node_fn(expression)
+    raise ConversionError(f"unknown template {expression!r}")
+
+
+def _rw_rename_relation(expression: Algebra,
+                        change: RecordRenamed) -> Algebra:
+    def fix(node: Algebra) -> Algebra:
+        if isinstance(node, RelationRef) and \
+                node.record == change.old_name:
+            return RelationRef(change.new_name)
+        if isinstance(node, Join) and node.member == change.old_name:
+            return replace(node, member=change.new_name)
+        return node
+
+    return _descend(expression, fix,
+                    lambda f: _rename_field_ref(f, change))
+
+
+def _rw_rename_columns(expression: Algebra,
+                       change: FieldRenamed) -> Algebra:
+    def fix(node: Algebra) -> Algebra:
+        if isinstance(node, Select) and \
+                _scanned_entity(node.source) == change.record:
+            return replace(node, conditions=tuple(
+                replace(c, field=change.new_name)
+                if c.field == change.old_name else c
+                for c in node.conditions
+            ))
+        return node
+
+    return _descend(expression, fix,
+                    lambda f: _rename_field_ref(f, change))
+
+
+def _rw_rename_set_path(expression: Algebra,
+                        change: SetRenamed) -> Algebra:
+    def fix(node: Algebra) -> Algebra:
+        if isinstance(node, Join) and node.via == change.old_name:
+            return replace(node, via=change.new_name)
+        return node
+
+    return _descend(expression, fix)
+
+
+def _rw_extend_join_path(expression: Algebra,
+                         change: RecordInterposed) -> Algebra:
+    def fix(node: Algebra) -> Algebra:
+        if isinstance(node, Join) and node.via == change.old_set:
             # JOIN[S](X, M) -> JOIN[LOWER](JOIN[UPPER](X, N), M):
             # exactly the Figure 4.2 -> 4.4 path extension, at the
             # algebra level.
             return Join(
-                Join(source, change.upper_set, change.new_record),
-                change.lower_set, expression.member,
+                Join(node.source, change.upper_set, change.new_record),
+                change.lower_set, node.member,
             )
-        if isinstance(change, RecordsMerged) and \
-                expression.via == change.lower_set:
-            inner = source
+        return node
+
+    return _descend(expression, fix)
+
+
+def _rw_collapse_join_path(expression: Algebra,
+                           change: RecordsMerged) -> Algebra:
+    def fix(node: Algebra) -> Algebra:
+        if isinstance(node, Join) and node.via == change.lower_set:
+            inner = node.source
             if isinstance(inner, Join) and \
                     inner.via == change.upper_set and \
                     inner.member == change.removed_record:
-                return Join(_apply_done(inner.source), change.new_set,
-                            expression.member)
+                return Join(inner.source, change.new_set, node.member)
             raise UnconvertiblePattern(
                 f"merge of {change.removed_record} needs the paired "
                 f"JOIN[{change.upper_set}] template"
             )
-        return replace(expression, source=source)
-    if isinstance(expression, RelationRef):
-        if isinstance(change, RecordRenamed) and \
-                expression.record == change.old_name:
-            return RelationRef(change.new_name)
-        return expression
-    raise ConversionError(f"unknown template {expression!r}")
+        return node
+
+    return _descend(expression, fix)
 
 
-def _apply_done(expression: Algebra) -> Algebra:
-    return expression
+#: Named algebra rewrites a catalog ``ALGEBRA`` entry may bind:
+#: rewrite name -> (change kind, rewrite function).
+ALGEBRA_REWRITES: dict[str, tuple[str, object]] = {
+    "rename-relation": ("RecordRenamed", _rw_rename_relation),
+    "rename-columns": ("FieldRenamed", _rw_rename_columns),
+    "rename-set-path": ("SetRenamed", _rw_rename_set_path),
+    "extend-join-path": ("RecordInterposed", _rw_extend_join_path),
+    "collapse-join-path": ("RecordsMerged", _rw_collapse_join_path),
+}
+
+#: The builtin change-kind -> rewrite-name binding (what the shipped
+#: catalog's ALGEBRA entries re-express).
+DEFAULT_ALGEBRA_MAP: dict[str, str] = {
+    kind: name for name, (kind, _fn) in ALGEBRA_REWRITES.items()
+}
 
 
 def _scanned_entity(expression: Algebra) -> str | None:
@@ -314,4 +372,6 @@ __all__ = [
     "TemplateProgram",
     "expand",
     "convert_algebra",
+    "ALGEBRA_REWRITES",
+    "DEFAULT_ALGEBRA_MAP",
 ]

@@ -9,10 +9,14 @@ account for the database changes made."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.abstract import AbstractProgram
 from repro.core.analyzer_db import ChangeCatalog
-from repro.core.rules import RuleContext, rule_for
+from repro.core.rules import RuleContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.compile import CompiledRules
 
 
 @dataclass(frozen=True)
@@ -31,7 +35,16 @@ class ConversionArtifacts:
 
 
 class ProgramConverter:
-    """Rule-driven abstract-to-abstract mapping."""
+    """Rule-driven abstract-to-abstract mapping.
+
+    Dispatches through a compiled rule catalog
+    (:class:`repro.catalog.compile.CompiledRules`); ``None`` resolves
+    to the shipped builtin catalog lazily, so importing this module
+    never loads catalog data.
+    """
+
+    def __init__(self, rules: "CompiledRules | None" = None):
+        self._rules = rules
 
     def convert(self, program: AbstractProgram,
                 catalog: ChangeCatalog) -> ConversionArtifacts:
@@ -42,9 +55,13 @@ class ProgramConverter:
         change for this program; the supervisor catches this and asks
         the analyst.
         """
+        rules = self._rules
+        if rules is None:
+            from repro.catalog.compile import default_rules
+            rules = default_rules()
         ctx = RuleContext(catalog.source_schema, catalog.target_schema)
         for change in catalog.changes:
-            rule = rule_for(change)
+            rule = rules.rule_for(change)
             program = rule.apply(program, change, ctx)
         return ConversionArtifacts(program, tuple(ctx.notes),
                                    tuple(ctx.warnings))

@@ -46,15 +46,26 @@ from repro.schema.model import Schema
 
 
 class ProgramGenerator:
-    """Lowers abstract programs into concrete database programs."""
+    """Lowers abstract programs into concrete database programs.
 
-    def __init__(self, schema: Schema):
+    ``templates`` optionally restricts the network language templates
+    the lowering may expand (a rule catalog's TEMPLATE entries via
+    ``CompiledRules.templates``); ``None`` means no gating.  A
+    disabled ``keyed-scan`` degrades to the filtered loop; the other
+    templates have no fallback, so disabling them makes programs that
+    need them raise :class:`~repro.errors.GenerationError`.
+    """
+
+    def __init__(self, schema: Schema,
+                 templates: frozenset[str] | None = None):
         self.schema = schema
+        self.templates = templates
 
     def generate(self, program: AbstractProgram,
                  target_model: str = "network") -> ast.Program:
         if target_model == "network":
-            statements = _NetworkLowering(self.schema).lower(
+            statements = _NetworkLowering(self.schema,
+                                          self.templates).lower(
                 program.statements
             )
         elif target_model == "relational":
@@ -77,8 +88,17 @@ class ProgramGenerator:
 
 
 class _NetworkLowering:
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema,
+                 enabled: frozenset[str] | None = None):
         self.schema = schema
+        self.enabled = enabled
+
+    def _require(self, name: str, what: str) -> None:
+        if self.enabled is not None and name not in self.enabled:
+            raise GenerationError(
+                f"{what} needs the {name!r} language template, which "
+                f"the rule catalog disables"
+            )
 
     def lower(self, statements: tuple[AStmt, ...]) -> list[ast.Stmt]:
         out: list[ast.Stmt] = []
@@ -88,12 +108,17 @@ class _NetworkLowering:
 
     def _lower_one(self, stmt: AStmt) -> list[ast.Stmt]:
         if isinstance(stmt, ALocate):
+            self._require("locate", f"LOCATE {stmt.entity}")
             return templates.emit_locate_network(stmt)
         if isinstance(stmt, AScan):
+            self._require("scan", f"scan of {stmt.entity}")
+            keyed = self.enabled is None or "keyed-scan" in self.enabled
             return templates.emit_scan_network(
-                stmt, tuple(self.lower(stmt.body))
+                stmt, tuple(self.lower(stmt.body)), keyed=keyed
             )
         if isinstance(stmt, AFirst):
+            self._require("process-first",
+                          f"'process first' of {stmt.entity}")
             return templates.emit_first_network(
                 stmt, tuple(self.lower(stmt.body))
             )
@@ -102,6 +127,7 @@ class _NetworkLowering:
         if isinstance(stmt, ARefind):
             return [ast.NetFindCurrent(stmt.entity)]
         if isinstance(stmt, AToOwner):
+            self._require("owner-hop", f"owner hop via {stmt.via}")
             return templates.emit_owner_network(stmt)
         if isinstance(stmt, AStore):
             return [ast.NetStore(stmt.entity, stmt.values)]

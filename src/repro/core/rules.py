@@ -1,4 +1,4 @@
-"""Transformation rules.
+"""Transformation rules: the primitive combinators.
 
 "The internal representation of how the database schema has been
 changed is used by a Program Converter to select the proper
@@ -10,11 +10,23 @@ A rule rewrites the abstract program and may append analyst notes; a
 change a rule cannot absorb raises
 :class:`~repro.errors.UnconvertiblePattern`, which the supervisor turns
 into an analyst question.
+
+Since the rules-as-data redesign this module holds only the
+*primitives*: structural rewrites too entangled with the abstract
+syntax to express as data (renames, interposition, merges, vertical
+partitioning) and a small set of parameterized combinators
+(note/warn/refuse on an access-pattern match).  Which combinator
+handles which change kind, with which analyst message templates, is
+declared by the shipped catalog ``repro/catalog/data/builtin.rules``
+and compiled back onto these classes by :mod:`repro.catalog.compile`.
+The pre-redesign module globals ``RULES`` and ``rule_for`` remain as
+warn-once deprecation shims over the compiled default catalog.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, \
+    replace
 
 from repro.core import abstract
 from repro.core.abstract import (
@@ -32,6 +44,7 @@ from repro.core.abstract import (
     AToOwner,
     AbstractProgram,
 )
+from repro._deprecation import warn_deprecated
 from repro.errors import UnconvertiblePattern
 from repro.programs import ast
 from repro.relational.sequel import (
@@ -40,26 +53,17 @@ from repro.relational.sequel import (
     SequelQuery,
     parse_sequel,
 )
+from repro.schema.constraints import Constraint
 from repro.schema.diff import (
-    ConstraintAdded,
-    ConstraintRemoved,
-    FieldAdded,
-    FieldRemoved,
     FieldRenamed,
     FieldsExtracted,
     FieldsInlined,
-    MembershipChanged,
     RecordAdded,
     RecordInterposed,
-    RecordRemoved,
     RecordRenamed,
     RecordsMerged,
     SchemaChange,
-    SetAdded,
-    SetOrderChanged,
-    SetRemoved,
     SetRenamed,
-    SiblingOrderChanged,
     VirtualizedField,
 )
 from repro.schema.model import Schema
@@ -169,7 +173,38 @@ def _mentions_field(statements: tuple[AStmt, ...], entity: str,
 
 
 # ---------------------------------------------------------------------------
-# Rule base and registry
+# Catalog message templating
+# ---------------------------------------------------------------------------
+
+
+def change_namespace(change: SchemaChange) -> dict[str, object]:
+    """The namespace a catalog message template formats against: one
+    name per dataclass field of the change.  Tuples render as lists
+    and constraints as their ``describe()`` text, so a template can
+    say ``{old_keys}`` or ``{constraint}`` directly -- ``str.format``
+    supports attribute access but never method calls."""
+    namespace: dict[str, object] = {}
+    for spec in dataclass_fields(change):
+        value = getattr(change, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif isinstance(value, Constraint):
+            value = value.describe()
+        namespace[spec.name] = value
+    return namespace
+
+
+def format_message(template: str, change: SchemaChange,
+                   extras: dict[str, object] | None = None) -> str:
+    """Render one catalog message template for a concrete change."""
+    namespace = change_namespace(change)
+    if extras:
+        namespace.update(extras)
+    return template.format(**namespace)
+
+
+# ---------------------------------------------------------------------------
+# Rule base
 # ---------------------------------------------------------------------------
 
 
@@ -298,10 +333,31 @@ class RenameSetRule(TransformationRule):
         )
 
 
-class FieldAddedRule(TransformationRule):
-    """A new field defaults in stored records; note it on affected STOREs."""
+# ---------------------------------------------------------------------------
+# Catalog combinators: parameterized by the compiled catalog with a
+# change kind and analyst message templates (see repro.catalog).
+# ---------------------------------------------------------------------------
 
-    change_type = FieldAdded
+
+class NoopRule(TransformationRule):
+    """Changes with no program impact (pure additions, or changes the
+    target model absorbs elsewhere -- e.g. sibling order, which only
+    affects hierarchical GN sequences converted by command
+    substitution)."""
+
+    def __init__(self, change_type: type[SchemaChange] = RecordAdded):
+        self.change_type = change_type
+
+    def apply(self, program, change, ctx):
+        return program
+
+
+class NoteOnStoreRule(TransformationRule):
+    """Note the message when the program STOREs the changed record."""
+
+    def __init__(self, change_type: type[SchemaChange], note: str):
+        self.change_type = change_type
+        self.note = note
 
     def apply(self, program, change, ctx):
         stores = any(
@@ -309,62 +365,47 @@ class FieldAddedRule(TransformationRule):
             for stmt in abstract.walk(program.statements)
         )
         if stores:
-            ctx.note(
-                f"new field {change.record}.{change.field_name} defaults "
-                f"to {change.default!r} in records stored by this program"
-            )
+            ctx.note(format_message(self.note, change))
         return program
 
 
-class FieldRemovedRule(TransformationRule):
-    """A removed field makes referencing programs unconvertible (Section 5.2)."""
+class RefuseOnFieldUseRule(TransformationRule):
+    """Refuse when the program references the changed record's field."""
 
-    change_type = FieldRemoved
+    def __init__(self, change_type: type[SchemaChange], refusal: str):
+        self.change_type = change_type
+        self.refusal = refusal
 
     def apply(self, program, change, ctx):
         if _mentions_field(program.statements, change.record,
                            change.field_name):
             raise UnconvertiblePattern(
-                f"program references removed field "
-                f"{change.record}.{change.field_name}; no mechanical "
-                "conversion exists (Section 5.2: information-reducing "
-                "restructurings need the analyst)"
+                format_message(self.refusal, change)
             )
         return program
 
 
-class RecordRemovedRule(TransformationRule):
-    """A removed record type makes referencing programs unconvertible."""
+class RefuseOnRecordUseRule(TransformationRule):
+    """Refuse when the program accesses the changed record type."""
 
-    change_type = RecordRemoved
+    def __init__(self, change_type: type[SchemaChange], refusal: str):
+        self.change_type = change_type
+        self.refusal = refusal
 
     def apply(self, program, change, ctx):
         if _mentions_entity(program.statements, change.record):
             raise UnconvertiblePattern(
-                f"program accesses removed record type {change.record}"
+                format_message(self.refusal, change)
             )
         return program
 
 
-class NoopRule(TransformationRule):
-    """Changes with no program impact (pure additions)."""
+class RefuseOnSetUseRule(TransformationRule):
+    """Refuse when the program traverses the changed set."""
 
-    change_type = RecordAdded
-
-    def apply(self, program, change, ctx):
-        return program
-
-
-class SetAddedRule(NoopRule):
-    """Pure addition: no program impact."""
-
-    change_type = SetAdded
-
-
-class SetRemovedRule(TransformationRule):
-    """A removed set makes traversing programs unconvertible."""
-
-    change_type = SetRemoved
+    def __init__(self, change_type: type[SchemaChange], refusal: str):
+        self.change_type = change_type
+        self.refusal = refusal
 
     def apply(self, program, change, ctx):
         uses = any(
@@ -373,39 +414,38 @@ class SetRemovedRule(TransformationRule):
         )
         if uses:
             raise UnconvertiblePattern(
-                f"program traverses removed set {change.set_name}"
+                format_message(self.refusal, change)
             )
         return program
 
 
-class SetOrderChangedRule(TransformationRule):
-    """Warn when order-sensitive scans or process-first touch the reordered set."""
+class WarnOnReorderRule(TransformationRule):
+    """Warn when order-sensitive scans or process-first touch the
+    changed set: the Section 3.2 order-dependence pathology."""
 
-    change_type = SetOrderChanged
+    def __init__(self, change_type: type[SchemaChange],
+                 scan_warning: str, first_warning: str):
+        self.change_type = change_type
+        self.scan_warning = scan_warning
+        self.first_warning = first_warning
 
     def apply(self, program, change, ctx):
         for stmt in abstract.walk(program.statements):
             if isinstance(stmt, AScan) and stmt.via == change.set_name \
                     and stmt.order_sensitive:
-                ctx.warn(
-                    f"scan of set {change.set_name} emits output per "
-                    f"member and the set order changed "
-                    f"({list(change.old_keys)} -> {list(change.new_keys)}); "
-                    "output order will differ (Section 3.2 order "
-                    "dependence -- level-2 conversion)"
-                )
+                ctx.warn(format_message(self.scan_warning, change))
             if isinstance(stmt, AFirst) and stmt.via == change.set_name:
-                ctx.warn(
-                    f"'process first' on reordered set {change.set_name}: "
-                    "a different member may now be first"
-                )
+                ctx.warn(format_message(self.first_warning, change))
         return program
 
 
-class MembershipChangedRule(TransformationRule):
-    """Note behaviour changes for STORE/ERASE of the affected member."""
+class NoteOnMembershipRule(TransformationRule):
+    """Note behaviour changes for STORE/ERASE of the changed set's
+    member (available to the template as ``{member}``)."""
 
-    change_type = MembershipChanged
+    def __init__(self, change_type: type[SchemaChange], note: str):
+        self.change_type = change_type
+        self.note = note
 
     def apply(self, program, change, ctx):
         member = ctx.source_schema.set_type(change.set_name).member
@@ -414,12 +454,21 @@ class MembershipChangedRule(TransformationRule):
             for stmt in abstract.walk(program.statements)
         )
         if touches:
-            ctx.note(
-                f"set {change.set_name} membership is now "
-                f"{change.new_insertion.value}/{change.new_retention.value}; "
-                f"STORE/ERASE of {member} may behave differently "
-                "(desired per the new requirements, Section 5.2)"
-            )
+            ctx.note(format_message(self.note, change,
+                                    {"member": member}))
+        return program
+
+
+class NoteRule(TransformationRule):
+    """Unconditionally note the message (behaviour-change advisories
+    that apply to every program, e.g. constraint changes)."""
+
+    def __init__(self, change_type: type[SchemaChange], note: str):
+        self.change_type = change_type
+        self.note = note
+
+    def apply(self, program, change, ctx):
+        ctx.note(format_message(self.note, change))
         return program
 
 
@@ -863,48 +912,6 @@ class InlineFieldsRule(TransformationRule):
         return program.with_statements(statements)
 
 
-class SiblingOrderRule(TransformationRule):
-    """No network impact; hierarchical programs go through command substitution."""
-
-    change_type = SiblingOrderChanged
-
-    def apply(self, program, change, ctx):
-        # Network navigation names sets explicitly; sibling order only
-        # affects hierarchical GN sequences, which are converted by
-        # command substitution (repro.core.command_substitution).
-        return program
-
-
-class ConstraintAddedRule(TransformationRule):
-    """Note the Section 5.2 behaviour change: violating updates now fail."""
-
-    change_type = ConstraintAdded
-
-    def apply(self, program, change, ctx):
-        ctx.note(
-            f"target schema adds constraint "
-            f"{change.constraint.describe()}; updates that violate it "
-            "now fail (Section 5.2: 'the desired behavior because the "
-            "application requirements have changed, but ... not "
-            "strictly equivalent')"
-        )
-        return program
-
-
-class ConstraintRemovedRule(TransformationRule):
-    """Note now-redundant procedural checks (optimization opportunity)."""
-
-    change_type = ConstraintRemoved
-
-    def apply(self, program, change, ctx):
-        ctx.note(
-            f"constraint {change.constraint.describe()} was dropped; "
-            "procedural checks of it in this program are now redundant "
-            "(optimization opportunity, Section 5.3)"
-        )
-        return program
-
-
 def _rename_query_table(sequel_text: str, old: str, new: str) -> str:
     query = parse_sequel(sequel_text)
     return _rename_tables(query, old, new).render()
@@ -949,36 +956,36 @@ def _rename_columns(query: SequelQuery, record: str, old: str,
                    where=tuple(fix_condition(c) for c in query.where))
 
 
-#: The rule registry, in application order.
-RULES: tuple[TransformationRule, ...] = (
-    RenameRecordRule(),
-    RenameFieldRule(),
-    RenameSetRule(),
-    FieldAddedRule(),
-    FieldRemovedRule(),
-    RecordRemovedRule(),
-    NoopRule(),
-    SetAddedRule(),
-    SetRemovedRule(),
-    SetOrderChangedRule(),
-    MembershipChangedRule(),
-    VirtualizedFieldRule(),
-    InterposeRule(),
-    MergeRule(),
-    ExtractFieldsRule(),
-    InlineFieldsRule(),
-    SiblingOrderRule(),
-    ConstraintAddedRule(),
-    ConstraintRemovedRule(),
-)
+# ---------------------------------------------------------------------------
+# Deprecation shims: the pre-catalog registry globals
+# ---------------------------------------------------------------------------
 
 
-def rule_for(change: SchemaChange) -> TransformationRule:
-    """Select the registry rule for one classified change."""
-    for rule in RULES:
-        if isinstance(change, rule.change_type) and \
-                type(change) is rule.change_type:
-            return rule
-    raise UnconvertiblePattern(
-        f"no transformation rule for change kind {change.kind}"
+def __getattr__(name: str):
+    """PEP 562 shims: ``RULES`` and ``rule_for`` were module globals
+    before the rules-as-data redesign.  Both now resolve (warn-once)
+    to views over the compiled default catalog, so existing imports
+    keep selecting byte-identical rules."""
+    if name == "RULES":
+        warn_deprecated(
+            "repro.core.rules:RULES",
+            "repro.core.rules.RULES is deprecated; use "
+            "repro.catalog.default_rules().rules (the compiled "
+            "default catalog)",
+        )
+        from repro.catalog import default_rules
+
+        return default_rules().rules
+    if name == "rule_for":
+        warn_deprecated(
+            "repro.core.rules:rule_for",
+            "repro.core.rules.rule_for is deprecated; use "
+            "repro.catalog.default_rules().rule_for (the compiled "
+            "default catalog)",
+        )
+        from repro.catalog import default_rules
+
+        return default_rules().rule_for
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )

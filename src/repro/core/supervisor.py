@@ -162,7 +162,8 @@ class ConversionSupervisor:
                  cost_model: CostModel | None = None,
                  optimizer_passes: tuple[str, ...] =
                  DEFAULT_OPTIMIZER_PASSES,
-                 verb_pins: dict[str, dict[int, str]] | None = None):
+                 verb_pins: dict[str, dict[int, str]] | None = None,
+                 rule_catalog=None):
         analyzer = ConversionAnalyzer()
         if operator is not None:
             self.catalog: ChangeCatalog = analyzer.analyze_operator(
@@ -173,13 +174,27 @@ class ConversionSupervisor:
                                                     target_schema)
         else:
             raise ValueError("supervisor needs an operator or a target schema")
+        # ``rule_catalog`` accepts a RuleCatalog or a pre-compiled
+        # CompiledRules; None keeps the builtin catalog (resolved
+        # lazily by the converter, so this import stays conditional).
+        compiled = None
+        if rule_catalog is not None:
+            from repro.catalog.compile import CompiledRules, compile_catalog
+            compiled = rule_catalog \
+                if isinstance(rule_catalog, CompiledRules) \
+                else compile_catalog(rule_catalog)
+        self.rule_catalog = compiled
         self.analyst = analyst if analyst is not None \
             else AutoAnalyst(verb_pins)
         self.program_analyzer = ProgramAnalyzer(source_schema)
-        self.converter = ProgramConverter()
+        self.converter = ProgramConverter(compiled)
+        passes = optimizer_passes if compiled is None \
+            else compiled.gate_passes(optimizer_passes)
         self.optimizer = Optimizer(self.catalog.target_schema, cost_model,
-                                   optimizer_passes)
-        self.generator = ProgramGenerator(self.catalog.target_schema)
+                                   passes)
+        self.generator = ProgramGenerator(
+            self.catalog.target_schema,
+            templates=None if compiled is None else compiled.templates)
         self.verb_pins = verb_pins or {}
 
     @classmethod
@@ -194,7 +209,8 @@ class ConversionSupervisor:
         return cls(source_schema, operator, target_schema,
                    analyst=options.analyst,
                    optimizer_passes=options.optimizer_passes,
-                   verb_pins=options.verb_pins)
+                   verb_pins=options.verb_pins,
+                   rule_catalog=options.rule_catalog)
 
     # -- single program ----------------------------------------------------
 

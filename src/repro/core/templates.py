@@ -240,17 +240,19 @@ def emit_locate_network(node: ALocate) -> list[ast.Stmt]:
     return out
 
 
-def emit_scan_network(node: AScan,
-                      body: tuple[ast.Stmt, ...]) -> list[ast.Stmt]:
+def emit_scan_network(node: AScan, body: tuple[ast.Stmt, ...],
+                      keyed: bool = True) -> list[ast.Stmt]:
     """The canonical loop, keyed (template (B)) when marked and all
-    conditions are equalities; filtered otherwise."""
+    conditions are equalities; filtered otherwise.  ``keyed=False``
+    forces the filtered loop (a rule catalog that disables the
+    keyed-scan template)."""
     equalities = tuple((c.field, c.value) for c in node.conditions
                        if c.op == "=")
     all_equal = len(equalities) == len(node.conditions)
     inner: list[ast.Stmt] = []
     if node.bind:
         inner.append(ast.NetGet(node.entity))
-    if node.keyed and all_equal and node.conditions:
+    if keyed and node.keyed and all_equal and node.conditions:
         head: ast.Stmt = ast.NetFindNextUsing(node.entity, node.via,
                                               equalities)
         inner.extend(body)

@@ -155,6 +155,32 @@ class InformationLoss(RestructureError):
 
 
 # ---------------------------------------------------------------------------
+# Rule catalogs
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """A rule-catalog document failed load-time validation.
+
+    Every violation -- unknown directive or key, unknown change kind
+    or primitive, dangling record/set/field reference, template
+    placeholder mismatch -- is a hard error carrying the file and line
+    position of the offending entry, in the same ``line N:`` idiom as
+    :class:`DDLSyntaxError`.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line: int | None = None):
+        self.path = path
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Conversion pipeline
 # ---------------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # imported lazily to keep this module cycle-free
+    from repro.catalog.model import RuleCatalog
     from repro.core.supervisor import Analyst
     from repro.faultinject import FaultPlan
     from repro.programs.interpreter import ProgramInputs
@@ -60,6 +61,13 @@ class ConversionOptions:
     #: Program name -> {generic-call index -> verb} pins for the
     #: verb-variability pathology.
     verb_pins: dict[str, dict[int, str]] | None = None
+    #: Rule catalog driving the Program Converter (``None``: the
+    #: shipped builtin catalog).  Load one with
+    #: :func:`repro.api.load_rule_catalog`; the catalog is a frozen
+    #: value, so it pickles with these options to parallel workers and
+    #: its :meth:`~repro.catalog.model.RuleCatalog.identity` keys warm
+    #: state sharing in the service.
+    rule_catalog: "RuleCatalog | None" = None
 
     # -- cascade knobs ------------------------------------------------
     #: Strategy stage order for the fallback cascade.

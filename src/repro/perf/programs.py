@@ -456,10 +456,18 @@ def run_programs_benchmark(scales: tuple[int, ...] = FULL_SCALES,
         relational = compare_relational_execution(
             relational_rows, relational_statements, seed)
     parallel = measure_parallel_scaling(jobs_curve, seed, parallel_tiers)
+    from repro.catalog import default_catalog
+
+    catalog = default_catalog()
     return {
         "suite": "programs",
         "bench_format": BENCH_FORMAT,
         "schema": "COMPANY (Figure 4.2), restructured per Figure 4.4",
+        "rule_catalog": {
+            "name": catalog.name,
+            "version": catalog.version,
+            "identity": catalog.identity(),
+        },
         "seed": seed,
         "scales": measured_scales,
         "relational_index_comparison": relational,

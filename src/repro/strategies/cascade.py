@@ -109,7 +109,8 @@ class FallbackCascade:
                  catalog: ChangeCatalog | None = None,
                  order: tuple[str, ...] = DEFAULT_ORDER,
                  strategy_order: str = "cost",
-                 cost_model: str = "auto"):
+                 cost_model: str = "auto",
+                 rule_catalog=None):
         unknown = set(order) - set(DEFAULT_ORDER)
         if unknown:
             raise ValueError(f"unknown cascade stages: {sorted(unknown)}")
@@ -132,6 +133,10 @@ class FallbackCascade:
         self.order = tuple(order)
         self.strategy_order = strategy_order
         self.cost_model_mode = cost_model
+        #: Rule catalog for the rewrite stage's supervisor (``None``:
+        #: the builtin catalog).  Distinct from ``self.catalog``, the
+        #: ChangeCatalog of classified schema changes.
+        self.rule_catalog = rule_catalog
         # Cardinality models are taken once, eagerly: probes roll back
         # every mutation, so the counts never drift during a batch and
         # worker processes rehydrating this pickled cascade predict
@@ -157,7 +162,8 @@ class FallbackCascade:
         if name == "rewrite":
             return RewriteStrategy(self.target_db, self.source_db.schema,
                                    self.operator, analyst=self.analyst,
-                                   cost_model=self.target_cost_model)
+                                   cost_model=self.target_cost_model,
+                                   rule_catalog=self.rule_catalog)
         if name == "emulation":
             return EmulationStrategy(self.target_db, self.catalog)
         if name == "bridge":

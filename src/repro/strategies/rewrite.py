@@ -32,11 +32,13 @@ class RewriteStrategy(ConversionStrategy):
     def __init__(self, target_db: NetworkDatabase, source_schema: Schema,
                  operator: RestructuringOperator,
                  analyst: Analyst | None = None,
-                 cost_model: CostModel | None = None):
+                 cost_model: CostModel | None = None,
+                 rule_catalog=None):
         self.target_db = target_db
         self.supervisor = ConversionSupervisor(source_schema, operator,
                                                analyst=analyst,
-                                               cost_model=cost_model)
+                                               cost_model=cost_model,
+                                               rule_catalog=rule_catalog)
         self._converted: dict[str, ConversionReport] = {}
 
     def conversion_report(self, program: Program) -> ConversionReport:
